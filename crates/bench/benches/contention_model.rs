@@ -1,0 +1,54 @@
+//! F6b — contention-model cost: single pair-rate evaluations, full
+//! matrix construction, and predictor lookups. These sit on the engine's
+//! hot re-rate path, so their constant factors matter.
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn main
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nodeshare_perf::{AppCatalog, AppId, ContentionModel, PairMatrix, Predictor};
+use std::hint::black_box;
+
+fn bench_pair_rates(c: &mut Criterion) {
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let a = &catalog.profile(AppId(0)).demand;
+    let b = &catalog.profile(AppId(5)).demand;
+    c.bench_function("contention/pair_rates", |bch| {
+        bch.iter(|| black_box(model.pair_rates(black_box(a), black_box(b))));
+    });
+}
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    c.bench_function("contention/matrix_build_8apps", |bch| {
+        bch.iter(|| black_box(PairMatrix::build(black_box(&catalog), &model)));
+    });
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let matrix = PairMatrix::build(&catalog, &model);
+    let oracle = Predictor::oracle(&catalog, &model);
+    let class = Predictor::class_based(&catalog, &model);
+    c.bench_function("contention/matrix_lookup_64pairs", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for a in 0..8u8 {
+                for b in 0..8u8 {
+                    acc += matrix.rate(AppId(a), AppId(b));
+                }
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("contention/predictor_oracle", |bch| {
+        bch.iter(|| black_box(oracle.rates(AppId(2), AppId(5))));
+    });
+    c.bench_function("contention/predictor_class_based", |bch| {
+        bch.iter(|| black_box(class.rates(AppId(2), AppId(5))));
+    });
+}
+
+criterion_group!(benches, bench_pair_rates, bench_matrix_build, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! **F2 — pairwise co-run matrix.** The 8×8 heatmap of combined node
+//! throughput for every mini-app pair, plus each direction's rate. The
+//! block structure (compute×memory bright, memory×memory dark) is what
+//! the sharing strategies exploit.
+//!
+//! ```text
+//! cargo run --release -p nodeshare-bench --bin exp_f2_pair_matrix
+//! ```
+
+use nodeshare_bench::{emit, World};
+use nodeshare_metrics::Table;
+
+fn main() {
+    let world = World::evaluation();
+    let names: Vec<String> = world.catalog.iter().map(|a| a.name.clone()).collect();
+
+    // Combined-throughput heatmap.
+    let mut header = vec!["combined".to_string()];
+    header.extend(names.iter().cloned());
+    let mut heat = Table::new(header);
+    for a in world.catalog.iter() {
+        let mut row = vec![a.name.clone()];
+        for b in world.catalog.iter() {
+            row.push(format!("{:.2}", world.pair.combined_throughput(a.id, b.id)));
+        }
+        heat.row(row);
+    }
+
+    // Per-direction rates (dilation⁻¹ of the row app next to the column app).
+    let mut header = vec!["rate(row|col)".to_string()];
+    header.extend(names.iter().cloned());
+    let mut rates = Table::new(header);
+    for a in world.catalog.iter() {
+        let mut row = vec![a.name.clone()];
+        for b in world.catalog.iter() {
+            row.push(format!("{:.2}", world.pair.rate(a.id, b.id)));
+        }
+        rates.row(row);
+    }
+
+    let text = format!(
+        "F2 — pairwise co-run matrix (SMT-2 lane sharing)\n\n\
+         combined node throughput (1.0 = exclusive node; 2.0 = free co-residency):\n{}\n\
+         per-app rate when co-resident (row app next to column app):\n{}",
+        heat.render(),
+        rates.render()
+    );
+    emit("exp_f2_pair_matrix", &text, Some(&heat.to_csv()));
+}

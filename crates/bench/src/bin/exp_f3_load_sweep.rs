@@ -1,0 +1,65 @@
+//! **F3 — efficiency vs. load.** Sweeps the arrival intensity from well
+//! below saturation to well above it and plots the scheduling-efficiency
+//! and wait-time advantage of CoBackfill over EASY. The expected shape:
+//! sharing gains grow with load (an uncontended machine has nothing to
+//! share for) and flatten once the machine saturates.
+//!
+//! ```text
+//! cargo run --release -p nodeshare-bench --bin exp_f3_load_sweep
+//! ```
+
+use nodeshare_bench::{emit, mean_of, seeds, World};
+use nodeshare_core::{StrategyConfig, StrategyKind};
+use nodeshare_metrics::{pct, relative_gain, Table};
+use nodeshare_workload::ArrivalProcess;
+
+fn main() {
+    let world = World::evaluation();
+    let reps = seeds(3);
+    // Offered load ≈ 1.0 near rate 0.0047 (see WorkloadSpec::evaluation).
+    let base_rate = 0.0047;
+    let factors = [0.5, 0.7, 0.85, 1.0, 1.15, 1.3, 1.5, 1.7];
+
+    let easy = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
+    let co = StrategyConfig::sharing(StrategyKind::CoBackfill);
+
+    let mut t = Table::new(vec![
+        "load",
+        "E_sched easy",
+        "E_sched co",
+        "gain",
+        "wait easy(m)",
+        "wait co(m)",
+        "shared",
+    ]);
+    for &f in &factors {
+        let spec_of = |seed| {
+            let mut s = world.online_spec(seed);
+            s.arrival = ArrivalProcess::Poisson {
+                rate: base_rate * f,
+            };
+            s.n_jobs = 600;
+            s
+        };
+        let me = world.replicate(&easy, &reps, spec_of);
+        let mc = world.replicate(&co, &reps, spec_of);
+        let es_e = mean_of(&me, |m| m.scheduling_efficiency);
+        let es_c = mean_of(&mc, |m| m.scheduling_efficiency);
+        t.row(vec![
+            format!("{f:.2}x"),
+            format!("{es_e:.3}"),
+            format!("{es_c:.3}"),
+            pct(relative_gain(es_c, es_e)),
+            format!("{:.0}", mean_of(&me, |m| m.wait.mean) / 60.0),
+            format!("{:.0}", mean_of(&mc, |m| m.wait.mean) / 60.0),
+            pct(mean_of(&mc, |m| m.shared_fraction)),
+        ]);
+    }
+    let text = format!(
+        "F3 — CoBackfill gain vs offered load ({} replications x 600 jobs per point)\n\n{}\n\
+         expected shape: gains grow with load, flatten at deep saturation.\n",
+        reps.len(),
+        t.render()
+    );
+    emit("exp_f3_load_sweep", &text, Some(&t.to_csv()));
+}

@@ -1,0 +1,63 @@
+//! **F4 — share-fraction sweep.** How the efficiency gains scale with
+//! the fraction of jobs that opt into sharing (the paper's deployment
+//! knob: users/admins whitelist applications gradually).
+//!
+//! ```text
+//! cargo run --release -p nodeshare-bench --bin exp_f4_share_fraction
+//! ```
+
+use nodeshare_bench::{emit, mean_of, seeds, World};
+use nodeshare_core::{StrategyConfig, StrategyKind};
+use nodeshare_metrics::{pct, relative_gain, Table};
+
+fn main() {
+    let world = World::evaluation();
+    let reps = seeds(3);
+    let co = StrategyConfig::sharing(StrategyKind::CoBackfill);
+    let easy = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
+
+    // Baseline: nothing shares.
+    let base = world.replicate(&easy, &reps, |s| {
+        let mut spec = world.saturated_spec(s);
+        spec.share_fraction = 0.0;
+        spec
+    });
+    let base_comp = mean_of(&base, |m| m.computational_efficiency);
+    let base_sched = mean_of(&base, |m| m.scheduling_efficiency);
+
+    let mut t = Table::new(vec![
+        "share-eligible",
+        "E_comp gain",
+        "E_sched gain",
+        "shared node-time",
+        "mean wait(m)",
+    ]);
+    for frac in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let ms = world.replicate(&co, &reps, |s| {
+            let mut spec = world.saturated_spec(s);
+            spec.share_fraction = frac;
+            spec
+        });
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            pct(relative_gain(
+                mean_of(&ms, |m| m.computational_efficiency),
+                base_comp,
+            )),
+            pct(relative_gain(
+                mean_of(&ms, |m| m.scheduling_efficiency),
+                base_sched,
+            )),
+            pct(mean_of(&ms, |m| m.shared_fraction)),
+            format!("{:.0}", mean_of(&ms, |m| m.wait.mean) / 60.0),
+        ]);
+    }
+    let text = format!(
+        "F4 — CoBackfill gains vs share-eligible job fraction \
+         (saturated campaign, {} replications; baseline: exclusive EASY)\n\n{}\n\
+         expected shape: monotone growth; most of the benefit already at partial adoption.\n",
+        reps.len(),
+        t.render()
+    );
+    emit("exp_f4_share_fraction", &text, Some(&t.to_csv()));
+}

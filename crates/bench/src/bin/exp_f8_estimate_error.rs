@@ -1,0 +1,72 @@
+//! **F8 — walltime-estimate sensitivity.** Backfill quality depends on
+//! user estimates; this sweep varies the mean over-estimation factor
+//! from perfect to 5× and reports both strategies' scheduling efficiency
+//! and waits.
+//!
+//! ```text
+//! cargo run --release -p nodeshare-bench --bin exp_f8_estimate_error
+//! ```
+
+use nodeshare_bench::{emit, mean_of, seeds, World};
+use nodeshare_core::{StrategyConfig, StrategyKind};
+use nodeshare_metrics::{pct, relative_gain, Table};
+use nodeshare_workload::EstimateModel;
+
+fn main() {
+    let world = World::evaluation();
+    let reps = seeds(3);
+    let easy = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
+    let co = StrategyConfig::sharing(StrategyKind::CoBackfill);
+
+    let mut t = Table::new(vec![
+        "over-estimate",
+        "E_sched easy",
+        "E_sched co",
+        "gain",
+        "wait easy(m)",
+        "wait co(m)",
+        "kills co",
+    ]);
+    for (label, factor) in [
+        ("perfect", -1.0),
+        ("1.5x mean", 0.5),
+        ("2x mean", 1.0),
+        ("3x mean", 2.0),
+        ("5x mean", 4.0),
+    ] {
+        let spec_of = |seed| {
+            let mut s = world.saturated_spec(seed);
+            s.estimates = if factor < 0.0 {
+                EstimateModel::perfect()
+            } else {
+                EstimateModel {
+                    mean_over_factor: factor,
+                    ..EstimateModel::evaluation()
+                }
+            };
+            s
+        };
+        let me = world.replicate(&easy, &reps, spec_of);
+        let mc = world.replicate(&co, &reps, spec_of);
+        let es_e = mean_of(&me, |m| m.scheduling_efficiency);
+        let es_c = mean_of(&mc, |m| m.scheduling_efficiency);
+        t.row(vec![
+            label.to_string(),
+            format!("{es_e:.3}"),
+            format!("{es_c:.3}"),
+            pct(relative_gain(es_c, es_e)),
+            format!("{:.0}", mean_of(&me, |m| m.wait.mean) / 60.0),
+            format!("{:.0}", mean_of(&mc, |m| m.wait.mean) / 60.0),
+            format!("{:.1}", mean_of(&mc, |m| m.killed as f64)),
+        ]);
+    }
+    let text = format!(
+        "F8 — sensitivity to walltime over-estimation \
+         (saturated campaign, {} replications)\n\n{}\n\
+         note: with perfect estimates any dilation means a kill, so the shared\n\
+         walltime grace is what keeps sharing safe at low over-estimation.\n",
+        reps.len(),
+        t.render()
+    );
+    emit("exp_f8_estimate_error", &text, Some(&t.to_csv()));
+}

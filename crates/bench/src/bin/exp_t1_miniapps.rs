@@ -1,0 +1,54 @@
+//! **T1 — mini-app characterization.** Per-application resource class,
+//! normalized demands, derived SMT self-speedup, and best co-run partner
+//! — the table that motivates pairing complementary applications.
+//!
+//! ```text
+//! cargo run --release -p nodeshare-bench --bin exp_t1_miniapps
+//! ```
+
+use nodeshare_bench::{emit, World};
+use nodeshare_metrics::Table;
+use nodeshare_perf::Resource;
+
+fn main() {
+    let world = World::evaluation();
+    let mut t = Table::new(vec![
+        "app",
+        "class",
+        "issue",
+        "membw",
+        "llc",
+        "net",
+        "mem/node",
+        "smt-self",
+        "best partner",
+        "combined",
+    ]);
+    for app in world.catalog.iter() {
+        let smt_self = world.model.smt_self_speedup(&app.demand);
+        let others: Vec<_> = world.catalog.ids().filter(|&i| i != app.id).collect();
+        let (best, combined) = world
+            .pair
+            .best_partner(app.id, &others)
+            .expect("catalog has partners");
+        t.row(vec![
+            app.name.clone(),
+            app.class.label().to_string(),
+            format!("{:.2}", app.demand.get(Resource::IssueSlots)),
+            format!("{:.2}", app.demand.get(Resource::MemBandwidth)),
+            format!("{:.2}", app.demand.get(Resource::LlcCapacity)),
+            format!("{:.2}", app.demand.get(Resource::Network)),
+            format!("{} GiB", app.mem_per_node_mib / 1024),
+            format!("{smt_self:.2}x"),
+            world.catalog.profile(best).name.clone(),
+            format!("{combined:.2}x"),
+        ]);
+    }
+    let text = format!(
+        "T1 — Trinity mini-app characterization (demands normalized to node capacity)\n\n{}\n\
+         mean combined throughput over all ordered pairs: {:.2}x\n",
+        t.render(),
+        world.pair.mean_combined_throughput()
+    );
+    emit("exp_t1_miniapps", &text, Some(&t.to_csv()));
+}

@@ -1,0 +1,80 @@
+//! **T2 — strategy comparison.** All six strategies on the saturated
+//! evaluation campaign: makespan, waits, slowdown, utilization, and the
+//! two efficiency metrics.
+//!
+//! ```text
+//! cargo run --release -p nodeshare-bench --bin exp_t2_strategies
+//! ```
+
+use nodeshare_bench::{emit, mean_of, seeds, World};
+use nodeshare_core::StrategyConfig;
+use nodeshare_metrics::{pct, Table};
+
+fn main() {
+    let world = World::evaluation();
+    let reps = seeds(3);
+
+    let mut t = Table::new(vec![
+        "strategy",
+        "makespan(h)",
+        "wait:mean(m)",
+        "wait:p95(m)",
+        "bsld:p95",
+        "util",
+        "E_comp",
+        "E_sched",
+        "shared",
+        "kills",
+    ]);
+    let mut csv_rows = String::new();
+    for cfg in StrategyConfig::lineup() {
+        let ms = world.replicate(&cfg, &reps, |s| world.saturated_spec(s));
+        let row = [
+            cfg.label().to_string(),
+            format!("{:.1}", mean_of(&ms, |m| m.makespan) / 3600.0),
+            format!("{:.0}", mean_of(&ms, |m| m.wait.mean) / 60.0),
+            format!("{:.0}", mean_of(&ms, |m| m.wait.p95) / 60.0),
+            format!("{:.1}", mean_of(&ms, |m| m.bounded_slowdown.p95)),
+            format!("{:.3}", mean_of(&ms, |m| m.utilization)),
+            format!("{:.3}", mean_of(&ms, |m| m.computational_efficiency)),
+            format!("{:.3}", mean_of(&ms, |m| m.scheduling_efficiency)),
+            pct(mean_of(&ms, |m| m.shared_fraction)),
+            format!("{:.1}", mean_of(&ms, |m| m.killed as f64)),
+        ];
+        csv_rows.push_str(&row.join(","));
+        csv_rows.push('\n');
+        t.row(row.to_vec());
+    }
+    // Second table: the online (~90% load) regime, where waits rather
+    // than makespan tell the story.
+    let mut t2 = Table::new(vec![
+        "strategy",
+        "wait:mean(m)",
+        "wait:p95(m)",
+        "bsld:p95",
+        "E_comp",
+        "shared",
+    ]);
+    for cfg in StrategyConfig::lineup() {
+        let ms = world.replicate(&cfg, &reps, |s| world.online_spec(s));
+        t2.row(vec![
+            cfg.label().to_string(),
+            format!("{:.0}", mean_of(&ms, |m| m.wait.mean) / 60.0),
+            format!("{:.0}", mean_of(&ms, |m| m.wait.p95) / 60.0),
+            format!("{:.1}", mean_of(&ms, |m| m.bounded_slowdown.p95)),
+            format!("{:.3}", mean_of(&ms, |m| m.computational_efficiency)),
+            pct(mean_of(&ms, |m| m.shared_fraction)),
+        ]);
+    }
+    let text = format!(
+        "T2 — strategy comparison, saturated campaign ({} replications x 1000 jobs, 128 nodes)\n\n{}\n\
+         T2b — the same lineup in the online (~90% load) regime:\n\n{}",
+        reps.len(),
+        t.render(),
+        t2.render()
+    );
+    let csv = format!(
+        "strategy,makespan_h,wait_mean_m,wait_p95_m,bsld_p95,util,e_comp,e_sched,shared,kills\n{csv_rows}"
+    );
+    emit("exp_t2_strategies", &text, Some(&csv));
+}

@@ -1,0 +1,147 @@
+//! A small, dependency-free `--flag value` argument parser for the
+//! `nodeshare` binary.
+
+use std::collections::BTreeMap;
+
+/// Parsed invocation: a subcommand plus its flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invocation {
+    /// First positional token (`simulate`, `workload`, `pairs`, `apps`).
+    pub command: String,
+    /// `--flag value` pairs; bare `--flag` stores an empty string.
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument parsing failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Invocation {
+    /// Parses the argument vector (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Invocation, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut it = args.into_iter().map(Into::into).peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `nodeshare help`".into()))?;
+        if command.starts_with('-') {
+            return Err(ArgError(format!(
+                "expected a subcommand, found flag {command:?}"
+            )));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {tok:?}")));
+            };
+            if name.is_empty() {
+                return Err(ArgError("empty flag name".into()));
+            }
+            if let Some((k, v)) = name.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+                continue;
+            }
+            // Value is the next token unless it is another flag.
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap_or_default(),
+                _ => String::new(),
+            };
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Invocation { command, flags })
+    }
+
+    /// String flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Whether a bare flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("bad value {v:?} for --{name}"))),
+        }
+    }
+
+    /// Flag names the caller did not consume — for unknown-flag errors.
+    pub fn check_known(&self, known: &[&str]) -> Result<(), ArgError> {
+        for flag in self.flags.keys() {
+            if !known.contains(&flag.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{flag} for `{}` (known: {})",
+                    self.command,
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commands_and_flags() {
+        let inv =
+            Invocation::parse(["simulate", "--jobs", "500", "--strategy", "co-backfill"]).unwrap();
+        assert_eq!(inv.command, "simulate");
+        assert_eq!(inv.get("jobs"), Some("500"));
+        assert_eq!(inv.get("strategy"), Some("co-backfill"));
+        assert_eq!(inv.num::<u32>("jobs", 0).unwrap(), 500);
+        assert_eq!(inv.num::<u32>("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn equals_form_and_bare_flags() {
+        let inv = Invocation::parse(["simulate", "--seed=7", "--quiet", "--jobs", "10"]).unwrap();
+        assert_eq!(inv.get("seed"), Some("7"));
+        assert!(inv.has("quiet"));
+        assert_eq!(inv.get("quiet"), Some(""));
+        assert_eq!(inv.num::<u64>("seed", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Invocation::parse(Vec::<String>::new()).is_err());
+        assert!(Invocation::parse(["--flag"]).is_err());
+        assert!(Invocation::parse(["sim", "stray"]).is_err());
+        let inv = Invocation::parse(["sim", "--jobs", "abc"]).unwrap();
+        assert!(inv.num::<u32>("jobs", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let inv = Invocation::parse(["pairs", "--bogus", "1"]).unwrap();
+        let err = inv.check_known(&["seed"]).unwrap_err();
+        assert!(err.0.contains("bogus"));
+        assert!(inv.check_known(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_keeps_empty_value() {
+        let inv = Invocation::parse(["sim", "--a", "--b", "2"]).unwrap();
+        assert_eq!(inv.get("a"), Some(""));
+        assert_eq!(inv.get("b"), Some("2"));
+    }
+}

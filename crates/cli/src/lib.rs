@@ -1,0 +1,514 @@
+//! # nodeshare-cli
+//!
+//! The `nodeshare` command-line tool: simulate campaigns, generate and
+//! replay SWF workloads, and inspect the co-run structure — all of it
+//! driving the library crates, nothing bespoke.
+//!
+//! ```text
+//! nodeshare simulate --jobs 500 --seed 42 --strategy co-backfill
+//! nodeshare simulate --swf trace.swf --conf slurm.conf --strategy easy
+//! nodeshare workload --jobs 1000 --seed 1 --out campaign.swf
+//! nodeshare pairs
+//! nodeshare apps
+//! ```
+
+pub mod args;
+pub mod report;
+
+use args::{ArgError, Invocation};
+use nodeshare_cluster::ClusterSpec;
+use nodeshare_core::{PairingPolicy, PredictorKind, StrategyConfig, StrategyKind};
+use nodeshare_engine::{FailureModel, SimConfig};
+use nodeshare_perf::{AppCatalog, CoRunTruth, ContentionModel, PairMatrix, Resource};
+use nodeshare_slurm::SlurmConf;
+use nodeshare_workload::{swf, ArrivalProcess, Preset, Workload, WorkloadStats};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Args(ArgError),
+    /// I/O failure (file given on the command line).
+    Io(String, std::io::Error),
+    /// Anything else with a user-facing message.
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(path, e) => write!(f, "{path}: {e}"),
+            CliError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Adapter making `Box<dyn Scheduler>` usable where an `S: Scheduler` is
+/// needed (the learning wrapper is generic).
+struct BoxedScheduler(Box<dyn nodeshare_engine::Scheduler>);
+
+impl nodeshare_engine::Scheduler for BoxedScheduler {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn schedule(
+        &mut self,
+        ctx: &nodeshare_engine::SchedContext<'_>,
+    ) -> Vec<nodeshare_engine::Decision> {
+        self.0.schedule(ctx)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+nodeshare — node-sharing batch-system simulator
+
+USAGE:
+  nodeshare simulate [options]     run one campaign and print a report
+  nodeshare workload [options]     generate a synthetic campaign as SWF
+  nodeshare pairs                  print the co-run pair matrix
+  nodeshare apps                   print the mini-app characterization
+  nodeshare help                   this text
+
+SIMULATE OPTIONS:
+  --strategy S       fcfs | first-fit | easy | conservative |
+                     co-first-fit | co-backfill | co-backfill-only
+                     (default co-backfill)
+  --pairing P        never | any | threshold          (default threshold)
+  --predictor P      oracle | nway | class | oblivious (default class)
+  --conf FILE        slurm.conf-style machine description
+  --nodes N          cluster size when no --conf        (default 128)
+  --swf FILE         replay an SWF trace instead of generating
+  --jobs N           synthetic campaign size            (default 500)
+  --seed S           workload seed                      (default 42)
+  --preset P         evaluation | saturated | capability | capacity |
+                     memory-heavy                       (default saturated)
+  --rate R           Poisson arrivals per second (overrides the preset)
+  --share-fraction F fraction of jobs opting into sharing (default 1.0)
+  --mtbf-hours H     inject node failures with this per-node MTBF
+  --checkpoint-mins M  salvage work at this checkpoint interval
+  --duration-match T only pair jobs with walltime overlap ratio >= T
+  --learning         learn per-user estimate corrections (Tsafrir-style)
+  --csv FILE         also write per-job records as CSV
+
+WORKLOAD OPTIONS:
+  --jobs N --seed S --rate R --share-fraction F --out FILE (default stdout)
+";
+
+/// Runs the CLI and returns the text to print.
+pub fn run_cli<I, S>(argv: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let inv = Invocation::parse(argv)?;
+    match inv.command.as_str() {
+        "simulate" => simulate(&inv),
+        "workload" => workload_cmd(&inv),
+        "pairs" => pairs(&inv),
+        "apps" => apps(&inv),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(CliError::Other(format!(
+            "unknown subcommand {other:?}; try `nodeshare help`"
+        ))),
+    }
+}
+
+fn parse_strategy(inv: &Invocation) -> Result<StrategyConfig, CliError> {
+    let kind = match inv.get("strategy").unwrap_or("co-backfill") {
+        "fcfs" => StrategyKind::Fcfs,
+        "first-fit" => StrategyKind::FirstFit,
+        "easy" | "easy-backfill" => StrategyKind::EasyBackfill,
+        "conservative" => StrategyKind::Conservative,
+        "co-first-fit" => StrategyKind::CoFirstFit,
+        "co-backfill" => StrategyKind::CoBackfill,
+        "co-backfill-only" => StrategyKind::CoBackfillOnly,
+        other => return Err(CliError::Other(format!("unknown strategy {other:?}"))),
+    };
+    let pairing = match inv.get("pairing").unwrap_or("threshold") {
+        "never" => PairingPolicy::Never,
+        "any" => PairingPolicy::Any,
+        "threshold" => PairingPolicy::default_threshold(),
+        other => return Err(CliError::Other(format!("unknown pairing {other:?}"))),
+    };
+    let predictor = match inv.get("predictor").unwrap_or("class") {
+        "oracle" => PredictorKind::Oracle,
+        "nway" => PredictorKind::NWayOracle,
+        "class" => PredictorKind::ClassBased,
+        "oblivious" => PredictorKind::Oblivious,
+        other => return Err(CliError::Other(format!("unknown predictor {other:?}"))),
+    };
+    if kind.shares() {
+        Ok(StrategyConfig {
+            kind,
+            pairing,
+            predictor,
+        })
+    } else {
+        Ok(StrategyConfig::exclusive(kind))
+    }
+}
+
+fn load_cluster(inv: &Invocation) -> Result<ClusterSpec, CliError> {
+    match inv.get("conf") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+            let conf = SlurmConf::parse(&text).map_err(|e| CliError::Other(e.to_string()))?;
+            Ok(conf.cluster)
+        }
+        None => {
+            let nodes: u32 = inv.num("nodes", 128)?;
+            if nodes == 0 {
+                return Err(CliError::Other("--nodes must be positive".into()));
+            }
+            Ok(ClusterSpec::new(
+                nodes,
+                nodeshare_cluster::NodeSpec::trinity_like(),
+            ))
+        }
+    }
+}
+
+fn build_workload(
+    inv: &Invocation,
+    catalog: &AppCatalog,
+    cluster: &ClusterSpec,
+) -> Result<Workload, CliError> {
+    if let Some(path) = inv.get("swf") {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+        let records = swf::parse(&text).map_err(|e| CliError::Other(e.to_string()))?;
+        let opts = swf::SwfImportOptions {
+            cores_per_node: cluster.node.cores(),
+            ..Default::default()
+        };
+        let (workload, skipped) = swf::to_workload(&records, catalog, &opts);
+        if workload.is_empty() {
+            return Err(CliError::Other(format!(
+                "{path}: no usable jobs ({skipped} skipped)"
+            )));
+        }
+        Ok(workload)
+    } else {
+        let preset_name = inv.get("preset").unwrap_or("saturated");
+        let preset = Preset::parse(preset_name)
+            .ok_or_else(|| CliError::Other(format!("unknown preset {preset_name:?}")))?;
+        let mut spec = preset.spec(catalog, inv.num("seed", 42u64)?);
+        spec.n_jobs = inv.num("jobs", 500usize)?;
+        if inv.has("rate") {
+            spec.arrival = ArrivalProcess::Poisson {
+                rate: inv.num("rate", 0.0080f64)?,
+            };
+        }
+        spec.share_fraction = inv.num("share-fraction", 1.0f64)?;
+        Ok(spec.generate(catalog))
+    }
+}
+
+fn simulate(inv: &Invocation) -> Result<String, CliError> {
+    inv.check_known(&[
+        "strategy",
+        "pairing",
+        "predictor",
+        "conf",
+        "nodes",
+        "swf",
+        "jobs",
+        "seed",
+        "rate",
+        "preset",
+        "share-fraction",
+        "mtbf-hours",
+        "checkpoint-mins",
+        "duration-match",
+        "learning",
+        "csv",
+    ])?;
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let truth = CoRunTruth::build(&catalog, &model);
+    let cluster = load_cluster(inv)?;
+    let workload = build_workload(inv, &catalog, &cluster)?;
+    let strategy = parse_strategy(inv)?;
+
+    let mut config = SimConfig::new(cluster);
+    let mtbf_h: f64 = inv.num("mtbf-hours", 0.0)?;
+    if mtbf_h > 0.0 {
+        config.failures = Some(FailureModel {
+            mtbf_per_node: mtbf_h * 3_600.0,
+            repair_time: 1_800.0,
+            seed: inv.num("seed", 42u64)? ^ 0xfa11,
+        });
+    }
+    let ckpt_min: f64 = inv.num("checkpoint-mins", 0.0)?;
+    if ckpt_min > 0.0 {
+        config.checkpoint_interval = Some(ckpt_min * 60.0);
+    }
+
+    // Build the scheduler, layering optional refinements.
+    let mut sched: Box<dyn nodeshare_engine::Scheduler> = if strategy.kind.shares() {
+        let mut pairing = nodeshare_core::Pairing::new(
+            strategy.pairing,
+            strategy.predictor.build(&catalog, &model),
+        );
+        let theta: f64 = inv.num("duration-match", 0.0)?;
+        if theta > 0.0 {
+            pairing = pairing.with_duration_match(theta);
+        }
+        match strategy.kind {
+            StrategyKind::CoFirstFit => Box::new(nodeshare_core::FirstFit::sharing(pairing)),
+            StrategyKind::CoBackfillOnly => {
+                Box::new(nodeshare_core::Backfill::co_backfill_only(pairing))
+            }
+            _ => Box::new(nodeshare_core::Backfill::co(pairing)),
+        }
+    } else {
+        strategy.build(&catalog, &model)
+    };
+    if inv.has("learning") {
+        // Wrap whatever we built; the learner is policy-agnostic.
+        sched = Box::new(nodeshare_core::EstimateLearning::new(
+            BoxedScheduler(sched),
+            0.9,
+            3,
+        ));
+    }
+    let out = nodeshare_engine::run(&workload, &truth, sched.as_mut(), &config);
+    if !out.complete() {
+        return Err(CliError::Other(format!(
+            "{} jobs could never be scheduled on this cluster (first: {:?})",
+            out.unscheduled.len(),
+            out.unscheduled.first()
+        )));
+    }
+    if let Some(path) = inv.get("csv") {
+        std::fs::write(path, report::records_csv(&out, &catalog))
+            .map_err(|e| CliError::Io(path.to_string(), e))?;
+    }
+    let stats = WorkloadStats::of(&workload);
+    Ok(format!(
+        "workload:\n{}\n{}",
+        stats.report(Some(&catalog)),
+        report::render(&out, &cluster, &catalog)
+    ))
+}
+
+fn workload_cmd(inv: &Invocation) -> Result<String, CliError> {
+    inv.check_known(&["jobs", "seed", "rate", "preset", "share-fraction", "out"])?;
+    let catalog = AppCatalog::trinity();
+    let preset_name = inv.get("preset").unwrap_or("saturated");
+    let preset = Preset::parse(preset_name)
+        .ok_or_else(|| CliError::Other(format!("unknown preset {preset_name:?}")))?;
+    let mut spec = preset.spec(&catalog, inv.num("seed", 42u64)?);
+    spec.n_jobs = inv.num("jobs", 1000usize)?;
+    if inv.has("rate") {
+        spec.arrival = ArrivalProcess::Poisson {
+            rate: inv.num("rate", 0.0080f64)?,
+        };
+    }
+    spec.share_fraction = inv.num("share-fraction", 1.0f64)?;
+    let workload = spec.generate(&catalog);
+    let cores = nodeshare_cluster::NodeSpec::trinity_like().cores();
+    let text = swf::write(&workload, cores);
+    match inv.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| CliError::Io(path.to_string(), e))?;
+            Ok(format!(
+                "wrote {} jobs to {path}\n{}",
+                workload.len(),
+                WorkloadStats::of(&workload).report(Some(&catalog))
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+fn pairs(inv: &Invocation) -> Result<String, CliError> {
+    inv.check_known(&[])?;
+    let catalog = AppCatalog::trinity();
+    let matrix = PairMatrix::build(&catalog, &ContentionModel::calibrated());
+    let mut out = String::from("combined co-run throughput (row + column on one node):\n\n");
+    out.push_str(&format!("{:>10}", ""));
+    for b in catalog.iter() {
+        out.push_str(&format!("{:>10}", b.name));
+    }
+    out.push('\n');
+    for a in catalog.iter() {
+        out.push_str(&format!("{:>10}", a.name));
+        for b in catalog.iter() {
+            out.push_str(&format!("{:>10.2}", matrix.combined_throughput(a.id, b.id)));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn apps(inv: &Invocation) -> Result<String, CliError> {
+    inv.check_known(&[])?;
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let mut t = nodeshare_metrics::Table::new(vec![
+        "app", "class", "issue", "membw", "llc", "net", "mem/node", "smt-self",
+    ]);
+    for app in catalog.iter() {
+        t.row(vec![
+            app.name.clone(),
+            app.class.label().to_string(),
+            format!("{:.2}", app.demand.get(Resource::IssueSlots)),
+            format!("{:.2}", app.demand.get(Resource::MemBandwidth)),
+            format!("{:.2}", app.demand.get(Resource::LlcCapacity)),
+            format!("{:.2}", app.demand.get(Resource::Network)),
+            format!("{} GiB", app.mem_per_node_mib / 1024),
+            format!("{:.2}x", model.smt_self_speedup(&app.demand)),
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_cli(["help"]).unwrap().contains("USAGE"));
+        assert!(run_cli(["frobnicate"]).is_err());
+        assert!(run_cli(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn simulate_small_campaign_end_to_end() {
+        let out = run_cli([
+            "simulate",
+            "--jobs",
+            "60",
+            "--seed",
+            "7",
+            "--nodes",
+            "32",
+            "--rate",
+            "0.02",
+            "--strategy",
+            "co-backfill",
+        ])
+        .unwrap();
+        assert!(out.contains("nodeshare report: co-backfill"));
+        assert!(out.contains("computational efficiency"));
+        assert!(out.contains("jobs 60"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_options() {
+        assert!(run_cli(["simulate", "--strategy", "magic"]).is_err());
+        assert!(run_cli(["simulate", "--pairing", "sometimes"]).is_err());
+        assert!(run_cli(["simulate", "--predictor", "psychic"]).is_err());
+        assert!(run_cli(["simulate", "--bogus", "1"]).is_err());
+        assert!(run_cli(["simulate", "--nodes", "0"]).is_err());
+        assert!(run_cli(["simulate", "--jobs", "NaNcy"]).is_err());
+    }
+
+    #[test]
+    fn exclusive_strategies_ignore_pairing_flags() {
+        let out = run_cli([
+            "simulate",
+            "--jobs",
+            "30",
+            "--nodes",
+            "32",
+            "--strategy",
+            "easy",
+            "--pairing",
+            "any",
+        ])
+        .unwrap();
+        assert!(out.contains("easy-backfill"));
+        assert!(out.contains("shared node-time 0.0%"));
+    }
+
+    #[test]
+    fn workload_roundtrips_through_simulate() {
+        let dir = std::env::temp_dir().join("nodeshare_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.swf");
+        let path_str = path.to_str().unwrap();
+        let out = run_cli(["workload", "--jobs", "40", "--seed", "3", "--out", path_str]).unwrap();
+        assert!(out.contains("wrote 40 jobs"));
+        let out = run_cli([
+            "simulate",
+            "--swf",
+            path_str,
+            "--nodes",
+            "64",
+            "--strategy",
+            "first-fit",
+        ])
+        .unwrap();
+        assert!(out.contains("first-fit"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pairs_and_apps_render() {
+        let p = run_cli(["pairs"]).unwrap();
+        assert!(p.contains("miniDFT"));
+        let a = run_cli(["apps"]).unwrap();
+        assert!(a.contains("smt-self"));
+        // Extra flags are rejected.
+        assert!(run_cli(["pairs", "--x", "1"]).is_err());
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let err = run_cli(["simulate", "--swf", "/nonexistent/trace.swf"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(..)));
+        let err = run_cli(["simulate", "--conf", "/nonexistent/slurm.conf"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(..)));
+    }
+}
+
+#[cfg(test)]
+mod refinement_tests {
+    use super::*;
+
+    #[test]
+    fn learning_and_duration_match_flags_work() {
+        let out = run_cli([
+            "simulate",
+            "--jobs",
+            "50",
+            "--nodes",
+            "32",
+            "--rate",
+            "0.03",
+            "--strategy",
+            "co-backfill",
+            "--duration-match",
+            "0.5",
+            "--learning",
+        ])
+        .unwrap();
+        assert!(out.contains("co-backfill"));
+        let out = run_cli([
+            "simulate",
+            "--jobs",
+            "30",
+            "--nodes",
+            "32",
+            "--strategy",
+            "co-first-fit",
+            "--duration-match",
+            "0.3",
+        ])
+        .unwrap();
+        assert!(out.contains("co-first-fit"));
+    }
+}

@@ -1,0 +1,11 @@
+//! The `nodeshare` binary: thin wrapper over [`nodeshare_cli::run_cli`].
+
+fn main() {
+    match nodeshare_cli::run_cli(std::env::args().skip(1)) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("nodeshare: {e}");
+            std::process::exit(1);
+        }
+    }
+}

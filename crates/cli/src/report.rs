@@ -1,0 +1,157 @@
+//! Campaign report rendering for the CLI: one text document with the
+//! headline metrics, distribution read-outs, fairness, and per-app
+//! breakdown.
+
+use nodeshare_cluster::ClusterSpec;
+use nodeshare_engine::SimOutcome;
+use nodeshare_metrics::{by_app, fmt_seconds, user_slowdown_fairness, Buckets, Histogram, Table};
+use nodeshare_perf::AppCatalog;
+
+/// Renders the full report for one finished run.
+pub fn render(outcome: &SimOutcome, spec: &ClusterSpec, catalog: &AppCatalog) -> String {
+    let m = outcome.metrics(spec);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== nodeshare report: {} ===\n\n",
+        outcome.scheduler
+    ));
+    if !outcome.rejected.is_empty() {
+        out.push_str(&format!(
+            "rejected at submission (unsatisfiable): {} jobs\n",
+            outcome.rejected.len()
+        ));
+    }
+    out.push_str(&format!(
+        "jobs {}  killed {}  restarts {}  makespan {}  \n\
+         utilization {:.3}  computational efficiency {:.3}  scheduling efficiency {:.3}\n\
+         shared node-time {:.1}%  user fairness (Jain) {:.3}\n\n",
+        m.jobs,
+        m.killed,
+        m.total_restarts,
+        fmt_seconds(m.makespan),
+        m.utilization,
+        m.computational_efficiency,
+        m.scheduling_efficiency,
+        m.shared_fraction * 100.0,
+        user_slowdown_fairness(&outcome.records),
+    ));
+
+    let mut t = Table::new(vec!["metric", "mean", "median", "p95", "max"]);
+    for (name, s) in [
+        ("wait (s)", &m.wait),
+        ("bounded slowdown", &m.bounded_slowdown),
+        ("dilation", &m.dilation),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.median),
+            format!("{:.2}", s.p95),
+            format!("{:.2}", s.max),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    if m.shared_fraction > 0.0 {
+        let hist = Histogram::of(
+            outcome
+                .records
+                .iter()
+                .filter(|r| !r.killed)
+                .map(|r| r.dilation().max(1.0)),
+            &Buckets::Linear {
+                lo: 1.0,
+                hi: 2.0,
+                count: 10,
+            },
+        );
+        out.push_str("\ndilation distribution:\n");
+        out.push_str(&hist.render(32));
+    }
+
+    out.push_str("\nper-application outcomes:\n");
+    let mut t = Table::new(vec!["app", "jobs", "wait:mean(s)", "dil:p95", "shared"]);
+    for (app, g) in by_app(&outcome.records) {
+        t.row(vec![
+            catalog
+                .get(app)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| app.to_string()),
+            g.jobs.to_string(),
+            format!("{:.0}", g.wait.mean),
+            format!("{:.2}", g.dilation.p95),
+            format!("{:.0}%", g.shared_fraction * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Renders per-job records as CSV for downstream analysis.
+pub fn records_csv(outcome: &SimOutcome, catalog: &AppCatalog) -> String {
+    let mut t = Table::new(vec![
+        "job", "app", "user", "nodes", "submit", "start", "finish", "wait", "dilation", "shared",
+        "killed", "restarts",
+    ]);
+    for r in &outcome.records {
+        t.row(vec![
+            r.id.0.to_string(),
+            catalog
+                .get(r.app)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| r.app.to_string()),
+            r.user.to_string(),
+            r.nodes.to_string(),
+            format!("{:.1}", r.submit),
+            format!("{:.1}", r.start),
+            format!("{:.1}", r.finish),
+            format!("{:.1}", r.wait()),
+            format!("{:.4}", r.dilation()),
+            r.shared_alloc.to_string(),
+            r.killed.to_string(),
+            r.restarts.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_cluster::{ClusterSpec, NodeSpec};
+    use nodeshare_core::{Backfill, Pairing, PairingPolicy};
+    use nodeshare_engine::{run, SimConfig};
+    use nodeshare_perf::{CoRunTruth, ContentionModel, Predictor};
+    use nodeshare_workload::WorkloadSpec;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let catalog = AppCatalog::trinity();
+        let model = ContentionModel::calibrated();
+        let truth = CoRunTruth::build(&catalog, &model);
+        let spec = ClusterSpec::new(16, NodeSpec::trinity_like());
+        let mut wl = WorkloadSpec::evaluation(&catalog, 3);
+        wl.n_jobs = 40;
+        wl.sizes = nodeshare_workload::SizeDist::Uniform { min: 1, max: 8 };
+        let workload = wl.generate(&catalog);
+        let pairing = Pairing::new(
+            PairingPolicy::default_threshold(),
+            Predictor::class_based(&catalog, &model),
+        );
+        let out = run(
+            &workload,
+            &truth,
+            &mut Backfill::co(pairing),
+            &SimConfig::new(spec),
+        );
+        let report = render(&out, &spec, &catalog);
+        assert!(report.contains("co-backfill"));
+        assert!(report.contains("computational efficiency"));
+        assert!(report.contains("per-application outcomes"));
+        assert!(report.contains("miniFE") || report.contains("AMG"));
+
+        let csv = records_csv(&out, &catalog);
+        assert_eq!(csv.lines().count(), 41, "header + 40 jobs");
+        assert!(csv.starts_with("job,app,user"));
+    }
+}

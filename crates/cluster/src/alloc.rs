@@ -1,0 +1,86 @@
+//! Allocation records: which nodes and lanes a job holds.
+
+use crate::ids::{JobId, Lane, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One node's worth of an allocation: the node and the lanes held there.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Node the lanes belong to.
+    pub node: NodeId,
+    /// Lanes held on that node (all lanes for exclusive allocations).
+    pub lanes: Vec<Lane>,
+}
+
+/// How a job occupies its nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShareMode {
+    /// The job owns every hardware thread of each of its nodes — the
+    /// "standard node allocation" baseline of the paper.
+    Exclusive,
+    /// The job owns one hardware-thread lane per node and may co-reside
+    /// with other jobs — the paper's node-sharing mechanism.
+    Shared,
+}
+
+impl ShareMode {
+    /// True for [`ShareMode::Shared`].
+    #[inline]
+    pub const fn is_shared(self) -> bool {
+        matches!(self, ShareMode::Shared)
+    }
+}
+
+/// A live allocation held by a job.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Owning job.
+    pub job: JobId,
+    /// Per-node lane holdings, in the order nodes were granted.
+    pub placements: Vec<Placement>,
+    /// Memory charged on each node, MiB.
+    pub mem_per_node: u64,
+    /// Exclusive or shared occupancy.
+    pub mode: ShareMode,
+}
+
+impl Allocation {
+    /// Nodes held by the allocation, in grant order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.placements.iter().map(|p| p.node)
+    }
+
+    /// Number of nodes held.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_accessors() {
+        let a = Allocation {
+            job: JobId(9),
+            placements: vec![
+                Placement {
+                    node: NodeId(2),
+                    lanes: vec![Lane(0)],
+                },
+                Placement {
+                    node: NodeId(5),
+                    lanes: vec![Lane(1)],
+                },
+            ],
+            mem_per_node: 512,
+            mode: ShareMode::Shared,
+        };
+        assert_eq!(a.node_count(), 2);
+        assert_eq!(a.nodes().collect::<Vec<_>>(), vec![NodeId(2), NodeId(5)]);
+        assert!(a.mode.is_shared());
+        assert!(!ShareMode::Exclusive.is_shared());
+    }
+}

@@ -1,0 +1,556 @@
+//! The cluster aggregate: nodes, live allocations, and free-capacity
+//! indices kept in sync on every mutation.
+
+use crate::alloc::{Allocation, Placement, ShareMode};
+use crate::ids::{JobId, Lane, NodeId};
+use crate::node::{AdminState, Node, NodeError};
+use crate::spec::ClusterSpec;
+use std::collections::{BTreeSet, HashMap};
+
+/// Errors from cluster-level allocation operations.
+///
+/// Cluster operations are *atomic*: on error, no node state has changed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// A node-level check failed.
+    Node(NodeError),
+    /// The job already holds an allocation.
+    DuplicateJob(JobId),
+    /// The job holds no allocation.
+    UnknownJob(JobId),
+    /// An allocation request listed no nodes.
+    EmptyNodeList,
+    /// The same node appeared twice in one request.
+    DuplicateNode(NodeId),
+    /// A node id outside the cluster.
+    NoSuchNode(NodeId),
+}
+
+impl From<NodeError> for AllocError {
+    fn from(e: NodeError) -> Self {
+        AllocError::Node(e)
+    }
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Node(e) => write!(f, "{e}"),
+            AllocError::DuplicateJob(j) => write!(f, "{j} already holds an allocation"),
+            AllocError::UnknownJob(j) => write!(f, "{j} holds no allocation"),
+            AllocError::EmptyNodeList => write!(f, "empty node list"),
+            AllocError::DuplicateNode(n) => write!(f, "{n} listed twice"),
+            AllocError::NoSuchNode(n) => write!(f, "{n} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A cluster of homogeneous nodes with lane-granular allocation tracking.
+///
+/// Two indices are maintained incrementally so schedulers can enumerate
+/// capacity without scanning every node:
+///
+/// * **idle** — up nodes with no resident job (candidates for exclusive
+///   allocation);
+/// * **partial** — up nodes with at least one resident job *and* at least
+///   one free lane (candidates for co-allocation).
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    nodes: Vec<Node>,
+    allocations: HashMap<JobId, Allocation>,
+    idle: BTreeSet<NodeId>,
+    partial: BTreeSet<NodeId>,
+}
+
+impl Cluster {
+    /// Builds an all-idle cluster from a validated spec.
+    ///
+    /// # Panics
+    /// Panics if the spec is invalid; validate specs at the configuration
+    /// boundary.
+    pub fn new(spec: ClusterSpec) -> Self {
+        spec.validate().expect("invalid cluster spec");
+        let nodes: Vec<Node> = (0..spec.node_count)
+            .map(|i| Node::new(NodeId(i), spec.node))
+            .collect();
+        let idle = nodes.iter().map(Node::id).collect();
+        Cluster {
+            spec,
+            nodes,
+            allocations: HashMap::new(),
+            idle,
+            partial: BTreeSet::new(),
+        }
+    }
+
+    /// The static spec this cluster was built from.
+    #[inline]
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable view of one node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Up-and-idle nodes, in id order.
+    pub fn idle_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.idle.iter().copied()
+    }
+
+    /// Number of up-and-idle nodes.
+    #[inline]
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Up nodes that host at least one job and still have a free lane —
+    /// the co-allocation candidates.
+    pub fn partial_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.partial.iter().copied()
+    }
+
+    /// Number of co-allocation candidate nodes.
+    #[inline]
+    pub fn partial_count(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// The live allocation of a job, if any.
+    pub fn allocation(&self, job: JobId) -> Option<&Allocation> {
+        self.allocations.get(&job)
+    }
+
+    /// All live allocations (unordered).
+    pub fn allocations(&self) -> impl Iterator<Item = &Allocation> {
+        self.allocations.values()
+    }
+
+    /// Number of live allocations.
+    #[inline]
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.len()
+    }
+
+    fn check_node_ids(&self, nodes: &[NodeId]) -> Result<(), AllocError> {
+        if nodes.is_empty() {
+            return Err(AllocError::EmptyNodeList);
+        }
+        let mut seen = BTreeSet::new();
+        for &n in nodes {
+            if n.index() >= self.nodes.len() {
+                return Err(AllocError::NoSuchNode(n));
+            }
+            if !seen.insert(n) {
+                return Err(AllocError::DuplicateNode(n));
+            }
+        }
+        Ok(())
+    }
+
+    fn refresh_index(&mut self, id: NodeId) {
+        let node = &self.nodes[id.index()];
+        let up = node.admin_state() == AdminState::Up;
+        let idle = node.is_idle();
+        let has_free_lane = node.free_lane_count() > 0;
+        if up && idle {
+            self.idle.insert(id);
+        } else {
+            self.idle.remove(&id);
+        }
+        if up && !idle && has_free_lane {
+            self.partial.insert(id);
+        } else {
+            self.partial.remove(&id);
+        }
+    }
+
+    /// Grants `job` exclusive ownership of the listed nodes.
+    ///
+    /// Atomic: either every node is granted or none is.
+    pub fn allocate_exclusive(
+        &mut self,
+        job: JobId,
+        nodes: &[NodeId],
+        mem_per_node: u64,
+    ) -> Result<&Allocation, AllocError> {
+        self.check_node_ids(nodes)?;
+        if self.allocations.contains_key(&job) {
+            return Err(AllocError::DuplicateJob(job));
+        }
+        // Validate everything before touching state (atomicity).
+        for &id in nodes {
+            let n = &self.nodes[id.index()];
+            if n.admin_state() != AdminState::Up {
+                return Err(NodeError::Unavailable(id, n.admin_state()).into());
+            }
+            if !n.is_idle() {
+                return Err(NodeError::NotIdle(id).into());
+            }
+            if mem_per_node > n.mem_free() {
+                return Err(NodeError::InsufficientMemory {
+                    node: id,
+                    requested: mem_per_node,
+                    free: n.mem_free(),
+                }
+                .into());
+            }
+        }
+        let mut placements = Vec::with_capacity(nodes.len());
+        for &id in nodes {
+            self.nodes[id.index()]
+                .occupy_exclusive(job, mem_per_node)
+                .expect("validated above");
+            placements.push(Placement {
+                node: id,
+                lanes: (0..self.spec.node.smt).map(Lane).collect(),
+            });
+            self.refresh_index(id);
+        }
+        let alloc = Allocation {
+            job,
+            placements,
+            mem_per_node,
+            mode: ShareMode::Exclusive,
+        };
+        Ok(self.allocations.entry(job).or_insert(alloc))
+    }
+
+    /// Grants `job` one free lane on each listed node (co-allocation).
+    ///
+    /// Each node may be idle (the job becomes its first resident) or
+    /// partially occupied by *other* jobs. Atomic.
+    pub fn allocate_shared(
+        &mut self,
+        job: JobId,
+        nodes: &[NodeId],
+        mem_per_node: u64,
+    ) -> Result<&Allocation, AllocError> {
+        self.check_node_ids(nodes)?;
+        if self.allocations.contains_key(&job) {
+            return Err(AllocError::DuplicateJob(job));
+        }
+        let mut chosen: Vec<(NodeId, Lane)> = Vec::with_capacity(nodes.len());
+        for &id in nodes {
+            let n = &self.nodes[id.index()];
+            if n.admin_state() != AdminState::Up {
+                return Err(NodeError::Unavailable(id, n.admin_state()).into());
+            }
+            if n.occupants().contains(&job) {
+                return Err(NodeError::AlreadyPresent(id, job).into());
+            }
+            let lane = n.free_lane().ok_or(NodeError::LaneBusy(
+                id,
+                Lane(0),
+                n.lane_owner(Lane(0)).unwrap_or(job),
+            ))?;
+            if mem_per_node > n.mem_free() {
+                return Err(NodeError::InsufficientMemory {
+                    node: id,
+                    requested: mem_per_node,
+                    free: n.mem_free(),
+                }
+                .into());
+            }
+            chosen.push((id, lane));
+        }
+        let mut placements = Vec::with_capacity(chosen.len());
+        for &(id, lane) in &chosen {
+            self.nodes[id.index()]
+                .occupy_lane(job, lane, mem_per_node)
+                .expect("validated above");
+            placements.push(Placement {
+                node: id,
+                lanes: vec![lane],
+            });
+            self.refresh_index(id);
+        }
+        let alloc = Allocation {
+            job,
+            placements,
+            mem_per_node,
+            mode: ShareMode::Shared,
+        };
+        Ok(self.allocations.entry(job).or_insert(alloc))
+    }
+
+    /// Releases every lane held by `job` and returns its allocation record.
+    pub fn release(&mut self, job: JobId) -> Result<Allocation, AllocError> {
+        let alloc = self
+            .allocations
+            .remove(&job)
+            .ok_or(AllocError::UnknownJob(job))?;
+        for p in &alloc.placements {
+            self.nodes[p.node.index()]
+                .release(job)
+                .expect("allocation table and node state must agree");
+            self.refresh_index(p.node);
+        }
+        Ok(alloc)
+    }
+
+    /// Jobs co-resident with `job`, as `(node, co-runner)` pairs in node
+    /// grant order. Empty for exclusive allocations.
+    pub fn co_runners(&self, job: JobId) -> Vec<(NodeId, JobId)> {
+        let Some(alloc) = self.allocations.get(&job) else {
+            return Vec::new();
+        };
+        alloc
+            .placements
+            .iter()
+            .filter_map(|p| {
+                self.nodes[p.node.index()]
+                    .co_runner_of(job)
+                    .map(|co| (p.node, co))
+            })
+            .collect()
+    }
+
+    /// Drains a node (no new allocations; running jobs finish).
+    pub fn drain(&mut self, id: NodeId) -> Result<(), AllocError> {
+        if id.index() >= self.nodes.len() {
+            return Err(AllocError::NoSuchNode(id));
+        }
+        self.nodes[id.index()].drain();
+        self.refresh_index(id);
+        Ok(())
+    }
+
+    /// Returns a drained/down node to service.
+    pub fn resume(&mut self, id: NodeId) -> Result<(), AllocError> {
+        if id.index() >= self.nodes.len() {
+            return Err(AllocError::NoSuchNode(id));
+        }
+        self.nodes[id.index()].resume();
+        self.refresh_index(id);
+        Ok(())
+    }
+
+    /// Marks an empty node down.
+    pub fn set_down(&mut self, id: NodeId) -> Result<(), AllocError> {
+        if id.index() >= self.nodes.len() {
+            return Err(AllocError::NoSuchNode(id));
+        }
+        self.nodes[id.index()].set_down()?;
+        self.refresh_index(id);
+        Ok(())
+    }
+
+    /// Physical cores currently busy (a node's cores count as busy when any
+    /// job resides on it).
+    pub fn busy_cores(&self) -> u64 {
+        self.nodes.iter().map(|n| n.busy_cores() as u64).sum()
+    }
+
+    /// Hardware threads currently owned by jobs.
+    pub fn busy_hw_threads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.busy_hw_threads() as u64).sum()
+    }
+
+    /// Fraction of physical cores busy, in `[0, 1]`.
+    pub fn core_utilization(&self) -> f64 {
+        self.busy_cores() as f64 / self.spec.total_cores() as f64
+    }
+
+    /// Debug-only consistency check: allocation table and node lane state
+    /// must describe the same world, and the indices must be exact.
+    ///
+    /// Intended for tests and property checks; linear in cluster size.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for alloc in self.allocations.values() {
+            for p in &alloc.placements {
+                let node = self
+                    .node(p.node)
+                    .ok_or_else(|| format!("allocation references missing {}", p.node))?;
+                let held = node.lanes_of(alloc.job);
+                if held != p.lanes {
+                    return Err(format!(
+                        "{} on {}: allocation says lanes {:?}, node says {:?}",
+                        alloc.job, p.node, p.lanes, held
+                    ));
+                }
+            }
+        }
+        for node in &self.nodes {
+            for occupant in node.occupants() {
+                let alloc = self
+                    .allocations
+                    .get(&occupant)
+                    .ok_or_else(|| format!("{} on {} has no allocation", occupant, node.id()))?;
+                if !alloc.nodes().any(|n| n == node.id()) {
+                    return Err(format!(
+                        "{} resident on {} but allocation omits it",
+                        occupant,
+                        node.id()
+                    ));
+                }
+            }
+            let id = node.id();
+            let up = node.admin_state() == AdminState::Up;
+            let want_idle = up && node.is_idle();
+            let want_partial = up && !node.is_idle() && node.free_lane_count() > 0;
+            if self.idle.contains(&id) != want_idle {
+                return Err(format!("idle index wrong for {id}"));
+            }
+            if self.partial.contains(&id) != want_partial {
+                return Err(format!("partial index wrong for {id}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NodeSpec;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec::test_small())
+    }
+
+    #[test]
+    fn fresh_cluster_is_all_idle() {
+        let c = cluster();
+        assert_eq!(c.idle_count(), 4);
+        assert_eq!(c.partial_count(), 0);
+        assert_eq!(c.busy_cores(), 0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_allocation_moves_nodes_out_of_idle() {
+        let mut c = cluster();
+        c.allocate_exclusive(JobId(1), &[NodeId(0), NodeId(1)], 100)
+            .unwrap();
+        assert_eq!(c.idle_count(), 2);
+        assert_eq!(c.partial_count(), 0); // exclusive nodes have no free lane
+        assert_eq!(c.busy_cores(), 8);
+        assert_eq!(c.allocation(JobId(1)).unwrap().node_count(), 2);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shared_allocation_creates_partial_nodes_then_fills_them() {
+        let mut c = cluster();
+        c.allocate_shared(JobId(1), &[NodeId(0), NodeId(1)], 10)
+            .unwrap();
+        assert_eq!(c.partial_count(), 2);
+        assert_eq!(c.idle_count(), 2);
+        c.allocate_shared(JobId(2), &[NodeId(0), NodeId(1)], 10)
+            .unwrap();
+        assert_eq!(c.partial_count(), 0);
+        assert_eq!(
+            c.co_runners(JobId(1)),
+            vec![(NodeId(0), JobId(2)), (NodeId(1), JobId(2))]
+        );
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut c = cluster();
+        c.allocate_shared(JobId(1), &[NodeId(0)], 10).unwrap();
+        c.allocate_shared(JobId(2), &[NodeId(0)], 10).unwrap();
+        let a = c.release(JobId(1)).unwrap();
+        assert_eq!(a.job, JobId(1));
+        assert_eq!(c.partial_count(), 1);
+        c.release(JobId(2)).unwrap();
+        assert_eq!(c.idle_count(), 4);
+        assert_eq!(c.allocation_count(), 0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn allocation_is_atomic_on_failure() {
+        let mut c = cluster();
+        c.allocate_exclusive(JobId(1), &[NodeId(2)], 0).unwrap();
+        // Second request includes the busy node: nothing must change.
+        let err = c
+            .allocate_exclusive(JobId(2), &[NodeId(0), NodeId(2)], 0)
+            .unwrap_err();
+        assert_eq!(err, AllocError::Node(NodeError::NotIdle(NodeId(2))));
+        assert!(c.allocation(JobId(2)).is_none());
+        assert_eq!(c.idle_count(), 3);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn request_validation() {
+        let mut c = cluster();
+        assert_eq!(
+            c.allocate_exclusive(JobId(1), &[], 0).unwrap_err(),
+            AllocError::EmptyNodeList
+        );
+        assert_eq!(
+            c.allocate_exclusive(JobId(1), &[NodeId(0), NodeId(0)], 0)
+                .unwrap_err(),
+            AllocError::DuplicateNode(NodeId(0))
+        );
+        assert_eq!(
+            c.allocate_exclusive(JobId(1), &[NodeId(99)], 0)
+                .unwrap_err(),
+            AllocError::NoSuchNode(NodeId(99))
+        );
+        c.allocate_exclusive(JobId(1), &[NodeId(0)], 0).unwrap();
+        assert_eq!(
+            c.allocate_exclusive(JobId(1), &[NodeId(1)], 0).unwrap_err(),
+            AllocError::DuplicateJob(JobId(1))
+        );
+        assert_eq!(
+            c.release(JobId(7)).unwrap_err(),
+            AllocError::UnknownJob(JobId(7))
+        );
+    }
+
+    #[test]
+    fn drained_nodes_leave_the_indices() {
+        let mut c = cluster();
+        c.drain(NodeId(0)).unwrap();
+        assert_eq!(c.idle_count(), 3);
+        let err = c.allocate_exclusive(JobId(1), &[NodeId(0)], 0).unwrap_err();
+        assert!(matches!(err, AllocError::Node(NodeError::Unavailable(..))));
+        c.resume(NodeId(0)).unwrap();
+        assert_eq!(c.idle_count(), 4);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn down_node_and_utilization() {
+        let mut c = cluster();
+        c.set_down(NodeId(3)).unwrap();
+        assert_eq!(c.idle_count(), 3);
+        c.allocate_exclusive(JobId(1), &[NodeId(0)], 0).unwrap();
+        let total = ClusterSpec::test_small().total_cores() as f64;
+        assert!((c.core_utilization() - 4.0 / total).abs() < 1e-12);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shared_on_idle_node_counts_busy_cores_fully() {
+        // A lone shared job still makes the node's cores busy: the node is
+        // dedicated hardware from the utilization perspective.
+        let mut c = cluster();
+        c.allocate_shared(JobId(1), &[NodeId(0)], 0).unwrap();
+        assert_eq!(c.busy_cores(), NodeSpec::tiny().cores() as u64);
+        assert_eq!(
+            c.busy_hw_threads(),
+            NodeSpec::tiny().cores() as u64 // one lane
+        );
+    }
+}

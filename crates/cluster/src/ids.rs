@@ -1,0 +1,124 @@
+//! Strongly-typed identifiers shared across the nodeshare workspace.
+//!
+//! These are defined in the `cluster` crate (the dependency-graph leaf) so
+//! that every other crate can refer to the same job/node identity without
+//! circular dependencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a batch job, unique within one simulation / batch system.
+///
+/// Job ids are assigned monotonically at submission time, so ordering by
+/// `JobId` is submission order — several scheduling policies rely on this.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JobId({})", self.0)
+    }
+}
+
+/// Identifier of a compute node within a cluster (dense, `0..node_count`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw numeric id, usable as a dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{:04}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+/// A hardware-thread lane on a node.
+///
+/// With SMT-2 (the configuration studied in the paper) each core exposes two
+/// hardware threads. Lane `0` on a node means "the first hardware thread of
+/// every core on that node", lane `1` the second, and so on. Node sharing by
+/// hyper-thread oversubscription places one job per lane.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lane(pub u8);
+
+impl Lane {
+    /// Lane 0: the lane used by exclusive allocations on SMT-1 machines.
+    pub const PRIMARY: Lane = Lane(0);
+
+    /// Returns the raw lane index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ht{}", self.0)
+    }
+}
+
+impl fmt::Debug for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lane({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn job_id_orders_by_submission() {
+        let a = JobId(1);
+        let b = JobId(2);
+        assert!(a < b);
+        assert_eq!(a.as_u64(), 1);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(JobId(7).to_string(), "job7");
+        assert_eq!(NodeId(3).to_string(), "n0003");
+        assert_eq!(Lane(1).to_string(), "ht1");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<JobId> = (0..10).map(JobId).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn node_id_index_roundtrip() {
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(Lane::PRIMARY.index(), 0);
+    }
+}

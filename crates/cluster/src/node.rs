@@ -1,0 +1,458 @@
+//! Per-node occupancy: lanes, memory, and administrative state.
+//!
+//! The sharing mechanism studied in the paper is *hyper-thread
+//! oversubscription*: a node is either allocated exclusively (one job owns
+//! every hardware thread) or shared by up to `smt` jobs, each owning one
+//! hardware-thread *lane* — i.e. one hardware thread on every core of the
+//! node. Lane-granular occupancy is therefore the native allocation unit of
+//! this model; jobs that request fewer cores than a node offers still own a
+//! whole lane, exactly as SLURM's whole-node allocations do on the paper's
+//! testbed.
+
+use crate::ids::{JobId, Lane, NodeId};
+use crate::spec::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Administrative availability of a node, orthogonal to occupancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdminState {
+    /// Node accepts new allocations.
+    Up,
+    /// Node finishes running jobs but accepts no new allocations.
+    Drained,
+    /// Node is unavailable (failed or powered off); it holds no jobs.
+    Down,
+}
+
+/// Occupancy classification of a node, derived from its lane assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Occupancy {
+    /// No job on the node.
+    Idle,
+    /// One job owns every lane.
+    Exclusive(JobId),
+    /// One or more jobs each own some lanes, with at least one lane free
+    /// or at least two distinct owners.
+    Shared {
+        /// Distinct resident jobs.
+        occupants: u8,
+        /// Lanes with no owner.
+        free_lanes: u8,
+    },
+}
+
+/// Errors from node-level occupancy operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeError {
+    /// The node is drained or down.
+    Unavailable(NodeId, AdminState),
+    /// Requested lane is already owned by another job.
+    LaneBusy(NodeId, Lane, JobId),
+    /// Exclusive allocation requested on a non-idle node.
+    NotIdle(NodeId),
+    /// The job has no lanes on this node.
+    JobNotPresent(NodeId, JobId),
+    /// The job already owns a lane on this node.
+    AlreadyPresent(NodeId, JobId),
+    /// Not enough free memory for the request.
+    InsufficientMemory {
+        /// Node that rejected the request.
+        node: NodeId,
+        /// MiB requested.
+        requested: u64,
+        /// MiB free at request time.
+        free: u64,
+    },
+    /// Lane index out of range for this node's SMT width.
+    NoSuchLane(NodeId, Lane),
+    /// A node that still hosts jobs cannot be marked down.
+    StillOccupied(NodeId),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Unavailable(n, s) => write!(f, "{n} is {s:?}"),
+            NodeError::LaneBusy(n, l, j) => write!(f, "{n} {l} already owned by {j}"),
+            NodeError::NotIdle(n) => write!(f, "{n} is not idle"),
+            NodeError::JobNotPresent(n, j) => write!(f, "{j} is not on {n}"),
+            NodeError::AlreadyPresent(n, j) => write!(f, "{j} is already on {n}"),
+            NodeError::InsufficientMemory {
+                node,
+                requested,
+                free,
+            } => write!(f, "{node}: requested {requested} MiB, {free} MiB free"),
+            NodeError::NoSuchLane(n, l) => write!(f, "{n} has no {l}"),
+            NodeError::StillOccupied(n) => write!(f, "{n} still hosts jobs"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// A compute node: lane ownership plus memory accounting.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    spec: NodeSpec,
+    admin: AdminState,
+    /// `lanes[l]` is the job owning hardware-thread lane `l`, if any.
+    lanes: Vec<Option<JobId>>,
+    /// Memory charged per resident job, MiB. Small (≤ smt entries), so a
+    /// vector beats a hash map here.
+    mem_by_job: Vec<(JobId, u64)>,
+}
+
+impl Node {
+    /// Creates an idle, up node of the given shape.
+    pub fn new(id: NodeId, spec: NodeSpec) -> Self {
+        Node {
+            id,
+            spec,
+            admin: AdminState::Up,
+            lanes: vec![None; spec.smt as usize],
+            mem_by_job: Vec::new(),
+        }
+    }
+
+    /// The node's identifier.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's hardware shape.
+    #[inline]
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Administrative state.
+    #[inline]
+    pub fn admin_state(&self) -> AdminState {
+        self.admin
+    }
+
+    /// Memory currently charged on the node, MiB.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_by_job.iter().map(|&(_, m)| m).sum()
+    }
+
+    /// Free memory, MiB.
+    pub fn mem_free(&self) -> u64 {
+        self.spec.mem_mib - self.mem_used()
+    }
+
+    /// Jobs resident on the node, in lane order, deduplicated.
+    pub fn occupants(&self) -> Vec<JobId> {
+        let mut out: Vec<JobId> = Vec::with_capacity(self.lanes.len());
+        for owner in self.lanes.iter().flatten() {
+            if !out.contains(owner) {
+                out.push(*owner);
+            }
+        }
+        out
+    }
+
+    /// The job owning the given lane, if any.
+    pub fn lane_owner(&self, lane: Lane) -> Option<JobId> {
+        self.lanes.get(lane.index()).copied().flatten()
+    }
+
+    /// Lanes owned by `job`.
+    pub fn lanes_of(&self, job: JobId) -> Vec<Lane> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == Some(job))
+            .map(|(i, _)| Lane(i as u8))
+            .collect()
+    }
+
+    /// First free lane, if any.
+    pub fn free_lane(&self) -> Option<Lane> {
+        self.lanes
+            .iter()
+            .position(Option::is_none)
+            .map(|i| Lane(i as u8))
+    }
+
+    /// Number of free lanes.
+    pub fn free_lane_count(&self) -> u8 {
+        self.lanes.iter().filter(|o| o.is_none()).count() as u8
+    }
+
+    /// True when no job occupies any lane.
+    pub fn is_idle(&self) -> bool {
+        self.lanes.iter().all(Option::is_none)
+    }
+
+    /// Derived occupancy classification.
+    pub fn occupancy(&self) -> Occupancy {
+        let occupants = self.occupants();
+        match occupants.len() {
+            0 => Occupancy::Idle,
+            1 if self.free_lane_count() == 0 => Occupancy::Exclusive(occupants[0]),
+            n => Occupancy::Shared {
+                occupants: n as u8,
+                free_lanes: self.free_lane_count(),
+            },
+        }
+    }
+
+    /// For a node shared by exactly two jobs, the co-runner of `job`.
+    ///
+    /// Returns `None` when the job runs alone (or is not present). When
+    /// SMT width exceeds 2 and several co-runners exist, the first one in
+    /// lane order is returned; the SMT-2 case the paper studies has at most
+    /// one.
+    pub fn co_runner_of(&self, job: JobId) -> Option<JobId> {
+        self.lanes
+            .iter()
+            .flatten()
+            .find(|&&owner| owner != job)
+            .copied()
+    }
+
+    /// Checks that a new allocation is admissible without changing state.
+    fn check_available(&self) -> Result<(), NodeError> {
+        match self.admin {
+            AdminState::Up => Ok(()),
+            s => Err(NodeError::Unavailable(self.id, s)),
+        }
+    }
+
+    fn check_memory(&self, mem_mib: u64) -> Result<(), NodeError> {
+        let free = self.mem_free();
+        if mem_mib > free {
+            Err(NodeError::InsufficientMemory {
+                node: self.id,
+                requested: mem_mib,
+                free,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gives every lane of an idle node to `job`, charging `mem_mib`.
+    pub fn occupy_exclusive(&mut self, job: JobId, mem_mib: u64) -> Result<(), NodeError> {
+        self.check_available()?;
+        if !self.is_idle() {
+            return Err(NodeError::NotIdle(self.id));
+        }
+        self.check_memory(mem_mib)?;
+        self.lanes.fill(Some(job));
+        self.mem_by_job.push((job, mem_mib));
+        Ok(())
+    }
+
+    /// Gives one lane to `job`, charging `mem_mib`.
+    ///
+    /// Fails if the lane is owned, the job is already resident (a job never
+    /// shares a node with itself in this model), or memory is short.
+    pub fn occupy_lane(&mut self, job: JobId, lane: Lane, mem_mib: u64) -> Result<(), NodeError> {
+        self.check_available()?;
+        let idx = lane.index();
+        if idx >= self.lanes.len() {
+            return Err(NodeError::NoSuchLane(self.id, lane));
+        }
+        if let Some(owner) = self.lanes[idx] {
+            return Err(NodeError::LaneBusy(self.id, lane, owner));
+        }
+        if self.lanes.contains(&Some(job)) {
+            return Err(NodeError::AlreadyPresent(self.id, job));
+        }
+        self.check_memory(mem_mib)?;
+        self.lanes[idx] = Some(job);
+        self.mem_by_job.push((job, mem_mib));
+        Ok(())
+    }
+
+    /// Removes `job` from the node, freeing its lanes and memory.
+    ///
+    /// Returns the lanes freed.
+    pub fn release(&mut self, job: JobId) -> Result<Vec<Lane>, NodeError> {
+        let freed = self.lanes_of(job);
+        if freed.is_empty() {
+            return Err(NodeError::JobNotPresent(self.id, job));
+        }
+        for lane in &freed {
+            self.lanes[lane.index()] = None;
+        }
+        self.mem_by_job.retain(|&(j, _)| j != job);
+        Ok(freed)
+    }
+
+    /// Marks the node drained (running jobs finish, no new allocations).
+    pub fn drain(&mut self) {
+        if self.admin == AdminState::Up {
+            self.admin = AdminState::Drained;
+        }
+    }
+
+    /// Returns a drained or down node to service.
+    pub fn resume(&mut self) {
+        self.admin = AdminState::Up;
+    }
+
+    /// Marks the node down. Fails while jobs are still resident; callers
+    /// must evict (release) jobs first so accounting stays consistent.
+    pub fn set_down(&mut self) -> Result<(), NodeError> {
+        if !self.is_idle() {
+            return Err(NodeError::StillOccupied(self.id));
+        }
+        self.admin = AdminState::Down;
+        Ok(())
+    }
+
+    /// Physical cores in use: all of them if any lane is owned (a resident
+    /// job runs one hardware thread on every core), zero otherwise.
+    pub fn busy_cores(&self) -> u32 {
+        if self.is_idle() {
+            0
+        } else {
+            self.spec.cores()
+        }
+    }
+
+    /// Hardware threads in use (`owned lanes × cores`).
+    pub fn busy_hw_threads(&self) -> u32 {
+        let owned = (self.lanes.len() - self.free_lane_count() as usize) as u32;
+        owned * self.spec.cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(NodeId(0), NodeSpec::tiny())
+    }
+
+    #[test]
+    fn exclusive_occupies_all_lanes() {
+        let mut n = node();
+        n.occupy_exclusive(JobId(1), 1024).unwrap();
+        assert_eq!(n.occupancy(), Occupancy::Exclusive(JobId(1)));
+        assert_eq!(n.free_lane(), None);
+        assert_eq!(n.occupants(), vec![JobId(1)]);
+        assert_eq!(n.mem_used(), 1024);
+        assert_eq!(n.busy_cores(), 4);
+        assert_eq!(n.busy_hw_threads(), 8);
+    }
+
+    #[test]
+    fn exclusive_requires_idle() {
+        let mut n = node();
+        n.occupy_lane(JobId(1), Lane(0), 0).unwrap();
+        assert_eq!(
+            n.occupy_exclusive(JobId(2), 0),
+            Err(NodeError::NotIdle(NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn two_jobs_share_via_lanes() {
+        let mut n = node();
+        n.occupy_lane(JobId(1), Lane(0), 100).unwrap();
+        n.occupy_lane(JobId(2), Lane(1), 200).unwrap();
+        assert_eq!(
+            n.occupancy(),
+            Occupancy::Shared {
+                occupants: 2,
+                free_lanes: 0
+            }
+        );
+        assert_eq!(n.co_runner_of(JobId(1)), Some(JobId(2)));
+        assert_eq!(n.co_runner_of(JobId(2)), Some(JobId(1)));
+        assert_eq!(n.mem_used(), 300);
+        assert_eq!(n.busy_hw_threads(), 8);
+        assert_eq!(n.busy_cores(), 4);
+    }
+
+    #[test]
+    fn lane_conflicts_are_rejected() {
+        let mut n = node();
+        n.occupy_lane(JobId(1), Lane(0), 0).unwrap();
+        assert_eq!(
+            n.occupy_lane(JobId(2), Lane(0), 0),
+            Err(NodeError::LaneBusy(NodeId(0), Lane(0), JobId(1)))
+        );
+        // A job cannot co-run with itself.
+        assert_eq!(
+            n.occupy_lane(JobId(1), Lane(1), 0),
+            Err(NodeError::AlreadyPresent(NodeId(0), JobId(1)))
+        );
+        // Out-of-range lane.
+        assert_eq!(
+            n.occupy_lane(JobId(2), Lane(5), 0),
+            Err(NodeError::NoSuchLane(NodeId(0), Lane(5)))
+        );
+    }
+
+    #[test]
+    fn memory_is_enforced_and_released() {
+        let mut n = node();
+        let cap = NodeSpec::tiny().mem_mib;
+        n.occupy_lane(JobId(1), Lane(0), cap).unwrap();
+        let err = n.occupy_lane(JobId(2), Lane(1), 1).unwrap_err();
+        assert!(matches!(err, NodeError::InsufficientMemory { .. }));
+        n.release(JobId(1)).unwrap();
+        assert_eq!(n.mem_free(), cap);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn release_returns_freed_lanes() {
+        let mut n = node();
+        n.occupy_exclusive(JobId(1), 0).unwrap();
+        let freed = n.release(JobId(1)).unwrap();
+        assert_eq!(freed, vec![Lane(0), Lane(1)]);
+        assert!(n.is_idle());
+        assert_eq!(
+            n.release(JobId(1)),
+            Err(NodeError::JobNotPresent(NodeId(0), JobId(1)))
+        );
+    }
+
+    #[test]
+    fn drained_node_rejects_new_work_but_keeps_running_jobs() {
+        let mut n = node();
+        n.occupy_lane(JobId(1), Lane(0), 0).unwrap();
+        n.drain();
+        assert_eq!(
+            n.occupy_lane(JobId(2), Lane(1), 0),
+            Err(NodeError::Unavailable(NodeId(0), AdminState::Drained))
+        );
+        assert_eq!(n.occupants(), vec![JobId(1)]);
+        n.resume();
+        n.occupy_lane(JobId(2), Lane(1), 0).unwrap();
+    }
+
+    #[test]
+    fn down_requires_empty_node() {
+        let mut n = node();
+        n.occupy_lane(JobId(1), Lane(0), 0).unwrap();
+        assert_eq!(n.set_down(), Err(NodeError::StillOccupied(NodeId(0))));
+        n.release(JobId(1)).unwrap();
+        n.set_down().unwrap();
+        assert_eq!(n.admin_state(), AdminState::Down);
+    }
+
+    #[test]
+    fn occupancy_one_job_one_lane_is_shared_with_free_lane() {
+        let mut n = node();
+        n.occupy_lane(JobId(3), Lane(1), 0).unwrap();
+        assert_eq!(
+            n.occupancy(),
+            Occupancy::Shared {
+                occupants: 1,
+                free_lanes: 1
+            }
+        );
+        assert_eq!(n.free_lane(), Some(Lane(0)));
+        assert_eq!(n.co_runner_of(JobId(3)), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! ASCII occupancy map: one glyph per node, the operator's at-a-glance
+//! view of where sharing is happening.
+
+use crate::cluster::Cluster;
+use crate::node::{AdminState, Node, Occupancy};
+
+/// Glyph for one node's state.
+pub fn node_glyph(node: &Node) -> char {
+    match node.admin_state() {
+        AdminState::Down => '!',
+        AdminState::Drained => 'd',
+        AdminState::Up => match node.occupancy() {
+            Occupancy::Idle => '.',
+            Occupancy::Exclusive(_) => 'X',
+            Occupancy::Shared {
+                occupants,
+                free_lanes,
+            } => {
+                if occupants >= 2 {
+                    '#' // genuinely co-allocated
+                } else if free_lanes > 0 {
+                    '/' // one lane busy, partner slot open
+                } else {
+                    'X'
+                }
+            }
+        },
+    }
+}
+
+/// Renders the cluster as a grid of `width` nodes per row, with a legend.
+pub fn render_occupancy(cluster: &Cluster, width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let mut out = String::with_capacity(cluster.node_count() + cluster.node_count() / width + 64);
+    for (i, node) in cluster.nodes().iter().enumerate() {
+        out.push(node_glyph(node));
+        if (i + 1) % width == 0 {
+            out.push('\n');
+        }
+    }
+    if cluster.node_count() % width != 0 {
+        out.push('\n');
+    }
+    out.push_str(". idle  / half  # shared  X full  d drained  ! down\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, NodeId};
+    use crate::spec::ClusterSpec;
+
+    #[test]
+    fn glyphs_cover_all_states() {
+        let mut c = Cluster::new(ClusterSpec::test_small());
+        c.allocate_exclusive(JobId(1), &[NodeId(0)], 0).unwrap();
+        c.allocate_shared(JobId(2), &[NodeId(1)], 0).unwrap();
+        c.allocate_shared(JobId(3), &[NodeId(2)], 0).unwrap();
+        c.allocate_shared(JobId(4), &[NodeId(2)], 0).unwrap();
+        c.drain(NodeId(3)).unwrap();
+        let s = render_occupancy(&c, 4);
+        let first_line = s.lines().next().unwrap();
+        assert_eq!(first_line, "X/#d");
+        assert!(s.contains("idle"));
+    }
+
+    #[test]
+    fn down_node_glyph() {
+        let mut c = Cluster::new(ClusterSpec::test_small());
+        c.set_down(NodeId(0)).unwrap();
+        assert_eq!(render_occupancy(&c, 4).lines().next().unwrap(), "!...");
+    }
+
+    #[test]
+    fn wraps_rows_and_handles_remainders() {
+        let c = Cluster::new(ClusterSpec::test_small()); // 4 nodes
+        let s = render_occupancy(&c, 3);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "...");
+        assert_eq!(lines[1], ".");
+        assert_eq!(lines.len(), 3); // 2 rows + legend
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        render_occupancy(&Cluster::new(ClusterSpec::test_small()), 0);
+    }
+}

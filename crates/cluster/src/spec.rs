@@ -1,0 +1,186 @@
+//! Static description of a cluster's hardware: node shape and node count.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware shape of a single compute node.
+///
+/// The paper's testbed nodes are dual-socket Intel Xeon machines with two
+/// hardware threads per core (SMT-2); [`NodeSpec::trinity_like`] mirrors
+/// that shape. All nodes in a cluster are homogeneous, matching the
+/// partition-of-identical-nodes deployment the study targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Number of CPU sockets per node.
+    pub sockets: u8,
+    /// Number of physical cores per socket.
+    pub cores_per_socket: u16,
+    /// Hardware threads per core (SMT width). `2` enables hyper-thread
+    /// oversubscription, the sharing mechanism studied in the paper.
+    pub smt: u8,
+    /// Usable memory per node in MiB.
+    pub mem_mib: u64,
+}
+
+impl NodeSpec {
+    /// A node shaped like the paper's evaluation platform: 2 sockets ×
+    /// 16 cores, SMT-2, 128 GiB.
+    pub const fn trinity_like() -> Self {
+        NodeSpec {
+            sockets: 2,
+            cores_per_socket: 16,
+            smt: 2,
+            mem_mib: 128 * 1024,
+        }
+    }
+
+    /// A small node useful in tests: 1 socket × 4 cores, SMT-2, 16 GiB.
+    pub const fn tiny() -> Self {
+        NodeSpec {
+            sockets: 1,
+            cores_per_socket: 4,
+            smt: 2,
+            mem_mib: 16 * 1024,
+        }
+    }
+
+    /// Total physical cores on the node.
+    #[inline]
+    pub const fn cores(&self) -> u32 {
+        self.sockets as u32 * self.cores_per_socket as u32
+    }
+
+    /// Total hardware threads on the node (`cores × smt`).
+    #[inline]
+    pub const fn hw_threads(&self) -> u32 {
+        self.cores() * self.smt as u32
+    }
+
+    /// Number of share lanes: how many jobs can co-reside on the node when
+    /// each takes one hardware thread per core.
+    #[inline]
+    pub const fn lanes(&self) -> u8 {
+        self.smt
+    }
+
+    /// Validates the spec, returning a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sockets == 0 {
+            return Err("node must have at least one socket".into());
+        }
+        if self.cores_per_socket == 0 {
+            return Err("node must have at least one core per socket".into());
+        }
+        if self.smt == 0 {
+            return Err("SMT width must be at least 1".into());
+        }
+        if self.mem_mib == 0 {
+            return Err("node must have memory".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec::trinity_like()
+    }
+}
+
+/// Static description of a whole cluster: `node_count` identical nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub node_count: u32,
+    /// Shape of every node.
+    pub node: NodeSpec,
+}
+
+impl ClusterSpec {
+    /// Creates a spec with `node_count` nodes of the given shape.
+    pub const fn new(node_count: u32, node: NodeSpec) -> Self {
+        ClusterSpec { node_count, node }
+    }
+
+    /// The canonical evaluation cluster used by the experiment harness:
+    /// 128 Trinity-like nodes.
+    pub const fn evaluation() -> Self {
+        ClusterSpec::new(128, NodeSpec::trinity_like())
+    }
+
+    /// A 4-node cluster of tiny nodes for unit tests.
+    pub const fn test_small() -> Self {
+        ClusterSpec::new(4, NodeSpec::tiny())
+    }
+
+    /// Total physical cores in the cluster.
+    #[inline]
+    pub const fn total_cores(&self) -> u64 {
+        self.node_count as u64 * self.node.cores() as u64
+    }
+
+    /// Total hardware threads in the cluster.
+    #[inline]
+    pub const fn total_hw_threads(&self) -> u64 {
+        self.node_count as u64 * self.node.hw_threads() as u64
+    }
+
+    /// Validates the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node_count == 0 {
+            return Err("cluster must have at least one node".into());
+        }
+        self.node.validate()
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec::evaluation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trinity_like_counts() {
+        let n = NodeSpec::trinity_like();
+        assert_eq!(n.cores(), 32);
+        assert_eq!(n.hw_threads(), 64);
+        assert_eq!(n.lanes(), 2);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn cluster_totals() {
+        let c = ClusterSpec::evaluation();
+        assert_eq!(c.total_cores(), 128 * 32);
+        assert_eq!(c.total_hw_threads(), 128 * 64);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut n = NodeSpec::tiny();
+        n.smt = 0;
+        assert!(n.validate().is_err());
+        n = NodeSpec::tiny();
+        n.sockets = 0;
+        assert!(n.validate().is_err());
+        n = NodeSpec::tiny();
+        n.cores_per_socket = 0;
+        assert!(n.validate().is_err());
+        n = NodeSpec::tiny();
+        n.mem_mib = 0;
+        assert!(n.validate().is_err());
+
+        let c = ClusterSpec::new(0, NodeSpec::tiny());
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_evaluation_cluster() {
+        assert_eq!(ClusterSpec::default(), ClusterSpec::evaluation());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: the cluster's allocation table, node lane state, and
+//! capacity indices stay mutually consistent under arbitrary interleavings
+//! of allocate/release/drain/resume operations.
+
+use nodeshare_cluster::{AllocError, Cluster, ClusterSpec, JobId, NodeId, NodeSpec};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    AllocExclusive { job: u64, nodes: Vec<u32>, mem: u64 },
+    AllocShared { job: u64, nodes: Vec<u32>, mem: u64 },
+    Release { job: u64 },
+    Drain { node: u32 },
+    Resume { node: u32 },
+}
+
+const NODES: u32 = 6;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let node = 0..NODES;
+    let nodes = prop::collection::vec(0..NODES, 1..4);
+    let job = 0u64..12;
+    let mem = 0u64..(NodeSpec::tiny().mem_mib + 1024);
+    prop_oneof![
+        (job.clone(), nodes.clone(), mem.clone())
+            .prop_map(|(job, nodes, mem)| Op::AllocExclusive { job, nodes, mem }),
+        (job.clone(), nodes, mem).prop_map(|(job, nodes, mem)| Op::AllocShared { job, nodes, mem }),
+        job.prop_map(|job| Op::Release { job }),
+        node.clone().prop_map(|node| Op::Drain { node }),
+        node.prop_map(|node| Op::Resume { node }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After every operation — success or failure — all invariants hold,
+    /// and failures leave state unchanged (atomicity).
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut c = Cluster::new(ClusterSpec::new(NODES, NodeSpec::tiny()));
+        for op in ops {
+            let before_allocs = c.allocation_count();
+            let before_busy = c.busy_hw_threads();
+            match op {
+                Op::AllocExclusive { job, nodes, mem } => {
+                    let ids: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
+                    if c.allocate_exclusive(JobId(job), &ids, mem).is_err() {
+                        prop_assert_eq!(c.allocation_count(), before_allocs);
+                        prop_assert_eq!(c.busy_hw_threads(), before_busy);
+                    }
+                }
+                Op::AllocShared { job, nodes, mem } => {
+                    let ids: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
+                    if c.allocate_shared(JobId(job), &ids, mem).is_err() {
+                        prop_assert_eq!(c.allocation_count(), before_allocs);
+                        prop_assert_eq!(c.busy_hw_threads(), before_busy);
+                    }
+                }
+                Op::Release { job } => {
+                    let had = c.allocation(JobId(job)).is_some();
+                    let res = c.release(JobId(job));
+                    prop_assert_eq!(res.is_ok(), had);
+                }
+                Op::Drain { node } => { c.drain(NodeId(node)).unwrap(); }
+                Op::Resume { node } => { c.resume(NodeId(node)).unwrap(); }
+            }
+            if let Err(e) = c.check_invariants() {
+                return Err(TestCaseError::fail(e));
+            }
+        }
+        // Releasing everything returns the cluster to full idle capacity.
+        let jobs: Vec<JobId> = c.allocations().map(|a| a.job).collect();
+        for j in jobs {
+            c.release(j).unwrap();
+        }
+        prop_assert_eq!(c.busy_hw_threads(), 0);
+        prop_assert_eq!(c.busy_cores(), 0);
+        c.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Memory is conserved: the sum of per-node used memory equals the sum
+    /// over live allocations of `mem_per_node × node_count`.
+    #[test]
+    fn memory_is_conserved(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut c = Cluster::new(ClusterSpec::new(NODES, NodeSpec::tiny()));
+        for op in ops {
+            match op {
+                Op::AllocExclusive { job, nodes, mem } => {
+                    let ids: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
+                    let _ = c.allocate_exclusive(JobId(job), &ids, mem);
+                }
+                Op::AllocShared { job, nodes, mem } => {
+                    let ids: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
+                    let _ = c.allocate_shared(JobId(job), &ids, mem);
+                }
+                Op::Release { job } => { let _ = c.release(JobId(job)); }
+                Op::Drain { node } => { c.drain(NodeId(node)).unwrap(); }
+                Op::Resume { node } => { c.resume(NodeId(node)).unwrap(); }
+            }
+            let node_view: u64 = c.nodes().iter().map(|n| n.mem_used()).sum();
+            let alloc_view: u64 = c
+                .allocations()
+                .map(|a| a.mem_per_node * a.node_count() as u64)
+                .sum();
+            prop_assert_eq!(node_view, alloc_view);
+        }
+    }
+
+    /// A node never hosts more jobs than its SMT width, and never hosts the
+    /// same job on two lanes.
+    #[test]
+    fn smt_bound_is_respected(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut c = Cluster::new(ClusterSpec::new(NODES, NodeSpec::tiny()));
+        for op in ops {
+            match op {
+                Op::AllocExclusive { job, nodes, mem } => {
+                    let ids: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
+                    let _ = c.allocate_exclusive(JobId(job), &ids, mem);
+                }
+                Op::AllocShared { job, nodes, mem } => {
+                    let ids: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
+                    let _ = c.allocate_shared(JobId(job), &ids, mem);
+                }
+                Op::Release { job } => { let _ = c.release(JobId(job)); }
+                _ => {}
+            }
+            for n in c.nodes() {
+                let occ = n.occupants();
+                prop_assert!(occ.len() <= NodeSpec::tiny().smt as usize);
+                for j in &occ {
+                    // lanes_of is deduplicated occupancy: a shared job holds
+                    // exactly one lane per node, an exclusive job all lanes.
+                    let lanes = n.lanes_of(*j).len();
+                    prop_assert!(lanes == 1 || lanes == NodeSpec::tiny().smt as usize);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_then_exclusive_conflict_is_clean() {
+    let mut c = Cluster::new(ClusterSpec::test_small());
+    c.allocate_shared(JobId(1), &[NodeId(0)], 0).unwrap();
+    let err = c.allocate_exclusive(JobId(2), &[NodeId(0)], 0).unwrap_err();
+    assert!(matches!(err, AllocError::Node(_)));
+    c.check_invariants().unwrap();
+}

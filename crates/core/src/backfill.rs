@@ -1,0 +1,280 @@
+//! EASY backfill and its node-sharing extension **CoBackfill** — the
+//! paper's headline strategy.
+//!
+//! EASY backfill keeps FCFS order for the queue head but lets later jobs
+//! jump ahead when doing so cannot delay the head's *reservation*: the
+//! earliest time enough nodes will be free, computed from the running
+//! jobs' walltime estimates (hard bounds under walltime enforcement).
+//!
+//! CoBackfill extends both halves with co-allocation:
+//!
+//! * the **head** may start immediately in shared mode when compatible
+//!   lanes exist — the head no longer has to wait for whole idle nodes;
+//! * **backfill candidates** may be placed on the free lanes of
+//!   compatible busy nodes, subject to the same reservation-safety rule.
+//!
+//! Reservation safety under sharing: a node occupied by jobs with
+//! estimated ends `≤ shadow` stays available to the head at the shadow
+//! time *unless* a backfilled co-runner outlives the shadow. The rule
+//! "candidates ending after the shadow may not touch reserved nodes"
+//! therefore covers shared placements exactly as it covers exclusive
+//! ones — the property test in `tests/prop_policies.rs` checks it.
+
+use crate::pairing::Pairing;
+use crate::util::{pick_exclusive, pick_shared, HeadReservation, PLAN_EPS};
+use nodeshare_engine::{Decision, SchedContext, Scheduler};
+
+/// EASY backfill, optionally co-allocation-aware.
+#[derive(Clone, Debug)]
+pub struct Backfill {
+    pairing: Pairing,
+    /// Whether the head itself may start in shared mode (CoBackfill
+    /// behavior; disable to share only via backfill).
+    share_head: bool,
+}
+
+impl Backfill {
+    /// Plain EASY backfill with exclusive allocation (baseline).
+    pub fn easy() -> Self {
+        Backfill {
+            pairing: Pairing::never(),
+            share_head: false,
+        }
+    }
+
+    /// Co-allocation-aware backfill with the given pairing policy.
+    pub fn co(pairing: Pairing) -> Self {
+        Backfill {
+            pairing,
+            share_head: true,
+        }
+    }
+
+    /// Co-allocation restricted to backfill candidates (the head always
+    /// waits for exclusive nodes). Used by the ablation experiments.
+    pub fn co_backfill_only(pairing: Pairing) -> Self {
+        Backfill {
+            pairing,
+            share_head: false,
+        }
+    }
+
+    /// The pairing in use.
+    pub fn pairing(&self) -> &Pairing {
+        &self.pairing
+    }
+}
+
+impl Scheduler for Backfill {
+    fn name(&self) -> &'static str {
+        if self.pairing.sharing_enabled() {
+            "co-backfill"
+        } else {
+            "easy-backfill"
+        }
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let Some(head) = ctx.queue.first() else {
+            return Vec::new();
+        };
+
+        let sharing = self.pairing.sharing_enabled();
+
+        // 1. Start the head if it fits now. Idle capacity first — running
+        // alone always beats co-running. Share-eligible jobs still start
+        // in shared (single-lane) mode so the second lane stays open for
+        // later partners. When idle nodes are short, a share-eligible
+        // head may instead co-allocate onto compatible lanes (CoBackfill
+        // behavior), so the head no longer waits for whole idle nodes.
+        if let Some(nodes) = pick_exclusive(ctx, head, |_| true) {
+            return if sharing && head.share_eligible {
+                vec![Decision::StartShared {
+                    job: head.id,
+                    nodes,
+                }]
+            } else {
+                vec![Decision::StartExclusive {
+                    job: head.id,
+                    nodes,
+                }]
+            };
+        }
+        if self.share_head && sharing && head.share_eligible {
+            if let Some(nodes) = pick_shared(ctx, head, &self.pairing, |_| true) {
+                return vec![Decision::StartShared {
+                    job: head.id,
+                    nodes,
+                }];
+            }
+        }
+
+        // 2. Reserve for the head, then backfill behind the reservation.
+        // A candidate's occupancy bound depends on how it would start:
+        // shared-mode jobs receive the walltime grace, so their lanes may
+        // be held longer — the shadow test must use the padded bound.
+        let reservation = HeadReservation::compute(ctx, head.nodes as usize);
+        for job in &ctx.queue[1..] {
+            let excl_end = ctx.now + job.walltime_estimate;
+            let shared_end = ctx.now + job.walltime_estimate * ctx.shared_grace.max(1.0);
+            let excl_fits = excl_end <= reservation.shadow + PLAN_EPS;
+            let shared_fits = shared_end <= reservation.shadow + PLAN_EPS;
+            let allowed_excl = |n| excl_fits || !reservation.nodes.contains(&n);
+            let allowed_shared = |n| shared_fits || !reservation.nodes.contains(&n);
+
+            if sharing && job.share_eligible {
+                if let Some(nodes) = pick_exclusive(ctx, job, allowed_shared) {
+                    return vec![Decision::StartShared { job: job.id, nodes }];
+                }
+                if let Some(nodes) = pick_shared(ctx, job, &self.pairing, allowed_shared) {
+                    return vec![Decision::StartShared { job: job.id, nodes }];
+                }
+            } else if let Some(nodes) = pick_exclusive(ctx, job, allowed_excl) {
+                return vec![Decision::StartExclusive { job: job.id, nodes }];
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::PairingPolicy;
+    use crate::testkit::{self, job, job_app, oracle};
+
+    fn co_backfill() -> Backfill {
+        Backfill::co(Pairing::new(PairingPolicy::default_threshold(), oracle()))
+    }
+
+    #[test]
+    fn easy_backfills_short_jobs_behind_blocked_head() {
+        // Job 0 holds 3 of 4 nodes for 100 s. Job 1 (head) wants all 4.
+        // Job 2 wants 1 node for 10 s (est 20 s ≤ shadow) → backfills.
+        let world = testkit::world(4, vec![job(0, 3, 100.0), job(1, 4, 100.0), job(2, 1, 10.0)]);
+        let out = testkit::simulate(&world, &mut Backfill::easy());
+        assert!(out.complete());
+        let r2 = &out.records[2];
+        assert!(
+            r2.wait() < 1.0,
+            "short job should backfill (wait {})",
+            r2.wait()
+        );
+        // The head starts when job 0's walltime estimate expires — not
+        // later (the backfill guarantee), and not before its work is done.
+        let r1 = &out.records[1];
+        assert!(r1.start >= 100.0 - 1e-6 && r1.start <= 200.0 + 1e-6);
+    }
+
+    #[test]
+    fn easy_refuses_backfill_that_would_delay_head() {
+        // Job 0 holds 3 nodes, est end 200. Head (job 1) wants 4: shadow =
+        // 200 on all nodes. Job 2 wants 1 node for runtime 150 (est 300):
+        // it would outlive the shadow on a reserved node → must wait.
+        let world = testkit::world(
+            4,
+            vec![job(0, 3, 100.0), job(1, 4, 100.0), job(2, 1, 150.0)],
+        );
+        let out = testkit::simulate(&world, &mut Backfill::easy());
+        assert!(out.complete());
+        let (r1, r2) = (&out.records[1], &out.records[2]);
+        assert!(
+            r2.start >= r1.start - 1e-6,
+            "long candidate must not start before the head (cand {} head {})",
+            r2.start,
+            r1.start
+        );
+    }
+
+    #[test]
+    fn co_backfill_shares_lanes_with_compatible_residents() {
+        // Memory-bound job 0 holds both nodes. Compute-bound job 1 also
+        // wants both nodes: with sharing it starts immediately on the
+        // second lanes.
+        let world = testkit::world(
+            2,
+            vec![job_app(0, 2, 100.0, "AMG"), job_app(1, 2, 100.0, "miniDFT")],
+        );
+        let out = testkit::simulate(&world, &mut co_backfill());
+        assert!(out.complete());
+        let r1 = &out.records[1];
+        assert!(r1.shared_alloc, "compute job should co-allocate");
+        assert!(r1.wait() < 1.0);
+    }
+
+    #[test]
+    fn co_backfill_beats_easy_on_makespan_for_complementary_mix() {
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                if i % 2 == 0 {
+                    job_app(i, 2, 200.0, "AMG")
+                } else {
+                    job_app(i, 2, 200.0, "miniDFT")
+                }
+            })
+            .collect();
+        let world = testkit::world(4, jobs.clone());
+        let easy = testkit::simulate(&world, &mut Backfill::easy());
+        let world = testkit::world(4, jobs);
+        let co = testkit::simulate(&world, &mut co_backfill());
+        assert!(easy.complete() && co.complete());
+        let mk = |o: &nodeshare_engine::SimOutcome| {
+            o.records.iter().map(|r| r.finish).fold(0.0, f64::max)
+        };
+        assert!(
+            mk(&co) < mk(&easy) * 0.8,
+            "co-backfill {} vs easy {}",
+            mk(&co),
+            mk(&easy)
+        );
+    }
+
+    #[test]
+    fn shared_backfill_respects_the_reservation() {
+        // Cluster of 2. Job 0 (AMG, 2 nodes, shared-mode head start) runs
+        // with est end 200. Head job 1 wants 2 exclusive nodes (not
+        // share-eligible). Candidate job 2 (miniDFT, est 400 > shadow)
+        // would pair beautifully with job 0 — but sharing onto reserved
+        // nodes would hold lanes past the shadow and delay the head, so
+        // CoBackfill must refuse.
+        let mut j1 = job(1, 2, 100.0);
+        j1.share_eligible = false;
+        let mut j2 = job_app(2, 2, 200.0, "miniDFT");
+        j2.walltime_estimate = 400.0;
+        let world = testkit::world(2, vec![job_app(0, 2, 100.0, "AMG"), j1, j2]);
+        let out = testkit::simulate(&world, &mut co_backfill());
+        assert!(out.complete());
+        let (r1, r2) = (&out.records[1], &out.records[2]);
+        assert!(
+            r2.start >= r1.start - 1e-6,
+            "candidate outliving the shadow must not take reserved lanes"
+        );
+    }
+
+    #[test]
+    fn co_backfill_only_keeps_the_head_exclusive() {
+        // Head (miniDFT) could pair beautifully with the running AMG, but
+        // the backfill-only variant makes the head wait for idle nodes.
+        let world = testkit::world(
+            2,
+            vec![job_app(0, 2, 100.0, "AMG"), job_app(1, 2, 100.0, "miniDFT")],
+        );
+        let mut sched =
+            Backfill::co_backfill_only(Pairing::new(PairingPolicy::default_threshold(), oracle()));
+        let out = testkit::simulate(&world, &mut sched);
+        assert!(out.complete());
+        let r1 = &out.records[1];
+        // Job 1 becomes head once job 0 runs; head never co-allocates.
+        assert!(
+            r1.start >= 99.0,
+            "backfill-only head must wait for exclusive nodes (start {})",
+            r1.start
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Backfill::easy().name(), "easy-backfill");
+        assert_eq!(co_backfill().name(), "co-backfill");
+    }
+}

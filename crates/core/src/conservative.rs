@@ -1,0 +1,102 @@
+//! Conservative backfill: every queued job gets a reservation.
+//!
+//! A candidate may start early only when doing so delays *no*
+//! earlier-queued job's planned start. Implemented with the count-based
+//! [`AvailabilityProfile`]: queued jobs are planned in order, each taking
+//! the earliest slot that fits its size and estimate; a job whose planned
+//! slot is "now" actually starts. Exclusive allocation only — the paper
+//! uses it as a second baseline.
+
+use crate::util::{pick_exclusive, AvailabilityProfile, PLAN_EPS};
+use nodeshare_engine::{Decision, SchedContext, Scheduler};
+
+/// Conservative backfill with exclusive allocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Conservative;
+
+impl Conservative {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Conservative
+    }
+}
+
+impl Scheduler for Conservative {
+    fn name(&self) -> &'static str {
+        "conservative-backfill"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let mut profile = AvailabilityProfile::from_context(ctx);
+        for job in ctx.queue {
+            let start = profile.earliest_fit(ctx.now, job.nodes as i64, job.walltime_estimate);
+            if start <= ctx.now + PLAN_EPS {
+                if let Some(nodes) = pick_exclusive(ctx, job, |_| true) {
+                    return vec![Decision::StartExclusive { job: job.id, nodes }];
+                }
+                // Count-based plan said "fits now" but no concrete idle
+                // nodes satisfy memory — plan it for later instead.
+            }
+            if start.is_finite() {
+                profile.reserve(start, job.walltime_estimate, job.nodes as i64);
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{self, job};
+
+    #[test]
+    fn backfills_without_delaying_any_reservation() {
+        // Job 0: 3 nodes, 100 s (est 200). Job 1: 4 nodes (whole machine).
+        // Job 2: 1 node, 10 s (est 20) → fits before job 1's reservation.
+        let world = testkit::world(4, vec![job(0, 3, 100.0), job(1, 4, 100.0), job(2, 1, 10.0)]);
+        let out = testkit::simulate(&world, &mut Conservative::new());
+        assert!(out.complete());
+        assert!(out.records[2].wait() < 1.0);
+    }
+
+    #[test]
+    fn protects_second_in_line_reservations() {
+        // Unlike EASY, conservative also refuses backfill that would
+        // delay job 2 (not just the head).
+        //
+        // Cluster 4. Job 0: 2 nodes est 200. Head job 1: 4 nodes (starts
+        // at 200, est 200 → [200, 400)). Job 2: 2 nodes est 200 → planned
+        // [400, 600). Job 3: 2 nodes est 190: EASY would start it (ends
+        // 190 ≤ shadow 200 is false... est 190 ≤ 200 shadow: yes EASY
+        // starts it). For conservative it also fits before the shadow, so
+        // both agree here; the distinguishing case is a candidate that
+        // fits between reservations. Job 3 with est 350 must wait under
+        // conservative: its window [0, 350) would overlap job 1's
+        // whole-machine slot [200, 400).
+        let mut j3 = job(3, 2, 150.0);
+        j3.walltime_estimate = 350.0;
+        let world = testkit::world(
+            4,
+            vec![job(0, 2, 100.0), job(1, 4, 100.0), job(2, 2, 100.0), j3],
+        );
+        let out = testkit::simulate(&world, &mut Conservative::new());
+        assert!(out.complete());
+        let r1 = &out.records[1];
+        let r3 = &out.records[3];
+        assert!(
+            r3.start >= r1.start - 1e-6,
+            "candidate overlapping the head's slot must wait (j3 {} head {})",
+            r3.start,
+            r1.start
+        );
+    }
+
+    #[test]
+    fn empty_queue_is_a_noop() {
+        let world = testkit::world(2, vec![job(0, 1, 10.0)]);
+        let out = testkit::simulate(&world, &mut Conservative::new());
+        assert!(out.complete());
+        assert_eq!(out.records.len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Strict first-come-first-served, exclusive allocation: the simplest
+//! baseline. The queue head starts as soon as enough idle nodes exist;
+//! nothing else ever jumps ahead.
+
+use crate::util::pick_exclusive;
+use nodeshare_engine::{Decision, SchedContext, Scheduler};
+
+/// Strict FCFS with exclusive node allocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fcfs;
+
+impl Fcfs {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Fcfs
+    }
+}
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let Some(head) = ctx.queue.first() else {
+            return Vec::new();
+        };
+        match pick_exclusive(ctx, head, |_| true) {
+            Some(nodes) => vec![Decision::StartExclusive {
+                job: head.id,
+                nodes,
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{self, job};
+
+    #[test]
+    fn starts_head_when_it_fits() {
+        let world = testkit::world(4, vec![job(0, 2, 100.0), job(1, 1, 100.0)]);
+        let out = testkit::simulate(&world, &mut Fcfs::new());
+        assert!(out.complete());
+        // Both fit immediately (2 + 1 ≤ 4 nodes).
+        assert_eq!(out.records[0].wait(), 0.0);
+        assert_eq!(out.records[1].wait(), 0.0);
+    }
+
+    #[test]
+    fn head_blocks_the_queue() {
+        // Head needs 4 nodes (whole cluster); a tiny later job must wait
+        // even though nodes are idle — the FCFS pathology backfill fixes.
+        let world = testkit::world(4, vec![job(0, 3, 100.0), job(1, 4, 100.0), job(2, 1, 10.0)]);
+        let out = testkit::simulate(&world, &mut Fcfs::new());
+        assert!(out.complete());
+        let r2 = &out.records[2];
+        // Job 2 waits behind job 1's 4-node request.
+        assert!(r2.start >= 200.0 - 1e-6, "start {}", r2.start);
+    }
+}

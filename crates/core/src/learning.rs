@@ -1,0 +1,219 @@
+//! Walltime-estimate learning — a Tsafrir-style correction layer.
+//!
+//! Users over-estimate walltimes by large, user-specific factors; backfill
+//! plans with those estimates and therefore under-fills the machine. This
+//! wrapper learns each user's typical `actual runtime / estimate` ratio
+//! from the completed-job history the engine exposes and presents the
+//! inner policy a queue with *corrected* estimates.
+//!
+//! Safety note: corrections affect **planning only** — the engine still
+//! kills jobs at their requested walltime — so a mis-corrected estimate
+//! can soften the EASY guarantee (a backfilled job may outlive its
+//! corrected bound and delay the head up to its *requested* bound). That
+//! trade is the documented cost of estimate correction in the literature;
+//! the F15 experiment measures whether it pays here.
+
+use nodeshare_engine::{Decision, SchedContext, Scheduler};
+use nodeshare_metrics::JobRecord;
+use nodeshare_workload::JobSpec;
+use std::collections::BTreeMap;
+
+/// Per-user runtime/estimate ratio statistics (incremental).
+#[derive(Clone, Debug, Default)]
+struct UserStats {
+    ratios: Vec<f64>,
+    sorted: bool,
+}
+
+impl UserStats {
+    fn push(&mut self, ratio: f64) {
+        self.ratios.push(ratio);
+        self.sorted = false;
+    }
+
+    /// A conservative quantile of the observed ratios (not the median:
+    /// correcting to the median would under-plan half the jobs).
+    fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.ratios.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.ratios.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let idx = ((self.ratios.len() - 1) as f64 * q).round() as usize;
+        Some(self.ratios[idx])
+    }
+}
+
+/// Wraps any policy with learned walltime-estimate correction.
+#[derive(Debug)]
+pub struct EstimateLearning<S> {
+    inner: S,
+    /// Quantile of the observed ratio distribution used as the correction
+    /// (e.g. 0.9: planned bound covers 90% of the user's history).
+    quantile: f64,
+    /// Minimum completed jobs per user before correcting that user.
+    min_samples: usize,
+    per_user: BTreeMap<u32, UserStats>,
+    digested: usize,
+}
+
+impl<S> EstimateLearning<S> {
+    /// Wraps `inner`; `quantile` in `(0, 1]` picks how conservative the
+    /// corrected bound is (0.9 is the classic choice).
+    pub fn new(inner: S, quantile: f64, min_samples: usize) -> Self {
+        assert!((0.0..=1.0).contains(&quantile), "quantile out of range");
+        assert!(min_samples >= 1, "need at least one sample");
+        EstimateLearning {
+            inner,
+            quantile,
+            min_samples,
+            per_user: BTreeMap::new(),
+            digested: 0,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Digests newly completed records (append-only slice).
+    fn digest(&mut self, completed: &[JobRecord]) {
+        for r in &completed[self.digested..] {
+            // Killed jobs ran to their limit, teaching nothing about the
+            // true runtime; restarted jobs' spans include lost attempts.
+            if !r.killed && r.restarts == 0 && r.walltime_estimate > 0.0 {
+                self.per_user
+                    .entry(r.user)
+                    .or_default()
+                    .push((r.run() / r.walltime_estimate).min(1.0));
+            }
+        }
+        self.digested = completed.len();
+    }
+
+    /// The correction factor for `user` (1.0 when history is thin).
+    fn factor(&mut self, user: u32) -> f64 {
+        let (q, min) = (self.quantile, self.min_samples);
+        match self.per_user.get_mut(&user) {
+            Some(stats) if stats.ratios.len() >= min => {
+                stats.quantile(q).unwrap_or(1.0).clamp(0.05, 1.0)
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+impl<S: Scheduler> Scheduler for EstimateLearning<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        self.digest(ctx.completed);
+        let corrected: Vec<JobSpec> = ctx
+            .queue
+            .iter()
+            .map(|j| {
+                let mut j = j.clone();
+                j.walltime_estimate *= self.factor(j.user);
+                j
+            })
+            .collect();
+        let view = SchedContext {
+            now: ctx.now,
+            queue: &corrected,
+            cluster: ctx.cluster,
+            running: ctx.running,
+            shared_grace: ctx.shared_grace,
+            completed: ctx.completed,
+        };
+        self.inner.schedule(&view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{self, job};
+    use crate::Backfill;
+    use nodeshare_cluster::JobId;
+    use nodeshare_perf::AppId;
+
+    fn record(user: u32, run: f64, estimate: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(0),
+            app: AppId(0),
+            nodes: 1,
+            submit: 0.0,
+            start: 0.0,
+            finish: run,
+            runtime_exclusive: run,
+            walltime_estimate: estimate,
+            shared_node_seconds: 0.0,
+            killed: false,
+            shared_alloc: false,
+            restarts: 0,
+            salvaged_work: 0.0,
+            user,
+        }
+    }
+
+    #[test]
+    fn learns_per_user_quantiles() {
+        let mut l = EstimateLearning::new(Backfill::easy(), 0.9, 3);
+        let records: Vec<JobRecord> = (0..10)
+            .map(|i| record(7, 100.0 + i as f64, 1_000.0)) // ratios ~0.1
+            .chain((0..10).map(|_| record(8, 900.0, 1_000.0))) // ratios 0.9
+            .collect();
+        l.digest(&records);
+        assert!(l.factor(7) < 0.15, "user 7 factor {}", l.factor(7));
+        assert!((l.factor(8) - 0.9).abs() < 1e-9);
+        // Unknown user: no correction.
+        assert_eq!(l.factor(99), 1.0);
+    }
+
+    #[test]
+    fn thin_history_is_not_corrected() {
+        let mut l = EstimateLearning::new(Backfill::easy(), 0.9, 3);
+        l.digest(&[record(7, 100.0, 1_000.0)]);
+        assert_eq!(l.factor(7), 1.0);
+    }
+
+    #[test]
+    fn killed_and_restarted_jobs_teach_nothing() {
+        let mut l = EstimateLearning::new(Backfill::easy(), 0.9, 1);
+        let mut killed = record(7, 500.0, 500.0);
+        killed.killed = true;
+        let mut restarted = record(7, 900.0, 1_000.0);
+        restarted.restarts = 2;
+        l.digest(&[killed, restarted]);
+        assert_eq!(l.factor(7), 1.0);
+    }
+
+    #[test]
+    fn digest_is_incremental() {
+        let mut l = EstimateLearning::new(Backfill::easy(), 0.5, 1);
+        let records: Vec<JobRecord> = (0..4).map(|_| record(1, 500.0, 1_000.0)).collect();
+        l.digest(&records[..2]);
+        assert_eq!(l.digested, 2);
+        l.digest(&records);
+        assert_eq!(l.digested, 4);
+        assert_eq!(l.per_user[&1].ratios.len(), 4);
+    }
+
+    #[test]
+    fn end_to_end_composition_completes() {
+        let world = testkit::world(
+            4,
+            (0..12).map(|i| job(i, 1 + (i % 3) as u32, 200.0)).collect(),
+        );
+        let mut sched = EstimateLearning::new(Backfill::easy(), 0.9, 2);
+        let out = testkit::simulate(&world, &mut sched);
+        assert!(out.complete());
+        assert_eq!(out.records.len(), 12);
+        assert_eq!(sched.name(), "easy-backfill");
+    }
+}

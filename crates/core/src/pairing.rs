@@ -1,0 +1,238 @@
+//! Pairing policy: which co-allocations the scheduler will accept.
+//!
+//! The mechanism (lane sharing) is only half the paper's story; the other
+//! half is *which* jobs to pair. The pairing policy consults a
+//! [`Predictor`] (oracle / class-based / pessimistic / oblivious) and
+//! applies an acceptance rule. The F7 ablation sweeps these rules.
+
+use nodeshare_perf::{AppId, PairRates, Predictor};
+use serde::{Deserialize, Serialize};
+
+/// Acceptance rule for candidate pairings.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PairingPolicy {
+    /// Never co-allocate — turns a sharing strategy back into its
+    /// exclusive baseline.
+    Never,
+    /// Pair anything with anything (the naive oversubscription that makes
+    /// administrators fear sharing).
+    Any,
+    /// Accept a pairing only when the predictor says both jobs keep at
+    /// least `min_rate` of their speed *and* the node's combined
+    /// throughput reaches `min_combined`.
+    Threshold {
+        /// Floor on each job's predicted rate.
+        min_rate: f64,
+        /// Floor on predicted combined throughput (1.0 = break-even with
+        /// an exclusive node).
+        min_combined: f64,
+    },
+}
+
+impl PairingPolicy {
+    /// The calibrated default used in the headline experiments: both jobs
+    /// keep ≥ 70% speed and the node delivers ≥ 120% of exclusive
+    /// throughput.
+    pub const fn default_threshold() -> Self {
+        PairingPolicy::Threshold {
+            min_rate: 0.7,
+            min_combined: 1.2,
+        }
+    }
+}
+
+/// A pairing policy bound to a predictor: the unit the strategies consume.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pairing {
+    /// Acceptance rule.
+    pub policy: PairingPolicy,
+    /// The scheduler's interference model.
+    pub predictor: Predictor,
+    /// Optional duration matching: only pair when the candidate's and the
+    /// resident's remaining walltime bounds overlap by at least this
+    /// ratio (`min/max ≥ θ`). Avoids slowing a resident for a co-runner
+    /// that leaves (or outlives it) almost immediately. `None` disables
+    /// the rule; the net-gain planner already prices most of this.
+    pub duration_match: Option<f64>,
+    /// Minimum predicted net throughput gain (node-equivalents) a shared
+    /// placement must reach. `0.0` (default) = only throughput-positive
+    /// placements; negative values admit throughput-negative sharing for
+    /// responsiveness (gang-scheduling style).
+    pub net_gain_floor: f64,
+}
+
+impl Pairing {
+    /// Builds a pairing from rule + predictor (no duration matching).
+    pub fn new(policy: PairingPolicy, predictor: Predictor) -> Self {
+        Pairing {
+            policy,
+            predictor,
+            duration_match: None,
+            net_gain_floor: 0.0,
+        }
+    }
+
+    /// Overrides the net-gain floor (negative = allow throughput-negative
+    /// sharing for responsiveness).
+    pub fn with_net_gain_floor(mut self, floor: f64) -> Self {
+        self.net_gain_floor = floor;
+        self
+    }
+
+    /// Adds a duration-matching threshold in `(0, 1]`.
+    pub fn with_duration_match(mut self, theta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&theta), "theta must be in (0, 1]");
+        self.duration_match = Some(theta);
+        self
+    }
+
+    /// A pairing that never shares (baseline strategies).
+    pub fn never() -> Self {
+        Pairing {
+            policy: PairingPolicy::Never,
+            predictor: Predictor::Oblivious,
+            duration_match: None,
+            net_gain_floor: 0.0,
+        }
+    }
+
+    /// Predicted rates for candidate `a` joining resident `b`.
+    pub fn rates(&self, a: AppId, b: AppId) -> PairRates {
+        self.predictor.rates(a, b)
+    }
+
+    /// Whether the policy accepts co-allocating `a` (candidate) with `b`
+    /// (resident).
+    pub fn allows(&self, a: AppId, b: AppId) -> bool {
+        match self.policy {
+            PairingPolicy::Never => false,
+            PairingPolicy::Any => true,
+            PairingPolicy::Threshold {
+                min_rate,
+                min_combined,
+            } => {
+                let r = self.rates(a, b);
+                r.rate_a >= min_rate
+                    && r.rate_b >= min_rate
+                    && r.combined_throughput() >= min_combined
+            }
+        }
+    }
+
+    /// Desirability score of the pairing (predicted combined throughput);
+    /// higher is better. Used to rank candidate partner nodes.
+    pub fn score(&self, a: AppId, b: AppId) -> f64 {
+        self.predictor.combined(a, b)
+    }
+
+    /// Whether the policy accepts `candidate` joining the whole stack of
+    /// `residents` on one node.
+    ///
+    /// Every resident must pass the pairwise rule, and — when the
+    /// predictor can price stacks (n-way oracle) — the full-stack rates
+    /// must also respect the threshold's `min_rate`. For SMT-2 (single
+    /// resident) this is exactly [`Pairing::allows`].
+    pub fn allows_stack(&self, candidate: AppId, residents: &[AppId]) -> bool {
+        if residents.is_empty() {
+            return self.sharing_enabled();
+        }
+        if !residents.iter().all(|&r| self.allows(candidate, r)) {
+            return false;
+        }
+        if let PairingPolicy::Threshold { min_rate, .. } = self.policy {
+            if residents.len() > 1 {
+                let sr = self.predictor.stack_rates(candidate, residents);
+                if sr.candidate < min_rate || sr.residents.iter().any(|&r| r < min_rate) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Predicted stack rates (candidate + residents on one node).
+    pub fn stack_rates(
+        &self,
+        candidate: AppId,
+        residents: &[AppId],
+    ) -> nodeshare_perf::predict::StackRates {
+        self.predictor.stack_rates(candidate, residents)
+    }
+
+    /// True when this pairing can ever co-allocate.
+    pub fn sharing_enabled(&self) -> bool {
+        self.policy != PairingPolicy::Never
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_perf::{AppCatalog, ContentionModel};
+
+    fn oracle() -> (AppCatalog, Pairing) {
+        let c = AppCatalog::trinity();
+        let p = Predictor::oracle(&c, &ContentionModel::calibrated());
+        (c, Pairing::new(PairingPolicy::default_threshold(), p))
+    }
+
+    #[test]
+    fn never_blocks_everything() {
+        let (c, _) = oracle();
+        let p = Pairing::never();
+        for a in c.ids() {
+            for b in c.ids() {
+                assert!(!p.allows(a, b));
+            }
+        }
+        assert!(!p.sharing_enabled());
+    }
+
+    #[test]
+    fn any_allows_everything() {
+        let (c, mut p) = oracle();
+        p.policy = PairingPolicy::Any;
+        for a in c.ids() {
+            for b in c.ids() {
+                assert!(p.allows(a, b));
+            }
+        }
+        assert!(p.sharing_enabled());
+    }
+
+    #[test]
+    fn threshold_separates_good_from_bad_pairs() {
+        let (c, p) = oracle();
+        let dft = c.by_name("miniDFT").unwrap().id; // compute
+        let amg = c.by_name("AMG").unwrap().id; // memory
+        let fe = c.by_name("miniFE").unwrap().id; // memory
+        assert!(p.allows(dft, amg), "complementary pair should pass");
+        assert!(!p.allows(fe, amg), "bandwidth×bandwidth should fail");
+    }
+
+    #[test]
+    fn score_ranks_complementary_pairs_higher() {
+        let (c, p) = oracle();
+        let dft = c.by_name("miniDFT").unwrap().id;
+        let amg = c.by_name("AMG").unwrap().id;
+        let fe = c.by_name("miniFE").unwrap().id;
+        assert!(p.score(dft, amg) > p.score(fe, amg));
+    }
+
+    #[test]
+    fn threshold_respects_min_rate_even_with_good_combined() {
+        let (c, _) = oracle();
+        // A pessimistic predictor at rate 0.6 fails min_rate 0.7 though
+        // combined (1.2) meets min_combined.
+        let p = Pairing::new(
+            PairingPolicy::Threshold {
+                min_rate: 0.7,
+                min_combined: 1.2,
+            },
+            Predictor::Pessimistic { rate: 0.6 },
+        );
+        for a in c.ids() {
+            assert!(!p.allows(a, a));
+        }
+    }
+}

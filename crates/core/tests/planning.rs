@@ -1,0 +1,244 @@
+//! Direct tests of the planning primitives (`node_free_times`,
+//! `HeadReservation`, `pick_exclusive`, `plan_shared`) against
+//! hand-constructed cluster states.
+
+use nodeshare_cluster::{Cluster, ClusterSpec, JobId, NodeId, NodeSpec, ShareMode};
+use nodeshare_core::util::{node_free_times, pick_exclusive, plan_shared, HeadReservation};
+use nodeshare_core::{Pairing, PairingPolicy};
+use nodeshare_engine::{RunningSummary, SchedContext};
+use nodeshare_perf::{AppCatalog, AppId, ContentionModel, Predictor};
+use nodeshare_workload::JobSpec;
+use std::collections::BTreeMap;
+
+struct Fixture {
+    cluster: Cluster,
+    running: BTreeMap<JobId, RunningSummary>,
+}
+
+impl Fixture {
+    fn new(nodes: u32) -> Fixture {
+        Fixture {
+            cluster: Cluster::new(ClusterSpec::new(nodes, NodeSpec::tiny())),
+            running: BTreeMap::new(),
+        }
+    }
+
+    /// Starts a running job on explicit nodes.
+    fn run_job(&mut self, id: u64, app: &str, nodes: &[u32], est_end: f64, shared: bool) {
+        let catalog = AppCatalog::trinity();
+        let app = catalog.by_name(app).unwrap().id;
+        let ids: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
+        let job = JobId(id);
+        if shared {
+            self.cluster.allocate_shared(job, &ids, 64).unwrap();
+        } else {
+            self.cluster.allocate_exclusive(job, &ids, 64).unwrap();
+        }
+        self.running.insert(
+            job,
+            RunningSummary {
+                job,
+                app,
+                nodes: ids.len() as u32,
+                start: 0.0,
+                walltime_estimate: est_end,
+                kill_at: est_end,
+                share_eligible: shared,
+                mode: if shared {
+                    ShareMode::Shared
+                } else {
+                    ShareMode::Exclusive
+                },
+            },
+        );
+    }
+
+    fn ctx<'a>(&'a self, now: f64, queue: &'a [JobSpec]) -> SchedContext<'a> {
+        SchedContext {
+            now,
+            queue,
+            cluster: &self.cluster,
+            running: &self.running,
+            shared_grace: 1.5,
+            completed: &[],
+        }
+    }
+}
+
+fn job(id: u64, app: &str, nodes: u32) -> JobSpec {
+    let catalog = AppCatalog::trinity();
+    JobSpec {
+        id: JobId(id),
+        app: catalog.by_name(app).unwrap().id,
+        nodes,
+        submit: 0.0,
+        runtime_exclusive: 100.0,
+        walltime_estimate: 200.0,
+        mem_per_node_mib: 64,
+        share_eligible: true,
+        user: 0,
+    }
+}
+
+fn pairing() -> Pairing {
+    Pairing::new(
+        PairingPolicy::default_threshold(),
+        Predictor::oracle(&AppCatalog::trinity(), &ContentionModel::calibrated()),
+    )
+}
+
+#[test]
+fn free_times_reflect_kill_bounds() {
+    let mut fx = Fixture::new(4);
+    fx.run_job(1, "AMG", &[0, 1], 500.0, false);
+    fx.run_job(2, "miniFE", &[2], 300.0, true);
+    let q: Vec<JobSpec> = vec![];
+    let ctx = fx.ctx(100.0, &q);
+    let times = node_free_times(&ctx);
+    assert_eq!(times.len(), 4);
+    assert_eq!(times[0], (NodeId(0), 500.0));
+    assert_eq!(times[1], (NodeId(1), 500.0));
+    assert_eq!(times[2], (NodeId(2), 300.0));
+    assert_eq!(times[3], (NodeId(3), 100.0)); // idle = free now
+}
+
+#[test]
+fn drained_nodes_are_excluded_from_planning() {
+    let mut fx = Fixture::new(4);
+    fx.cluster.drain(NodeId(3)).unwrap();
+    let q: Vec<JobSpec> = vec![];
+    let ctx = fx.ctx(0.0, &q);
+    assert_eq!(node_free_times(&ctx).len(), 3);
+    // Reservation for a 4-node job can never be satisfied.
+    let res = HeadReservation::compute(&ctx, 4);
+    assert!(res.shadow.is_infinite());
+    assert!(res.nodes.is_empty());
+}
+
+#[test]
+fn reservation_picks_the_earliest_free_nodes() {
+    let mut fx = Fixture::new(4);
+    fx.run_job(1, "AMG", &[0], 900.0, false);
+    fx.run_job(2, "miniFE", &[1], 400.0, false);
+    let q: Vec<JobSpec> = vec![];
+    let ctx = fx.ctx(0.0, &q);
+    // Head wants 3 nodes: idle 2,3 free now + node 1 at 400 → shadow 400.
+    let res = HeadReservation::compute(&ctx, 3);
+    assert_eq!(res.shadow, 400.0);
+    assert!(res.nodes.contains(&NodeId(1)));
+    assert!(res.nodes.contains(&NodeId(2)));
+    assert!(res.nodes.contains(&NodeId(3)));
+    assert!(!res.nodes.contains(&NodeId(0)));
+    // A candidate ending before the shadow never blocks.
+    assert!(!res.blocks(NodeId(2), 399.0));
+    // One ending after blocks reserved nodes only.
+    assert!(res.blocks(NodeId(2), 500.0));
+    assert!(!res.blocks(NodeId(0), 500.0));
+}
+
+#[test]
+fn pick_exclusive_respects_filters_and_memory() {
+    let mut fx = Fixture::new(4);
+    fx.run_job(1, "AMG", &[0], 500.0, false);
+    let q = vec![job(5, "miniFE", 2)];
+    let ctx = fx.ctx(0.0, &q);
+    let picked = pick_exclusive(&ctx, &q[0], |_| true).unwrap();
+    assert_eq!(picked, vec![NodeId(1), NodeId(2)]);
+    // Filter away node 1: picks 2 and 3.
+    let picked = pick_exclusive(&ctx, &q[0], |n| n != NodeId(1)).unwrap();
+    assert_eq!(picked, vec![NodeId(2), NodeId(3)]);
+    // Too much memory: no placement.
+    let mut fat = q[0].clone();
+    fat.mem_per_node_mib = NodeSpec::tiny().mem_mib + 1;
+    assert!(pick_exclusive(&ctx, &fat, |_| true).is_none());
+    // More nodes than exist: no placement.
+    let mut wide = q[0].clone();
+    wide.nodes = 9;
+    assert!(pick_exclusive(&ctx, &wide, |_| true).is_none());
+}
+
+#[test]
+fn plan_shared_prefers_compatible_partners_and_prices_them() {
+    let mut fx = Fixture::new(4);
+    // AMG (memory-bound) on nodes 0-1, shared mode → free lanes there.
+    fx.run_job(1, "AMG", &[0, 1], 1_000.0, true);
+    let q = vec![job(5, "miniDFT", 2)];
+    let ctx = fx.ctx(0.0, &q);
+    let plan = plan_shared(&ctx, &q[0], &pairing(), |_| true).unwrap();
+    // Partial nodes first (compute × memory pairs well).
+    assert_eq!(plan.nodes, vec![NodeId(0), NodeId(1)]);
+    assert_eq!(plan.partners, vec![JobId(1)]);
+    assert!(plan.net_gain > 0.0);
+    assert!(plan.candidate_rate > 0.7);
+}
+
+#[test]
+fn plan_shared_rejects_incompatible_residents() {
+    let mut fx = Fixture::new(2);
+    fx.run_job(1, "AMG", &[0, 1], 1_000.0, true);
+    // Another bandwidth-bound app: pairing refuses, and no idle nodes
+    // remain → no plan.
+    let q = vec![job(5, "miniFE", 2)];
+    let ctx = fx.ctx(0.0, &q);
+    assert!(plan_shared(&ctx, &q[0], &pairing(), |_| true).is_none());
+}
+
+#[test]
+fn plan_shared_spills_to_idle_nodes() {
+    let mut fx = Fixture::new(4);
+    fx.run_job(1, "AMG", &[0], 1_000.0, true);
+    let q = vec![job(5, "miniDFT", 3)];
+    let ctx = fx.ctx(0.0, &q);
+    let plan = plan_shared(&ctx, &q[0], &pairing(), |_| true).unwrap();
+    assert_eq!(plan.nodes.len(), 3);
+    assert_eq!(plan.nodes[0], NodeId(0), "partner lane first");
+    assert!(plan.nodes[1..].iter().all(|n| *n != NodeId(0)));
+    // Candidate is bulk-synchronous: rate limited by the shared node.
+    assert!(plan.candidate_rate < 1.0);
+}
+
+#[test]
+fn plan_shared_refuses_non_eligible_candidates() {
+    let fx = Fixture::new(2);
+    let mut j = job(5, "miniDFT", 1);
+    j.share_eligible = false;
+    let q = vec![j];
+    let ctx = fx.ctx(0.0, &q);
+    assert!(plan_shared(&ctx, &q[0], &pairing(), |_| true).is_none());
+}
+
+#[test]
+fn plan_shared_counts_partner_losses_once() {
+    let mut fx = Fixture::new(4);
+    // One 3-node resident; candidate overlaps 2 of its nodes: the loss
+    // must count the resident's full 3-node width once.
+    fx.run_job(1, "AMG", &[0, 1, 2], 1_000.0, true);
+    let q = vec![job(5, "miniDFT", 2)];
+    let ctx = fx.ctx(0.0, &q);
+    let plan = plan_shared(&ctx, &q[0], &pairing(), |_| true).unwrap();
+    assert_eq!(plan.partners, vec![JobId(1)]);
+    let p = pairing();
+    let rates = p.rates(q[0].app, AppId(2)); // AMG id = 2 in the catalog
+    let expected = 2.0 * rates.rate_a - 3.0 * (1.0 - rates.rate_b);
+    assert!(
+        (plan.net_gain - expected).abs() < 1e-9,
+        "net {} vs expected {expected}",
+        plan.net_gain
+    );
+}
+
+#[test]
+fn context_residents_helper_lists_running_summaries() {
+    let mut fx = Fixture::new(3);
+    fx.run_job(1, "AMG", &[0], 500.0, true);
+    fx.run_job(2, "miniDFT", &[0], 500.0, true);
+    let q: Vec<JobSpec> = vec![];
+    let ctx = fx.ctx(0.0, &q);
+    let residents = ctx.residents(NodeId(0));
+    assert_eq!(residents.len(), 2);
+    assert!(residents.iter().any(|r| r.job == JobId(1)));
+    assert!(residents.iter().any(|r| r.job == JobId(2)));
+    assert!(ctx.residents(NodeId(1)).is_empty());
+    // Unknown node: empty, not a panic.
+    assert!(ctx.residents(NodeId(99)).is_empty());
+}

@@ -1,0 +1,180 @@
+//! Property tests over all scheduling strategies: every strategy must
+//! complete every feasible workload with consistent per-job records, the
+//! exclusive baselines must never dilate a job, and threshold-paired
+//! sharing with honest 2× estimates must never cause walltime kills.
+
+use nodeshare_cluster::{ClusterSpec, JobId, NodeSpec};
+use nodeshare_core::{StrategyConfig, StrategyKind};
+use nodeshare_engine::{run, SimConfig};
+use nodeshare_perf::{AppCatalog, AppId, CoRunTruth, ContentionModel};
+use nodeshare_workload::{JobSpec, Workload};
+use proptest::prelude::*;
+
+const NODES: u32 = 6;
+
+#[derive(Clone, Debug)]
+struct RawJob {
+    nodes: u32,
+    runtime: f64,
+    submit_gap: f64,
+    app: u8,
+    share: bool,
+}
+
+fn raw_job() -> impl Strategy<Value = RawJob> {
+    (
+        1u32..=4,
+        10.0f64..500.0,
+        0.0f64..200.0,
+        0u8..8,
+        prop::bool::weighted(0.8),
+    )
+        .prop_map(|(nodes, runtime, submit_gap, app, share)| RawJob {
+            nodes,
+            runtime,
+            submit_gap,
+            app,
+            share,
+        })
+}
+
+fn build_workload(raw: Vec<RawJob>) -> Workload {
+    let mut t = 0.0;
+    let jobs: Vec<JobSpec> = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            t += r.submit_gap;
+            JobSpec {
+                id: JobId(i as u64),
+                app: AppId(r.app),
+                nodes: r.nodes,
+                submit: t,
+                runtime_exclusive: r.runtime,
+                walltime_estimate: r.runtime * 2.0,
+                mem_per_node_mib: 64,
+                share_eligible: r.share,
+                user: 0,
+            }
+        })
+        .collect();
+    Workload::new(jobs).unwrap()
+}
+
+fn world() -> (CoRunTruth, SimConfig) {
+    let catalog = AppCatalog::trinity();
+    let matrix = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
+    let config = SimConfig::new(ClusterSpec::new(NODES, NodeSpec::tiny()));
+    (matrix, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy finishes every feasible workload, with internally
+    /// consistent records.
+    #[test]
+    fn all_strategies_complete_all_workloads(raw in prop::collection::vec(raw_job(), 1..25)) {
+        let workload = build_workload(raw);
+        let catalog = AppCatalog::trinity();
+        let model = ContentionModel::calibrated();
+        let (matrix, config) = world();
+        for cfg in StrategyConfig::lineup() {
+            let mut sched = cfg.build(&catalog, &model);
+            let out = run(&workload, &matrix, sched.as_mut(), &config);
+            prop_assert!(out.complete(), "{}: {:?} unscheduled", cfg.label(), out.unscheduled);
+            prop_assert_eq!(out.records.len(), workload.len());
+            for r in &out.records {
+                r.validate().map_err(TestCaseError::fail)?;
+                prop_assert!(r.start + 1e-9 >= r.submit);
+                // A job never runs faster than exclusive speed.
+                prop_assert!(r.dilation() >= 1.0 - 1e-9, "{}: dilation {}", cfg.label(), r.dilation());
+                // Walltime enforcement bounds wall-clock time.
+                prop_assert!(r.run() <= r.walltime_estimate + 1e-6);
+            }
+        }
+    }
+
+    /// Exclusive baselines never share, never dilate, and never exceed
+    /// computational efficiency 1.
+    #[test]
+    fn exclusive_strategies_never_dilate(raw in prop::collection::vec(raw_job(), 1..25)) {
+        let workload = build_workload(raw);
+        let catalog = AppCatalog::trinity();
+        let model = ContentionModel::calibrated();
+        let (matrix, config) = world();
+        for kind in [
+            StrategyKind::Fcfs,
+            StrategyKind::FirstFit,
+            StrategyKind::EasyBackfill,
+            StrategyKind::Conservative,
+        ] {
+            let cfg = StrategyConfig::exclusive(kind);
+            let mut sched = cfg.build(&catalog, &model);
+            let out = run(&workload, &matrix, sched.as_mut(), &config);
+            for r in &out.records {
+                prop_assert!(!r.shared_alloc);
+                prop_assert_eq!(r.shared_node_seconds, 0.0);
+                prop_assert!((r.dilation() - 1.0).abs() < 1e-9);
+                prop_assert!(!r.killed, "honest 2x estimates never kill exclusive jobs");
+            }
+            let m = out.metrics(&config.cluster);
+            prop_assert!(m.computational_efficiency <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Threshold-paired sharing with honest 2× estimates never triggers a
+    /// walltime kill: the worst accepted dilation (1/0.7 ≈ 1.43) stays
+    /// inside the estimate headroom — the scheduler-side safety that
+    /// underlies the paper's "no overhead" claim.
+    #[test]
+    fn threshold_sharing_never_kills(raw in prop::collection::vec(raw_job(), 1..25)) {
+        let workload = build_workload(raw);
+        let catalog = AppCatalog::trinity();
+        let model = ContentionModel::calibrated();
+        let (matrix, config) = world();
+        for kind in [StrategyKind::CoFirstFit, StrategyKind::CoBackfill] {
+            let mut cfg = StrategyConfig::sharing(kind);
+            cfg.predictor = nodeshare_core::PredictorKind::Oracle;
+            let mut sched = cfg.build(&catalog, &model);
+            let out = run(&workload, &matrix, sched.as_mut(), &config);
+            prop_assert!(out.complete());
+            for r in &out.records {
+                prop_assert!(!r.killed, "{}: {} killed (dilation {:.3})", cfg.label(), r.id, r.dilation());
+                // Oracle + min_rate 0.7 bounds dilation.
+                prop_assert!(r.dilation() <= 1.0 / 0.7 + 1e-6);
+            }
+        }
+    }
+
+    /// FCFS starts jobs in submission order.
+    #[test]
+    fn fcfs_preserves_order(raw in prop::collection::vec(raw_job(), 1..25)) {
+        let workload = build_workload(raw);
+        let catalog = AppCatalog::trinity();
+        let model = ContentionModel::calibrated();
+        let (matrix, config) = world();
+        let cfg = StrategyConfig::exclusive(StrategyKind::Fcfs);
+        let mut sched = cfg.build(&catalog, &model);
+        let out = run(&workload, &matrix, sched.as_mut(), &config);
+        // records are id-ordered == submission-ordered in this generator.
+        for w in out.records.windows(2) {
+            prop_assert!(w[0].start <= w[1].start + 1e-9);
+        }
+    }
+
+    /// Simulations are bit-deterministic.
+    #[test]
+    fn runs_are_deterministic(raw in prop::collection::vec(raw_job(), 1..15)) {
+        let workload = build_workload(raw);
+        let catalog = AppCatalog::trinity();
+        let model = ContentionModel::calibrated();
+        let (matrix, config) = world();
+        let cfg = StrategyConfig::sharing(StrategyKind::CoBackfill);
+        let a = run(&workload, &matrix, cfg.build(&catalog, &model).as_mut(), &config);
+        let b = run(&workload, &matrix, cfg.build(&catalog, &model).as_mut(), &config);
+        prop_assert_eq!(a.records, b.records);
+        prop_assert_eq!(a.busy_core_seconds, b.busy_core_seconds);
+        prop_assert_eq!(a.shared_core_seconds, b.shared_core_seconds);
+    }
+}

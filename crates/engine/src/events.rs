@@ -1,0 +1,172 @@
+//! The event queue: a binary heap ordered by `(time, sequence)`.
+//!
+//! The sequence number makes simultaneous events fire in insertion order,
+//! which — together with seeded RNG streams — makes every simulation
+//! bit-reproducible.
+
+use nodeshare_cluster::JobId;
+use nodeshare_workload::Seconds;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A job arrives (index into the workload's job list).
+    Arrival(usize),
+    /// A running job finishes its work. Stale if the job was re-rated
+    /// after this event was scheduled (generation mismatch) — stale
+    /// completions are skipped.
+    Completion {
+        /// The finishing job.
+        job: JobId,
+        /// Progress-table generation at scheduling time.
+        generation: u64,
+    },
+    /// A running job reaches its walltime limit and is killed unless it
+    /// already completed. Stale if the job was requeued and restarted
+    /// since (attempt mismatch).
+    WalltimeKill {
+        /// The job to check.
+        job: JobId,
+        /// Attempt number the kill was armed for.
+        attempt: u32,
+    },
+    /// Periodic scheduler invocation (mirrors SLURM's backfill interval).
+    SchedulerTick,
+    /// A node fails: resident jobs are requeued, the node goes down.
+    NodeFail(nodeshare_cluster::NodeId),
+    /// A failed node returns to service.
+    NodeRepair(nodeshare_cluster::NodeId),
+    /// A maintenance window begins: the node drains.
+    DrainStart(nodeshare_cluster::NodeId),
+    /// A maintenance window ends: the node resumes.
+    DrainEnd(nodeshare_cluster::NodeId),
+    /// Capture an occupancy snapshot (index into `SimConfig::snapshot_times`).
+    Snapshot(usize),
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    time: Seconds,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic earliest-first event queue.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    /// Panics on a non-finite time — that is always an engine bug.
+    pub fn push(&mut self, time: Seconds, event: Event) {
+        assert!(time.is_finite(), "event scheduled at non-finite time");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Seconds, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Seconds> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, Event::SchedulerTick);
+        q.push(1.0, Event::Arrival(0));
+        q.push(3.0, Event::Arrival(1));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop(), Some((1.0, Event::Arrival(0))));
+        assert_eq!(q.pop(), Some((3.0, Event::Arrival(1))));
+        assert_eq!(q.pop(), Some((5.0, Event::SchedulerTick)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(2.0, Event::Arrival(i));
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((2.0, Event::Arrival(i))));
+        }
+    }
+
+    #[test]
+    fn interleaved_pushes_stay_deterministic() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Event::Arrival(0));
+        q.pop();
+        q.push(4.0, Event::Arrival(1));
+        q.push(4.0, Event::Arrival(2));
+        q.push(2.0, Event::Arrival(3));
+        assert_eq!(q.pop(), Some((2.0, Event::Arrival(3))));
+        assert_eq!(q.pop(), Some((4.0, Event::Arrival(1))));
+        assert_eq!(q.pop(), Some((4.0, Event::Arrival(2))));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_times() {
+        EventQueue::new().push(f64::NAN, Event::SchedulerTick);
+    }
+}

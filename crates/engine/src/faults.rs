@@ -1,0 +1,174 @@
+//! Fault injection: random node failures with repair, and planned
+//! maintenance windows.
+//!
+//! Failures are the classic exponential model: each node fails
+//! independently with the configured MTBF, stays down for `repair_time`,
+//! then returns. A failing node kills every resident job (both lanes — a
+//! crash takes the whole node); killed jobs are **requeued** and restart
+//! from scratch (no checkpointing), which is how plain SLURM handles
+//! `--requeue` jobs on node failure.
+//!
+//! Maintenance windows drain a node set ahead of time: running jobs
+//! finish, no new work lands until the window closes.
+//!
+//! All failure times are sampled up front from the config seed, so runs
+//! remain bit-deterministic.
+
+use nodeshare_cluster::NodeId;
+use nodeshare_workload::Seconds;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Random node-failure model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Mean time between failures *per node*, seconds.
+    pub mtbf_per_node: Seconds,
+    /// Time a failed node stays down before returning, seconds.
+    pub repair_time: Seconds,
+    /// Seed for the failure process (independent of workload seeds).
+    pub seed: u64,
+}
+
+impl FailureModel {
+    /// Samples the failure times of `node_count` nodes over `[0, horizon]`.
+    ///
+    /// Returns `(time, node)` pairs in no particular order; each node may
+    /// fail repeatedly (fail → repair → fail …).
+    pub fn sample_failures(&self, node_count: u32, horizon: Seconds) -> Vec<(Seconds, NodeId)> {
+        assert!(self.mtbf_per_node > 0.0, "MTBF must be positive");
+        assert!(self.repair_time >= 0.0, "repair time must be non-negative");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        for n in 0..node_count {
+            let mut t = 0.0;
+            loop {
+                // Exponential(1/mtbf) via inverse CDF.
+                let u: f64 = 1.0 - rng.random::<f64>();
+                t += -u.ln() * self.mtbf_per_node;
+                if t > horizon {
+                    break;
+                }
+                out.push((t, NodeId(n)));
+                t += self.repair_time;
+            }
+        }
+        out
+    }
+}
+
+/// A planned maintenance window: the nodes are drained at `start`
+/// (running jobs finish, nothing new starts) and resumed at `end`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceWindow {
+    /// Nodes to drain.
+    pub nodes: Vec<NodeId>,
+    /// Drain begins.
+    pub start: Seconds,
+    /// Nodes return to service.
+    pub end: Seconds,
+}
+
+impl MaintenanceWindow {
+    /// Validates the window.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("maintenance window needs nodes".into());
+        }
+        if self.end <= self.start || self.end.is_nan() || self.start.is_nan() {
+            return Err("maintenance window must have positive length".into());
+        }
+        if self.start < 0.0 {
+            return Err("maintenance window cannot start before time zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_sampling_is_deterministic_and_bounded() {
+        let m = FailureModel {
+            mtbf_per_node: 10_000.0,
+            repair_time: 500.0,
+            seed: 9,
+        };
+        let a = m.sample_failures(16, 100_000.0);
+        let b = m.sample_failures(16, 100_000.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(t, n)| t <= 100_000.0 && n.0 < 16));
+        // ~10 failures expected per node over 10 MTBFs; loose bounds.
+        let per_node = a.len() as f64 / 16.0;
+        assert!(per_node > 4.0 && per_node < 16.0, "per node {per_node}");
+    }
+
+    #[test]
+    fn failure_rate_scales_with_mtbf() {
+        let horizon = 200_000.0;
+        let fast = FailureModel {
+            mtbf_per_node: 5_000.0,
+            repair_time: 0.0,
+            seed: 1,
+        };
+        let slow = FailureModel {
+            mtbf_per_node: 50_000.0,
+            repair_time: 0.0,
+            seed: 1,
+        };
+        let nf = fast.sample_failures(8, horizon).len() as f64;
+        let ns = slow.sample_failures(8, horizon).len() as f64;
+        assert!(nf / ns > 5.0, "fast {nf} slow {ns}");
+    }
+
+    #[test]
+    fn repair_time_spaces_failures() {
+        let m = FailureModel {
+            mtbf_per_node: 100.0,
+            repair_time: 1_000.0,
+            seed: 2,
+        };
+        let mut times: Vec<f64> = m
+            .sample_failures(1, 50_000.0)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        times.sort_by(f64::total_cmp);
+        for w in times.windows(2) {
+            assert!(w[1] - w[0] >= 1_000.0, "failures during repair");
+        }
+    }
+
+    #[test]
+    fn window_validation() {
+        let ok = MaintenanceWindow {
+            nodes: vec![NodeId(0)],
+            start: 10.0,
+            end: 20.0,
+        };
+        assert!(ok.validate().is_ok());
+        assert!(MaintenanceWindow {
+            nodes: vec![],
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(MaintenanceWindow {
+            start: 20.0,
+            end: 20.0,
+            nodes: vec![NodeId(0)],
+        }
+        .validate()
+        .is_err());
+        assert!(MaintenanceWindow {
+            start: -1.0,
+            end: 20.0,
+            nodes: vec![NodeId(0)],
+        }
+        .validate()
+        .is_err());
+    }
+}

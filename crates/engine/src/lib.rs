@@ -1,0 +1,34 @@
+//! # nodeshare-engine
+//!
+//! Deterministic discrete-event simulation of a batch system with
+//! co-runner-dependent job progress:
+//!
+//! * [`events`] — `(time, sequence)`-ordered event queue,
+//! * [`progress`] — work-based running-job state: rates change when
+//!   co-runners come and go; completion events are generation-stamped so
+//!   stale ones are skipped,
+//! * [`view`] — the [`Scheduler`] trait and the context policies see
+//!   (estimates only — never true runtimes),
+//! * [`sim`] — the driver ([`run`]) wiring workload + cluster + pair
+//!   matrix + policy together,
+//! * [`outcome`] — [`SimOutcome`] with per-job records and integrated
+//!   occupancy series.
+//!
+//! The engine enforces the sharing mechanism's ground rules (only
+//! share-eligible jobs may be co-allocated) and panics on inapplicable
+//! policy decisions, so a policy bug fails loudly rather than skewing
+//! results.
+
+pub mod events;
+pub mod faults;
+pub mod outcome;
+pub mod progress;
+pub mod sim;
+pub mod view;
+
+pub use events::{Event, EventQueue};
+pub use faults::{FailureModel, MaintenanceWindow};
+pub use outcome::SimOutcome;
+pub use progress::RunningJob;
+pub use sim::{first_idle_nodes, run, SimConfig};
+pub use view::{Decision, RunningSummary, SchedContext, Scheduler};

@@ -1,0 +1,56 @@
+//! Simulation results.
+
+use nodeshare_cluster::{ClusterSpec, JobId};
+use nodeshare_metrics::{CampaignMetrics, JobRecord, StepSeries};
+use nodeshare_workload::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Everything a finished simulation produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Name of the policy that ran.
+    pub scheduler: String,
+    /// Per-job records, in job-id order.
+    pub records: Vec<JobRecord>,
+    /// Integrated busy physical-core seconds.
+    pub busy_core_seconds: f64,
+    /// Integrated core-seconds during which nodes hosted two jobs.
+    pub shared_core_seconds: f64,
+    /// Time of the last processed event. Note: with fault injection this
+    /// includes failure/repair events that fire after the last job
+    /// finished; use the records (or [`SimOutcome::metrics`] makespan)
+    /// for campaign duration.
+    pub end_time: Seconds,
+    /// Jobs that were still waiting when the simulation ran out of events
+    /// — non-empty means the policy dead-locked the queue.
+    pub unscheduled: Vec<JobId>,
+    /// Jobs rejected at arrival because no cluster configuration could
+    /// ever run them (more nodes than the machine has, or more memory
+    /// than a node offers) — mirrors `sbatch` rejections.
+    pub rejected: Vec<JobId>,
+    /// Busy physical cores over time.
+    pub busy_cores: StepSeries,
+    /// Cores of doubly-occupied nodes over time.
+    pub shared_cores: StepSeries,
+    /// Waiting-job count over time.
+    pub queue_depth: StepSeries,
+    /// ASCII occupancy maps captured at `SimConfig::snapshot_times`.
+    pub snapshots: Vec<(Seconds, String)>,
+}
+
+impl SimOutcome {
+    /// Campaign metrics for this run.
+    pub fn metrics(&self, spec: &ClusterSpec) -> CampaignMetrics {
+        CampaignMetrics::compute(
+            &self.records,
+            spec,
+            self.busy_core_seconds,
+            self.shared_core_seconds,
+        )
+    }
+
+    /// Quick sanity flag: every job ran and finished.
+    pub fn complete(&self) -> bool {
+        self.unscheduled.is_empty()
+    }
+}

@@ -1,0 +1,876 @@
+//! The simulation driver: wires workload, cluster, contention truth, and
+//! a scheduling policy into one deterministic discrete-event run.
+
+use crate::events::{Event, EventQueue};
+use crate::faults::{FailureModel, MaintenanceWindow};
+use crate::outcome::SimOutcome;
+use crate::progress::RunningJob;
+use crate::view::{summary_of, Decision, SchedContext, Scheduler};
+use nodeshare_cluster::{AdminState, Cluster, ClusterSpec, JobId, NodeId, ShareMode};
+use nodeshare_metrics::{JobRecord, StepSeries};
+use nodeshare_perf::CoRunTruth;
+use nodeshare_workload::{JobSpec, Seconds, Workload};
+use std::collections::BTreeMap;
+
+/// Engine configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Cluster to simulate.
+    pub cluster: ClusterSpec,
+    /// Kill jobs at their walltime estimate (real batch systems do; the
+    /// EASY reservation guarantee depends on it).
+    pub enforce_walltime: bool,
+    /// Optional periodic scheduler invocation (SLURM's backfill interval).
+    /// Event-driven invocation happens regardless; most policies don't
+    /// need a tick.
+    pub sched_tick: Option<Seconds>,
+    /// Walltime grace factor for jobs started in shared mode: the system
+    /// kills them at `start + estimate × grace` instead of
+    /// `start + estimate`, compensating for co-allocation slowdown the
+    /// system itself introduced. Schedulers see the padded bound
+    /// ([`crate::RunningSummary::kill_at`]) and plan reservations with
+    /// it, so backfill guarantees hold. 1.0 disables the grace.
+    pub shared_walltime_grace: f64,
+    /// Optional random node failures: failed nodes kill (and requeue)
+    /// their resident jobs, stay down for the repair time, then return.
+    pub failures: Option<FailureModel>,
+    /// Horizon over which failures are pre-sampled. Must cover the
+    /// campaign; failures past the horizon simply never fire.
+    pub failure_horizon: Seconds,
+    /// Planned maintenance windows (drain → resume).
+    pub maintenance: Vec<MaintenanceWindow>,
+    /// Application-level checkpointing: when set, a job requeued by a
+    /// node failure resumes from its last completed multiple of this many
+    /// *work* seconds instead of from scratch. `None` = no checkpointing
+    /// (plain SLURM `--requeue` semantics).
+    pub checkpoint_interval: Option<Seconds>,
+    /// Times at which to capture an ASCII occupancy map of the cluster
+    /// (delivered in [`SimOutcome::snapshots`]).
+    pub snapshot_times: Vec<Seconds>,
+    /// Hard event budget; exceeded means a runaway policy. Generous
+    /// default: ~40 events per job covers every policy in this workspace.
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// Default config for a given cluster spec.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        SimConfig {
+            cluster,
+            enforce_walltime: true,
+            sched_tick: None,
+            shared_walltime_grace: 1.5,
+            failures: None,
+            failure_horizon: 30.0 * 86_400.0,
+            maintenance: Vec::new(),
+            checkpoint_interval: None,
+            snapshot_times: Vec::new(),
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// Runs `workload` under `scheduler` and returns the outcome.
+///
+/// Ground-truth co-run rates come from `truth`; the policy never sees
+/// them (it plans with whatever predictor it was built with).
+///
+/// # Panics
+/// Panics when the policy returns an inapplicable decision (unknown job,
+/// wrong node count, occupied nodes, share-rule violations) — those are
+/// policy bugs, not recoverable conditions — or when `max_events` is
+/// exceeded.
+pub fn run(
+    workload: &Workload,
+    truth: &CoRunTruth,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+) -> SimOutcome {
+    Engine::new(workload, truth, config).run(scheduler)
+}
+
+struct Engine<'a> {
+    truth: &'a CoRunTruth,
+    config: &'a SimConfig,
+    workload: &'a Workload,
+    cluster: Cluster,
+    events: EventQueue,
+    queue: Vec<JobSpec>,
+    running: BTreeMap<JobId, RunningJob>,
+    running_view: BTreeMap<JobId, crate::view::RunningSummary>,
+    records: Vec<JobRecord>,
+    busy_cores: StepSeries,
+    shared_cores: StepSeries,
+    queue_depth: StepSeries,
+    now: Seconds,
+    processed: u64,
+    arrivals_pending: usize,
+    /// Requeue counter per job (node failures).
+    attempts: BTreeMap<JobId, u32>,
+    /// Checkpointed work salvaged for requeued jobs, exclusive-seconds.
+    salvage: BTreeMap<JobId, f64>,
+    /// Salvage applied at each running job's (latest) start.
+    salvaged_at_start: BTreeMap<JobId, f64>,
+    /// Captured occupancy snapshots.
+    snapshots: Vec<(Seconds, String)>,
+    /// Jobs rejected at arrival as unsatisfiable.
+    rejected: Vec<JobId>,
+    /// Globally unique completion-event generations: requeued jobs must
+    /// never collide with their previous attempt's event stamps.
+    gen_counter: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(workload: &'a Workload, truth: &'a CoRunTruth, config: &'a SimConfig) -> Self {
+        let mut events = EventQueue::new();
+        for (i, job) in workload.jobs().iter().enumerate() {
+            events.push(job.submit, Event::Arrival(i));
+        }
+        if let Some(tick) = config.sched_tick {
+            assert!(tick > 0.0, "scheduler tick must be positive");
+            events.push(tick, Event::SchedulerTick);
+        }
+        if let Some(failures) = &config.failures {
+            for (t, node) in
+                failures.sample_failures(config.cluster.node_count, config.failure_horizon)
+            {
+                events.push(t, Event::NodeFail(node));
+            }
+        }
+        for (i, &t) in config.snapshot_times.iter().enumerate() {
+            events.push(t, Event::Snapshot(i));
+        }
+        for window in &config.maintenance {
+            window.validate().expect("invalid maintenance window");
+            for &node in &window.nodes {
+                events.push(window.start, Event::DrainStart(node));
+                events.push(window.end, Event::DrainEnd(node));
+            }
+        }
+        Engine {
+            truth,
+            config,
+            workload,
+            cluster: Cluster::new(config.cluster),
+            events,
+            queue: Vec::new(),
+            running: BTreeMap::new(),
+            running_view: BTreeMap::new(),
+            records: Vec::new(),
+            busy_cores: StepSeries::new(),
+            shared_cores: StepSeries::new(),
+            queue_depth: StepSeries::new(),
+            now: 0.0,
+            processed: 0,
+            arrivals_pending: workload.len(),
+            attempts: BTreeMap::new(),
+            salvage: BTreeMap::new(),
+            salvaged_at_start: BTreeMap::new(),
+            snapshots: Vec::new(),
+            rejected: Vec::new(),
+            gen_counter: 1,
+        }
+    }
+
+    /// Mints a globally unique completion-event generation.
+    fn next_gen(&mut self) -> u64 {
+        let g = self.gen_counter;
+        self.gen_counter += 1;
+        g
+    }
+
+    fn run(mut self, scheduler: &mut dyn Scheduler) -> SimOutcome {
+        while let Some((time, event)) = self.events.pop() {
+            debug_assert!(time + 1e-9 >= self.now, "event time went backwards");
+            self.now = time.max(self.now);
+            self.processed += 1;
+            assert!(
+                self.processed <= self.config.max_events,
+                "event budget exceeded at t={}: runaway policy?",
+                self.now
+            );
+            match event {
+                Event::Arrival(i) => {
+                    self.arrivals_pending -= 1;
+                    let job = &self.workload.jobs()[i];
+                    // Requests no configuration of this machine can ever
+                    // satisfy are rejected at submission, as sbatch does —
+                    // otherwise an FCFS head would deadlock the queue.
+                    if job.nodes > self.config.cluster.node_count
+                        || job.mem_per_node_mib > self.config.cluster.node.mem_mib
+                    {
+                        self.rejected.push(job.id);
+                        continue;
+                    }
+                    self.queue.push(job.clone());
+                    self.queue_depth.record(self.now, self.queue.len() as f64);
+                    self.invoke(scheduler);
+                }
+                Event::Completion { job, generation } => {
+                    let stale = self
+                        .running
+                        .get(&job)
+                        .map(|r| r.generation != generation)
+                        .unwrap_or(true);
+                    if stale {
+                        continue;
+                    }
+                    self.finish(job, false);
+                    self.invoke(scheduler);
+                }
+                Event::WalltimeKill { job, attempt } => {
+                    let current = self.attempts.get(&job).copied().unwrap_or(0);
+                    if attempt != current {
+                        continue; // armed for a previous, requeued attempt
+                    }
+                    if let Some(r) = self.running.get_mut(&job) {
+                        r.advance_to(self.now);
+                        let done = r.is_complete();
+                        // A job finishing exactly at its limit completed.
+                        self.finish(job, !done);
+                        self.invoke(scheduler);
+                    }
+                }
+                Event::SchedulerTick => {
+                    self.invoke(scheduler);
+                    if self.arrivals_pending > 0 || !self.running.is_empty() {
+                        let tick = self.config.sched_tick.expect("tick event implies tick");
+                        self.events.push(self.now + tick, Event::SchedulerTick);
+                    }
+                }
+                Event::NodeFail(node) => {
+                    self.fail_node(node);
+                    self.invoke(scheduler);
+                }
+                Event::NodeRepair(node) => {
+                    self.cluster.resume(node).expect("repaired node exists");
+                    self.invoke(scheduler);
+                }
+                Event::DrainStart(node) => {
+                    self.cluster.drain(node).expect("drained node exists");
+                }
+                Event::Snapshot(_) => {
+                    self.snapshots.push((
+                        self.now,
+                        nodeshare_cluster::render_occupancy(&self.cluster, 32),
+                    ));
+                }
+                Event::DrainEnd(node) => {
+                    // Only undo the drain; a node that failed during its
+                    // window stays down until its repair event.
+                    if self
+                        .cluster
+                        .node(node)
+                        .is_some_and(|n| n.admin_state() == AdminState::Drained)
+                    {
+                        self.cluster.resume(node).expect("node exists");
+                        self.invoke(scheduler);
+                    }
+                }
+            }
+        }
+
+        let end = self.now;
+        SimOutcome {
+            scheduler: scheduler.name().to_string(),
+            records: {
+                let mut r = self.records;
+                r.sort_by_key(|rec| rec.id);
+                r
+            },
+            busy_core_seconds: self.busy_cores.integral(0.0, end),
+            shared_core_seconds: self.shared_cores.integral(0.0, end),
+            end_time: end,
+            unscheduled: self.queue.iter().map(|j| j.id).collect(),
+            busy_cores: self.busy_cores,
+            shared_cores: self.shared_cores,
+            queue_depth: self.queue_depth,
+            snapshots: self.snapshots,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Calls the policy until it has nothing more to start.
+    fn invoke(&mut self, scheduler: &mut dyn Scheduler) {
+        // Each round must start at least one job, so `queue.len()` rounds
+        // bound the fixpoint iteration.
+        for _ in 0..=self.queue.len() {
+            let decisions = {
+                let ctx = SchedContext {
+                    now: self.now,
+                    queue: &self.queue,
+                    cluster: &self.cluster,
+                    running: &self.running_view,
+                    shared_grace: self.config.shared_walltime_grace,
+                    completed: &self.records,
+                };
+                scheduler.schedule(&ctx)
+            };
+            if decisions.is_empty() {
+                return;
+            }
+            for d in decisions {
+                self.apply(d);
+            }
+        }
+    }
+
+    /// Applies one start decision. Panics on policy bugs.
+    fn apply(&mut self, decision: Decision) {
+        let job_id = decision.job();
+        let pos = self
+            .queue
+            .iter()
+            .position(|j| j.id == job_id)
+            .unwrap_or_else(|| panic!("policy started {job_id} which is not queued"));
+        let spec = self.queue.remove(pos);
+        self.queue_depth.record(self.now, self.queue.len() as f64);
+        assert_eq!(
+            decision.nodes().len(),
+            spec.nodes as usize,
+            "policy gave {} nodes to {} which requested {}",
+            decision.nodes().len(),
+            job_id,
+            spec.nodes
+        );
+        let mode = decision.mode();
+        if mode == ShareMode::Shared {
+            assert!(
+                spec.share_eligible,
+                "policy co-allocated {job_id} which did not opt into sharing"
+            );
+            for &n in decision.nodes() {
+                for resident in self.cluster.node(n).expect("node exists").occupants() {
+                    let r = &self.running[&resident];
+                    assert!(
+                        r.spec.share_eligible,
+                        "policy co-allocated {job_id} next to non-sharing {resident}"
+                    );
+                }
+            }
+        }
+        let result = match mode {
+            ShareMode::Exclusive => {
+                self.cluster
+                    .allocate_exclusive(job_id, decision.nodes(), spec.mem_per_node_mib)
+            }
+            ShareMode::Shared => {
+                self.cluster
+                    .allocate_shared(job_id, decision.nodes(), spec.mem_per_node_mib)
+            }
+        };
+        if let Err(e) = result {
+            panic!("policy decision for {job_id} failed: {e}");
+        }
+
+        let walltime = spec.walltime_estimate;
+        let salvaged = self.salvage.remove(&job_id).unwrap_or(0.0);
+        self.salvaged_at_start.insert(job_id, salvaged);
+        let mut running = RunningJob {
+            start: self.now,
+            nodes: decision.nodes().to_vec(),
+            mode,
+            work_done: salvaged,
+            rate: 1.0,
+            last_update: self.now,
+            generation: 0,
+            shared_node_seconds: 0.0,
+            shared_nodes_now: 0,
+            spec,
+        };
+        let affected: Vec<JobId> = self
+            .cluster
+            .co_runners(job_id)
+            .into_iter()
+            .map(|(_, co)| co)
+            .collect();
+        {
+            let running_tbl = &self.running;
+            running.rerate_with(&self.cluster, self.truth, |co| running_tbl[&co].spec.app);
+        }
+        running.generation = self.next_gen();
+        self.events.push(
+            running.eta(self.now),
+            Event::Completion {
+                job: job_id,
+                generation: running.generation,
+            },
+        );
+        let grace = match mode {
+            ShareMode::Shared => self.config.shared_walltime_grace.max(1.0),
+            ShareMode::Exclusive => 1.0,
+        };
+        let kill_at = self.now + walltime * grace;
+        if self.config.enforce_walltime {
+            let attempt = self.attempts.get(&job_id).copied().unwrap_or(0);
+            self.events.push(
+                kill_at,
+                Event::WalltimeKill {
+                    job: job_id,
+                    attempt,
+                },
+            );
+        }
+        self.running_view
+            .insert(job_id, summary_of(&running, kill_at));
+        self.running.insert(job_id, running);
+        for co in affected {
+            self.rerate_job(co);
+        }
+        self.record_occupancy();
+    }
+
+    /// Finishes (or kills) a running job, releasing its nodes and
+    /// re-rating the survivors.
+    fn finish(&mut self, job_id: JobId, killed: bool) {
+        let mut r = self.running.remove(&job_id).expect("job is running");
+        self.running_view.remove(&job_id);
+        r.advance_to(self.now);
+        if !killed {
+            debug_assert!(
+                r.is_complete(),
+                "{job_id} finished with {} work left",
+                r.work_remaining()
+            );
+        }
+        let alloc = self
+            .cluster
+            .release(job_id)
+            .expect("job held an allocation");
+        // Re-rate every survivor that shared a node with the leaver.
+        let mut affected: Vec<JobId> = Vec::new();
+        for p in &alloc.placements {
+            for occupant in self.cluster.node(p.node).expect("node exists").occupants() {
+                if !affected.contains(&occupant) {
+                    affected.push(occupant);
+                }
+            }
+        }
+        for co in affected {
+            self.rerate_job(co);
+        }
+        self.records.push(JobRecord {
+            id: r.spec.id,
+            app: r.spec.app,
+            nodes: r.spec.nodes,
+            submit: r.spec.submit,
+            start: r.start,
+            finish: self.now,
+            runtime_exclusive: r.spec.runtime_exclusive,
+            walltime_estimate: r.spec.walltime_estimate,
+            shared_node_seconds: r.shared_node_seconds,
+            killed,
+            shared_alloc: r.mode == ShareMode::Shared,
+            restarts: self.attempts.get(&r.spec.id).copied().unwrap_or(0),
+            salvaged_work: self
+                .salvaged_at_start
+                .get(&r.spec.id)
+                .copied()
+                .unwrap_or(0.0),
+            user: r.spec.user,
+        });
+        self.record_occupancy();
+    }
+
+    /// Advances and re-rates one running job after an occupancy change on
+    /// its nodes, scheduling a fresh completion event.
+    fn rerate_job(&mut self, job_id: JobId) {
+        let mut r = self.running.remove(&job_id).expect("job is running");
+        r.advance_to(self.now);
+        {
+            let running_tbl = &self.running;
+            r.rerate_with(&self.cluster, self.truth, |co| running_tbl[&co].spec.app);
+        }
+        r.generation = self.next_gen();
+        self.events.push(
+            r.eta(self.now),
+            Event::Completion {
+                job: job_id,
+                generation: r.generation,
+            },
+        );
+        self.running.insert(job_id, r);
+    }
+
+    /// A node fails: every resident job is requeued (its progress lost),
+    /// the node goes down, and a repair is scheduled.
+    fn fail_node(&mut self, node: NodeId) {
+        let Some(n) = self.cluster.node(node) else {
+            panic!("failure event for unknown {node}");
+        };
+        if n.admin_state() == AdminState::Down {
+            return; // already down (e.g. repair pending)
+        }
+        for victim in n.occupants() {
+            self.requeue(victim);
+        }
+        self.cluster.set_down(node).expect("node emptied above");
+        let repair = self
+            .config
+            .failures
+            .as_ref()
+            .expect("failure event implies a failure model")
+            .repair_time;
+        self.events.push(self.now + repair, Event::NodeRepair(node));
+        self.record_occupancy();
+    }
+
+    /// Evicts a running job and puts it back in the queue (submission
+    /// order preserved); all progress is lost — no checkpointing.
+    fn requeue(&mut self, job_id: JobId) {
+        let mut r = self.running.remove(&job_id).expect("victim is running");
+        self.running_view.remove(&job_id);
+        r.advance_to(self.now); // keeps shared-time accounting exact
+        let alloc = self.cluster.release(job_id).expect("victim held nodes");
+        let mut affected: Vec<JobId> = Vec::new();
+        for p in &alloc.placements {
+            for occupant in self.cluster.node(p.node).expect("node exists").occupants() {
+                if !affected.contains(&occupant) {
+                    affected.push(occupant);
+                }
+            }
+        }
+        for co in affected {
+            self.rerate_job(co);
+        }
+        *self.attempts.entry(job_id).or_insert(0) += 1;
+        if let Some(interval) = self.config.checkpoint_interval {
+            debug_assert!(interval > 0.0, "checkpoint interval must be positive");
+            let salvaged = (r.work_done / interval).floor() * interval;
+            if salvaged > 0.0 {
+                self.salvage.insert(job_id, salvaged);
+            }
+        }
+        let spec = r.spec;
+        let pos = self
+            .queue
+            .partition_point(|j| (j.submit, j.id) <= (spec.submit, spec.id));
+        self.queue.insert(pos, spec);
+        self.queue_depth.record(self.now, self.queue.len() as f64);
+        self.record_occupancy();
+    }
+
+    /// Records the occupancy series after an allocation change.
+    fn record_occupancy(&mut self) {
+        self.busy_cores
+            .record(self.now, self.cluster.busy_cores() as f64);
+        let cores_per_node = self.config.cluster.node.cores() as f64;
+        let shared_nodes = self
+            .cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.occupants().len() >= 2)
+            .count();
+        self.shared_cores
+            .record(self.now, shared_nodes as f64 * cores_per_node);
+    }
+}
+
+/// Convenience: number of idle nodes needed to start `spec` exclusively.
+pub fn nodes_needed(spec: &JobSpec) -> usize {
+    spec.nodes as usize
+}
+
+/// Picks the first `k` idle nodes of a cluster (lowest ids), or `None`
+/// when fewer are idle. The canonical node-selection helper shared by the
+/// baseline policies.
+pub fn first_idle_nodes(cluster: &Cluster, k: usize) -> Option<Vec<NodeId>> {
+    let picked: Vec<NodeId> = cluster.idle_nodes().take(k).collect();
+    (picked.len() == k).then_some(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_cluster::NodeSpec;
+    use nodeshare_perf::{AppCatalog, ContentionModel};
+
+    /// Starts the queue head exclusively whenever enough idle nodes exist.
+    struct Fcfs;
+    impl Scheduler for Fcfs {
+        fn name(&self) -> &'static str {
+            "test-fcfs"
+        }
+        fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+            let Some(head) = ctx.queue.first() else {
+                return vec![];
+            };
+            match first_idle_nodes(ctx.cluster, head.nodes as usize) {
+                Some(nodes) => vec![Decision::StartExclusive {
+                    job: head.id,
+                    nodes,
+                }],
+                None => vec![],
+            }
+        }
+    }
+
+    fn spec(id: u64, submit: f64, nodes: u32, runtime: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            app: nodeshare_perf::AppId(0),
+            nodes,
+            submit,
+            runtime_exclusive: runtime,
+            walltime_estimate: runtime * 2.0,
+            mem_per_node_mib: 0,
+            share_eligible: true,
+            user: 0,
+        }
+    }
+
+    fn matrix() -> CoRunTruth {
+        CoRunTruth::build(&AppCatalog::trinity(), &ContentionModel::calibrated())
+    }
+
+    fn config(nodes: u32) -> SimConfig {
+        SimConfig::new(ClusterSpec::new(nodes, NodeSpec::tiny()))
+    }
+
+    #[test]
+    fn single_job_runs_at_exclusive_speed() {
+        let w = Workload::new(vec![spec(0, 10.0, 2, 100.0)]).unwrap();
+        let m = matrix();
+        let out = run(&w, &m, &mut Fcfs, &config(4));
+        assert!(out.complete());
+        assert_eq!(out.records.len(), 1);
+        let r = &out.records[0];
+        assert_eq!(r.start, 10.0);
+        assert_eq!(r.finish, 110.0);
+        assert!(!r.killed);
+        assert_eq!(r.shared_node_seconds, 0.0);
+        // 2 nodes × 4 cores × 100 s busy.
+        assert!((out.busy_core_seconds - 800.0).abs() < 1e-9);
+        assert_eq!(out.shared_core_seconds, 0.0);
+    }
+
+    #[test]
+    fn fcfs_serializes_conflicting_jobs() {
+        let w = Workload::new(vec![spec(0, 0.0, 3, 100.0), spec(1, 1.0, 3, 100.0)]).unwrap();
+        let m = matrix();
+        let out = run(&w, &m, &mut Fcfs, &config(4));
+        assert!(out.complete());
+        let r1 = &out.records[1];
+        assert_eq!(r1.start, 100.0, "second job waits for the first");
+        assert_eq!(r1.finish, 200.0);
+    }
+
+    #[test]
+    fn walltime_violation_kills() {
+        let mut j = spec(0, 0.0, 1, 100.0);
+        j.walltime_estimate = 50.0; // lies: true runtime 100
+        let w = Workload::new(vec![j]).unwrap();
+        let m = matrix();
+        let out = run(&w, &m, &mut Fcfs, &config(4));
+        let r = &out.records[0];
+        assert!(r.killed);
+        assert_eq!(r.finish, 50.0);
+    }
+
+    #[test]
+    fn never_scheduling_leaves_jobs_unscheduled() {
+        struct Never;
+        impl Scheduler for Never {
+            fn name(&self) -> &'static str {
+                "never"
+            }
+            fn schedule(&mut self, _: &SchedContext<'_>) -> Vec<Decision> {
+                vec![]
+            }
+        }
+        let w = Workload::new(vec![spec(0, 0.0, 1, 10.0)]).unwrap();
+        let m = matrix();
+        let out = run(&w, &m, &mut Never, &config(2));
+        assert!(!out.complete());
+        assert_eq!(out.unscheduled, vec![JobId(0)]);
+        assert!(out.records.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not queued")]
+    fn bad_decision_panics() {
+        struct Bad;
+        impl Scheduler for Bad {
+            fn name(&self) -> &'static str {
+                "bad"
+            }
+            fn schedule(&mut self, _: &SchedContext<'_>) -> Vec<Decision> {
+                vec![Decision::StartExclusive {
+                    job: JobId(99),
+                    nodes: vec![NodeId(0)],
+                }]
+            }
+        }
+        let w = Workload::new(vec![spec(0, 0.0, 1, 10.0)]).unwrap();
+        let m = matrix();
+        run(&w, &m, &mut Bad, &config(2));
+    }
+
+    /// Shares everything pairwise: starts the head shared on the first
+    /// partial node when possible, else on an idle node.
+    struct GreedyShare;
+    impl Scheduler for GreedyShare {
+        fn name(&self) -> &'static str {
+            "greedy-share"
+        }
+        fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+            let Some(head) = ctx.queue.first() else {
+                return vec![];
+            };
+            let k = head.nodes as usize;
+            let mut nodes: Vec<NodeId> = ctx.cluster.partial_nodes().take(k).collect();
+            if nodes.len() < k {
+                nodes.extend(ctx.cluster.idle_nodes().take(k - nodes.len()));
+            }
+            if nodes.len() == k {
+                vec![Decision::StartShared {
+                    job: head.id,
+                    nodes,
+                }]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_dilates_both_jobs_per_the_matrix() {
+        let catalog = AppCatalog::trinity();
+        let m = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
+        let fe = catalog.by_name("miniFE").unwrap().id;
+        let mut a = spec(0, 0.0, 1, 100.0);
+        let mut b = spec(1, 0.0, 1, 100.0);
+        a.app = fe;
+        b.app = fe;
+        a.walltime_estimate = 10_000.0;
+        b.walltime_estimate = 10_000.0;
+        let w = Workload::new(vec![a, b]).unwrap();
+        let out = run(&w, &m, &mut GreedyShare, &config(1));
+        assert!(out.complete());
+        let rate = m.pair_matrix().rate(fe, fe);
+        let expected_finish = 100.0 / rate;
+        for r in &out.records {
+            assert!(
+                (r.finish - expected_finish).abs() < 1e-6,
+                "finish {} vs expected {expected_finish}",
+                r.finish
+            );
+            assert!((r.dilation() - 1.0 / rate).abs() < 1e-9);
+            assert!(r.shared_alloc);
+            // Both co-resident the whole time.
+            assert!((r.shared_node_seconds - expected_finish).abs() < 1e-6);
+        }
+        // Busy = one node busy for the whole run.
+        assert!((out.busy_core_seconds - expected_finish * 4.0).abs() < 1e-6);
+        assert!((out.shared_core_seconds - expected_finish * 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corunner_speeds_up_after_partner_leaves() {
+        // Job 0: 100 s of work; job 1: 50 s. They share one node; when job
+        // 1 finishes, job 0 returns to full speed.
+        let catalog = AppCatalog::trinity();
+        let m = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
+        let fe = catalog.by_name("miniFE").unwrap().id;
+        let rate = m.pair_matrix().rate(fe, fe);
+        let mut a = spec(0, 0.0, 1, 100.0);
+        let mut b = spec(1, 0.0, 1, 50.0);
+        a.app = fe;
+        b.app = fe;
+        a.walltime_estimate = 10_000.0;
+        b.walltime_estimate = 10_000.0;
+        let w = Workload::new(vec![a, b]).unwrap();
+        let out = run(&w, &m, &mut GreedyShare, &config(1));
+        let t1 = 50.0 / rate; // job 1 finishes
+        let r0 = &out.records[0];
+        // Job 0 did t1·rate work by t1, then the rest at rate 1.
+        let expected_finish = t1 + (100.0 - t1 * rate);
+        assert!(
+            (r0.finish - expected_finish).abs() < 1e-6,
+            "finish {} vs {expected_finish}",
+            r0.finish
+        );
+        assert!((r0.shared_node_seconds - t1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let catalog = AppCatalog::trinity();
+        let m = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
+        let spec_wl = nodeshare_workload::WorkloadSpec {
+            n_jobs: 60,
+            ..nodeshare_workload::WorkloadSpec::evaluation(&catalog, 5)
+        };
+        let w = spec_wl.generate(&catalog);
+        let cfg = SimConfig::new(ClusterSpec::new(16, NodeSpec::tiny()));
+        let a = run(&w, &m, &mut Fcfs, &cfg);
+        let b = run(&w, &m, &mut Fcfs, &cfg);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.busy_core_seconds, b.busy_core_seconds);
+    }
+}
+
+#[cfg(test)]
+mod tick_tests {
+    use super::*;
+    use crate::view::{Decision, SchedContext, Scheduler};
+    use nodeshare_cluster::NodeSpec;
+    use nodeshare_perf::{AppCatalog, ContentionModel};
+    use nodeshare_workload::JobSpec;
+
+    /// A lazy policy that only acts on the periodic tick, never on
+    /// arrival/completion events — models schedulers that batch work.
+    struct TickOnly {
+        armed: bool,
+    }
+    impl Scheduler for TickOnly {
+        fn name(&self) -> &'static str {
+            "tick-only"
+        }
+        fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+            // The engine cannot tell the policy *why* it was invoked, so
+            // the test policy skips every other invocation; only the
+            // periodic tick guarantees it eventually runs again without
+            // any event arriving.
+            self.armed = !self.armed;
+            if !self.armed {
+                return vec![];
+            }
+            let Some(head) = ctx.queue.first() else {
+                return vec![];
+            };
+            match crate::sim::first_idle_nodes(ctx.cluster, head.nodes as usize) {
+                Some(nodes) => vec![Decision::StartExclusive {
+                    job: head.id,
+                    nodes,
+                }],
+                None => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_tick_rescues_lazy_policies() {
+        let catalog = AppCatalog::trinity();
+        let truth = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
+        let mut config = SimConfig::new(ClusterSpec::new(2, NodeSpec::tiny()));
+        config.sched_tick = Some(30.0);
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                app: nodeshare_perf::AppId(0),
+                nodes: 2,
+                submit: 0.0,
+                runtime_exclusive: 50.0,
+                walltime_estimate: 100.0,
+                mem_per_node_mib: 0,
+                share_eligible: false,
+                user: 0,
+            })
+            .collect();
+        let w = Workload::new(jobs).unwrap();
+        let out = run(&w, &truth, &mut TickOnly { armed: false }, &config);
+        assert!(out.complete(), "tick must eventually start every job");
+        assert_eq!(out.records.len(), 4);
+    }
+}

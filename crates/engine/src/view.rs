@@ -1,0 +1,193 @@
+//! What schedulers see and what they may decide.
+//!
+//! The engine owns the [`Scheduler`] trait; scheduling policies (in
+//! `nodeshare-core`) implement it. The context deliberately exposes only
+//! scheduler-legal information: user walltime *estimates*, never true
+//! runtimes — exactly the information asymmetry a real batch system has.
+
+use crate::progress::RunningJob;
+use nodeshare_cluster::{Cluster, JobId, NodeId, ShareMode};
+use nodeshare_perf::AppId;
+use nodeshare_workload::{JobSpec, Seconds};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Scheduler-visible summary of a running job.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunningSummary {
+    /// The job.
+    pub job: JobId,
+    /// Application it runs.
+    pub app: AppId,
+    /// Node count.
+    pub nodes: u32,
+    /// Start time.
+    pub start: Seconds,
+    /// The user's walltime estimate.
+    pub walltime_estimate: Seconds,
+    /// Absolute time at which the job will be killed if still running.
+    /// For shared-mode jobs this includes the co-allocation walltime
+    /// grace (see [`crate::SimConfig::shared_walltime_grace`]).
+    pub kill_at: Seconds,
+    /// Whether the job opted into sharing.
+    pub share_eligible: bool,
+    /// Allocation mode it started with.
+    pub mode: ShareMode,
+}
+
+impl RunningSummary {
+    /// Latest possible end — the kill bound. Backfill reservations plan
+    /// against this.
+    #[inline]
+    pub fn est_end(&self) -> Seconds {
+        self.kill_at
+    }
+
+    fn of(r: &RunningJob, kill_at: Seconds) -> RunningSummary {
+        RunningSummary {
+            job: r.spec.id,
+            app: r.spec.app,
+            nodes: r.spec.nodes,
+            start: r.start,
+            walltime_estimate: r.spec.walltime_estimate,
+            kill_at,
+            share_eligible: r.spec.share_eligible,
+            mode: r.mode,
+        }
+    }
+}
+
+/// Everything a policy may consult when deciding.
+pub struct SchedContext<'a> {
+    /// Current simulation time.
+    pub now: Seconds,
+    /// Waiting jobs in submission order (head = oldest).
+    pub queue: &'a [JobSpec],
+    /// Cluster occupancy (read-only).
+    pub cluster: &'a Cluster,
+    /// Running jobs, ordered by id for deterministic iteration.
+    pub running: &'a BTreeMap<JobId, RunningSummary>,
+    /// Walltime grace factor shared-mode jobs receive (engine
+    /// configuration the policy must plan with: a job it starts shared
+    /// will be killed at `start + estimate × shared_grace`).
+    pub shared_grace: f64,
+    /// Completed-job records so far, in completion order. Lets policies
+    /// learn from history (e.g. walltime-estimate correction); append-only
+    /// across invocations within one run.
+    pub completed: &'a [nodeshare_metrics::JobRecord],
+}
+
+impl SchedContext<'_> {
+    /// Estimated-end summaries of the jobs resident on `node`, for
+    /// co-allocation planning.
+    pub fn residents(&self, node: NodeId) -> Vec<&RunningSummary> {
+        self.cluster
+            .node(node)
+            .map(|n| {
+                n.occupants()
+                    .iter()
+                    .filter_map(|j| self.running.get(j))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// A start decision returned by a policy. The engine validates and
+/// applies it; an inapplicable decision is a policy bug and panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Start `job` exclusively on `nodes` (all lanes).
+    StartExclusive {
+        /// The queued job to start.
+        job: JobId,
+        /// Idle nodes to occupy; length must equal the job's node request.
+        nodes: Vec<NodeId>,
+    },
+    /// Start `job` in shared mode, taking one lane on each node. Nodes may
+    /// be idle or host share-eligible co-runners.
+    StartShared {
+        /// The queued job to start.
+        job: JobId,
+        /// Target nodes; length must equal the job's node request.
+        nodes: Vec<NodeId>,
+    },
+}
+
+impl Decision {
+    /// The job this decision starts.
+    pub fn job(&self) -> JobId {
+        match self {
+            Decision::StartExclusive { job, .. } | Decision::StartShared { job, .. } => *job,
+        }
+    }
+
+    /// The nodes this decision uses.
+    pub fn nodes(&self) -> &[NodeId] {
+        match self {
+            Decision::StartExclusive { nodes, .. } | Decision::StartShared { nodes, .. } => nodes,
+        }
+    }
+
+    /// Allocation mode of the decision.
+    pub fn mode(&self) -> ShareMode {
+        match self {
+            Decision::StartExclusive { .. } => ShareMode::Exclusive,
+            Decision::StartShared { .. } => ShareMode::Shared,
+        }
+    }
+}
+
+/// A scheduling policy.
+///
+/// The engine invokes `schedule` whenever the world may have changed (job
+/// arrival, completion, kill, periodic tick) and re-invokes it until it
+/// returns no decisions, so a policy may start one job per call or many.
+pub trait Scheduler {
+    /// Policy name for reports (e.g. `"easy-backfill"`).
+    fn name(&self) -> &'static str;
+
+    /// Inspects the context and returns jobs to start now.
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision>;
+}
+
+pub(crate) fn summary_of(r: &RunningJob, kill_at: Seconds) -> RunningSummary {
+    RunningSummary::of(r, kill_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_accessors() {
+        let d = Decision::StartShared {
+            job: JobId(4),
+            nodes: vec![NodeId(1), NodeId(2)],
+        };
+        assert_eq!(d.job(), JobId(4));
+        assert_eq!(d.nodes(), &[NodeId(1), NodeId(2)]);
+        assert_eq!(d.mode(), ShareMode::Shared);
+        let e = Decision::StartExclusive {
+            job: JobId(5),
+            nodes: vec![NodeId(0)],
+        };
+        assert_eq!(e.mode(), ShareMode::Exclusive);
+        assert_eq!(e.job(), JobId(5));
+    }
+
+    #[test]
+    fn est_end_is_the_kill_bound() {
+        let s = RunningSummary {
+            job: JobId(1),
+            app: AppId(0),
+            nodes: 2,
+            start: 100.0,
+            walltime_estimate: 50.0,
+            kill_at: 175.0, // shared grace applied
+            share_eligible: true,
+            mode: ShareMode::Shared,
+        };
+        assert_eq!(s.est_end(), 175.0);
+    }
+}

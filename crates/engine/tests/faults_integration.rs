@@ -1,0 +1,200 @@
+//! Integration tests for fault injection and maintenance windows.
+
+use nodeshare_cluster::{ClusterSpec, JobId, NodeId, NodeSpec};
+use nodeshare_engine::{
+    run, Decision, FailureModel, MaintenanceWindow, SchedContext, Scheduler, SimConfig,
+};
+use nodeshare_perf::{AppCatalog, AppId, CoRunTruth, ContentionModel};
+use nodeshare_workload::{JobSpec, Workload};
+
+/// Starts the queue head exclusively whenever enough idle nodes exist.
+struct Fcfs;
+impl Scheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        "test-fcfs"
+    }
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let Some(head) = ctx.queue.first() else {
+            return vec![];
+        };
+        match nodeshare_engine::first_idle_nodes(ctx.cluster, head.nodes as usize) {
+            Some(nodes) => vec![Decision::StartExclusive {
+                job: head.id,
+                nodes,
+            }],
+            None => vec![],
+        }
+    }
+}
+
+fn job(id: u64, submit: f64, nodes: u32, runtime: f64) -> JobSpec {
+    JobSpec {
+        id: JobId(id),
+        app: AppId(0),
+        nodes,
+        submit,
+        runtime_exclusive: runtime,
+        walltime_estimate: runtime * 3.0,
+        mem_per_node_mib: 0,
+        share_eligible: false,
+        user: 0,
+    }
+}
+
+fn matrix() -> CoRunTruth {
+    CoRunTruth::build(&AppCatalog::trinity(), &ContentionModel::calibrated())
+}
+
+#[test]
+fn maintenance_window_blocks_new_work_but_not_running_jobs() {
+    let mut config = SimConfig::new(ClusterSpec::new(1, NodeSpec::tiny()));
+    config.maintenance = vec![MaintenanceWindow {
+        nodes: vec![NodeId(0)],
+        start: 100.0,
+        end: 200.0,
+    }];
+    // Job 0 runs across the window start (drain does not evict).
+    // Job 1 arrives mid-window and must wait for the window to close.
+    let w = Workload::new(vec![job(0, 50.0, 1, 80.0), job(1, 110.0, 1, 10.0)]).unwrap();
+    let out = run(&w, &matrix(), &mut Fcfs, &config);
+    assert!(out.complete());
+    let r0 = &out.records[0];
+    assert_eq!(r0.start, 50.0);
+    assert_eq!(r0.finish, 130.0, "running job rides through the drain");
+    let r1 = &out.records[1];
+    assert_eq!(r1.start, 200.0, "new work waits for the window to close");
+}
+
+#[test]
+fn maintenance_windows_reject_invalid_definitions() {
+    let mut config = SimConfig::new(ClusterSpec::new(1, NodeSpec::tiny()));
+    config.maintenance = vec![MaintenanceWindow {
+        nodes: vec![],
+        start: 0.0,
+        end: 1.0,
+    }];
+    let w = Workload::new(vec![job(0, 0.0, 1, 10.0)]).unwrap();
+    let result = std::panic::catch_unwind(|| run(&w, &matrix(), &mut Fcfs, &config));
+    assert!(result.is_err(), "empty window must panic at startup");
+}
+
+#[test]
+fn failures_requeue_jobs_and_the_campaign_still_finishes() {
+    let mut config = SimConfig::new(ClusterSpec::new(4, NodeSpec::tiny()));
+    config.failures = Some(FailureModel {
+        mtbf_per_node: 3_000.0, // aggressive: several failures per job
+        repair_time: 200.0,
+        seed: 5,
+    });
+    config.failure_horizon = 500_000.0;
+    let jobs: Vec<JobSpec> = (0..12)
+        .map(|i| job(i, i as f64 * 100.0, 1 + (i % 3) as u32, 800.0))
+        .collect();
+    let w = Workload::new(jobs).unwrap();
+    let out = run(&w, &matrix(), &mut Fcfs, &config);
+    assert!(out.complete(), "unscheduled: {:?}", out.unscheduled);
+    assert_eq!(out.records.len(), 12);
+    let restarts: u32 = out.records.iter().map(|r| r.restarts).sum();
+    assert!(restarts > 0, "aggressive MTBF must cause requeues");
+    for r in &out.records {
+        r.validate().unwrap();
+        // Restarted jobs still finish their full work in the final attempt.
+        if !r.killed {
+            assert!(r.run() >= r.runtime_exclusive - 1e-6);
+        }
+    }
+    // Determinism with failures on.
+    let out2 = run(&w, &matrix(), &mut Fcfs, &config);
+    assert_eq!(out.records, out2.records);
+}
+
+#[test]
+fn failures_do_not_fire_without_a_model() {
+    let config = SimConfig::new(ClusterSpec::new(2, NodeSpec::tiny()));
+    let w = Workload::new(vec![job(0, 0.0, 2, 1_000.0)]).unwrap();
+    let out = run(&w, &matrix(), &mut Fcfs, &config);
+    assert_eq!(out.records[0].restarts, 0);
+    assert!(!out.records[0].killed);
+}
+
+#[test]
+fn repaired_nodes_return_to_service() {
+    // One node, high MTBF except guaranteed early failure via tiny MTBF,
+    // long repair: the job restarts after the repair and completes.
+    let mut config = SimConfig::new(ClusterSpec::new(1, NodeSpec::tiny()));
+    config.failures = Some(FailureModel {
+        mtbf_per_node: 400.0,
+        repair_time: 1_000.0,
+        seed: 3,
+    });
+    // Only sample failures early; afterwards the machine is stable.
+    config.failure_horizon = 600.0;
+    let w = Workload::new(vec![job(0, 0.0, 1, 500.0)]).unwrap();
+    let out = run(&w, &matrix(), &mut Fcfs, &config);
+    assert!(out.complete());
+    let r = &out.records[0];
+    if r.restarts > 0 {
+        // The final attempt ran uninterrupted for the full runtime after
+        // at least one repair period.
+        assert!(r.finish >= 500.0 + 1_000.0 - 1e-6, "finish {}", r.finish);
+    }
+    assert!(!r.killed);
+}
+
+#[test]
+fn checkpointing_salvages_work_across_requeues() {
+    // One node, guaranteed early failure, long repair. Without
+    // checkpoints the job restarts from scratch; with a 100-second
+    // checkpoint interval it resumes from the last multiple of 100.
+    let mut base = SimConfig::new(ClusterSpec::new(1, NodeSpec::tiny()));
+    base.failures = Some(FailureModel {
+        mtbf_per_node: 400.0,
+        repair_time: 1_000.0,
+        seed: 3,
+    });
+    base.failure_horizon = 600.0;
+    let w = Workload::new(vec![job(0, 0.0, 1, 500.0)]).unwrap();
+
+    let plain = run(&w, &matrix(), &mut Fcfs, &base);
+    let mut ckpt_cfg = base.clone();
+    ckpt_cfg.checkpoint_interval = Some(100.0);
+    let ckpt = run(&w, &matrix(), &mut Fcfs, &ckpt_cfg);
+
+    assert!(plain.complete() && ckpt.complete());
+    let (rp, rc) = (&plain.records[0], &ckpt.records[0]);
+    assert!(rp.restarts > 0, "failure model must trigger a requeue");
+    assert_eq!(rp.restarts, rc.restarts, "same failure schedule");
+    assert!(rc.salvaged_work > 0.0, "checkpoint must salvage work");
+    assert_eq!(
+        rc.salvaged_work % 100.0,
+        0.0,
+        "salvage at interval multiples"
+    );
+    assert!(
+        rc.finish < rp.finish - 1.0,
+        "checkpointing must finish earlier ({} vs {})",
+        rc.finish,
+        rp.finish
+    );
+    // Both deliver the full work; dilation stays ~1 in both accountings.
+    assert!((rc.dilation() - 1.0).abs() < 1e-6);
+    assert_eq!(rp.salvaged_work, 0.0);
+}
+
+#[test]
+fn unsatisfiable_jobs_are_rejected_not_deadlocked() {
+    // Head wants 10 nodes on a 2-node machine: FCFS would deadlock the
+    // queue forever; the engine rejects it at arrival instead.
+    let config = SimConfig::new(ClusterSpec::new(2, NodeSpec::tiny()));
+    let mut huge = job(0, 0.0, 10, 100.0);
+    huge.mem_per_node_mib = 0;
+    let mut fat = job(1, 1.0, 1, 100.0);
+    fat.mem_per_node_mib = NodeSpec::tiny().mem_mib + 1;
+    let ok = job(2, 2.0, 1, 100.0);
+    let w = Workload::new(vec![huge, fat, ok]).unwrap();
+    let out = run(&w, &matrix(), &mut Fcfs, &config);
+    assert_eq!(out.rejected, vec![JobId(0), JobId(1)]);
+    assert!(out.complete(), "the runnable job must still run");
+    assert_eq!(out.records.len(), 1);
+    assert_eq!(out.records[0].id, JobId(2));
+}

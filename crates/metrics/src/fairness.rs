@@ -1,0 +1,182 @@
+//! Fairness metrics: does node sharing spread its costs and benefits
+//! evenly across users and applications?
+//!
+//! Sharing creates a new fairness question a site must answer before
+//! enabling it: co-allocated jobs pay the dilation while everyone enjoys
+//! the shorter queue. These aggregations quantify who pays.
+
+use crate::record::JobRecord;
+use crate::stats::Summary;
+use nodeshare_perf::AppId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-group (user or application) outcome summary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GroupOutcome {
+    /// Jobs in the group.
+    pub jobs: usize,
+    /// Wait-time summary.
+    pub wait: Summary,
+    /// Bounded-slowdown summary.
+    pub bounded_slowdown: Summary,
+    /// Dilation summary (non-killed jobs).
+    pub dilation: Summary,
+    /// Fraction of the group's jobs that ran co-allocated.
+    pub shared_fraction: f64,
+}
+
+fn outcome_of(records: &[&JobRecord]) -> GroupOutcome {
+    let waits: Vec<f64> = records.iter().map(|r| r.wait()).collect();
+    let bsld: Vec<f64> = records.iter().map(|r| r.bounded_slowdown()).collect();
+    let dil: Vec<f64> = records
+        .iter()
+        .filter(|r| !r.killed)
+        .map(|r| r.dilation())
+        .collect();
+    let shared = records.iter().filter(|r| r.shared_alloc).count();
+    GroupOutcome {
+        jobs: records.len(),
+        wait: Summary::of(&waits),
+        bounded_slowdown: Summary::of(&bsld),
+        dilation: Summary::of(&dil),
+        shared_fraction: if records.is_empty() {
+            0.0
+        } else {
+            shared as f64 / records.len() as f64
+        },
+    }
+}
+
+/// Groups records by submitting user.
+pub fn by_user(records: &[JobRecord]) -> BTreeMap<u32, GroupOutcome> {
+    let mut groups: BTreeMap<u32, Vec<&JobRecord>> = BTreeMap::new();
+    for r in records {
+        groups.entry(r.user).or_default().push(r);
+    }
+    groups
+        .into_iter()
+        .map(|(u, rs)| (u, outcome_of(&rs)))
+        .collect()
+}
+
+/// Groups records by application.
+pub fn by_app(records: &[JobRecord]) -> BTreeMap<AppId, GroupOutcome> {
+    let mut groups: BTreeMap<AppId, Vec<&JobRecord>> = BTreeMap::new();
+    for r in records {
+        groups.entry(r.app).or_default().push(r);
+    }
+    groups
+        .into_iter()
+        .map(|(a, rs)| (a, outcome_of(&rs)))
+        .collect()
+}
+
+/// Jain's fairness index of a sample: `(Σx)² / (n · Σx²)`, in `(0, 1]`;
+/// 1.0 means perfectly equal. Conventionally applied to per-user mean
+/// slowdowns. Returns 1.0 for empty or all-zero samples (nobody is
+/// treated unequally when nobody gets anything).
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sq)
+}
+
+/// Jain's index over per-user mean bounded slowdowns — the standard
+/// single-number fairness read-out for a campaign.
+pub fn user_slowdown_fairness(records: &[JobRecord]) -> f64 {
+    let per_user: Vec<f64> = by_user(records)
+        .values()
+        .map(|g| g.bounded_slowdown.mean)
+        .collect();
+    jain_index(&per_user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_cluster::JobId;
+
+    fn rec(id: u64, user: u32, app: u8, wait: f64, shared: bool) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            app: AppId(app),
+            nodes: 1,
+            submit: 0.0,
+            start: wait,
+            finish: wait + 100.0,
+            runtime_exclusive: 100.0,
+            walltime_estimate: 200.0,
+            shared_node_seconds: 0.0,
+            killed: false,
+            shared_alloc: shared,
+            restarts: 0,
+            salvaged_work: 0.0,
+            user,
+        }
+    }
+
+    #[test]
+    fn groups_by_user_and_app() {
+        let records = vec![
+            rec(1, 0, 0, 10.0, true),
+            rec(2, 0, 1, 30.0, false),
+            rec(3, 1, 0, 50.0, true),
+        ];
+        let users = by_user(&records);
+        assert_eq!(users.len(), 2);
+        assert_eq!(users[&0].jobs, 2);
+        assert_eq!(users[&0].shared_fraction, 0.5);
+        assert_eq!(users[&1].wait.mean, 50.0);
+
+        let apps = by_app(&records);
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[&AppId(0)].jobs, 2);
+        assert_eq!(apps[&AppId(0)].shared_fraction, 1.0);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        // One user hogging everything: index → 1/n.
+        let skewed = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        // Mild skew sits in between.
+        let mild = jain_index(&[1.0, 2.0]);
+        assert!(mild > 0.25 && mild < 1.0);
+    }
+
+    #[test]
+    fn user_fairness_of_equal_treatment_is_one() {
+        let records = vec![
+            rec(1, 0, 0, 100.0, false),
+            rec(2, 1, 0, 100.0, false),
+            rec(3, 2, 0, 100.0, false),
+        ];
+        assert!((user_slowdown_fairness(&records) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_waits_lower_the_index() {
+        let equal = vec![rec(1, 0, 0, 50.0, false), rec(2, 1, 0, 50.0, false)];
+        let skewed = vec![rec(1, 0, 0, 0.0, false), rec(2, 1, 0, 5_000.0, false)];
+        assert!(user_slowdown_fairness(&skewed) < user_slowdown_fairness(&equal));
+    }
+
+    #[test]
+    fn killed_jobs_excluded_from_dilation_groups() {
+        let mut r = rec(1, 0, 0, 0.0, true);
+        r.killed = true;
+        let groups = by_user(&[r]);
+        assert_eq!(groups[&0].dilation.n, 0);
+        assert_eq!(groups[&0].jobs, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Fixed-bucket histograms for distribution read-outs (waits, dilations,
+//! slowdowns) with text rendering for the experiment binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Bucket layout of a histogram.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Buckets {
+    /// `count` equal-width buckets over `[lo, hi)`.
+    Linear {
+        /// Lower bound of the first bucket.
+        lo: f64,
+        /// Upper bound of the last bucket.
+        hi: f64,
+        /// Number of buckets.
+        count: usize,
+    },
+    /// Buckets growing geometrically from `first` by `ratio`,
+    /// `count` of them, starting at `lo`.
+    Geometric {
+        /// Lower bound of the first bucket.
+        lo: f64,
+        /// Width of the first bucket.
+        first: f64,
+        /// Width ratio between consecutive buckets (> 1).
+        ratio: f64,
+        /// Number of buckets.
+        count: usize,
+    },
+}
+
+impl Buckets {
+    fn edges(&self) -> Vec<f64> {
+        match *self {
+            Buckets::Linear { lo, hi, count } => {
+                assert!(count > 0 && hi > lo, "degenerate linear buckets");
+                (0..=count)
+                    .map(|i| lo + (hi - lo) * i as f64 / count as f64)
+                    .collect()
+            }
+            Buckets::Geometric {
+                lo,
+                first,
+                ratio,
+                count,
+            } => {
+                assert!(
+                    count > 0 && first > 0.0 && ratio > 1.0,
+                    "degenerate geometric buckets"
+                );
+                let mut edges = Vec::with_capacity(count + 1);
+                let mut edge = lo;
+                let mut width = first;
+                edges.push(edge);
+                for _ in 0..count {
+                    edge += width;
+                    width *= ratio;
+                    edges.push(edge);
+                }
+                edges
+            }
+        }
+    }
+}
+
+/// A populated histogram.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    /// Samples below the first edge.
+    pub underflow: u64,
+    /// Samples at or above the last edge.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with the given bucket layout.
+    pub fn of(values: impl IntoIterator<Item = f64>, buckets: &Buckets) -> Histogram {
+        let edges = buckets.edges();
+        let mut h = Histogram {
+            counts: vec![0; edges.len() - 1],
+            edges,
+            underflow: 0,
+            overflow: 0,
+        };
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        if v < self.edges[0] {
+            self.underflow += 1;
+            return;
+        }
+        match self.edges.binary_search_by(|e| e.total_cmp(&v)) {
+            Ok(i) if i == self.edges.len() - 1 => self.overflow += 1,
+            Ok(i) => self.counts[i] += 1,
+            Err(i) if i >= self.edges.len() => self.overflow += 1,
+            Err(i) => self.counts[i - 1] += 1,
+        }
+    }
+
+    /// `(lo, hi, count)` per bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.edges
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(w, &c)| (w[0], w[1], c))
+    }
+
+    /// Total samples including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Renders an ASCII bar chart, one line per bucket.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("{:>18}  {}\n", "< lo", self.underflow));
+        }
+        for (lo, hi, c) in self.buckets() {
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:>7.2},{hi:>7.2})  {c:>6} {bar}\n"));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>18}  {}\n", ">= hi", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_count_correctly() {
+        let h = Histogram::of(
+            [0.5, 1.5, 1.6, 2.5, 9.9, 10.0, -1.0],
+            &Buckets::Linear {
+                lo: 0.0,
+                hi: 10.0,
+                count: 10,
+            },
+        );
+        let counts: Vec<u64> = h.buckets().map(|(_, _, c)| c).collect();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[9], 1);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn geometric_buckets_grow() {
+        let b = Buckets::Geometric {
+            lo: 1.0,
+            first: 0.1,
+            ratio: 2.0,
+            count: 4,
+        };
+        let h = Histogram::of([1.05, 1.25, 1.6, 2.0], &b);
+        let edges: Vec<(f64, f64, u64)> = h.buckets().collect();
+        // Edges: 1.0, 1.1, 1.3, 1.7, 2.5
+        assert!((edges[0].1 - 1.1).abs() < 1e-12);
+        assert!((edges[3].1 - 2.5).abs() < 1e-12);
+        assert_eq!(edges[0].2, 1);
+        assert_eq!(edges[1].2, 1);
+        assert_eq!(edges[2].2, 1);
+        assert_eq!(edges[3].2, 1);
+    }
+
+    #[test]
+    fn exact_edge_values_go_to_the_right_bucket() {
+        let h = Histogram::of(
+            [0.0, 1.0, 2.0],
+            &Buckets::Linear {
+                lo: 0.0,
+                hi: 2.0,
+                count: 2,
+            },
+        );
+        let counts: Vec<u64> = h.buckets().map(|(_, _, c)| c).collect();
+        assert_eq!(counts, vec![1, 1]); // 0.0 → [0,1), 1.0 → [1,2)
+        assert_eq!(h.overflow, 1); // 2.0 == hi
+    }
+
+    #[test]
+    fn render_produces_bars() {
+        let h = Histogram::of(
+            [1.0, 1.0, 1.0, 3.0],
+            &Buckets::Linear {
+                lo: 0.0,
+                hi: 4.0,
+                count: 4,
+            },
+        );
+        let s = h.render(20);
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_layout_panics() {
+        Histogram::of(
+            [1.0],
+            &Buckets::Linear {
+                lo: 1.0,
+                hi: 1.0,
+                count: 3,
+            },
+        );
+    }
+}

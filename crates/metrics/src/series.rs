@@ -1,0 +1,176 @@
+//! Step-function time series for occupancy integration and figures.
+//!
+//! The engine drives a few of these (busy cores, shared cores, queue
+//! depth). The series integrates exactly — occupancy changes only at
+//! events, so a step function is the truth, not an approximation.
+
+use nodeshare_workload::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A right-continuous step function of time built from change events.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepSeries {
+    /// `(time, new_value)` change points, time-ascending.
+    points: Vec<(Seconds, f64)>,
+}
+
+impl StepSeries {
+    /// An empty series (value 0 everywhere until the first point).
+    pub fn new() -> Self {
+        StepSeries::default()
+    }
+
+    /// Records that the value changed to `value` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the last recorded change — engines emit
+    /// events in time order.
+    pub fn record(&mut self, time: Seconds, value: f64) {
+        if let Some(&(last_t, last_v)) = self.points.last() {
+            assert!(time >= last_t, "series updates must be time-ordered");
+            if last_v == value {
+                return; // no change, no point
+            }
+            if time == last_t {
+                // Same-instant update supersedes the previous value.
+                self.points.pop();
+                if let Some(&(_, prev_v)) = self.points.last() {
+                    if prev_v == value {
+                        return;
+                    }
+                }
+            }
+        } else if value == 0.0 {
+            return; // implicit initial zero
+        }
+        self.points.push((time, value));
+    }
+
+    /// Value at `time` (0 before the first change).
+    pub fn value_at(&self, time: Seconds) -> f64 {
+        match self.points.binary_search_by(|&(t, _)| t.total_cmp(&time)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Exact integral of the step function over `[from, to]`.
+    pub fn integral(&self, from: Seconds, to: Seconds) -> f64 {
+        if to <= from || self.points.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut t = from;
+        let mut v = self.value_at(from);
+        for &(pt, pv) in &self.points {
+            if pt <= from {
+                continue;
+            }
+            if pt >= to {
+                break;
+            }
+            acc += v * (pt - t);
+            t = pt;
+            v = pv;
+        }
+        acc + v * (to - t)
+    }
+
+    /// Change points, for plotting.
+    pub fn points(&self) -> &[(Seconds, f64)] {
+        &self.points
+    }
+
+    /// Maximum value ever recorded (0 for an empty series).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Samples the series at `n` evenly spaced instants in `[from, to]`,
+    /// for fixed-resolution figure output.
+    pub fn sample(&self, from: Seconds, to: Seconds, n: usize) -> Vec<(Seconds, f64)> {
+        assert!(n >= 2, "need at least two samples");
+        (0..n)
+            .map(|i| {
+                let t = from + (to - from) * i as f64 / (n - 1) as f64;
+                (t, self.value_at(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> StepSeries {
+        let mut s = StepSeries::new();
+        s.record(0.0, 1.0);
+        s.record(10.0, 3.0);
+        s.record(20.0, 0.0);
+        s
+    }
+
+    #[test]
+    fn value_lookup() {
+        let s = series();
+        assert_eq!(s.value_at(-1.0), 0.0);
+        assert_eq!(s.value_at(0.0), 1.0);
+        assert_eq!(s.value_at(9.999), 1.0);
+        assert_eq!(s.value_at(10.0), 3.0);
+        assert_eq!(s.value_at(25.0), 0.0);
+    }
+
+    #[test]
+    fn integral_is_exact() {
+        let s = series();
+        assert_eq!(s.integral(0.0, 20.0), 10.0 + 30.0);
+        assert_eq!(s.integral(5.0, 15.0), 5.0 + 15.0);
+        assert_eq!(s.integral(20.0, 100.0), 0.0);
+        assert_eq!(s.integral(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn redundant_updates_collapse() {
+        let mut s = StepSeries::new();
+        s.record(0.0, 0.0); // implicit zero: dropped
+        s.record(5.0, 2.0);
+        s.record(7.0, 2.0); // no change: dropped
+        assert_eq!(s.points().len(), 1);
+    }
+
+    #[test]
+    fn same_instant_update_supersedes() {
+        let mut s = StepSeries::new();
+        s.record(5.0, 2.0);
+        s.record(5.0, 4.0);
+        assert_eq!(s.points(), &[(5.0, 4.0)]);
+        assert_eq!(s.value_at(5.0), 4.0);
+        // Superseding back to the previous value removes the point.
+        let mut s = StepSeries::new();
+        s.record(1.0, 1.0);
+        s.record(5.0, 2.0);
+        s.record(5.0, 1.0);
+        assert_eq!(s.points(), &[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_updates_panic() {
+        let mut s = StepSeries::new();
+        s.record(10.0, 1.0);
+        s.record(5.0, 2.0);
+    }
+
+    #[test]
+    fn sampling_and_max() {
+        let s = series();
+        assert_eq!(s.max_value(), 3.0);
+        let samples = s.sample(0.0, 20.0, 5);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0], (0.0, 1.0));
+        assert_eq!(samples[2], (10.0, 3.0));
+        assert_eq!(samples[4], (20.0, 0.0));
+    }
+}

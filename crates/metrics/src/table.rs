@@ -1,0 +1,174 @@
+//! Plain-text table and CSV rendering for the experiment harness.
+//!
+//! The bench binaries print each paper table/figure as an aligned text
+//! table (for the terminal) and CSV (for plotting); both renderers live
+//! here so every experiment reports in the same format.
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    /// Panics if the row has more cells than the header has columns.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            cells.len() <= self.header.len(),
+            "row wider than header ({} > {})",
+            cells.len(),
+            self.header.len()
+        );
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table with a separator under the header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas or quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a signed percentage with one decimal: `0.252` →
+/// `"+25.2%"`.
+pub fn pct(gain: f64) -> String {
+    format!("{:+.1}%", gain * 100.0)
+}
+
+/// Formats seconds compactly: `5432.1` → `"1h30m"` style for large values,
+/// plain seconds for small ones.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 3_600.0 {
+        format!("{:.1}h", s / 3_600.0)
+    } else if s >= 60.0 {
+        format!("{:.1}m", s / 60.0)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All rows have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        assert!(t.render().contains('1'));
+        assert_eq!(t.to_csv().lines().nth(1).unwrap(), "1,,");
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than header")]
+    fn wide_rows_panic() {
+        Table::new(vec!["a"]).row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["has,comma"]).row(vec!["has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.252), "+25.2%");
+        assert_eq!(pct(-0.05), "-5.0%");
+        assert_eq!(fmt_seconds(30.0), "30.0s");
+        assert_eq!(fmt_seconds(90.0), "1.5m");
+        assert_eq!(fmt_seconds(5_400.0), "1.5h");
+    }
+}

@@ -1,0 +1,334 @@
+//! The saturating-bottleneck co-run contention model.
+//!
+//! Two jobs sharing a node via hyper-thread lanes contend on each modeled
+//! resource. For every resource the model grants each job a **max-min
+//! fair** share of node capacity: a job demanding no more than its fair
+//! share receives its full demand; the remainder goes to the heavier
+//! demander. A job's rate on that resource is `granted / demanded`, bent by
+//! a per-resource *hardness* exponent (bandwidth is a hard ceiling, cache
+//! capacity degrades softly). The job's overall co-run rate is the minimum
+//! over resources (bottleneck law) times a constant SMT co-residency tax
+//! for the statically partitioned core structures (ROB, load/store queues).
+//!
+//! This reproduces the qualitative pair structure the paper exploits:
+//! complementary pairs (compute × memory) run at near-full speed — the "no
+//! overhead" observation — while same-bottleneck pairs split their
+//! saturated resource and slow to roughly half speed each.
+
+use crate::resources::{Resource, ResourceVector};
+use serde::{Deserialize, Serialize};
+
+/// Co-run rates of a job pair, relative to each job's exclusive rate 1.0.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairRates {
+    /// Rate of the first job (fraction of its exclusive speed).
+    pub rate_a: f64,
+    /// Rate of the second job.
+    pub rate_b: f64,
+}
+
+impl PairRates {
+    /// Node throughput relative to an exclusive node: `rate_a + rate_b`.
+    ///
+    /// Values above 1.0 mean sharing beats exclusive allocation on this
+    /// node; 2.0 would be perfectly free co-residency.
+    #[inline]
+    pub fn combined_throughput(&self) -> f64 {
+        self.rate_a + self.rate_b
+    }
+
+    /// Runtime dilation of job A: `1 / rate_a`.
+    #[inline]
+    pub fn dilation_a(&self) -> f64 {
+        1.0 / self.rate_a
+    }
+
+    /// Runtime dilation of job B.
+    #[inline]
+    pub fn dilation_b(&self) -> f64 {
+        1.0 / self.rate_b
+    }
+
+    /// The pair with roles swapped.
+    #[inline]
+    pub fn swapped(&self) -> PairRates {
+        PairRates {
+            rate_a: self.rate_b,
+            rate_b: self.rate_a,
+        }
+    }
+}
+
+/// Tunable parameters of the contention model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Per-resource hardness exponent: the per-resource rate factor is
+    /// `(granted/demanded)^hardness`. `1.0` = hard proportional ceiling
+    /// (bandwidth-like), `< 1.0` = soft degradation (cache-like).
+    pub hardness: [f64; Resource::COUNT],
+    /// Multiplicative rate tax each job pays whenever a core's second
+    /// hardware thread is active (static partitioning of core buffers).
+    pub smt_tax: f64,
+    /// Floor on any co-run rate; keeps pathological demand vectors from
+    /// producing zero progress.
+    pub min_rate: f64,
+}
+
+impl ContentionModel {
+    /// Calibrated default: hard issue/bandwidth/network ceilings, soft LLC,
+    /// 5% SMT co-residency tax.
+    pub const fn calibrated() -> Self {
+        ContentionModel {
+            // index order: issue, membw, llc, net
+            hardness: [1.0, 1.0, 0.45, 1.0],
+            smt_tax: 0.95,
+            min_rate: 0.05,
+        }
+    }
+
+    /// Max-min fair split of one unit of capacity between demands `a`, `b`
+    /// (used directly by tests; the general path is `water_fill`).
+    #[cfg(test)]
+    pub(crate) fn fair_share(a: f64, b: f64) -> (f64, f64) {
+        let mut grants = [0.0; 2];
+        Self::water_fill(&[a, b], &mut grants);
+        (grants[0], grants[1])
+    }
+
+    /// General max-min fair (water-filling) split of one unit of capacity
+    /// among `demands`, writing grants in matching order.
+    ///
+    /// Light demanders receive their full demand when it fits under the
+    /// running fair share; heavy demanders split the remainder equally.
+    fn water_fill(demands: &[f64], grants: &mut [f64]) {
+        debug_assert_eq!(demands.len(), grants.len());
+        let n = demands.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| demands[i].total_cmp(&demands[j]));
+        let mut remaining = 1.0f64;
+        let mut left = n;
+        for &i in &order {
+            let fair = remaining / left as f64;
+            let grant = demands[i].min(fair);
+            grants[i] = grant;
+            remaining -= grant;
+            left -= 1;
+        }
+    }
+
+    /// Rates of `n ≥ 1` jobs co-resident on one node (one lane each).
+    ///
+    /// Generalizes [`ContentionModel::pair_rates`] to wider SMT: every
+    /// resource is split max-min fairly among all residents, each job's
+    /// rate is its bottleneck share (bent by the per-resource hardness)
+    /// times the SMT co-residency tax. A job running alone has rate 1.0 —
+    /// no tax without a co-runner.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn co_run_rates(&self, demands: &[&ResourceVector]) -> Vec<f64> {
+        assert!(!demands.is_empty(), "need at least one resident");
+        let n = demands.len();
+        if n == 1 {
+            return vec![1.0];
+        }
+        let mut rates = vec![self.smt_tax; n];
+        let mut wants = vec![0.0f64; n];
+        let mut grants = vec![0.0f64; n];
+        for r in Resource::ALL {
+            for (w, d) in wants.iter_mut().zip(demands) {
+                *w = d.get(r);
+            }
+            Self::water_fill(&wants, &mut grants);
+            let h = self.hardness[r.index()];
+            for ((rate, &g), &w) in rates.iter_mut().zip(&grants).zip(&wants) {
+                if w > 0.0 {
+                    *rate = rate.min(self.smt_tax * (g / w).powf(h));
+                }
+            }
+        }
+        for rate in &mut rates {
+            *rate = rate.max(self.min_rate);
+        }
+        rates
+    }
+
+    /// Rates of two jobs co-resident on one node (one lane each).
+    pub fn pair_rates(&self, a: &ResourceVector, b: &ResourceVector) -> PairRates {
+        let rates = self.co_run_rates(&[a, b]);
+        PairRates {
+            rate_a: rates[0],
+            rate_b: rates[1],
+        }
+    }
+
+    /// Rate of a job running alone with one lane: 1.0 by definition (the
+    /// exclusive configuration *is* one rank per core; the second
+    /// hyper-thread lane idles).
+    #[inline]
+    pub fn solo_rate(&self) -> f64 {
+        1.0
+    }
+
+    /// Throughput of an app co-resident with a copy of itself, relative to
+    /// one exclusive node — the classical "SMT self speedup" reported in
+    /// the T1 characterization.
+    pub fn smt_self_speedup(&self, demand: &ResourceVector) -> f64 {
+        self.pair_rates(demand, demand).combined_throughput()
+    }
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        ContentionModel::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ContentionModel {
+        ContentionModel::calibrated()
+    }
+
+    fn compute() -> ResourceVector {
+        ResourceVector::new(0.85, 0.20, 0.30, 0.15)
+    }
+
+    fn memory() -> ResourceVector {
+        ResourceVector::new(0.30, 0.90, 0.55, 0.20)
+    }
+
+    #[test]
+    fn complementary_pair_has_low_overhead() {
+        let r = model().pair_rates(&compute(), &memory());
+        // Memory app keeps most of its speed; compute app pays modestly.
+        assert!(r.rate_b > 0.80, "memory app rate {}", r.rate_b);
+        assert!(r.rate_a > 0.65, "compute app rate {}", r.rate_a);
+        assert!(r.combined_throughput() > 1.5);
+    }
+
+    #[test]
+    fn memory_memory_pair_splits_bandwidth() {
+        let r = model().pair_rates(&memory(), &memory());
+        assert!((r.rate_a - r.rate_b).abs() < 1e-12, "symmetric pair");
+        // 0.9 + 0.9 demand on bandwidth → each gets 0.5 → ~0.55 rate.
+        assert!(r.rate_a < 0.60, "rate {}", r.rate_a);
+        assert!(r.combined_throughput() < 1.2);
+    }
+
+    #[test]
+    fn compute_compute_pair_shares_issue_slots() {
+        let r = model().pair_rates(&compute(), &compute());
+        assert!(r.rate_a < 0.65);
+        assert!(r.combined_throughput() > 1.0 && r.combined_throughput() < 1.4);
+    }
+
+    #[test]
+    fn rates_are_bounded() {
+        let hungry = ResourceVector::new(1.0, 1.0, 1.0, 1.0);
+        let r = model().pair_rates(&hungry, &hungry);
+        assert!(r.rate_a >= model().min_rate);
+        assert!(r.rate_a <= 1.0 && r.rate_b <= 1.0);
+    }
+
+    #[test]
+    fn zero_demand_job_pays_only_the_smt_tax() {
+        let idle = ResourceVector::zero();
+        let r = model().pair_rates(&idle, &memory());
+        assert_eq!(r.rate_a, model().smt_tax);
+        // The memory app is unbothered by an idle co-runner beyond the tax.
+        assert_eq!(r.rate_b, model().smt_tax);
+    }
+
+    #[test]
+    fn fair_share_cases() {
+        assert_eq!(ContentionModel::fair_share(0.3, 0.4), (0.3, 0.4));
+        let (ga, gb) = ContentionModel::fair_share(0.3, 0.9);
+        assert_eq!((ga, gb), (0.3, 0.7));
+        let (ga, gb) = ContentionModel::fair_share(0.9, 0.3);
+        assert_eq!((ga, gb), (0.7, 0.3));
+        let (ga, gb) = ContentionModel::fair_share(0.8, 0.8);
+        assert_eq!((ga, gb), (0.5, 0.5));
+    }
+
+    #[test]
+    fn swap_symmetry() {
+        let r = model().pair_rates(&compute(), &memory());
+        let s = model().pair_rates(&memory(), &compute());
+        assert!((r.rate_a - s.rate_b).abs() < 1e-12);
+        assert!((r.rate_b - s.rate_a).abs() < 1e-12);
+        assert_eq!(r.swapped(), s);
+    }
+
+    #[test]
+    fn self_speedup_matches_pair_model() {
+        let m = model();
+        let s = m.smt_self_speedup(&memory());
+        let p = m.pair_rates(&memory(), &memory());
+        assert!((s - p.combined_throughput()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nway_reduces_to_pairs_and_solo() {
+        let m = model();
+        let solo = m.co_run_rates(&[&memory()]);
+        assert_eq!(solo, vec![1.0]);
+        let pair = m.pair_rates(&compute(), &memory());
+        let nway = m.co_run_rates(&[&compute(), &memory()]);
+        assert_eq!(nway, vec![pair.rate_a, pair.rate_b]);
+    }
+
+    #[test]
+    fn three_memory_apps_split_bandwidth_three_ways() {
+        let m = model();
+        let mem = memory();
+        let rates = m.co_run_rates(&[&mem, &mem, &mem]);
+        // 3 × 0.9 bandwidth demand → each granted 1/3 → rate ≈ tax/2.7.
+        let expected = m.smt_tax * (1.0 / 3.0) / 0.9;
+        for r in rates {
+            assert!((r - expected).abs() < 1e-12, "rate {r} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn adding_a_resident_never_speeds_anyone_up() {
+        let m = model();
+        let (c, mem) = (compute(), memory());
+        let two = m.co_run_rates(&[&c, &mem]);
+        let three = m.co_run_rates(&[&c, &mem, &mem]);
+        assert!(three[0] <= two[0] + 1e-12);
+        assert!(three[1] <= two[1] + 1e-12);
+    }
+
+    #[test]
+    fn light_fourth_resident_is_cheap() {
+        let m = model();
+        let idle = ResourceVector::new(0.05, 0.05, 0.05, 0.05);
+        let (c, mem) = (compute(), memory());
+        let base = m.co_run_rates(&[&c, &mem]);
+        let with_idle = m.co_run_rates(&[&c, &mem, &idle]);
+        // The light job barely moves the incumbents.
+        assert!((with_idle[0] - base[0]).abs() < 0.08);
+        assert!((with_idle[1] - base[1]).abs() < 0.08);
+        // And it runs nearly tax-free itself.
+        assert!(with_idle[2] > 0.9 * m.smt_tax);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resident")]
+    fn nway_rejects_empty() {
+        model().co_run_rates(&[]);
+    }
+
+    #[test]
+    fn dilation_is_reciprocal_rate() {
+        let r = PairRates {
+            rate_a: 0.5,
+            rate_b: 0.8,
+        };
+        assert!((r.dilation_a() - 2.0).abs() < 1e-12);
+        assert!((r.dilation_b() - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! # nodeshare-perf
+//!
+//! Application performance modeling for the node-sharing study: resource
+//! demand vectors, a saturating-bottleneck SMT contention model, the
+//! NERSC Trinity mini-app catalog, a precomputed pairwise co-run matrix,
+//! and scheduler-side slowdown predictors.
+//!
+//! The paper measured mini-apps on real SMT-2 nodes; this crate replaces
+//! the hardware with a calibrated analytical model that preserves the
+//! pair structure driving the paper's results (see DESIGN.md):
+//! complementary pairs co-run at near-full speed, same-bottleneck pairs
+//! split their saturated resource.
+//!
+//! ```
+//! use nodeshare_perf::{AppCatalog, ContentionModel, PairMatrix};
+//!
+//! let catalog = AppCatalog::trinity();
+//! let matrix = PairMatrix::build(&catalog, &ContentionModel::calibrated());
+//! let dft = catalog.by_name("miniDFT").unwrap().id;
+//! let amg = catalog.by_name("AMG").unwrap().id;
+//! // Compute-bound × memory-bound shares well:
+//! assert!(matrix.combined_throughput(dft, amg) > 1.4);
+//! ```
+
+pub mod calibrate;
+pub mod contention;
+pub mod pair;
+pub mod predict;
+pub mod profile;
+pub mod resources;
+pub mod trinity;
+pub mod truth;
+
+pub use calibrate::{fit_demands, CalibrateOptions, CalibrationResult};
+pub use contention::{ContentionModel, PairRates};
+pub use pair::PairMatrix;
+pub use predict::Predictor;
+pub use profile::{AppClass, AppId, AppProfile};
+pub use resources::{Resource, ResourceVector};
+pub use trinity::AppCatalog;
+pub use truth::CoRunTruth;

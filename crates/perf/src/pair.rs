@@ -1,0 +1,179 @@
+//! Precomputed pairwise co-run rate matrix over an application catalog.
+//!
+//! The simulation engine consults this matrix on every allocation change,
+//! so rates are computed once per catalog and stored densely.
+
+use crate::contention::{ContentionModel, PairRates};
+use crate::profile::AppId;
+use crate::trinity::AppCatalog;
+use serde::{Deserialize, Serialize};
+
+/// Dense `n × n` matrix of co-run rates: `rate(a, b)` is the rate of app
+/// `a` when co-resident with app `b` (1.0 = exclusive speed).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairMatrix {
+    n: usize,
+    /// Row-major: `rates[a * n + b]` = rate of `a` next to `b`.
+    rates: Vec<f64>,
+}
+
+impl PairMatrix {
+    /// A matrix where every co-run rate is the same constant — the shape
+    /// of app-agnostic sharing mechanisms like gang time-slicing.
+    pub fn uniform(n: usize, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        PairMatrix {
+            n,
+            rates: vec![rate; n * n],
+        }
+    }
+
+    /// Computes the matrix for a catalog under a contention model.
+    pub fn build(catalog: &AppCatalog, model: &ContentionModel) -> Self {
+        let n = catalog.len();
+        let mut rates = vec![1.0; n * n];
+        for a in catalog.iter() {
+            for b in catalog.iter() {
+                let pr = model.pair_rates(&a.demand, &b.demand);
+                rates[a.id.index() * n + b.id.index()] = pr.rate_a;
+            }
+        }
+        PairMatrix { n, rates }
+    }
+
+    /// Number of apps covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Rate of app `a` when co-resident with app `b`.
+    ///
+    /// # Panics
+    /// Panics on ids outside the catalog the matrix was built from.
+    #[inline]
+    pub fn rate(&self, a: AppId, b: AppId) -> f64 {
+        self.rates[a.index() * self.n + b.index()]
+    }
+
+    /// Both rates of the ordered pair `(a, b)`.
+    #[inline]
+    pub fn pair(&self, a: AppId, b: AppId) -> PairRates {
+        PairRates {
+            rate_a: self.rate(a, b),
+            rate_b: self.rate(b, a),
+        }
+    }
+
+    /// Combined node throughput of the pair relative to exclusive use.
+    #[inline]
+    pub fn combined_throughput(&self, a: AppId, b: AppId) -> f64 {
+        self.rate(a, b) + self.rate(b, a)
+    }
+
+    /// The partner maximizing combined throughput with `a`, among `candidates`.
+    pub fn best_partner<'c>(
+        &self,
+        a: AppId,
+        candidates: impl IntoIterator<Item = &'c AppId>,
+    ) -> Option<(AppId, f64)> {
+        candidates
+            .into_iter()
+            .map(|&b| (b, self.combined_throughput(a, b)))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+    }
+
+    /// Mean combined throughput over all ordered pairs — a scalar summary
+    /// of how much co-scheduling headroom a catalog offers.
+    pub fn mean_combined_throughput(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                sum += self.rates[a * self.n + b] + self.rates[b * self.n + a];
+            }
+        }
+        sum / (self.n * self.n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> (AppCatalog, PairMatrix) {
+        let c = AppCatalog::trinity();
+        let m = PairMatrix::build(&c, &ContentionModel::calibrated());
+        (c, m)
+    }
+
+    #[test]
+    fn matrix_matches_direct_model() {
+        let (c, m) = matrix();
+        let model = ContentionModel::calibrated();
+        for a in c.iter() {
+            for b in c.iter() {
+                let direct = model.pair_rates(&a.demand, &b.demand);
+                assert!((m.rate(a.id, b.id) - direct.rate_a).abs() < 1e-12);
+                assert!((m.pair(a.id, b.id).rate_b - direct.rate_b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn complementary_beats_same_class() {
+        let (c, m) = matrix();
+        let dft = c.by_name("miniDFT").unwrap().id; // compute-bound
+        let amg = c.by_name("AMG").unwrap().id; // memory-bound
+        let fe = c.by_name("miniFE").unwrap().id; // memory-bound
+        assert!(m.combined_throughput(dft, amg) > m.combined_throughput(fe, amg));
+        assert!(m.combined_throughput(dft, amg) > 1.4);
+        assert!(m.combined_throughput(fe, amg) < 1.25);
+    }
+
+    #[test]
+    fn best_partner_for_memory_app_is_computeish() {
+        let (c, m) = matrix();
+        let amg = c.by_name("AMG").unwrap().id;
+        let ids: Vec<AppId> = c.ids().filter(|&i| i != amg).collect();
+        let (best, thr) = m.best_partner(amg, &ids).unwrap();
+        let best_class = c.profile(best).class;
+        assert_eq!(best_class, crate::profile::AppClass::ComputeBound);
+        assert!(thr > 1.5);
+    }
+
+    #[test]
+    fn mean_combined_throughput_in_sharing_band() {
+        let (_, m) = matrix();
+        let mean = m.mean_combined_throughput();
+        // The catalog offers real but not free sharing headroom.
+        assert!(mean > 1.1 && mean < 1.7, "mean {mean}");
+    }
+
+    #[test]
+    fn rates_bounded_by_one() {
+        let (c, m) = matrix();
+        for a in c.ids() {
+            for b in c.ids() {
+                let r = m.rate(a, b);
+                assert!(r > 0.0 && r <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let (_, m) = matrix();
+        assert!(m.best_partner(AppId(0), &[]).is_none());
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 8);
+    }
+}

@@ -1,0 +1,313 @@
+//! Slowdown predictors — what the *scheduler* believes about co-run
+//! interference, as opposed to the ground truth the engine simulates.
+//!
+//! The paper's strategies decide pairings from profiling data gathered
+//! ahead of time; real deployments have imperfect knowledge. Separating
+//! prediction from truth lets the F7 ablation quantify how much pairing
+//! quality the strategies need.
+
+use crate::contention::PairRates;
+use crate::profile::{AppClass, AppId};
+use crate::trinity::AppCatalog;
+use crate::{ContentionModel, PairMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Predicted rates for a candidate joining an existing stack of
+/// residents on one node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StackRates {
+    /// Predicted rate of the candidate.
+    pub candidate: f64,
+    /// Predicted rate of each resident (input order) once the candidate
+    /// joins.
+    pub residents: Vec<f64>,
+}
+
+/// A scheduler-side model of pairwise co-run rates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Predictor {
+    /// Perfect knowledge: the true pair matrix.
+    Oracle(PairMatrix),
+    /// Perfect knowledge *including n-way stacks*: carries the demand
+    /// vectors and contention model so it can price three- and four-way
+    /// co-residency exactly — what SMT-4 scheduling needs (see the F11
+    /// experiment).
+    NWayOracle {
+        /// Pairwise cache.
+        matrix: PairMatrix,
+        /// Demand vector per app id.
+        demands: Vec<crate::ResourceVector>,
+        /// The model to evaluate stacks with.
+        model: crate::ContentionModel,
+    },
+    /// Class-granular knowledge: one rate per (class, class) pair,
+    /// averaged from a matrix. Mirrors "the admin benchmarked app
+    /// categories once".
+    ClassBased {
+        /// Class of each app id.
+        classes: Vec<AppClass>,
+        /// `rates[ca][cb]` = predicted rate of a `ca` app next to a `cb` app.
+        rates: [[f64; 4]; 4],
+    },
+    /// Assume every pairing runs at a fixed conservative rate.
+    Pessimistic {
+        /// The assumed rate for any co-resident job.
+        rate: f64,
+    },
+    /// Assume sharing is free (rate 1.0) — the naive baseline whose
+    /// failure motivates compatibility-aware pairing.
+    Oblivious,
+}
+
+fn class_index(c: AppClass) -> usize {
+    match c {
+        AppClass::ComputeBound => 0,
+        AppClass::MemoryBound => 1,
+        AppClass::Balanced => 2,
+        AppClass::CommBound => 3,
+    }
+}
+
+impl Predictor {
+    /// Builds the oracle predictor from catalog + model.
+    pub fn oracle(catalog: &AppCatalog, model: &ContentionModel) -> Self {
+        Predictor::Oracle(PairMatrix::build(catalog, model))
+    }
+
+    /// Builds the n-way-aware oracle (exact stack pricing).
+    pub fn nway_oracle(catalog: &AppCatalog, model: &ContentionModel) -> Self {
+        Predictor::NWayOracle {
+            matrix: PairMatrix::build(catalog, model),
+            demands: catalog.iter().map(|a| a.demand).collect(),
+            model: *model,
+        }
+    }
+
+    /// Builds the class-based predictor by averaging the true matrix over
+    /// class pairs.
+    pub fn class_based(catalog: &AppCatalog, model: &ContentionModel) -> Self {
+        let matrix = PairMatrix::build(catalog, model);
+        let classes: Vec<AppClass> = catalog.iter().map(|a| a.class).collect();
+        let mut sums = [[0.0f64; 4]; 4];
+        let mut counts = [[0u32; 4]; 4];
+        for a in catalog.iter() {
+            for b in catalog.iter() {
+                let (ca, cb) = (class_index(a.class), class_index(b.class));
+                sums[ca][cb] += matrix.rate(a.id, b.id);
+                counts[ca][cb] += 1;
+            }
+        }
+        let mut rates = [[1.0f64; 4]; 4];
+        for (row_s, (row_c, row_r)) in sums.iter().zip(counts.iter().zip(rates.iter_mut())) {
+            for (s, (c, r)) in row_s.iter().zip(row_c.iter().zip(row_r.iter_mut())) {
+                if *c > 0 {
+                    *r = s / *c as f64;
+                }
+            }
+        }
+        Predictor::ClassBased { classes, rates }
+    }
+
+    /// Predicted rates for the ordered pair `(a, b)`.
+    pub fn rates(&self, a: AppId, b: AppId) -> PairRates {
+        match self {
+            Predictor::Oracle(m) | Predictor::NWayOracle { matrix: m, .. } => m.pair(a, b),
+            Predictor::ClassBased { classes, rates } => {
+                let ca = class_index(classes[a.index()]);
+                let cb = class_index(classes[b.index()]);
+                PairRates {
+                    rate_a: rates[ca][cb],
+                    rate_b: rates[cb][ca],
+                }
+            }
+            Predictor::Pessimistic { rate } => PairRates {
+                rate_a: *rate,
+                rate_b: *rate,
+            },
+            Predictor::Oblivious => PairRates {
+                rate_a: 1.0,
+                rate_b: 1.0,
+            },
+        }
+    }
+
+    /// Predicted combined node throughput of the pair.
+    pub fn combined(&self, a: AppId, b: AppId) -> f64 {
+        self.rates(a, b).combined_throughput()
+    }
+
+    /// Predicted rates when `candidate` joins `residents` on one node.
+    ///
+    /// [`Predictor::NWayOracle`] evaluates the stack exactly; every other
+    /// predictor approximates with the *worst pairwise* prediction (the
+    /// best a pairwise-profiled deployment can do — optimistic for stacks
+    /// of three or more, which is the F11 failure mode).
+    pub fn stack_rates(&self, candidate: AppId, residents: &[AppId]) -> StackRates {
+        if residents.is_empty() {
+            return StackRates {
+                candidate: 1.0,
+                residents: Vec::new(),
+            };
+        }
+        if let Predictor::NWayOracle { demands, model, .. } = self {
+            let mut stack: Vec<&crate::ResourceVector> = Vec::with_capacity(residents.len() + 1);
+            stack.push(&demands[candidate.index()]);
+            for r in residents {
+                stack.push(&demands[r.index()]);
+            }
+            let rates = model.co_run_rates(&stack);
+            return StackRates {
+                candidate: rates[0],
+                residents: rates[1..].to_vec(),
+            };
+        }
+        // Pairwise approximation.
+        let mut cand = 1.0f64;
+        let mut res = Vec::with_capacity(residents.len());
+        for &r in residents {
+            let pr = self.rates(candidate, r);
+            cand = cand.min(pr.rate_a);
+            res.push(pr.rate_b);
+        }
+        StackRates {
+            candidate: cand,
+            residents: res,
+        }
+    }
+
+    /// The worst rate app `a` could suffer next to any app in `0..n` —
+    /// used by co-allocation-aware backfill to inflate runtime bounds so
+    /// the reservation guarantee survives sharing.
+    pub fn worst_rate(&self, a: AppId, n_apps: usize) -> f64 {
+        match self {
+            Predictor::Oracle(m) | Predictor::NWayOracle { matrix: m, .. } => (0..n_apps)
+                .map(|b| m.rate(a, AppId(b as u8)))
+                .fold(1.0, f64::min),
+            Predictor::ClassBased { classes, rates } => {
+                let ca = class_index(classes[a.index()]);
+                classes
+                    .iter()
+                    .take(n_apps)
+                    .map(|&cb| rates[ca][class_index(cb)])
+                    .fold(1.0, f64::min)
+            }
+            Predictor::Pessimistic { rate } => *rate,
+            Predictor::Oblivious => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AppCatalog, ContentionModel) {
+        (AppCatalog::trinity(), ContentionModel::calibrated())
+    }
+
+    #[test]
+    fn oracle_matches_matrix() {
+        let (c, m) = setup();
+        let truth = PairMatrix::build(&c, &m);
+        let p = Predictor::oracle(&c, &m);
+        for a in c.ids() {
+            for b in c.ids() {
+                assert_eq!(p.rates(a, b).rate_a, truth.rate(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn class_based_orders_pairs_like_the_truth() {
+        let (c, m) = setup();
+        let p = Predictor::class_based(&c, &m);
+        let dft = c.by_name("miniDFT").unwrap().id; // compute
+        let amg = c.by_name("AMG").unwrap().id; // memory
+        let fe = c.by_name("miniFE").unwrap().id; // memory
+        assert!(p.combined(dft, amg) > p.combined(fe, amg));
+    }
+
+    #[test]
+    fn pessimistic_and_oblivious_are_constant() {
+        let (c, _) = setup();
+        let pess = Predictor::Pessimistic { rate: 0.5 };
+        let obl = Predictor::Oblivious;
+        for a in c.ids() {
+            for b in c.ids() {
+                assert_eq!(pess.rates(a, b).rate_a, 0.5);
+                assert_eq!(obl.combined(a, b), 2.0);
+            }
+        }
+        assert_eq!(pess.worst_rate(AppId(0), c.len()), 0.5);
+        assert_eq!(obl.worst_rate(AppId(0), c.len()), 1.0);
+    }
+
+    #[test]
+    fn worst_rate_is_a_lower_bound_for_oracle() {
+        let (c, m) = setup();
+        let p = Predictor::oracle(&c, &m);
+        for a in c.ids() {
+            let w = p.worst_rate(a, c.len());
+            for b in c.ids() {
+                assert!(p.rates(a, b).rate_a >= w - 1e-12);
+            }
+            assert!(w > 0.0 && w <= 1.0);
+        }
+    }
+
+    #[test]
+    fn stack_rates_pairwise_approximation_and_exact_nway() {
+        let (c, m) = setup();
+        let pairwise = Predictor::oracle(&c, &m);
+        let nway = Predictor::nway_oracle(&c, &m);
+        let (a, b, d) = (AppId(0), AppId(4), AppId(5));
+
+        // Empty stack: full speed, no residents.
+        let empty = pairwise.stack_rates(a, &[]);
+        assert_eq!(empty.candidate, 1.0);
+        assert!(empty.residents.is_empty());
+
+        // Single resident: both predictors equal the pair matrix.
+        let p1 = pairwise.stack_rates(a, &[b]);
+        let n1 = nway.stack_rates(a, &[b]);
+        assert_eq!(p1.candidate, pairwise.rates(a, b).rate_a);
+        assert_eq!(p1.candidate, n1.candidate);
+        assert_eq!(p1.residents, n1.residents);
+
+        // Two residents: the pairwise approximation is optimistic —
+        // never below the exact n-way evaluation.
+        let p2 = pairwise.stack_rates(a, &[b, d]);
+        let n2 = nway.stack_rates(a, &[b, d]);
+        assert!(
+            p2.candidate >= n2.candidate - 1e-12,
+            "pairwise {} vs nway {}",
+            p2.candidate,
+            n2.candidate
+        );
+        for (approx, exact) in p2.residents.iter().zip(&n2.residents) {
+            assert!(approx >= &(exact - 1e-12));
+        }
+        // And the n-way oracle matches the model directly.
+        let model = ContentionModel::calibrated();
+        let direct = model.co_run_rates(&[
+            &c.profile(a).demand,
+            &c.profile(b).demand,
+            &c.profile(d).demand,
+        ]);
+        assert!((n2.candidate - direct[0]).abs() < 1e-12);
+        assert!((n2.residents[0] - direct[1]).abs() < 1e-12);
+        assert!((n2.residents[1] - direct[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_based_worst_rate_bounds_class_predictions() {
+        let (c, m) = setup();
+        let p = Predictor::class_based(&c, &m);
+        for a in c.ids() {
+            let w = p.worst_rate(a, c.len());
+            for b in c.ids() {
+                assert!(p.rates(a, b).rate_a >= w - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Application performance profiles.
+
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an application profile within a catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u8);
+
+impl AppId {
+    /// Dense index into a catalog.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+impl fmt::Debug for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AppId({})", self.0)
+    }
+}
+
+/// Coarse classification of an application's bottleneck, used by
+/// class-based slowdown predictors and in the T1 characterization table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppClass {
+    /// Pipeline/FLOP limited; leaves memory bandwidth idle.
+    ComputeBound,
+    /// Memory-bandwidth limited; leaves issue slots idle.
+    MemoryBound,
+    /// No single dominant resource.
+    Balanced,
+    /// Communication-heavy; network is a first-order concern.
+    CommBound,
+}
+
+impl AppClass {
+    /// Short label for tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AppClass::ComputeBound => "compute",
+            AppClass::MemoryBound => "memory",
+            AppClass::Balanced => "balanced",
+            AppClass::CommBound => "comm",
+        }
+    }
+}
+
+/// A profiled application: its identity, resource demands, and memory
+/// footprint.
+///
+/// `demand` is measured with the app running alone at one rank per core
+/// (one hardware-thread lane), the configuration exclusive allocations use.
+/// The app's *exclusive rate* is 1.0 by definition; all co-run rates are
+/// relative to it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Catalog identifier.
+    pub id: AppId,
+    /// Human-readable name (e.g. `"miniFE"`).
+    pub name: String,
+    /// Coarse bottleneck class.
+    pub class: AppClass,
+    /// Normalized per-node resource demands at lane-solo execution.
+    pub demand: ResourceVector,
+    /// Memory footprint per node, MiB. Sharing requires both jobs' demands
+    /// to fit in node memory.
+    pub mem_per_node_mib: u64,
+}
+
+impl AppProfile {
+    /// Validates profile ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("profile needs a name".into());
+        }
+        if !self.demand.is_valid() {
+            return Err(format!("{}: demands must lie in [0,1]", self.name));
+        }
+        if self.mem_per_node_mib == 0 {
+            return Err(format!("{}: memory footprint must be positive", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> AppProfile {
+        AppProfile {
+            id: AppId(0),
+            name: "toy".into(),
+            class: AppClass::Balanced,
+            demand: ResourceVector::new(0.5, 0.5, 0.5, 0.2),
+            mem_per_node_mib: 1024,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        assert!(profile().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_profiles_fail() {
+        let mut p = profile();
+        p.name.clear();
+        assert!(p.validate().is_err());
+
+        let mut p = profile();
+        p.demand = ResourceVector::new(1.2, 0.0, 0.0, 0.0);
+        assert!(p.validate().is_err());
+
+        let mut p = profile();
+        p.mem_per_node_mib = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(AppClass::ComputeBound.label(), "compute");
+        assert_eq!(AppClass::MemoryBound.label(), "memory");
+        assert_eq!(AppClass::Balanced.label(), "balanced");
+        assert_eq!(AppClass::CommBound.label(), "comm");
+    }
+
+    #[test]
+    fn app_id_display() {
+        assert_eq!(AppId(3).to_string(), "app3");
+        assert_eq!(AppId(3).index(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Node-level shared resources and per-application demand vectors.
+//!
+//! Demands are *normalized*: `1.0` means "all of the node's capacity of
+//! that resource". They are measured (in the paper: profiled; here:
+//! calibrated, see [`crate::trinity`]) with the application running alone
+//! on one hardware-thread lane per core — the standard 1-rank-per-core HPC
+//! configuration that exclusive allocations use.
+
+use serde::{Deserialize, Serialize};
+
+/// A shared node resource that co-running jobs contend on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// Core pipeline issue slots. A single hardware thread rarely fills a
+    /// core's issue width; the slack is what the second SMT lane can use.
+    IssueSlots,
+    /// Main-memory bandwidth — the classic saturated resource for
+    /// memory-bound mini-apps.
+    MemBandwidth,
+    /// Last-level cache capacity. Contention here degrades softly (rising
+    /// miss rate), not as a hard ceiling.
+    LlcCapacity,
+    /// Network-interface bandwidth for communication-heavy apps.
+    Network,
+}
+
+impl Resource {
+    /// All resources, in vector index order.
+    pub const ALL: [Resource; 4] = [
+        Resource::IssueSlots,
+        Resource::MemBandwidth,
+        Resource::LlcCapacity,
+        Resource::Network,
+    ];
+
+    /// Number of modeled resources.
+    pub const COUNT: usize = 4;
+
+    /// Dense index of the resource inside a [`ResourceVector`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Resource::IssueSlots => 0,
+            Resource::MemBandwidth => 1,
+            Resource::LlcCapacity => 2,
+            Resource::Network => 3,
+        }
+    }
+
+    /// Short label used in tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Resource::IssueSlots => "issue",
+            Resource::MemBandwidth => "membw",
+            Resource::LlcCapacity => "llc",
+            Resource::Network => "net",
+        }
+    }
+}
+
+/// Per-resource demand of one application, normalized to node capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceVector(pub [f64; Resource::COUNT]);
+
+impl ResourceVector {
+    /// Builds a vector from named demands.
+    pub const fn new(issue: f64, membw: f64, llc: f64, net: f64) -> Self {
+        ResourceVector([issue, membw, llc, net])
+    }
+
+    /// A zero-demand vector.
+    pub const fn zero() -> Self {
+        ResourceVector([0.0; Resource::COUNT])
+    }
+
+    /// Demand for one resource.
+    #[inline]
+    pub fn get(&self, r: Resource) -> f64 {
+        self.0[r.index()]
+    }
+
+    /// Mutable demand for one resource.
+    #[inline]
+    pub fn set(&mut self, r: Resource, v: f64) {
+        self.0[r.index()] = v;
+    }
+
+    /// Element-wise sum (combined demand of co-runners).
+    pub fn saturating_add(&self, other: &ResourceVector) -> ResourceVector {
+        let mut out = [0.0; Resource::COUNT];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a + b;
+        }
+        ResourceVector(out)
+    }
+
+    /// The resource with the highest demand — the app's own bottleneck.
+    pub fn dominant(&self) -> Resource {
+        let mut best = Resource::IssueSlots;
+        let mut best_v = f64::NEG_INFINITY;
+        for r in Resource::ALL {
+            let v = self.get(r);
+            if v > best_v {
+                best_v = v;
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// True when every demand lies in `[0, 1]`.
+    pub fn is_valid(&self) -> bool {
+        self.0.iter().all(|d| (0.0..=1.0).contains(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_all_agree() {
+        for (i, r) in Resource::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut v = ResourceVector::zero();
+        v.set(Resource::MemBandwidth, 0.8);
+        assert_eq!(v.get(Resource::MemBandwidth), 0.8);
+        assert_eq!(v.get(Resource::IssueSlots), 0.0);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = ResourceVector::new(0.1, 0.2, 0.3, 0.4);
+        let b = ResourceVector::new(0.4, 0.3, 0.2, 0.1);
+        let s = a.saturating_add(&b);
+        assert_eq!(s.0, [0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn dominant_picks_largest() {
+        let v = ResourceVector::new(0.3, 0.9, 0.5, 0.1);
+        assert_eq!(v.dominant(), Resource::MemBandwidth);
+        assert_eq!(ResourceVector::zero().dominant(), Resource::IssueSlots);
+    }
+
+    #[test]
+    fn validity_bounds() {
+        assert!(ResourceVector::new(0.0, 1.0, 0.5, 0.3).is_valid());
+        assert!(!ResourceVector::new(-0.1, 0.5, 0.5, 0.5).is_valid());
+        assert!(!ResourceVector::new(0.1, 1.5, 0.5, 0.5).is_valid());
+    }
+
+    #[test]
+    fn labels_are_short_and_unique() {
+        let labels: Vec<_> = Resource::ALL.iter().map(|r| r.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+}

@@ -1,0 +1,205 @@
+//! Catalog of NERSC Trinity / NERSC-8 scientific mini-applications.
+//!
+//! The paper evaluates its strategies with Trinity mini-apps on real
+//! hardware. We cannot run the binaries, so each app is represented by a
+//! calibrated resource-demand profile reflecting its publicly documented
+//! character (miniFE/AMG/MILC are bandwidth-bound, miniDFT/SNAP lean on
+//! dense compute, miniGhost is a halo-exchange stencil, …). The calibration
+//! targets the qualitative co-run structure the paper reports: pairing
+//! complementary apps costs ≈ nothing, pairing same-bottleneck apps splits
+//! the bottleneck.
+
+use crate::contention::ContentionModel;
+use crate::profile::{AppClass, AppId, AppProfile};
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// An immutable collection of application profiles with dense [`AppId`]s.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppCatalog {
+    apps: Vec<AppProfile>,
+}
+
+impl AppCatalog {
+    /// Builds a catalog from profiles, assigning dense ids in order.
+    ///
+    /// # Panics
+    /// Panics if any profile is invalid or there are more than 255 apps;
+    /// catalogs are built at configuration time from static data.
+    pub fn new(mut apps: Vec<AppProfile>) -> Self {
+        assert!(apps.len() <= u8::MAX as usize, "too many apps");
+        for (i, app) in apps.iter_mut().enumerate() {
+            app.id = AppId(i as u8);
+            app.validate().expect("invalid app profile");
+        }
+        AppCatalog { apps }
+    }
+
+    /// The eight-app Trinity mini-app catalog used throughout the
+    /// evaluation.
+    pub fn trinity() -> Self {
+        let mk = |name: &str, class, issue, membw, llc, net, mem_gib: u64| AppProfile {
+            id: AppId(0), // reassigned by `new`
+            name: name.to_string(),
+            class,
+            demand: ResourceVector::new(issue, membw, llc, net),
+            mem_per_node_mib: mem_gib * 1024,
+        };
+        AppCatalog::new(vec![
+            // Finite-element assembly + CG solve: bandwidth-bound.
+            mk("miniFE", AppClass::MemoryBound, 0.35, 0.85, 0.50, 0.20, 24),
+            // Halo-exchange stencil: bandwidth + network.
+            mk("miniGhost", AppClass::CommBound, 0.40, 0.75, 0.45, 0.50, 20),
+            // Algebraic multigrid: irregular, bandwidth-bound.
+            mk("AMG", AppClass::MemoryBound, 0.30, 0.90, 0.60, 0.35, 28),
+            // Unstructured deterministic transport: mixed compute/memory.
+            mk("UMT", AppClass::Balanced, 0.60, 0.55, 0.50, 0.25, 32),
+            // Sn transport sweeps: issue-heavy.
+            mk("SNAP", AppClass::ComputeBound, 0.75, 0.35, 0.40, 0.30, 26),
+            // Plane-wave DFT (FFT + dense BLAS): compute-bound, cache
+            // resident working set, little bandwidth demand.
+            mk(
+                "miniDFT",
+                AppClass::ComputeBound,
+                0.85,
+                0.18,
+                0.35,
+                0.30,
+                18,
+            ),
+            // Gyrokinetic PIC: scatter/gather, mixed.
+            mk("GTC", AppClass::Balanced, 0.55, 0.60, 0.55, 0.30, 30),
+            // Lattice QCD: bandwidth-bound with heavy communication.
+            mk("MILC", AppClass::MemoryBound, 0.45, 0.85, 0.50, 0.40, 22),
+        ])
+    }
+
+    /// Number of apps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True when the catalog has no apps.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Profile by id.
+    pub fn get(&self, id: AppId) -> Option<&AppProfile> {
+        self.apps.get(id.index())
+    }
+
+    /// Profile by id, panicking on stale ids (catalogs are append-only, so
+    /// an id minted by this catalog always resolves).
+    pub fn profile(&self, id: AppId) -> &AppProfile {
+        &self.apps[id.index()]
+    }
+
+    /// Profile by name.
+    pub fn by_name(&self, name: &str) -> Option<&AppProfile> {
+        self.apps.iter().find(|a| a.name == name)
+    }
+
+    /// All profiles in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &AppProfile> {
+        self.apps.iter()
+    }
+
+    /// All ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = AppId> + '_ {
+        (0..self.apps.len()).map(|i| AppId(i as u8))
+    }
+
+    /// Derived SMT self-speedups for the T1 characterization table.
+    pub fn smt_self_speedups(&self, model: &ContentionModel) -> Vec<(AppId, f64)> {
+        self.apps
+            .iter()
+            .map(|a| (a.id, model.smt_self_speedup(&a.demand)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trinity_catalog_is_valid_and_dense() {
+        let c = AppCatalog::trinity();
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_empty());
+        for (i, app) in c.iter().enumerate() {
+            assert_eq!(app.id, AppId(i as u8));
+            assert!(app.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_and_id_agree() {
+        let c = AppCatalog::trinity();
+        let fe = c.by_name("miniFE").unwrap();
+        assert_eq!(c.profile(fe.id).name, "miniFE");
+        assert!(c.by_name("nosuchapp").is_none());
+        assert!(c.get(AppId(200)).is_none());
+    }
+
+    #[test]
+    fn classes_cover_the_spectrum() {
+        let c = AppCatalog::trinity();
+        let has = |cl: AppClass| c.iter().any(|a| a.class == cl);
+        assert!(has(AppClass::ComputeBound));
+        assert!(has(AppClass::MemoryBound));
+        assert!(has(AppClass::Balanced));
+        assert!(has(AppClass::CommBound));
+    }
+
+    #[test]
+    fn memory_bound_apps_demand_bandwidth() {
+        let c = AppCatalog::trinity();
+        for app in c.iter() {
+            match app.class {
+                AppClass::MemoryBound => {
+                    assert!(app.demand.get(crate::resources::Resource::MemBandwidth) >= 0.8)
+                }
+                AppClass::ComputeBound => {
+                    assert!(app.demand.get(crate::resources::Resource::IssueSlots) >= 0.7)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn smt_self_speedups_are_sane() {
+        let c = AppCatalog::trinity();
+        for (id, s) in c.smt_self_speedups(&ContentionModel::calibrated()) {
+            // SMT running the app against itself never doubles throughput
+            // and never drops below the single-lane rate by much.
+            assert!(s > 0.9 && s < 2.0, "{}: {s}", c.profile(id).name);
+        }
+    }
+
+    #[test]
+    fn memory_fits_on_a_trinity_node_pairwise() {
+        let c = AppCatalog::trinity();
+        let cap = nodeshare_cluster_mem_cap();
+        for a in c.iter() {
+            for b in c.iter() {
+                assert!(
+                    a.mem_per_node_mib + b.mem_per_node_mib <= cap,
+                    "{} + {} exceed node memory",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    /// Trinity-like node memory; duplicated constant to keep this crate
+    /// independent of nodeshare-cluster.
+    fn nodeshare_cluster_mem_cap() -> u64 {
+        128 * 1024
+    }
+}

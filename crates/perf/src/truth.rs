@@ -1,0 +1,186 @@
+//! Ground-truth co-run rates for the simulation engine: pairwise lookups
+//! served from a precomputed matrix, wider co-residency (SMT-4 and
+//! beyond) evaluated through the n-way contention model on demand.
+
+use crate::contention::ContentionModel;
+use crate::pair::PairMatrix;
+use crate::profile::AppId;
+use crate::resources::ResourceVector;
+use crate::trinity::AppCatalog;
+use serde::{Deserialize, Serialize};
+
+/// How co-resident jobs actually interact.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+enum Backing {
+    /// SMT lane sharing priced by the contention model (the paper's
+    /// mechanism): rates depend on *which* apps share.
+    Smt {
+        /// Contention model.
+        model: ContentionModel,
+        /// Demand vector per app id.
+        demands: Vec<ResourceVector>,
+    },
+    /// Gang time-slicing (SLURM `OverSubscribe=FORCE` with gang
+    /// scheduling): `n` co-residents each get `1/n` of the node minus a
+    /// context-switch overhead — app-agnostic, throughput-neutral.
+    TimeSlice {
+        /// Fractional throughput lost to context switching and cache
+        /// repopulation per slice.
+        overhead: f64,
+    },
+}
+
+/// The engine's oracle: what co-running actually does to each job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoRunTruth {
+    backing: Backing,
+    pair: PairMatrix,
+}
+
+impl CoRunTruth {
+    /// Builds the truth for a catalog under a contention model.
+    pub fn build(catalog: &AppCatalog, model: &ContentionModel) -> Self {
+        CoRunTruth {
+            backing: Backing::Smt {
+                model: *model,
+                demands: catalog.iter().map(|a| a.demand).collect(),
+            },
+            pair: PairMatrix::build(catalog, model),
+        }
+    }
+
+    /// Builds a gang time-slicing truth: any pair co-runs at
+    /// `(1 − overhead) / 2` regardless of application identity.
+    pub fn time_slicing(catalog: &AppCatalog, overhead: f64) -> Self {
+        assert!((0.0..1.0).contains(&overhead), "overhead must be in [0, 1)");
+        CoRunTruth {
+            backing: Backing::TimeSlice { overhead },
+            pair: PairMatrix::uniform(catalog.len(), (1.0 - overhead) / 2.0),
+        }
+    }
+
+    /// The precomputed pairwise matrix (scheduler predictors and pairwise
+    /// analyses use this directly).
+    #[inline]
+    pub fn pair_matrix(&self) -> &PairMatrix {
+        &self.pair
+    }
+
+    /// The underlying contention model for SMT truths; `None` for
+    /// time-slicing truths.
+    #[inline]
+    pub fn model(&self) -> Option<&ContentionModel> {
+        match &self.backing {
+            Backing::Smt { model, .. } => Some(model),
+            Backing::TimeSlice { .. } => None,
+        }
+    }
+
+    /// Number of applications covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pair.len()
+    }
+
+    /// True when no applications are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pair.is_empty()
+    }
+
+    /// Rate of `app` when co-resident on one node with `corunners`
+    /// (one hardware-thread lane each). Alone → 1.0; one co-runner →
+    /// matrix lookup; more → n-way evaluation.
+    pub fn rate_with(&self, app: AppId, corunners: &[AppId]) -> f64 {
+        match corunners {
+            [] => 1.0,
+            [b] => self.pair.rate(app, *b),
+            _ => match &self.backing {
+                Backing::Smt { model, demands } => {
+                    let mut stack: Vec<&ResourceVector> = Vec::with_capacity(corunners.len() + 1);
+                    stack.push(&demands[app.index()]);
+                    for b in corunners {
+                        stack.push(&demands[b.index()]);
+                    }
+                    model.co_run_rates(&stack)[0]
+                }
+                Backing::TimeSlice { overhead } => (1.0 - overhead) / (corunners.len() + 1) as f64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> (AppCatalog, CoRunTruth) {
+        let c = AppCatalog::trinity();
+        let t = CoRunTruth::build(&c, &ContentionModel::calibrated());
+        (c, t)
+    }
+
+    #[test]
+    fn solo_and_pair_match_the_matrix() {
+        let (c, t) = truth();
+        for a in c.ids() {
+            assert_eq!(t.rate_with(a, &[]), 1.0);
+            for b in c.ids() {
+                assert_eq!(t.rate_with(a, &[b]), t.pair_matrix().rate(a, b));
+            }
+        }
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn three_way_matches_direct_model_evaluation() {
+        let (c, t) = truth();
+        let model = ContentionModel::calibrated();
+        let (a, b, d) = (
+            c.profile(AppId(0)),
+            c.profile(AppId(4)),
+            c.profile(AppId(5)),
+        );
+        let direct = model.co_run_rates(&[&a.demand, &b.demand, &d.demand]);
+        let via_truth = t.rate_with(a.id, &[b.id, d.id]);
+        assert!((via_truth - direct[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_slicing_is_app_agnostic() {
+        let c = AppCatalog::trinity();
+        let t = CoRunTruth::time_slicing(&c, 0.05);
+        assert!(t.model().is_none());
+        for a in c.ids() {
+            assert_eq!(t.rate_with(a, &[]), 1.0);
+            for b in c.ids() {
+                assert!((t.rate_with(a, &[b]) - 0.475).abs() < 1e-12);
+            }
+            // Three-way slicing: a third of the node each, minus overhead.
+            let r = t.rate_with(a, &[AppId(0), AppId(1)]);
+            assert!((r - 0.95 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead must be")]
+    fn time_slicing_rejects_full_overhead() {
+        CoRunTruth::time_slicing(&AppCatalog::trinity(), 1.0);
+    }
+
+    #[test]
+    fn wider_coresidency_is_never_faster() {
+        let (c, t) = truth();
+        for a in c.ids() {
+            for b in c.ids() {
+                for d in c.ids() {
+                    assert!(
+                        t.rate_with(a, &[b, d]) <= t.rate_with(a, &[b]) + 1e-12,
+                        "{a} with [{b},{d}]"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the contention model: rates stay in bounds, the
+//! model is symmetric in roles, and adding demand never speeds a pair up.
+
+use nodeshare_perf::{ContentionModel, Resource, ResourceVector};
+use proptest::prelude::*;
+
+fn demand() -> impl Strategy<Value = ResourceVector> {
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0)
+        .prop_map(|(i, m, l, n)| ResourceVector::new(i, m, l, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every co-run rate lies in (0, 1].
+    #[test]
+    fn rates_are_in_unit_interval(a in demand(), b in demand()) {
+        let m = ContentionModel::calibrated();
+        let r = m.pair_rates(&a, &b);
+        prop_assert!(r.rate_a > 0.0 && r.rate_a <= 1.0);
+        prop_assert!(r.rate_b > 0.0 && r.rate_b <= 1.0);
+    }
+
+    /// Swapping the argument order swaps the rates exactly.
+    #[test]
+    fn role_symmetry(a in demand(), b in demand()) {
+        let m = ContentionModel::calibrated();
+        let r = m.pair_rates(&a, &b);
+        let s = m.pair_rates(&b, &a);
+        prop_assert_eq!(r.swapped(), s);
+    }
+
+    /// A hungrier co-runner never helps: increasing B's demand on any
+    /// resource cannot increase A's rate.
+    #[test]
+    fn monotone_in_corunner_demand(
+        a in demand(),
+        b in demand(),
+        r_idx in 0usize..4,
+        bump in 0.0f64..=0.5,
+    ) {
+        let m = ContentionModel::calibrated();
+        let resource = Resource::ALL[r_idx];
+        let mut b2 = b;
+        b2.set(resource, (b.get(resource) + bump).min(1.0));
+        let before = m.pair_rates(&a, &b).rate_a;
+        let after = m.pair_rates(&a, &b2).rate_a;
+        prop_assert!(after <= before + 1e-12, "rate rose {before} -> {after}");
+    }
+
+    /// Combined throughput never exceeds 2× exclusive and is positive.
+    #[test]
+    fn combined_throughput_bounds(a in demand(), b in demand()) {
+        let m = ContentionModel::calibrated();
+        let t = m.pair_rates(&a, &b).combined_throughput();
+        prop_assert!(t > 0.0 && t <= 2.0);
+    }
+
+    /// Pairing against a zero-demand co-runner costs exactly the SMT tax.
+    #[test]
+    fn idle_corunner_costs_only_the_tax(a in demand()) {
+        let m = ContentionModel::calibrated();
+        let r = m.pair_rates(&a, &ResourceVector::zero());
+        prop_assert!((r.rate_a - m.smt_tax).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,378 @@
+//! The batch-system facade: submit `sbatch` scripts, let a strategy
+//! schedule them, get accounting back.
+//!
+//! This is the layer that gives nodeshare its "SLURM shape": partition
+//! limits are enforced at submission, `--oversubscribe` requests are
+//! honored only where the partition allows them, and the result of a run
+//! is the familiar accounting view.
+//!
+//! One deliberate difference from a real workload manager: the simulator
+//! must know each job's *true* runtime (real systems discover it by
+//! running the binary), so submission takes it as an explicit argument.
+
+use crate::conf::SlurmConf;
+use crate::script::{JobScript, ScriptError};
+use nodeshare_cluster::JobId;
+use nodeshare_engine::{run, Scheduler, SimConfig, SimOutcome};
+use nodeshare_perf::{AppCatalog, AppId, CoRunTruth, ContentionModel};
+use nodeshare_workload::{JobSpec, Seconds, Workload};
+
+/// Submission failure, mirroring `sbatch` rejections.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// Script header failed to parse.
+    Script(ScriptError),
+    /// Named partition does not exist (or no partition is configured).
+    NoSuchPartition(String),
+    /// Requested walltime exceeds the partition limit.
+    WalltimeLimit {
+        /// Requested seconds.
+        requested: Seconds,
+        /// Partition limit.
+        limit: Seconds,
+    },
+    /// More nodes than the cluster has.
+    TooManyNodes {
+        /// Requested node count.
+        requested: u32,
+        /// Cluster size.
+        available: u32,
+    },
+    /// Per-node memory request exceeds node capacity.
+    TooMuchMemory {
+        /// Requested MiB per node.
+        requested: u64,
+        /// Node capacity MiB.
+        capacity: u64,
+    },
+    /// The command does not name a profiled application.
+    UnknownApplication(String),
+    /// Walltime is required (no partition default available).
+    MissingWalltime,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Script(e) => write!(f, "{e}"),
+            SubmitError::NoSuchPartition(p) => write!(f, "no partition {p:?}"),
+            SubmitError::WalltimeLimit { requested, limit } => {
+                write!(f, "walltime {requested}s exceeds limit {limit}s")
+            }
+            SubmitError::TooManyNodes {
+                requested,
+                available,
+            } => write!(f, "{requested} nodes requested, cluster has {available}"),
+            SubmitError::TooMuchMemory {
+                requested,
+                capacity,
+            } => write!(f, "{requested} MiB/node requested, nodes have {capacity}"),
+            SubmitError::UnknownApplication(c) => {
+                write!(f, "command {c:?} names no profiled application")
+            }
+            SubmitError::MissingWalltime => write!(f, "--time is required"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<ScriptError> for SubmitError {
+    fn from(e: ScriptError) -> Self {
+        SubmitError::Script(e)
+    }
+}
+
+/// An accepted job: the normalized spec plus its display name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AcceptedJob {
+    /// The normalized job spec handed to the engine.
+    pub spec: JobSpec,
+    /// Display name (`--job-name`, or the application name).
+    pub name: String,
+    /// Partition the job landed in.
+    pub partition: String,
+}
+
+/// The batch system: configuration + accepted jobs.
+#[derive(Clone, Debug)]
+pub struct BatchSystem {
+    conf: SlurmConf,
+    catalog: AppCatalog,
+    accepted: Vec<AcceptedJob>,
+    next_id: u64,
+}
+
+impl BatchSystem {
+    /// Creates a batch system from configuration and an app catalog.
+    pub fn new(conf: SlurmConf, catalog: AppCatalog) -> Self {
+        BatchSystem {
+            conf,
+            catalog,
+            accepted: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn conf(&self) -> &SlurmConf {
+        &self.conf
+    }
+
+    /// The application catalog.
+    pub fn catalog(&self) -> &AppCatalog {
+        &self.catalog
+    }
+
+    /// Accepted jobs in submission order.
+    pub fn jobs(&self) -> &[AcceptedJob] {
+        &self.accepted
+    }
+
+    /// Resolves which profiled application a command line runs: the first
+    /// catalog app whose name appears (case-insensitively) in the command.
+    pub fn resolve_app(&self, command: &str) -> Option<AppId> {
+        let lower = command.to_lowercase();
+        self.catalog
+            .iter()
+            .find(|a| lower.contains(&a.name.to_lowercase()))
+            .map(|a| a.id)
+    }
+
+    /// Submits an `sbatch` script at `submit_time`. `true_runtime` is the
+    /// job's actual exclusive runtime (simulation ground truth).
+    pub fn submit_script(
+        &mut self,
+        script_text: &str,
+        submit_time: Seconds,
+        user: u32,
+        true_runtime: Seconds,
+    ) -> Result<JobId, SubmitError> {
+        let script = JobScript::parse(script_text)?;
+        self.submit(script, submit_time, user, true_runtime)
+    }
+
+    /// Submits a parsed script.
+    pub fn submit(
+        &mut self,
+        script: JobScript,
+        submit_time: Seconds,
+        user: u32,
+        true_runtime: Seconds,
+    ) -> Result<JobId, SubmitError> {
+        let partition = match &script.partition {
+            Some(name) => self
+                .conf
+                .partition(name)
+                .ok_or_else(|| SubmitError::NoSuchPartition(name.clone()))?,
+            None => self
+                .conf
+                .default_partition()
+                .ok_or_else(|| SubmitError::NoSuchPartition("(default)".into()))?,
+        };
+        let walltime = match (script.walltime, partition.max_time) {
+            (Some(w), Some(limit)) if w > limit => {
+                return Err(SubmitError::WalltimeLimit {
+                    requested: w,
+                    limit,
+                })
+            }
+            (Some(w), _) => w,
+            (None, Some(limit)) => limit,
+            (None, None) => return Err(SubmitError::MissingWalltime),
+        };
+        if script.nodes > self.conf.cluster.node_count {
+            return Err(SubmitError::TooManyNodes {
+                requested: script.nodes,
+                available: self.conf.cluster.node_count,
+            });
+        }
+        let command = script.command.clone().unwrap_or_default();
+        let app = self
+            .resolve_app(&command)
+            .ok_or_else(|| SubmitError::UnknownApplication(command.clone()))?;
+        let mem = script
+            .mem_per_node_mib
+            .unwrap_or_else(|| self.catalog.profile(app).mem_per_node_mib);
+        if mem > self.conf.cluster.node.mem_mib {
+            return Err(SubmitError::TooMuchMemory {
+                requested: mem,
+                capacity: self.conf.cluster.node.mem_mib,
+            });
+        }
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let spec = JobSpec {
+            id,
+            app,
+            nodes: script.nodes,
+            submit: submit_time,
+            runtime_exclusive: true_runtime,
+            // Walltime below the true runtime is allowed — the job will
+            // simply be killed, as in real life.
+            walltime_estimate: walltime,
+            mem_per_node_mib: mem,
+            share_eligible: script.oversubscribe && partition.oversubscribe,
+            user,
+        };
+        self.accepted.push(AcceptedJob {
+            name: script
+                .name
+                .unwrap_or_else(|| self.catalog.profile(app).name.clone()),
+            partition: partition.name.clone(),
+            spec,
+        });
+        Ok(id)
+    }
+
+    /// Bulk-loads a pre-built workload (e.g. from the generator or an SWF
+    /// trace) as if each job had been submitted normally, bypassing script
+    /// parsing but applying partition share gating.
+    pub fn load_workload(&mut self, workload: &Workload) {
+        let oversub = self
+            .conf
+            .default_partition()
+            .map(|p| p.oversubscribe)
+            .unwrap_or(false);
+        for j in workload.jobs() {
+            let mut spec = j.clone();
+            spec.id = JobId(self.next_id);
+            self.next_id += 1;
+            spec.share_eligible = spec.share_eligible && oversub;
+            self.accepted.push(AcceptedJob {
+                name: self.catalog.profile(spec.app).name.clone(),
+                partition: self
+                    .conf
+                    .default_partition()
+                    .map(|p| p.name.clone())
+                    .unwrap_or_default(),
+                spec,
+            });
+        }
+    }
+
+    /// The accepted jobs as an engine workload.
+    pub fn workload(&self) -> Workload {
+        Workload::new(self.accepted.iter().map(|a| a.spec.clone()).collect())
+            .expect("accepted jobs are validated at submission")
+    }
+
+    /// Runs the accepted jobs under `scheduler` with the given contention
+    /// truth, returning the outcome.
+    pub fn run(&self, scheduler: &mut dyn Scheduler, model: &ContentionModel) -> SimOutcome {
+        let truth = CoRunTruth::build(&self.catalog, model);
+        let config = SimConfig::new(self.conf.cluster);
+        run(&self.workload(), &truth, scheduler, &config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_core::Fcfs;
+
+    fn system() -> BatchSystem {
+        BatchSystem::new(SlurmConf::evaluation(), AppCatalog::trinity())
+    }
+
+    fn script(nodes: u32, time: &str, app: &str) -> String {
+        format!(
+            "#SBATCH --nodes={nodes}\n#SBATCH --time={time}\n#SBATCH --oversubscribe\nsrun ./{app}\n"
+        )
+    }
+
+    #[test]
+    fn accepts_and_normalizes() {
+        let mut bs = system();
+        let id = bs
+            .submit_script(&script(4, "01:00:00", "miniFE"), 0.0, 7, 1_800.0)
+            .unwrap();
+        assert_eq!(id, JobId(0));
+        let job = &bs.jobs()[0];
+        assert_eq!(job.spec.nodes, 4);
+        assert_eq!(job.spec.walltime_estimate, 3_600.0);
+        assert!(job.spec.share_eligible);
+        assert_eq!(job.name, "miniFE");
+        assert_eq!(job.partition, "batch");
+        assert_eq!(job.spec.mem_per_node_mib, 24 * 1024);
+    }
+
+    #[test]
+    fn partition_gates_sharing() {
+        let conf = SlurmConf::parse(
+            "NodeName=n[0-3] Sockets=1 CoresPerSocket=4 ThreadsPerCore=2 RealMemory=65536\n\
+             PartitionName=noshare Default=YES MaxTime=1:00:00 OverSubscribe=NO\n",
+        )
+        .unwrap();
+        let mut bs = BatchSystem::new(conf, AppCatalog::trinity());
+        bs.submit_script(&script(1, "10:00", "AMG"), 0.0, 0, 60.0)
+            .unwrap();
+        assert!(
+            !bs.jobs()[0].spec.share_eligible,
+            "partition forbids sharing"
+        );
+    }
+
+    #[test]
+    fn rejections() {
+        let mut bs = system();
+        // Unknown partition.
+        let err = bs
+            .submit_script("#SBATCH --partition=gpu\nsrun ./miniFE\n", 0.0, 0, 60.0)
+            .unwrap_err();
+        assert_eq!(err, SubmitError::NoSuchPartition("gpu".into()));
+        // Walltime over partition limit (12h).
+        let err = bs
+            .submit_script(&script(1, "13:00:00", "miniFE"), 0.0, 0, 60.0)
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::WalltimeLimit { .. }));
+        // Too many nodes.
+        let err = bs
+            .submit_script(&script(500, "01:00:00", "miniFE"), 0.0, 0, 60.0)
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::TooManyNodes { .. }));
+        // Unknown application.
+        let err = bs
+            .submit_script(&script(1, "01:00:00", "mysteryapp"), 0.0, 0, 60.0)
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::UnknownApplication(_)));
+        // Excess memory.
+        let err = bs
+            .submit_script(
+                "#SBATCH --time=10:00\n#SBATCH --mem=512G\nsrun ./miniFE\n",
+                0.0,
+                0,
+                60.0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::TooMuchMemory { .. }));
+        assert!(bs.jobs().is_empty(), "rejected jobs are not accepted");
+    }
+
+    #[test]
+    fn missing_walltime_takes_partition_limit() {
+        let mut bs = system();
+        bs.submit_script("srun ./GTC\n", 0.0, 0, 60.0).unwrap();
+        assert_eq!(bs.jobs()[0].spec.walltime_estimate, 43_200.0);
+    }
+
+    #[test]
+    fn end_to_end_run() {
+        let mut bs = system();
+        for i in 0..4 {
+            bs.submit_script(&script(2, "01:00:00", "miniFE"), i as f64 * 10.0, i, 600.0)
+                .unwrap();
+        }
+        let out = bs.run(&mut Fcfs::new(), &ContentionModel::calibrated());
+        assert!(out.complete());
+        assert_eq!(out.records.len(), 4);
+    }
+
+    #[test]
+    fn app_resolution_is_case_insensitive() {
+        let bs = system();
+        assert!(bs.resolve_app("srun ./minife_x86").is_some());
+        assert!(bs.resolve_app("mpirun -np 512 SNAP.exe").is_some());
+        assert!(bs.resolve_app("sleep 100").is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! # nodeshare-slurm
+//!
+//! A SLURM-shaped facade over the nodeshare engine — the layer the paper
+//! implemented inside the real SLURM workload manager:
+//!
+//! * [`timefmt`] — SLURM wall-clock formats (`1-06:30:00`),
+//! * [`script`] — `#SBATCH` job-script parsing,
+//! * [`conf`] — `slurm.conf`-style machine/partition configuration, with
+//!   the `OverSubscribe` flag gating node sharing per partition,
+//! * [`batch`] — [`BatchSystem`]: submission with partition limits and
+//!   share gating, then a full scheduling run,
+//! * [`priority`] — a `priority/multifactor` analog wrapping any policy,
+//! * [`views`] — `squeue` / `sinfo` / `sacct` renderers over outcomes.
+//!
+//! ```
+//! use nodeshare_core::Backfill;
+//! use nodeshare_perf::{AppCatalog, ContentionModel};
+//! use nodeshare_slurm::{BatchSystem, SlurmConf};
+//!
+//! let mut bs = BatchSystem::new(SlurmConf::evaluation(), AppCatalog::trinity());
+//! bs.submit_script(
+//!     "#SBATCH --nodes=2\n#SBATCH --time=30:00\nsrun ./miniFE\n",
+//!     0.0, 1, 900.0,
+//! ).unwrap();
+//! let out = bs.run(&mut Backfill::easy(), &ContentionModel::calibrated());
+//! assert!(out.complete());
+//! ```
+
+pub mod batch;
+pub mod conf;
+pub mod priority;
+pub mod scontrol;
+pub mod script;
+pub mod timefmt;
+pub mod views;
+
+pub use batch::{AcceptedJob, BatchSystem, SubmitError};
+pub use conf::{ConfError, Partition, SlurmConf};
+pub use priority::{MultifactorPriority, PriorityWeights};
+pub use scontrol::{show_job, sprio_at};
+pub use script::{JobScript, ScriptError};
+pub use timefmt::{format_walltime, parse_walltime};
+pub use views::{sacct, sinfo_at, squeue_at, JobState};

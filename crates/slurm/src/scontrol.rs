@@ -1,0 +1,129 @@
+//! `scontrol show job` and `sprio`-style detailed views.
+
+use crate::timefmt::format_walltime;
+use nodeshare_cluster::JobId;
+use nodeshare_engine::SimOutcome;
+use nodeshare_metrics::{JobRecord, Table};
+use nodeshare_perf::AppCatalog;
+use nodeshare_workload::{JobSpec, Seconds};
+
+/// Renders an `scontrol show job <id>`-style block for one record.
+///
+/// Returns `None` when the job does not exist in the outcome.
+pub fn show_job(outcome: &SimOutcome, catalog: &AppCatalog, id: JobId) -> Option<String> {
+    let r: &JobRecord = outcome.records.iter().find(|r| r.id == id)?;
+    let app = catalog
+        .get(r.app)
+        .map(|a| a.name.clone())
+        .unwrap_or_else(|| r.app.to_string());
+    let state = if r.killed { "TIMEOUT" } else { "COMPLETED" };
+    Some(format!(
+        "JobId={id} Name={app} UserId=u{user}\n\
+         \x20  JobState={state} Restarts={restarts}\n\
+         \x20  SubmitTime={submit:.0} StartTime={start:.0} EndTime={end:.0}\n\
+         \x20  RunTime={run} TimeLimit={limit} NumNodes={nodes}\n\
+         \x20  OverSubscribe={share} SharedNodeSeconds={shared:.0}\n",
+        id = r.id.0,
+        user = r.user,
+        restarts = r.restarts,
+        submit = r.submit,
+        start = r.start,
+        end = r.finish,
+        run = format_walltime(r.run()),
+        limit = format_walltime(r.walltime_estimate),
+        nodes = r.nodes,
+        share = if r.shared_alloc { "YES" } else { "NO" },
+        shared = r.shared_node_seconds,
+    ))
+}
+
+/// Renders an `sprio`-style table of the waiting queue at time `t`:
+/// job, age, size and the composite priority the multifactor plugin
+/// would assign.
+pub fn sprio_at(
+    pending: &[JobSpec],
+    weights: &crate::priority::PriorityWeights,
+    t: Seconds,
+    max_nodes: u32,
+) -> String {
+    let mut rows: Vec<(f64, Vec<String>)> = pending
+        .iter()
+        .map(|j| {
+            let prio = weights.priority(j, t, max_nodes);
+            (
+                prio,
+                vec![
+                    j.id.0.to_string(),
+                    format!("{:.0}", (t - j.submit).max(0.0)),
+                    j.nodes.to_string(),
+                    format!("{prio:.3}"),
+                ],
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut table = Table::new(vec!["JOBID", "AGE(s)", "NODES", "PRIORITY"]);
+    for (_, row) in rows {
+        table.row(row);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::PriorityWeights;
+    use nodeshare_cluster::{ClusterSpec, NodeSpec};
+    use nodeshare_core::Fcfs;
+    use nodeshare_engine::{run, SimConfig};
+    use nodeshare_perf::{AppId, CoRunTruth, ContentionModel};
+    use nodeshare_workload::Workload;
+
+    fn spec(id: u64, submit: f64, nodes: u32) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            app: AppId(0),
+            nodes,
+            submit,
+            runtime_exclusive: 100.0,
+            walltime_estimate: 300.0,
+            mem_per_node_mib: 0,
+            share_eligible: true,
+            user: 9,
+        }
+    }
+
+    #[test]
+    fn show_job_renders_completed_jobs() {
+        let catalog = AppCatalog::trinity();
+        let truth = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
+        let w = Workload::new(vec![spec(0, 5.0, 1)]).unwrap();
+        let out = run(
+            &w,
+            &truth,
+            &mut Fcfs::new(),
+            &SimConfig::new(ClusterSpec::new(1, NodeSpec::tiny())),
+        );
+        let s = show_job(&out, &catalog, JobId(0)).unwrap();
+        assert!(s.contains("JobState=COMPLETED"));
+        assert!(s.contains("Name=miniFE"));
+        assert!(s.contains("NumNodes=1"));
+        assert!(s.contains("UserId=u9"));
+        assert!(show_job(&out, &catalog, JobId(42)).is_none());
+    }
+
+    #[test]
+    fn sprio_sorts_by_priority() {
+        let weights = PriorityWeights {
+            age: 1.0,
+            size: 0.0,
+            age_horizon: 100.0,
+        };
+        // Older job first under a pure-age priority.
+        let pending = vec![spec(1, 90.0, 1), spec(2, 10.0, 8)];
+        let s = sprio_at(&pending, &weights, 100.0, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].trim_start().starts_with('2'), "{s}");
+        assert!(lines[3].trim_start().starts_with('1'), "{s}");
+    }
+}

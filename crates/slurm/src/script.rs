@@ -1,0 +1,243 @@
+//! `sbatch`-style job scripts: `#SBATCH` header parsing.
+//!
+//! The examples submit jobs the way SLURM users do — a shell script whose
+//! header carries the resource request:
+//!
+//! ```text
+//! #!/bin/bash
+//! #SBATCH --job-name=minife-512
+//! #SBATCH --nodes=16
+//! #SBATCH --time=01:30:00
+//! #SBATCH --mem=24G
+//! #SBATCH --oversubscribe
+//! srun ./miniFE nx=420 ny=420 nz=420
+//! ```
+
+use crate::timefmt::{parse_walltime, TimeParseError};
+use nodeshare_workload::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A parsed `#SBATCH` header.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobScript {
+    /// `--job-name`.
+    pub name: Option<String>,
+    /// `--nodes` (default 1).
+    pub nodes: u32,
+    /// `--time`, seconds.
+    pub walltime: Option<Seconds>,
+    /// `--mem` per node, MiB.
+    pub mem_per_node_mib: Option<u64>,
+    /// `--oversubscribe` — the job opts into node sharing.
+    pub oversubscribe: bool,
+    /// `--partition`.
+    pub partition: Option<String>,
+    /// The application command line (first non-comment, non-shebang line).
+    pub command: Option<String>,
+}
+
+/// Error from parsing a job script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptError {
+    /// An `#SBATCH` line had no recognizable `--option`.
+    BadDirective(String),
+    /// An option's value failed to parse.
+    BadValue {
+        /// Option name (e.g. `nodes`).
+        option: String,
+        /// Offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::BadDirective(l) => write!(f, "unparseable #SBATCH line {l:?}"),
+            ScriptError::BadValue { option, value } => {
+                write!(f, "bad value {value:?} for --{option}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+impl From<TimeParseError> for ScriptError {
+    fn from(e: TimeParseError) -> Self {
+        ScriptError::BadValue {
+            option: "time".into(),
+            value: e.0,
+        }
+    }
+}
+
+/// Parses `--mem` values: plain MiB, or with `K`/`M`/`G`/`T` suffix.
+fn parse_mem(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (num, mult) = match v.chars().last()? {
+        'K' | 'k' => (&v[..v.len() - 1], 1.0 / 1024.0),
+        'M' | 'm' => (&v[..v.len() - 1], 1.0),
+        'G' | 'g' => (&v[..v.len() - 1], 1024.0),
+        'T' | 't' => (&v[..v.len() - 1], 1024.0 * 1024.0),
+        _ => (v, 1.0),
+    };
+    let n: f64 = num.parse().ok()?;
+    if n < 0.0 {
+        return None;
+    }
+    Some((n * mult).round() as u64)
+}
+
+impl JobScript {
+    /// Parses a job script's `#SBATCH` header.
+    pub fn parse(text: &str) -> Result<JobScript, ScriptError> {
+        let mut script = JobScript {
+            name: None,
+            nodes: 1,
+            walltime: None,
+            mem_per_node_mib: None,
+            oversubscribe: false,
+            partition: None,
+            command: None,
+        };
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if let Some(rest) = trimmed.strip_prefix("#SBATCH") {
+                let rest = rest.trim();
+                let (opt, value) = match rest.split_once('=') {
+                    Some((o, v)) => (o.trim(), Some(v.trim())),
+                    None => match rest.split_once(char::is_whitespace) {
+                        Some((o, v)) => (o.trim(), Some(v.trim())),
+                        None => (rest, None),
+                    },
+                };
+                let opt = opt
+                    .strip_prefix("--")
+                    .ok_or_else(|| ScriptError::BadDirective(trimmed.to_string()))?;
+                let need = |v: Option<&str>| {
+                    v.filter(|v| !v.is_empty())
+                        .map(str::to_string)
+                        .ok_or_else(|| ScriptError::BadValue {
+                            option: opt.to_string(),
+                            value: String::new(),
+                        })
+                };
+                match opt {
+                    "job-name" => script.name = Some(need(value)?),
+                    "nodes" | "N" => {
+                        let v = need(value)?;
+                        script.nodes = v.parse().map_err(|_| ScriptError::BadValue {
+                            option: "nodes".into(),
+                            value: v,
+                        })?;
+                    }
+                    "time" | "t" => script.walltime = Some(parse_walltime(&need(value)?)?),
+                    "mem" => {
+                        let v = need(value)?;
+                        script.mem_per_node_mib =
+                            Some(parse_mem(&v).ok_or(ScriptError::BadValue {
+                                option: "mem".into(),
+                                value: v,
+                            })?);
+                    }
+                    "oversubscribe" | "share" => script.oversubscribe = true,
+                    "exclusive" => script.oversubscribe = false,
+                    "partition" | "p" => script.partition = Some(need(value)?),
+                    // Unknown directives are ignored, as sbatch ignores
+                    // options that only concern other plugins.
+                    _ => {}
+                }
+            } else if !trimmed.is_empty() && !trimmed.starts_with('#') && script.command.is_none() {
+                script.command = Some(trimmed.to_string());
+            }
+        }
+        Ok(script)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "\
+#!/bin/bash
+#SBATCH --job-name=minife-512
+#SBATCH --nodes=16
+#SBATCH --time=01:30:00
+#SBATCH --mem=24G
+#SBATCH --oversubscribe
+#SBATCH --partition=batch
+
+srun ./miniFE nx=420 ny=420 nz=420
+";
+
+    #[test]
+    fn parses_full_script() {
+        let s = JobScript::parse(SCRIPT).unwrap();
+        assert_eq!(s.name.as_deref(), Some("minife-512"));
+        assert_eq!(s.nodes, 16);
+        assert_eq!(s.walltime, Some(5_400.0));
+        assert_eq!(s.mem_per_node_mib, Some(24 * 1024));
+        assert!(s.oversubscribe);
+        assert_eq!(s.partition.as_deref(), Some("batch"));
+        assert_eq!(
+            s.command.as_deref(),
+            Some("srun ./miniFE nx=420 ny=420 nz=420")
+        );
+    }
+
+    #[test]
+    fn space_separated_options_work() {
+        let s = JobScript::parse("#SBATCH --nodes 4\n#SBATCH --time 30\n").unwrap();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.walltime, Some(1_800.0));
+    }
+
+    #[test]
+    fn defaults_when_missing() {
+        let s = JobScript::parse("echo hi\n").unwrap();
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.walltime, None);
+        assert!(!s.oversubscribe);
+        assert_eq!(s.command.as_deref(), Some("echo hi"));
+    }
+
+    #[test]
+    fn exclusive_overrides_oversubscribe() {
+        let s = JobScript::parse("#SBATCH --oversubscribe\n#SBATCH --exclusive\n").unwrap();
+        assert!(!s.oversubscribe);
+    }
+
+    #[test]
+    fn mem_suffixes() {
+        assert_eq!(parse_mem("512"), Some(512));
+        assert_eq!(parse_mem("2G"), Some(2_048));
+        assert_eq!(parse_mem("1024K"), Some(1));
+        assert_eq!(parse_mem("1T"), Some(1_048_576));
+        assert_eq!(parse_mem("junk"), None);
+        assert_eq!(parse_mem("-1G"), None);
+    }
+
+    #[test]
+    fn bad_directives_error() {
+        assert!(matches!(
+            JobScript::parse("#SBATCH nodes=4\n"),
+            Err(ScriptError::BadDirective(_))
+        ));
+        assert!(matches!(
+            JobScript::parse("#SBATCH --nodes=four\n"),
+            Err(ScriptError::BadValue { .. })
+        ));
+        assert!(matches!(
+            JobScript::parse("#SBATCH --time=1:2:3:4\n"),
+            Err(ScriptError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_directives_ignored() {
+        let s = JobScript::parse("#SBATCH --mail-user=a@b.c\n#SBATCH --nodes=2\n").unwrap();
+        assert_eq!(s.nodes, 2);
+    }
+}

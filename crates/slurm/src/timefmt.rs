@@ -1,0 +1,105 @@
+//! SLURM wall-clock time formats: `MM`, `MM:SS`, `HH:MM:SS`,
+//! `D-HH`, `D-HH:MM`, `D-HH:MM:SS`.
+
+use nodeshare_workload::Seconds;
+
+/// Error from parsing a SLURM time string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeParseError(pub String);
+
+impl std::fmt::Display for TimeParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SLURM time {:?}", self.0)
+    }
+}
+
+impl std::error::Error for TimeParseError {}
+
+/// Parses a SLURM time specification into seconds.
+///
+/// Accepted forms (as in `sbatch --time`): `minutes`, `minutes:seconds`,
+/// `hours:minutes:seconds`, `days-hours`, `days-hours:minutes`,
+/// `days-hours:minutes:seconds`.
+pub fn parse_walltime(s: &str) -> Result<Seconds, TimeParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(TimeParseError(s.to_string()));
+    }
+    let bad = || TimeParseError(s.to_string());
+    let num = |t: &str| -> Result<u64, TimeParseError> {
+        if t.is_empty() {
+            return Err(bad());
+        }
+        t.parse::<u64>().map_err(|_| bad())
+    };
+    if let Some((days, rest)) = s.split_once('-') {
+        let d = num(days)?;
+        let parts: Vec<&str> = rest.split(':').collect();
+        let (h, m, sec) = match parts.as_slice() {
+            [h] => (num(h)?, 0, 0),
+            [h, m] => (num(h)?, num(m)?, 0),
+            [h, m, sec] => (num(h)?, num(m)?, num(sec)?),
+            _ => return Err(bad()),
+        };
+        Ok((((d * 24 + h) * 60 + m) * 60 + sec) as Seconds)
+    } else {
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            [m] => Ok((num(m)? * 60) as Seconds),
+            [m, sec] => Ok((num(m)? * 60 + num(sec)?) as Seconds),
+            [h, m, sec] => Ok(((num(h)? * 60 + num(m)?) * 60 + num(sec)?) as Seconds),
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// Renders seconds in SLURM's canonical `D-HH:MM:SS` / `HH:MM:SS` form.
+pub fn format_walltime(seconds: Seconds) -> String {
+    let total = seconds.round().max(0.0) as u64;
+    let (d, rem) = (total / 86_400, total % 86_400);
+    let (h, rem) = (rem / 3_600, rem % 3_600);
+    let (m, s) = (rem / 60, rem % 60);
+    if d > 0 {
+        format!("{d}-{h:02}:{m:02}:{s:02}")
+    } else {
+        format!("{h:02}:{m:02}:{s:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_forms() {
+        assert_eq!(parse_walltime("90").unwrap(), 5_400.0);
+        assert_eq!(parse_walltime("90:30").unwrap(), 5_430.0);
+        assert_eq!(parse_walltime("01:30:00").unwrap(), 5_400.0);
+        assert_eq!(parse_walltime("1-06").unwrap(), 108_000.0);
+        assert_eq!(parse_walltime("1-06:30").unwrap(), 109_800.0);
+        assert_eq!(parse_walltime("1-06:30:15").unwrap(), 109_815.0);
+        assert_eq!(parse_walltime(" 10 ").unwrap(), 600.0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "x", "1:2:3:4", "1-", "1-2:3:4:5", "-5", "1:x"] {
+            assert!(parse_walltime(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn formats_canonically() {
+        assert_eq!(format_walltime(5_400.0), "01:30:00");
+        assert_eq!(format_walltime(109_815.0), "1-06:30:15");
+        assert_eq!(format_walltime(0.0), "00:00:00");
+        assert_eq!(format_walltime(59.6), "00:01:00");
+    }
+
+    #[test]
+    fn roundtrip() {
+        for s in [60.0, 5_400.0, 109_815.0, 86_400.0] {
+            assert_eq!(parse_walltime(&format_walltime(s)).unwrap(), s);
+        }
+    }
+}

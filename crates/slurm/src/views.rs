@@ -1,0 +1,210 @@
+//! `squeue` / `sinfo` / `sacct`-style views over simulation results.
+//!
+//! The views reconstruct the system state at any instant from the
+//! completion records and occupancy series, so examples can show the
+//! familiar operator's perspective of a run.
+
+use crate::timefmt::format_walltime;
+use nodeshare_cluster::ClusterSpec;
+use nodeshare_engine::SimOutcome;
+use nodeshare_metrics::{JobRecord, Table};
+use nodeshare_perf::AppCatalog;
+use nodeshare_workload::Seconds;
+
+/// Job state at an instant, in `squeue` notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Pending (submitted, not started).
+    Pd,
+    /// Running.
+    R,
+    /// Completed.
+    Cd,
+    /// Failed / killed at walltime.
+    F,
+}
+
+impl JobState {
+    /// The squeue code.
+    pub const fn code(self) -> &'static str {
+        match self {
+            JobState::Pd => "PD",
+            JobState::R => "R",
+            JobState::Cd => "CD",
+            JobState::F => "F",
+        }
+    }
+
+    /// State of a record at time `t`.
+    pub fn of(record: &JobRecord, t: Seconds) -> Option<JobState> {
+        if t < record.submit {
+            None
+        } else if t < record.start {
+            Some(JobState::Pd)
+        } else if t < record.finish {
+            Some(JobState::R)
+        } else if record.killed {
+            Some(JobState::F)
+        } else {
+            Some(JobState::Cd)
+        }
+    }
+}
+
+/// Renders an `squeue`-style table of pending and running jobs at `t`.
+pub fn squeue_at(outcome: &SimOutcome, catalog: &AppCatalog, t: Seconds) -> String {
+    let mut table = Table::new(vec!["JOBID", "NAME", "USER", "ST", "TIME", "NODES", "MODE"]);
+    for r in &outcome.records {
+        let Some(state) = JobState::of(r, t) else {
+            continue;
+        };
+        if !matches!(state, JobState::Pd | JobState::R) {
+            continue;
+        }
+        let elapsed = match state {
+            JobState::R => t - r.start,
+            _ => 0.0,
+        };
+        table.row(vec![
+            r.id.0.to_string(),
+            catalog
+                .get(r.app)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| r.app.to_string()),
+            format!("u{}", r.user),
+            state.code().to_string(),
+            format_walltime(elapsed),
+            r.nodes.to_string(),
+            if r.shared_alloc { "shared" } else { "excl" }.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Renders an `sinfo`-style one-line node-state summary at `t`.
+pub fn sinfo_at(outcome: &SimOutcome, spec: &ClusterSpec, t: Seconds) -> String {
+    let cores_per_node = spec.node.cores() as f64;
+    let busy_nodes = (outcome.busy_cores.value_at(t) / cores_per_node).round() as u64;
+    let shared_nodes = (outcome.shared_cores.value_at(t) / cores_per_node).round() as u64;
+    let total = spec.node_count as u64;
+    let idle = total.saturating_sub(busy_nodes);
+    format!(
+        "NODES {total}  ALLOC {busy}  (shared {shared})  IDLE {idle}  QUEUE {queue}",
+        busy = busy_nodes,
+        shared = shared_nodes,
+        queue = outcome.queue_depth.value_at(t) as u64,
+    )
+}
+
+/// Renders an `sacct`-style accounting table for the whole run.
+pub fn sacct(outcome: &SimOutcome, catalog: &AppCatalog) -> String {
+    let mut table = Table::new(vec![
+        "JOBID", "NAME", "NODES", "SUBMIT", "START", "END", "ELAPSED", "STATE", "MODE",
+    ]);
+    for r in &outcome.records {
+        table.row(vec![
+            r.id.0.to_string(),
+            catalog
+                .get(r.app)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| r.app.to_string()),
+            r.nodes.to_string(),
+            format!("{:.0}", r.submit),
+            format!("{:.0}", r.start),
+            format!("{:.0}", r.finish),
+            format_walltime(r.run()),
+            if r.killed { "TIMEOUT" } else { "COMPLETED" }.to_string(),
+            if r.shared_alloc { "shared" } else { "excl" }.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_cluster::{ClusterSpec, NodeSpec};
+    use nodeshare_core::Fcfs;
+    use nodeshare_engine::{run, SimConfig};
+    use nodeshare_perf::{CoRunTruth, ContentionModel};
+    use nodeshare_workload::{JobSpec, Workload};
+
+    fn outcome() -> (SimOutcome, AppCatalog, ClusterSpec) {
+        let catalog = AppCatalog::trinity();
+        let matrix = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
+        let spec = ClusterSpec::new(2, NodeSpec::tiny());
+        let jobs = vec![
+            JobSpec {
+                id: nodeshare_cluster::JobId(0),
+                app: catalog.by_name("miniFE").unwrap().id,
+                nodes: 2,
+                submit: 0.0,
+                runtime_exclusive: 100.0,
+                walltime_estimate: 200.0,
+                mem_per_node_mib: 64,
+                share_eligible: false,
+                user: 3,
+            },
+            JobSpec {
+                id: nodeshare_cluster::JobId(1),
+                app: catalog.by_name("SNAP").unwrap().id,
+                nodes: 1,
+                submit: 10.0,
+                runtime_exclusive: 400.0,
+                walltime_estimate: 300.0, // will be killed
+                mem_per_node_mib: 64,
+                share_eligible: false,
+                user: 4,
+            },
+        ];
+        let w = Workload::new(jobs).unwrap();
+        let out = run(&w, &matrix, &mut Fcfs::new(), &SimConfig::new(spec));
+        (out, catalog, spec)
+    }
+
+    #[test]
+    fn job_states_over_time() {
+        let (out, _, _) = outcome();
+        let r0 = &out.records[0];
+        assert_eq!(JobState::of(r0, -1.0), None);
+        assert_eq!(JobState::of(r0, 50.0), Some(JobState::R));
+        assert_eq!(JobState::of(r0, 150.0), Some(JobState::Cd));
+        let r1 = &out.records[1];
+        assert_eq!(JobState::of(r1, 50.0), Some(JobState::Pd));
+        assert!(r1.killed);
+        assert_eq!(JobState::of(r1, 10_000.0), Some(JobState::F));
+    }
+
+    #[test]
+    fn squeue_shows_pending_and_running() {
+        let (out, catalog, _) = outcome();
+        let s = squeue_at(&out, &catalog, 50.0);
+        assert!(s.contains("miniFE"));
+        assert!(s.contains(" R"));
+        assert!(s.contains("PD"));
+        assert!(s.contains("u3"));
+        // After everything finished the table is empty of rows.
+        let s = squeue_at(&out, &catalog, 100_000.0);
+        assert_eq!(s.lines().count(), 2, "header + separator only");
+    }
+
+    #[test]
+    fn sinfo_counts_nodes() {
+        let (out, _, spec) = outcome();
+        let s = sinfo_at(&out, &spec, 50.0);
+        assert!(s.contains("NODES 2"), "{s}");
+        assert!(s.contains("ALLOC 2"), "{s}");
+        let s_after = sinfo_at(&out, &spec, 100_000.0);
+        assert!(s_after.contains("IDLE 2"), "{s_after}");
+    }
+
+    #[test]
+    fn sacct_reports_timeouts() {
+        let (out, catalog, _) = outcome();
+        let s = sacct(&out, &catalog);
+        assert!(s.contains("COMPLETED"));
+        assert!(s.contains("TIMEOUT"));
+        assert!(s.contains("SNAP"));
+        assert_eq!(s.lines().count(), 4, "header + separator + 2 jobs");
+    }
+}

@@ -1,0 +1,185 @@
+//! Job arrival processes.
+
+use crate::dist::exponential;
+use crate::job::Seconds;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How jobs arrive over time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson process with `rate` jobs per second.
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Non-homogeneous Poisson with a sinusoidal daily cycle:
+    /// `λ(t) = base_rate · (1 + amplitude · sin(2πt / period))`,
+    /// sampled by thinning. Models the day/night submission rhythm of
+    /// production machines.
+    DailyCycle {
+        /// Mean arrivals per second averaged over a period.
+        base_rate: f64,
+        /// Relative swing in `[0, 1)`.
+        amplitude: f64,
+        /// Cycle length in seconds (86 400 for a day).
+        period: Seconds,
+    },
+    /// Deterministic arrivals every `interarrival` seconds (useful in
+    /// tests and for saturation studies).
+    Uniform {
+        /// Fixed gap between consecutive arrivals.
+        interarrival: Seconds,
+    },
+    /// Every job arrives at time zero: a pre-filled queue, the classic
+    /// "static backlog" configuration for makespan comparisons.
+    Batch,
+}
+
+impl ArrivalProcess {
+    /// Average arrival rate in jobs/second (0 for [`ArrivalProcess::Batch`]).
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate } => *rate,
+            ArrivalProcess::DailyCycle { base_rate, .. } => *base_rate,
+            ArrivalProcess::Uniform { interarrival } => 1.0 / interarrival,
+            ArrivalProcess::Batch => 0.0,
+        }
+    }
+
+    /// Samples the next arrival strictly after `now`.
+    pub fn next_after<R: Rng + ?Sized>(&self, rng: &mut R, now: Seconds) -> Seconds {
+        match self {
+            ArrivalProcess::Poisson { rate } => now + exponential(rng, *rate),
+            ArrivalProcess::DailyCycle {
+                base_rate,
+                amplitude,
+                period,
+            } => {
+                assert!(
+                    (0.0..1.0).contains(amplitude),
+                    "amplitude must be in [0, 1)"
+                );
+                // Thinning against the envelope rate λ_max.
+                let lambda_max = base_rate * (1.0 + amplitude);
+                let mut t = now;
+                loop {
+                    t += exponential(rng, lambda_max);
+                    let lambda_t =
+                        base_rate * (1.0 + amplitude * (std::f64::consts::TAU * t / period).sin());
+                    if rng.random::<f64>() * lambda_max <= lambda_t {
+                        return t;
+                    }
+                }
+            }
+            ArrivalProcess::Uniform { interarrival } => now + interarrival,
+            ArrivalProcess::Batch => now,
+        }
+    }
+
+    /// Samples `n` arrival times starting from time zero.
+    pub fn sample_times<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Seconds> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0;
+        for _ in 0..n {
+            t = self.next_after(rng, t);
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut r = rng();
+        let times = ArrivalProcess::Poisson { rate: 0.2 }.sample_times(&mut r, 5_000);
+        let span = times.last().unwrap() - times[0];
+        let rate = (times.len() - 1) as f64 / span;
+        assert!((rate / 0.2 - 1.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut r = rng();
+        for proc in [
+            ArrivalProcess::Poisson { rate: 1.0 },
+            ArrivalProcess::DailyCycle {
+                base_rate: 1.0,
+                amplitude: 0.5,
+                period: 86_400.0,
+            },
+            ArrivalProcess::Uniform { interarrival: 3.0 },
+        ] {
+            let times = proc.sample_times(&mut r, 500);
+            assert!(times.windows(2).all(|w| w[1] >= w[0]), "{proc:?}");
+            assert!(times[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn batch_arrivals_are_all_zero() {
+        let mut r = rng();
+        let times = ArrivalProcess::Batch.sample_times(&mut r, 10);
+        assert!(times.iter().all(|&t| t == 0.0));
+        assert_eq!(ArrivalProcess::Batch.mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn daily_cycle_mean_rate_converges() {
+        let mut r = rng();
+        let proc = ArrivalProcess::DailyCycle {
+            base_rate: 0.1,
+            amplitude: 0.8,
+            period: 1_000.0,
+        };
+        let times = proc.sample_times(&mut r, 20_000);
+        let span = times.last().unwrap() - times[0];
+        let rate = (times.len() - 1) as f64 / span;
+        assert!((rate / 0.1 - 1.0).abs() < 0.05, "rate {rate}");
+        assert_eq!(proc.mean_rate(), 0.1);
+    }
+
+    #[test]
+    fn uniform_interarrival_is_exact() {
+        let mut r = rng();
+        let times = ArrivalProcess::Uniform { interarrival: 5.0 }.sample_times(&mut r, 4);
+        assert_eq!(times, vec![5.0, 10.0, 15.0, 20.0]);
+        assert!((ArrivalProcess::Uniform { interarrival: 5.0 }.mean_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn daily_cycle_density_varies_with_phase() {
+        // More arrivals land in the high-rate half-period than the low one.
+        let mut r = rng();
+        let period = 1_000.0;
+        let proc = ArrivalProcess::DailyCycle {
+            base_rate: 0.5,
+            amplitude: 0.9,
+            period,
+        };
+        let times = proc.sample_times(&mut r, 30_000);
+        let (mut high, mut low) = (0u32, 0u32);
+        for t in times {
+            let phase = (t / period).fract();
+            if phase < 0.5 {
+                high += 1; // sin positive half: elevated rate
+            } else {
+                low += 1;
+            }
+        }
+        assert!(
+            high as f64 > low as f64 * 1.5,
+            "high {high} low {low}: cycle not visible"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic inverse-CDF samplers for the handful of distributions the
+//! workload model needs.
+//!
+//! Implemented locally (rather than pulling in `rand_distr`) to keep the
+//! dependency set to the approved list; each sampler consumes uniform
+//! variates from any [`rand::Rng`], so reproducibility is inherited from
+//! the seeded generator.
+
+use rand::Rng;
+
+/// Draws `Exp(rate)`: mean `1/rate`.
+///
+/// # Panics
+/// Panics when `rate` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    // random::<f64>() is uniform in [0, 1); flip to (0, 1] so ln is finite.
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / rate
+}
+
+/// Draws a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws `LogNormal` parameterized by its *median* and the σ of the
+/// underlying normal: `exp(ln(median) + sigma · Z)`.
+///
+/// # Panics
+/// Panics when `median ≤ 0` or `sigma < 0`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "log-normal median must be positive");
+    assert!(sigma >= 0.0, "log-normal sigma must be non-negative");
+    (median.ln() + sigma * standard_normal(rng)).exp()
+}
+
+/// Draws an index from a discrete distribution proportional to `weights`.
+///
+/// # Panics
+/// Panics when `weights` is empty, contains a negative weight, or sums
+/// to zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights
+        .iter()
+        .inspect(|w| assert!(**w >= 0.0, "weights must be non-negative"))
+        .sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1 // floating-point slop: the last positive weight wins
+}
+
+/// Clamps a sample into `[lo, hi]`.
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.08, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_converges() {
+        let mut r = rng();
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 300.0, 1.0)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((median / 300.0 - 1.0).abs() < 0.1, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..8_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(exponential(&mut a, 1.0), exponential(&mut b, 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_bad_rate() {
+        exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_index_rejects_empty() {
+        weighted_index(&mut rng(), &[]);
+    }
+
+    #[test]
+    fn clamp_works() {
+        assert_eq!(clamp(5.0, 0.0, 2.0), 2.0);
+        assert_eq!(clamp(-1.0, 0.0, 2.0), 0.0);
+        assert_eq!(clamp(1.0, 0.0, 2.0), 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Walltime-estimate model: how badly users over-estimate.
+//!
+//! Backfill quality is famously sensitive to estimate accuracy, so the F8
+//! experiment sweeps this model's over-estimation factor. The default
+//! follows the stylized facts from trace studies: users multiply the true
+//! runtime by a broad factor and then round up to a "round" wall-clock
+//! value (15-minute granularity), and never exceed the queue limit.
+
+use crate::dist::{clamp, exponential};
+use crate::job::Seconds;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Model producing a user walltime estimate from the true runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EstimateModel {
+    /// Mean multiplicative padding beyond 1× (estimate ≈ runtime × (1 + Exp)).
+    /// `0.0` yields perfect estimates.
+    pub mean_over_factor: f64,
+    /// Estimates are rounded *up* to a multiple of this many seconds
+    /// (0 disables rounding).
+    pub round_to: Seconds,
+    /// Hard ceiling (queue limit).
+    pub max: Seconds,
+}
+
+impl EstimateModel {
+    /// The canonical evaluation model: ~2× mean over-estimate, 15-minute
+    /// rounding, 12-hour queue limit.
+    pub fn evaluation() -> Self {
+        EstimateModel {
+            mean_over_factor: 1.0,
+            round_to: 900.0,
+            max: 43_200.0,
+        }
+    }
+
+    /// A perfect-information model (estimate == runtime): the upper bound
+    /// backfill quality can reach.
+    pub fn perfect() -> Self {
+        EstimateModel {
+            mean_over_factor: 0.0,
+            round_to: 0.0,
+            max: f64::INFINITY,
+        }
+    }
+
+    /// Draws an estimate for a job with true runtime `runtime`.
+    ///
+    /// Estimates never fall below the true runtime — jobs that exceed their
+    /// walltime get killed, and the workload model assumes users learned
+    /// that lesson.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, runtime: Seconds) -> Seconds {
+        let factor = if self.mean_over_factor > 0.0 {
+            1.0 + exponential(rng, 1.0 / self.mean_over_factor)
+        } else {
+            1.0
+        };
+        let mut est = runtime * factor;
+        if self.round_to > 0.0 {
+            est = (est / self.round_to).ceil() * self.round_to;
+        }
+        clamp(est, runtime, self.max.max(runtime))
+    }
+}
+
+impl Default for EstimateModel {
+    fn default() -> Self {
+        EstimateModel::evaluation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn estimates_never_undershoot_runtime() {
+        let mut r = rng();
+        let m = EstimateModel::evaluation();
+        for _ in 0..5_000 {
+            let runtime = 100.0 + r.random::<f64>() * 10_000.0;
+            let est = m.sample(&mut r, runtime);
+            assert!(est >= runtime);
+        }
+    }
+
+    #[test]
+    fn estimates_round_up_to_granularity() {
+        let mut r = rng();
+        let m = EstimateModel::evaluation();
+        for _ in 0..1_000 {
+            let est = m.sample(&mut r, 500.0);
+            if est < m.max {
+                assert!((est / m.round_to).fract().abs() < 1e-9, "est {est}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_over_factor_converges() {
+        let mut r = rng();
+        let m = EstimateModel {
+            mean_over_factor: 1.5,
+            round_to: 0.0,
+            max: f64::INFINITY,
+        };
+        let runtime = 1_000.0;
+        let n = 30_000;
+        let mean: f64 = (0..n).map(|_| m.sample(&mut r, runtime)).sum::<f64>() / n as f64;
+        // E[estimate] = runtime × (1 + mean_over_factor)
+        assert!((mean / (runtime * 2.5) - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn perfect_model_is_exact() {
+        let mut r = rng();
+        let m = EstimateModel::perfect();
+        assert_eq!(m.sample(&mut r, 1234.5), 1234.5);
+    }
+
+    #[test]
+    fn ceiling_is_enforced_but_never_below_runtime() {
+        let mut r = rng();
+        let m = EstimateModel {
+            mean_over_factor: 5.0,
+            round_to: 900.0,
+            max: 3_600.0,
+        };
+        for _ in 0..1_000 {
+            assert!(m.sample(&mut r, 1_000.0) <= 3_600.0);
+        }
+        // A runtime above the cap still yields estimate ≥ runtime.
+        assert!(m.sample(&mut r, 5_000.0) >= 5_000.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic workload generation: composes arrival, size, runtime,
+//! estimate, and mix models into a reproducible campaign.
+
+use crate::arrival::ArrivalProcess;
+use crate::estimates::EstimateModel;
+use crate::job::{JobSpec, Workload};
+use crate::mix::AppMix;
+use crate::sizes::{RuntimeDist, SizeDist};
+use nodeshare_cluster::JobId;
+use nodeshare_perf::AppCatalog;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Full description of a synthetic campaign; `generate` is a pure function
+/// of this spec plus a catalog.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Node-count distribution.
+    pub sizes: SizeDist,
+    /// True-runtime distribution.
+    pub runtime: RuntimeDist,
+    /// Walltime-estimate model.
+    pub estimates: EstimateModel,
+    /// Application mixture.
+    pub mix: AppMix,
+    /// Probability that a job opts into node sharing.
+    pub share_fraction: f64,
+    /// Number of distinct submitting users.
+    pub n_users: u32,
+    /// Master seed; every derived stream is a function of it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The canonical T2/T3 evaluation campaign: 1000 jobs, Poisson
+    /// arrivals sized to load a 128-node cluster to ~90% of capacity,
+    /// every job share-eligible.
+    pub fn evaluation(catalog: &AppCatalog, seed: u64) -> Self {
+        WorkloadSpec {
+            n_jobs: 1_000,
+            // Mean job ≈ 7.2 nodes × ~3800 s ≈ 27.5k node-seconds; at 128
+            // nodes, 0.0042 jobs/s ≈ 90% offered load.
+            arrival: ArrivalProcess::Poisson { rate: 0.0042 },
+            sizes: SizeDist::evaluation(),
+            runtime: RuntimeDist::evaluation(),
+            estimates: EstimateModel::evaluation(),
+            mix: AppMix::uniform(catalog),
+            share_fraction: 1.0,
+            n_users: 64,
+            seed,
+        }
+    }
+
+    /// Generates the workload.
+    pub fn generate(&self, catalog: &AppCatalog) -> Workload {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let arrivals = self.arrival.sample_times(&mut rng, self.n_jobs);
+        let mut jobs = Vec::with_capacity(self.n_jobs);
+        for (i, submit) in arrivals.into_iter().enumerate() {
+            let app = self.mix.sample(&mut rng);
+            let nodes = self.sizes.sample(&mut rng);
+            let runtime = self.runtime.sample(&mut rng);
+            let estimate = self.estimates.sample(&mut rng, runtime);
+            let share_eligible = rng.random::<f64>() < self.share_fraction;
+            let user = rng.random_range(0..self.n_users.max(1));
+            jobs.push(JobSpec {
+                id: JobId(i as u64),
+                app,
+                nodes,
+                submit,
+                runtime_exclusive: runtime,
+                walltime_estimate: estimate,
+                mem_per_node_mib: catalog.profile(app).mem_per_node_mib,
+                share_eligible,
+                user,
+            });
+        }
+        Workload::new(jobs).expect("generated jobs are valid by construction")
+    }
+
+    /// Offered load against a cluster: mean work arrival rate over cluster
+    /// capacity (node-seconds per second per node). Values near 1.0
+    /// saturate the machine.
+    pub fn offered_load(&self, catalog: &AppCatalog, node_count: u32) -> f64 {
+        // Estimate from a large sample for distribution-agnostic accuracy.
+        let sample = WorkloadSpec {
+            n_jobs: 4_000,
+            seed: self.seed ^ 0x9e37_79b9_7f4a_7c15,
+            ..self.clone()
+        }
+        .generate(catalog);
+        let mean_work = sample.total_work_node_seconds() / sample.len() as f64;
+        mean_work * self.arrival.mean_rate() / node_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> (AppCatalog, WorkloadSpec) {
+        let c = AppCatalog::trinity();
+        let s = WorkloadSpec::evaluation(&c, 42);
+        (c, s)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (c, s) = spec();
+        assert_eq!(s.generate(&c), s.generate(&c));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (c, s) = spec();
+        let mut s2 = s.clone();
+        s2.seed = 43;
+        assert_ne!(s.generate(&c), s2.generate(&c));
+    }
+
+    #[test]
+    fn generated_jobs_are_consistent() {
+        let (c, s) = spec();
+        let w = s.generate(&c);
+        assert_eq!(w.len(), 1_000);
+        for j in w.jobs() {
+            assert!(j.walltime_estimate >= j.runtime_exclusive);
+            assert_eq!(j.mem_per_node_mib, c.profile(j.app).mem_per_node_mib);
+            assert!(j.nodes >= 1 && j.nodes <= s.sizes.max_nodes());
+            assert!(j.user < s.n_users);
+        }
+        // ids are dense and sorted by submit.
+        assert!(w.jobs().windows(2).all(|p| p[0].submit <= p[1].submit));
+    }
+
+    #[test]
+    fn share_fraction_is_respected() {
+        let (c, mut s) = spec();
+        s.share_fraction = 0.3;
+        let w = s.generate(&c);
+        assert!((w.share_fraction() - 0.3).abs() < 0.05);
+        s.share_fraction = 0.0;
+        assert_eq!(s.generate(&c).share_fraction(), 0.0);
+    }
+
+    #[test]
+    fn evaluation_load_is_near_ninety_percent() {
+        let (c, s) = spec();
+        let load = s.offered_load(&c, 128);
+        assert!(load > 0.6 && load < 1.1, "offered load {load}");
+    }
+}

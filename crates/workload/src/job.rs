@@ -1,0 +1,223 @@
+//! The batch-job model: what a user submits and what the system knows.
+
+use nodeshare_cluster::JobId;
+use nodeshare_perf::AppId;
+use serde::{Deserialize, Serialize};
+
+/// Simulation time and durations, in seconds.
+///
+/// All nodeshare crates express time as `f64` seconds; zero is the start
+/// of a simulation (or, for SWF traces, the trace epoch).
+pub type Seconds = f64;
+
+/// A job as submitted to the batch system.
+///
+/// The split between `runtime_exclusive` (ground truth, known only to the
+/// simulation engine) and `walltime_estimate` (what the user told the
+/// scheduler) mirrors real batch systems: backfill quality depends on the
+/// estimate, job completion on the truth.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique, submission-ordered identifier.
+    pub id: JobId,
+    /// Which application the job runs (indexes an [`nodeshare_perf::AppCatalog`]).
+    pub app: AppId,
+    /// Number of nodes requested. Jobs are rigid: they start on exactly
+    /// this many nodes.
+    pub nodes: u32,
+    /// Submission time.
+    pub submit: Seconds,
+    /// True runtime when running exclusively (one rank per core, whole
+    /// node). Co-run slowdowns dilate this.
+    pub runtime_exclusive: Seconds,
+    /// User-provided walltime limit; schedulers plan with this, and jobs
+    /// exceeding it are killed. Usually an over-estimate.
+    pub walltime_estimate: Seconds,
+    /// Memory the job needs on each of its nodes, MiB.
+    pub mem_per_node_mib: u64,
+    /// Whether the job may be co-allocated with another job (opt-in, as in
+    /// the paper's deployment model).
+    pub share_eligible: bool,
+    /// Submitting user (for per-user statistics; not used by the
+    /// strategies themselves).
+    pub user: u32,
+}
+
+impl JobSpec {
+    /// Total useful work of the job in *exclusive node-seconds*: the
+    /// currency of the computational-efficiency metric.
+    #[inline]
+    pub fn work_node_seconds(&self) -> f64 {
+        self.nodes as f64 * self.runtime_exclusive
+    }
+
+    /// Work in exclusive core-seconds given the cluster's cores per node.
+    #[inline]
+    pub fn work_core_seconds(&self, cores_per_node: u32) -> f64 {
+        self.work_node_seconds() * cores_per_node as f64
+    }
+
+    /// Validates spec ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err(format!("{}: must request at least one node", self.id));
+        }
+        if self.runtime_exclusive <= 0.0 || self.runtime_exclusive.is_nan() {
+            return Err(format!("{}: runtime must be positive", self.id));
+        }
+        if self.walltime_estimate <= 0.0 || self.walltime_estimate.is_nan() {
+            return Err(format!("{}: walltime estimate must be positive", self.id));
+        }
+        if self.submit < 0.0 || self.submit.is_nan() {
+            return Err(format!("{}: submit time must be non-negative", self.id));
+        }
+        Ok(())
+    }
+}
+
+/// A complete workload: jobs sorted by submission time.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    jobs: Vec<JobSpec>,
+}
+
+impl Workload {
+    /// Builds a workload, sorting by `(submit, id)` and validating every job.
+    pub fn new(mut jobs: Vec<JobSpec>) -> Result<Self, String> {
+        for j in &jobs {
+            j.validate()?;
+        }
+        jobs.sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id)));
+        // Ids must be unique.
+        let mut seen = std::collections::HashSet::with_capacity(jobs.len());
+        for j in &jobs {
+            if !seen.insert(j.id) {
+                return Err(format!("duplicate {}", j.id));
+            }
+        }
+        Ok(Workload { jobs })
+    }
+
+    /// Jobs in submission order.
+    #[inline]
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total work in exclusive node-seconds.
+    pub fn total_work_node_seconds(&self) -> f64 {
+        self.jobs.iter().map(JobSpec::work_node_seconds).sum()
+    }
+
+    /// Time span between first and last submission.
+    pub fn submit_span(&self) -> Seconds {
+        match (self.jobs.first(), self.jobs.last()) {
+            (Some(f), Some(l)) => l.submit - f.submit,
+            _ => 0.0,
+        }
+    }
+
+    /// Fraction of jobs that opted into sharing.
+    pub fn share_fraction(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().filter(|j| j.share_eligible).count() as f64 / self.jobs.len() as f64
+    }
+
+    /// Map over jobs producing a derived workload (used by sweeps, e.g. to
+    /// rescale arrival times or toggle share eligibility).
+    pub fn map_jobs(&self, f: impl FnMut(JobSpec) -> JobSpec) -> Result<Self, String> {
+        Workload::new(self.jobs.iter().cloned().map(f).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, submit: Seconds) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            app: AppId(0),
+            nodes: 2,
+            submit,
+            runtime_exclusive: 100.0,
+            walltime_estimate: 200.0,
+            mem_per_node_mib: 1024,
+            share_eligible: true,
+            user: 0,
+        }
+    }
+
+    #[test]
+    fn work_accounting() {
+        let j = job(1, 0.0);
+        assert_eq!(j.work_node_seconds(), 200.0);
+        assert_eq!(j.work_core_seconds(32), 6400.0);
+    }
+
+    #[test]
+    fn workload_sorts_by_submit_then_id() {
+        let w = Workload::new(vec![job(2, 50.0), job(1, 50.0), job(3, 10.0)]).unwrap();
+        let ids: Vec<u64> = w.jobs().iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.submit_span(), 40.0);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        assert!(Workload::new(vec![job(1, 0.0), job(1, 5.0)]).is_err());
+    }
+
+    #[test]
+    fn invalid_jobs_rejected() {
+        let mut j = job(1, 0.0);
+        j.nodes = 0;
+        assert!(Workload::new(vec![j]).is_err());
+        let mut j = job(1, 0.0);
+        j.runtime_exclusive = 0.0;
+        assert!(Workload::new(vec![j]).is_err());
+        let mut j = job(1, 0.0);
+        j.walltime_estimate = -1.0;
+        assert!(Workload::new(vec![j]).is_err());
+        let mut j = job(1, 0.0);
+        j.submit = -0.5;
+        assert!(Workload::new(vec![j]).is_err());
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut a = job(1, 0.0);
+        a.share_eligible = false;
+        let w = Workload::new(vec![a, job(2, 10.0)]).unwrap();
+        assert_eq!(w.total_work_node_seconds(), 400.0);
+        assert!((w.share_fraction() - 0.5).abs() < 1e-12);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn map_jobs_rescales() {
+        let w = Workload::new(vec![job(1, 10.0), job(2, 20.0)]).unwrap();
+        let w2 = w
+            .map_jobs(|mut j| {
+                j.submit *= 2.0;
+                j
+            })
+            .unwrap();
+        assert_eq!(w2.jobs()[1].submit, 40.0);
+    }
+}

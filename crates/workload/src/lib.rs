@@ -1,0 +1,47 @@
+//! # nodeshare-workload
+//!
+//! Job model and workload sources for the node-sharing study:
+//!
+//! * [`job`] — [`JobSpec`]/[`Workload`] (true runtime vs. user estimate,
+//!   share opt-in),
+//! * [`dist`] — local inverse-CDF samplers (exponential, log-normal,
+//!   weighted choice),
+//! * [`arrival`] — Poisson / daily-cycle / uniform / batch arrivals,
+//! * [`sizes`] — power-of-two-heavy node counts, log-normal runtimes,
+//! * [`estimates`] — the walltime over-estimation model backfill planning
+//!   depends on,
+//! * [`mix`] — application mixtures over a catalog,
+//! * [`generator`] — [`WorkloadSpec`]: one reproducible campaign from one
+//!   seed,
+//! * [`swf`] — Standard Workload Format import/export for real traces,
+//! * [`stats`] — workload characterization reports.
+//!
+//! ```
+//! use nodeshare_perf::AppCatalog;
+//! use nodeshare_workload::WorkloadSpec;
+//!
+//! let catalog = AppCatalog::trinity();
+//! let workload = WorkloadSpec::evaluation(&catalog, 42).generate(&catalog);
+//! assert_eq!(workload.len(), 1000);
+//! ```
+
+pub mod arrival;
+pub mod dist;
+pub mod estimates;
+pub mod generator;
+pub mod job;
+pub mod mix;
+pub mod presets;
+pub mod sizes;
+pub mod stats;
+pub mod swf;
+pub mod transform;
+
+pub use arrival::ArrivalProcess;
+pub use estimates::EstimateModel;
+pub use generator::WorkloadSpec;
+pub use job::{JobSpec, Seconds, Workload};
+pub use mix::AppMix;
+pub use presets::Preset;
+pub use sizes::{RuntimeDist, SizeDist};
+pub use stats::WorkloadStats;

@@ -1,0 +1,101 @@
+//! Application mixes: which mini-app each generated job runs.
+
+use crate::dist::weighted_index;
+use nodeshare_perf::{AppCatalog, AppId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A weighted mixture over the applications of a catalog.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppMix {
+    /// `(app, weight)` pairs; weights need not be normalized.
+    entries: Vec<(AppId, f64)>,
+}
+
+impl AppMix {
+    /// Builds a mix from explicit weights.
+    ///
+    /// # Panics
+    /// Panics on empty input, negative weights, or an all-zero total —
+    /// mixes are built from static experiment configuration.
+    pub fn new(entries: Vec<(AppId, f64)>) -> Self {
+        assert!(!entries.is_empty(), "mix must contain at least one app");
+        assert!(
+            entries.iter().all(|&(_, w)| w >= 0.0),
+            "weights must be non-negative"
+        );
+        assert!(
+            entries.iter().map(|&(_, w)| w).sum::<f64>() > 0.0,
+            "weights must not all be zero"
+        );
+        AppMix { entries }
+    }
+
+    /// Uniform mix over every app in the catalog — the canonical
+    /// evaluation mix (the paper runs a balanced blend of Trinity
+    /// mini-apps).
+    pub fn uniform(catalog: &AppCatalog) -> Self {
+        AppMix::new(catalog.ids().map(|id| (id, 1.0)).collect())
+    }
+
+    /// A mix containing a single app.
+    pub fn single(app: AppId) -> Self {
+        AppMix::new(vec![(app, 1.0)])
+    }
+
+    /// The `(app, weight)` entries.
+    pub fn entries(&self) -> &[(AppId, f64)] {
+        &self.entries
+    }
+
+    /// Samples one application.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> AppId {
+        let weights: Vec<f64> = self.entries.iter().map(|&(_, w)| w).collect();
+        self.entries[weighted_index(rng, &weights)].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_mix_covers_catalog() {
+        let catalog = AppCatalog::trinity();
+        let mix = AppMix::uniform(&catalog);
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(mix.sample(&mut r));
+        }
+        assert_eq!(seen.len(), catalog.len());
+    }
+
+    #[test]
+    fn single_mix_is_constant() {
+        let mix = AppMix::single(AppId(3));
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(mix.sample(&mut r), AppId(3));
+        }
+        assert_eq!(mix.entries().len(), 1);
+    }
+
+    #[test]
+    fn weights_bias_sampling() {
+        let mix = AppMix::new(vec![(AppId(0), 9.0), (AppId(1), 1.0)]);
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let zero = (0..10_000)
+            .filter(|_| mix.sample(&mut r) == AppId(0))
+            .count();
+        assert!(zero > 8_500 && zero < 9_500, "count {zero}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one app")]
+    fn empty_mix_panics() {
+        AppMix::new(vec![]);
+    }
+}

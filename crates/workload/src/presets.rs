@@ -1,0 +1,196 @@
+//! Site-profile presets: named workload shapes that recur in scheduling
+//! studies, so experiments and the CLI can say `--preset capability`
+//! instead of hand-tuning five distributions.
+
+use crate::arrival::ArrivalProcess;
+use crate::estimates::EstimateModel;
+use crate::generator::WorkloadSpec;
+use crate::mix::AppMix;
+use crate::sizes::{RuntimeDist, SizeDist};
+use nodeshare_perf::AppCatalog;
+
+/// Named workload presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// The paper-style evaluation mix at ~90% load (the default).
+    Evaluation,
+    /// Saturated evaluation mix (~1.7× capacity): the headline regime.
+    Saturated,
+    /// Capability site: few, large, long jobs (median 2 h, up to half the
+    /// machine), lighter load.
+    Capability,
+    /// Capacity/HTC site: many small short jobs, heavy load, strong
+    /// day/night cycle.
+    Capacity,
+    /// A memory-bandwidth-dominated mix: the worst case for sharing
+    /// (few complementary partners exist).
+    MemoryHeavy,
+}
+
+impl Preset {
+    /// All presets, for enumeration in help text and tests.
+    pub const ALL: [Preset; 5] = [
+        Preset::Evaluation,
+        Preset::Saturated,
+        Preset::Capability,
+        Preset::Capacity,
+        Preset::MemoryHeavy,
+    ];
+
+    /// Parse from the CLI spelling.
+    pub fn parse(name: &str) -> Option<Preset> {
+        match name {
+            "evaluation" => Some(Preset::Evaluation),
+            "saturated" => Some(Preset::Saturated),
+            "capability" => Some(Preset::Capability),
+            "capacity" => Some(Preset::Capacity),
+            "memory-heavy" => Some(Preset::MemoryHeavy),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Preset::Evaluation => "evaluation",
+            Preset::Saturated => "saturated",
+            Preset::Capability => "capability",
+            Preset::Capacity => "capacity",
+            Preset::MemoryHeavy => "memory-heavy",
+        }
+    }
+
+    /// Builds the workload spec for a catalog and seed.
+    pub fn spec(self, catalog: &AppCatalog, seed: u64) -> WorkloadSpec {
+        let base = WorkloadSpec::evaluation(catalog, seed);
+        match self {
+            Preset::Evaluation => base,
+            Preset::Saturated => WorkloadSpec {
+                arrival: ArrivalProcess::Poisson { rate: 0.0080 },
+                ..base
+            },
+            Preset::Capability => WorkloadSpec {
+                arrival: ArrivalProcess::Poisson { rate: 0.00035 },
+                sizes: SizeDist::PowerOfTwo {
+                    max_exp: 6, // up to 64 of 128 nodes
+                    decay: 0.85,
+                    non_pow2: 0.1,
+                },
+                runtime: RuntimeDist {
+                    median: 7_200.0,
+                    sigma: 0.9,
+                    min: 600.0,
+                    max: 86_400.0,
+                },
+                estimates: EstimateModel {
+                    mean_over_factor: 0.6,
+                    ..EstimateModel::evaluation()
+                },
+                ..base
+            },
+            Preset::Capacity => WorkloadSpec {
+                arrival: ArrivalProcess::DailyCycle {
+                    base_rate: 0.060,
+                    amplitude: 0.7,
+                    period: 86_400.0,
+                },
+                sizes: SizeDist::PowerOfTwo {
+                    max_exp: 3,
+                    decay: 0.5,
+                    non_pow2: 0.3,
+                },
+                runtime: RuntimeDist {
+                    median: 600.0,
+                    sigma: 1.0,
+                    min: 30.0,
+                    max: 14_400.0,
+                },
+                ..base
+            },
+            Preset::MemoryHeavy => {
+                let weights: Vec<_> = catalog
+                    .iter()
+                    .map(|a| {
+                        let w = match a.class {
+                            nodeshare_perf::AppClass::MemoryBound => 6.0,
+                            nodeshare_perf::AppClass::CommBound => 2.0,
+                            _ => 1.0,
+                        };
+                        (a.id, w)
+                    })
+                    .collect();
+                WorkloadSpec {
+                    arrival: ArrivalProcess::Poisson { rate: 0.0080 },
+                    mix: AppMix::new(weights),
+                    ..base
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_perf::AppClass;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::parse(p.name()), Some(p));
+        }
+        assert_eq!(Preset::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn presets_generate_valid_workloads() {
+        let catalog = AppCatalog::trinity();
+        for p in Preset::ALL {
+            let mut spec = p.spec(&catalog, 9);
+            spec.n_jobs = 120;
+            let w = spec.generate(&catalog);
+            assert_eq!(w.len(), 120, "{p:?}");
+            assert!(w.total_work_node_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn capability_jobs_are_large_and_long() {
+        let catalog = AppCatalog::trinity();
+        let mut cap = Preset::Capability.spec(&catalog, 3);
+        let mut htc = Preset::Capacity.spec(&catalog, 3);
+        cap.n_jobs = 300;
+        htc.n_jobs = 300;
+        let cap_w = cap.generate(&catalog);
+        let htc_w = htc.generate(&catalog);
+        let mean = |w: &crate::job::Workload, f: fn(&crate::job::JobSpec) -> f64| {
+            w.jobs().iter().map(f).sum::<f64>() / w.len() as f64
+        };
+        assert!(
+            mean(&cap_w, |j| j.nodes as f64) > 2.0 * mean(&htc_w, |j| j.nodes as f64),
+            "capability jobs should be larger"
+        );
+        assert!(
+            mean(&cap_w, |j| j.runtime_exclusive) > 3.0 * mean(&htc_w, |j| j.runtime_exclusive),
+            "capability jobs should be longer"
+        );
+    }
+
+    #[test]
+    fn memory_heavy_mix_is_dominated_by_memory_bound_apps() {
+        let catalog = AppCatalog::trinity();
+        let mut spec = Preset::MemoryHeavy.spec(&catalog, 5);
+        spec.n_jobs = 600;
+        let w = spec.generate(&catalog);
+        let mem = w
+            .jobs()
+            .iter()
+            .filter(|j| catalog.profile(j.app).class == AppClass::MemoryBound)
+            .count();
+        assert!(
+            mem as f64 / w.len() as f64 > 0.55,
+            "memory-bound fraction {}",
+            mem as f64 / w.len() as f64
+        );
+    }
+}

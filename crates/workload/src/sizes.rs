@@ -1,0 +1,181 @@
+//! Job size (node count) and runtime distributions.
+//!
+//! The shapes follow the stylized facts of production HPC traces: node
+//! counts are dominated by small jobs and powers of two, runtimes are
+//! roughly log-normal with a heavy tail clipped at the queue limit.
+
+use crate::dist::{clamp, log_normal, weighted_index};
+use crate::job::Seconds;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of requested node counts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Power-of-two sizes `2^0 .. 2^max_exp` with geometrically decaying
+    /// weights (`decay` < 1 favors small jobs), plus a `non_pow2` chance of
+    /// drawing uniformly from `1..=2^max_exp` instead.
+    PowerOfTwo {
+        /// Largest exponent: max size is `2^max_exp` nodes.
+        max_exp: u32,
+        /// Weight ratio between consecutive powers (e.g. 0.7).
+        decay: f64,
+        /// Probability of an arbitrary (non-power-of-two) size.
+        non_pow2: f64,
+    },
+    /// Every job requests exactly `nodes` nodes.
+    Fixed {
+        /// The constant node count.
+        nodes: u32,
+    },
+    /// Uniform over `min..=max` nodes.
+    Uniform {
+        /// Smallest size.
+        min: u32,
+        /// Largest size.
+        max: u32,
+    },
+}
+
+impl SizeDist {
+    /// The canonical evaluation distribution: sizes 1–32 nodes, small-job
+    /// heavy, 20% non-power-of-two.
+    pub fn evaluation() -> Self {
+        SizeDist::PowerOfTwo {
+            max_exp: 5,
+            decay: 0.65,
+            non_pow2: 0.2,
+        }
+    }
+
+    /// Largest size the distribution can produce.
+    pub fn max_nodes(&self) -> u32 {
+        match self {
+            SizeDist::PowerOfTwo { max_exp, .. } => 1 << max_exp,
+            SizeDist::Fixed { nodes } => *nodes,
+            SizeDist::Uniform { max, .. } => *max,
+        }
+    }
+
+    /// Samples a node count.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            SizeDist::PowerOfTwo {
+                max_exp,
+                decay,
+                non_pow2,
+            } => {
+                if rng.random::<f64>() < *non_pow2 {
+                    return rng.random_range(1..=(1u32 << max_exp));
+                }
+                let weights: Vec<f64> = (0..=*max_exp).map(|e| decay.powi(e as i32)).collect();
+                1 << weighted_index(rng, &weights)
+            }
+            SizeDist::Fixed { nodes } => *nodes,
+            SizeDist::Uniform { min, max } => rng.random_range(*min..=*max),
+        }
+    }
+}
+
+/// Distribution of true (exclusive) runtimes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeDist {
+    /// Median runtime in seconds.
+    pub median: Seconds,
+    /// Log-space sigma (≈ 1.0–1.5 for production traces).
+    pub sigma: f64,
+    /// Shortest possible runtime.
+    pub min: Seconds,
+    /// Queue limit: runtimes are clipped here.
+    pub max: Seconds,
+}
+
+impl RuntimeDist {
+    /// The canonical evaluation distribution: median 30 min, heavy tail,
+    /// clipped to a 12-hour queue limit.
+    pub fn evaluation() -> Self {
+        RuntimeDist {
+            median: 1_800.0,
+            sigma: 1.2,
+            min: 60.0,
+            max: 43_200.0,
+        }
+    }
+
+    /// Samples a runtime.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Seconds {
+        clamp(log_normal(rng, self.median, self.sigma), self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn pow2_sizes_are_mostly_powers_of_two_and_bounded() {
+        let mut r = rng();
+        let d = SizeDist::evaluation();
+        let mut pow2 = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let s = d.sample(&mut r);
+            assert!(s >= 1 && s <= d.max_nodes());
+            if s.is_power_of_two() {
+                pow2 += 1;
+            }
+        }
+        assert!(pow2 as f64 / n as f64 > 0.8, "pow2 fraction too low");
+    }
+
+    #[test]
+    fn pow2_favors_small_jobs() {
+        let mut r = rng();
+        let d = SizeDist::evaluation();
+        let sizes: Vec<u32> = (0..10_000).map(|_| d.sample(&mut r)).collect();
+        let small = sizes.iter().filter(|&&s| s <= 4).count();
+        assert!(small as f64 / sizes.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn fixed_and_uniform() {
+        let mut r = rng();
+        assert_eq!(SizeDist::Fixed { nodes: 7 }.sample(&mut r), 7);
+        assert_eq!(SizeDist::Fixed { nodes: 7 }.max_nodes(), 7);
+        let d = SizeDist::Uniform { min: 2, max: 5 };
+        for _ in 0..100 {
+            let s = d.sample(&mut r);
+            assert!((2..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn runtimes_respect_bounds_and_median() {
+        let mut r = rng();
+        let d = RuntimeDist::evaluation();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&t| t >= d.min && t <= d.max));
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median / d.median - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn runtime_tail_is_heavy() {
+        let mut r = rng();
+        let d = RuntimeDist::evaluation();
+        let n = 20_000;
+        let long = (0..n)
+            .map(|_| d.sample(&mut r))
+            .filter(|&t| t > 4.0 * d.median)
+            .count();
+        // A log-normal with sigma 1.2 puts >10% of mass beyond 4× median.
+        assert!(long as f64 / n as f64 > 0.08, "tail too light: {long}");
+    }
+}

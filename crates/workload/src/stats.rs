@@ -1,0 +1,188 @@
+//! Workload characterization: the summary a scheduling study prints
+//! about its input before any scheduling happens.
+
+use crate::job::{Seconds, Workload};
+use nodeshare_perf::{AppCatalog, AppId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate description of a workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Submission span (first to last), seconds.
+    pub submit_span: Seconds,
+    /// Total work in exclusive node-seconds.
+    pub total_work_node_seconds: f64,
+    /// Mean nodes per job.
+    pub mean_nodes: f64,
+    /// Largest node request.
+    pub max_nodes: u32,
+    /// Mean true runtime, seconds.
+    pub mean_runtime: Seconds,
+    /// Median true runtime, seconds.
+    pub median_runtime: Seconds,
+    /// Mean walltime over-estimation factor (estimate / runtime).
+    pub mean_overestimate: f64,
+    /// Fraction of jobs opting into sharing.
+    pub share_fraction: f64,
+    /// Jobs per application id.
+    pub per_app: BTreeMap<AppId, usize>,
+    /// Distinct submitting users.
+    pub users: usize,
+}
+
+impl WorkloadStats {
+    /// Computes the statistics of a workload.
+    pub fn of(workload: &Workload) -> WorkloadStats {
+        let jobs = workload.jobs();
+        let n = jobs.len();
+        let mut runtimes: Vec<f64> = jobs.iter().map(|j| j.runtime_exclusive).collect();
+        runtimes.sort_by(f64::total_cmp);
+        let mut per_app: BTreeMap<AppId, usize> = BTreeMap::new();
+        let mut users = std::collections::BTreeSet::new();
+        for j in jobs {
+            *per_app.entry(j.app).or_insert(0) += 1;
+            users.insert(j.user);
+        }
+        WorkloadStats {
+            jobs: n,
+            submit_span: workload.submit_span(),
+            total_work_node_seconds: workload.total_work_node_seconds(),
+            mean_nodes: if n == 0 {
+                0.0
+            } else {
+                jobs.iter().map(|j| j.nodes as f64).sum::<f64>() / n as f64
+            },
+            max_nodes: jobs.iter().map(|j| j.nodes).max().unwrap_or(0),
+            mean_runtime: if n == 0 {
+                0.0
+            } else {
+                runtimes.iter().sum::<f64>() / n as f64
+            },
+            median_runtime: if n == 0 { 0.0 } else { runtimes[n / 2] },
+            mean_overestimate: if n == 0 {
+                0.0
+            } else {
+                jobs.iter()
+                    .map(|j| j.walltime_estimate / j.runtime_exclusive)
+                    .sum::<f64>()
+                    / n as f64
+            },
+            share_fraction: workload.share_fraction(),
+            per_app,
+            users: users.len(),
+        }
+    }
+
+    /// Offered load against a cluster of `nodes` nodes: work arrival rate
+    /// over capacity. Meaningful only for workloads with a positive
+    /// submission span.
+    pub fn offered_load(&self, nodes: u32) -> f64 {
+        if self.submit_span <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.total_work_node_seconds / (self.submit_span * nodes as f64)
+    }
+
+    /// Renders a human-readable report (app names resolved through the
+    /// catalog when available).
+    pub fn report(&self, catalog: Option<&AppCatalog>) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "jobs {}  users {}  span {:.1} h  work {:.0} node-h\n",
+            self.jobs,
+            self.users,
+            self.submit_span / 3_600.0,
+            self.total_work_node_seconds / 3_600.0
+        ));
+        out.push_str(&format!(
+            "nodes: mean {:.1}, max {}  runtime: mean {:.0} s, median {:.0} s  \
+             over-estimate {:.2}x  share-eligible {:.0}%\n",
+            self.mean_nodes,
+            self.max_nodes,
+            self.mean_runtime,
+            self.median_runtime,
+            self.mean_overestimate,
+            self.share_fraction * 100.0
+        ));
+        for (&app, &count) in &self.per_app {
+            let name = catalog
+                .and_then(|c| c.get(app))
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| app.to_string());
+            out.push_str(&format!("  {name:>12}: {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+
+    fn workload() -> (AppCatalog, Workload) {
+        let catalog = AppCatalog::trinity();
+        let spec = WorkloadSpec {
+            n_jobs: 200,
+            ..WorkloadSpec::evaluation(&catalog, 13)
+        };
+        (catalog.clone(), spec.generate(&catalog))
+    }
+
+    #[test]
+    fn stats_are_consistent_with_the_workload() {
+        let (_, w) = workload();
+        let s = WorkloadStats::of(&w);
+        assert_eq!(s.jobs, 200);
+        assert_eq!(s.total_work_node_seconds, w.total_work_node_seconds());
+        assert_eq!(s.submit_span, w.submit_span());
+        assert!(s.mean_nodes >= 1.0 && s.mean_nodes <= s.max_nodes as f64);
+        assert!(s.median_runtime <= s.mean_runtime, "log-normal skews right");
+        assert!(s.mean_overestimate >= 1.0);
+        assert_eq!(s.per_app.values().sum::<usize>(), 200);
+        assert!(s.users > 1);
+    }
+
+    #[test]
+    fn offered_load_positive_and_finite_for_arrival_workloads() {
+        let (_, w) = workload();
+        let s = WorkloadStats::of(&w);
+        let load = s.offered_load(128);
+        assert!(load > 0.3 && load < 2.0, "load {load}");
+    }
+
+    #[test]
+    fn batch_workload_has_infinite_offered_load() {
+        let catalog = AppCatalog::trinity();
+        let spec = WorkloadSpec {
+            n_jobs: 10,
+            arrival: crate::arrival::ArrivalProcess::Batch,
+            ..WorkloadSpec::evaluation(&catalog, 1)
+        };
+        let s = WorkloadStats::of(&spec.generate(&catalog));
+        assert!(s.offered_load(128).is_infinite());
+    }
+
+    #[test]
+    fn report_mentions_app_names() {
+        let (catalog, w) = workload();
+        let s = WorkloadStats::of(&w);
+        let report = s.report(Some(&catalog));
+        assert!(report.contains("miniFE"));
+        assert!(report.contains("jobs 200"));
+        // Without a catalog, raw ids appear.
+        let anon = s.report(None);
+        assert!(anon.contains("app0"));
+    }
+
+    #[test]
+    fn empty_workload_stats_are_zero() {
+        let s = WorkloadStats::of(&Workload::default());
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean_nodes, 0.0);
+        assert_eq!(s.median_runtime, 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Standard Workload Format (SWF) trace I/O.
+//!
+//! SWF is the lingua franca of the parallel-workload-archive ecosystem:
+//! one job per line, 18 whitespace-separated integer fields, `;` comment
+//! headers. Supporting it lets nodeshare replay real traces in place of
+//! the paper's site-local workload, and export generated campaigns for
+//! other simulators.
+//!
+//! Field reference (1-based, as in the SWF definition):
+//! 1 job number · 2 submit · 3 wait · 4 run time · 5 allocated procs ·
+//! 6 avg CPU time · 7 used memory · 8 requested procs · 9 requested time ·
+//! 10 requested memory · 11 status · 12 user · 13 group · 14 executable ·
+//! 15 queue · 16 partition · 17 preceding job · 18 think time. Unknown
+//! values are `-1`.
+
+use crate::job::{JobSpec, Seconds, Workload};
+use nodeshare_cluster::JobId;
+use nodeshare_perf::{AppCatalog, AppId};
+use serde::{Deserialize, Serialize};
+
+/// One parsed SWF line.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwfRecord {
+    /// Field 1: job number.
+    pub job: i64,
+    /// Field 2: submit time, seconds from trace epoch.
+    pub submit: i64,
+    /// Field 3: wait time in seconds (−1 unknown).
+    pub wait: i64,
+    /// Field 4: run time in seconds (−1 unknown).
+    pub run_time: i64,
+    /// Field 5: allocated processors (−1 unknown).
+    pub alloc_procs: i64,
+    /// Field 8: requested processors (−1 unknown).
+    pub req_procs: i64,
+    /// Field 9: requested (wall) time in seconds (−1 unknown).
+    pub req_time: i64,
+    /// Field 11: completion status.
+    pub status: i64,
+    /// Field 12: user id (−1 unknown).
+    pub user: i64,
+    /// Field 14: executable/application number (−1 unknown).
+    pub executable: i64,
+}
+
+/// Errors from SWF parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwfError {
+    /// A data line had fewer than 18 fields.
+    TooFewFields {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A field failed integer parsing.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based field index.
+        field: usize,
+        /// Offending token.
+        token: String,
+    },
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfError::TooFewFields { line, found } => {
+                write!(f, "line {line}: expected 18 fields, found {found}")
+            }
+            SwfError::BadField { line, field, token } => {
+                write!(f, "line {line}, field {field}: cannot parse {token:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parses SWF text (comments and blank lines skipped).
+pub fn parse(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 18 {
+            return Err(SwfError::TooFewFields {
+                line: lineno + 1,
+                found: fields.len(),
+            });
+        }
+        let get = |i: usize| -> Result<i64, SwfError> {
+            fields[i - 1].parse().map_err(|_| SwfError::BadField {
+                line: lineno + 1,
+                field: i,
+                token: fields[i - 1].to_string(),
+            })
+        };
+        out.push(SwfRecord {
+            job: get(1)?,
+            submit: get(2)?,
+            wait: get(3)?,
+            run_time: get(4)?,
+            alloc_procs: get(5)?,
+            req_procs: get(8)?,
+            req_time: get(9)?,
+            status: get(11)?,
+            user: get(12)?,
+            executable: get(14)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Options controlling SWF → [`Workload`] conversion.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwfImportOptions {
+    /// Cores per node of the target cluster (processor counts become
+    /// `ceil(procs / cores_per_node)` nodes).
+    pub cores_per_node: u32,
+    /// Memory charged per node when the trace gives none, MiB.
+    pub default_mem_per_node_mib: u64,
+    /// Whether imported jobs opt into sharing.
+    pub share_eligible: bool,
+}
+
+impl Default for SwfImportOptions {
+    fn default() -> Self {
+        SwfImportOptions {
+            cores_per_node: 32,
+            default_mem_per_node_mib: 4 * 1024,
+            share_eligible: true,
+        }
+    }
+}
+
+/// Converts parsed records into a workload, mapping each record's
+/// executable number onto the catalog (stable modulo mapping). Records
+/// with unusable sizes or runtimes (≤ 0) are skipped; the count of skipped
+/// records is returned alongside.
+pub fn to_workload(
+    records: &[SwfRecord],
+    catalog: &AppCatalog,
+    opts: &SwfImportOptions,
+) -> (Workload, usize) {
+    let mut jobs = Vec::with_capacity(records.len());
+    let mut skipped = 0usize;
+    let mut next_id = 0u64;
+    for r in records {
+        let procs = if r.req_procs > 0 {
+            r.req_procs
+        } else {
+            r.alloc_procs
+        };
+        if procs <= 0 || r.run_time <= 0 || r.submit < 0 {
+            skipped += 1;
+            continue;
+        }
+        let nodes = (procs as u64).div_ceil(opts.cores_per_node as u64) as u32;
+        let runtime = r.run_time as Seconds;
+        let estimate = if r.req_time > 0 {
+            (r.req_time as Seconds).max(runtime)
+        } else {
+            runtime
+        };
+        let app_idx = if r.executable >= 0 {
+            (r.executable as usize) % catalog.len()
+        } else {
+            (r.job.unsigned_abs() as usize) % catalog.len()
+        };
+        let app = AppId(app_idx as u8);
+        jobs.push(JobSpec {
+            id: JobId(next_id),
+            app,
+            nodes,
+            submit: r.submit as Seconds,
+            runtime_exclusive: runtime,
+            walltime_estimate: estimate,
+            mem_per_node_mib: catalog
+                .get(app)
+                .map(|a| a.mem_per_node_mib)
+                .unwrap_or(opts.default_mem_per_node_mib),
+            share_eligible: opts.share_eligible,
+            user: r.user.max(0) as u32,
+        });
+        next_id += 1;
+    }
+    (
+        Workload::new(jobs).expect("imported jobs are validated above"),
+        skipped,
+    )
+}
+
+/// Serializes a workload to SWF text (with a descriptive comment header).
+///
+/// Times are rounded to whole seconds, as the format requires. The
+/// executable field carries the app id, so an export/import cycle through
+/// the same catalog preserves app assignments.
+pub fn write(workload: &Workload, cores_per_node: u32) -> String {
+    let mut out = String::with_capacity(workload.len() * 80 + 128);
+    out.push_str("; SWF export from nodeshare\n");
+    out.push_str("; MaxNodes: see importing cluster\n");
+    for j in workload.jobs() {
+        let procs = j.nodes as u64 * cores_per_node as u64;
+        // 18 fields; unknowns are -1.
+        out.push_str(&format!(
+            "{} {} -1 {} {} -1 -1 {} {} -1 1 {} -1 {} -1 -1 -1 -1\n",
+            j.id.0 + 1,
+            j.submit.round() as i64,
+            j.runtime_exclusive.round().max(1.0) as i64,
+            procs,
+            procs,
+            j.walltime_estimate.ceil() as i64,
+            j.user,
+            j.app.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+
+    const SAMPLE: &str = "\
+; Comment header
+; UnixStartTime: 0
+
+1 0 10 3600 64 -1 -1 64 7200 -1 1 5 -1 2 -1 -1 -1 -1
+2 30 -1 100 -1 -1 -1 32 -1 -1 1 6 -1 -1 -1 -1 -1 -1
+3 60 0 -1 16 -1 -1 16 600 -1 0 7 -1 1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_sample_records() {
+        let recs = parse(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].job, 1);
+        assert_eq!(recs[0].run_time, 3600);
+        assert_eq!(recs[0].req_procs, 64);
+        assert_eq!(recs[0].executable, 2);
+        assert_eq!(recs[1].req_time, -1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse("1 2 3\n").unwrap_err();
+        assert_eq!(err, SwfError::TooFewFields { line: 1, found: 3 });
+        let err = parse("1 x 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18\n").unwrap_err();
+        assert!(matches!(err, SwfError::BadField { field: 2, .. }));
+    }
+
+    #[test]
+    fn conversion_skips_unusable_records() {
+        let catalog = AppCatalog::trinity();
+        let recs = parse(SAMPLE).unwrap();
+        let (w, skipped) = to_workload(&recs, &catalog, &SwfImportOptions::default());
+        assert_eq!(w.len(), 2); // record 3 has run_time = -1
+        assert_eq!(skipped, 1);
+        let j = &w.jobs()[0];
+        assert_eq!(j.nodes, 2); // 64 procs / 32 cores
+        assert_eq!(j.runtime_exclusive, 3600.0);
+        assert_eq!(j.walltime_estimate, 7200.0);
+        assert_eq!(j.user, 5);
+    }
+
+    #[test]
+    fn estimate_never_below_runtime_on_import() {
+        let catalog = AppCatalog::trinity();
+        let recs = parse("1 0 -1 5000 32 -1 -1 32 100 -1 1 0 -1 0 -1 -1 -1 -1\n").unwrap();
+        let (w, _) = to_workload(&recs, &catalog, &SwfImportOptions::default());
+        assert!(w.jobs()[0].walltime_estimate >= w.jobs()[0].runtime_exclusive);
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_structure() {
+        let catalog = AppCatalog::trinity();
+        let spec = WorkloadSpec::evaluation(&catalog, 9);
+        let original = spec.generate(&catalog);
+        let text = write(&original, 32);
+        let recs = parse(&text).unwrap();
+        let (reimported, skipped) = to_workload(
+            &recs,
+            &catalog,
+            &SwfImportOptions {
+                cores_per_node: 32,
+                ..Default::default()
+            },
+        );
+        assert_eq!(skipped, 0);
+        assert_eq!(reimported.len(), original.len());
+        for (a, b) in original.jobs().iter().zip(reimported.jobs()) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.user, b.user);
+            // Times survive to 1-second rounding.
+            assert!((a.submit - b.submit).abs() <= 0.5);
+            assert!((a.runtime_exclusive - b.runtime_exclusive).abs() <= 0.5);
+            assert!(b.walltime_estimate >= b.runtime_exclusive);
+        }
+    }
+
+    #[test]
+    fn negative_executable_maps_by_job_number() {
+        let catalog = AppCatalog::trinity();
+        let recs = parse("7 0 -1 100 32 -1 -1 32 200 -1 1 0 -1 -1 -1 -1 -1 -1\n").unwrap();
+        let (w, _) = to_workload(&recs, &catalog, &SwfImportOptions::default());
+        assert_eq!(w.jobs()[0].app, AppId((7 % catalog.len()) as u8));
+    }
+}

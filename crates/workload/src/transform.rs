@@ -1,0 +1,149 @@
+//! Workload transformations for trace studies: windowing, load scaling,
+//! and share toggling — the operations a site runs on a replayed trace
+//! before feeding it to the simulator.
+
+use crate::job::{Seconds, Workload};
+use nodeshare_cluster::JobId;
+
+impl Workload {
+    /// Keeps only jobs submitted within `[from, to)`, re-basing submit
+    /// times to start at zero and re-numbering ids densely (engine
+    /// arrival order relies on dense submission-ordered ids).
+    pub fn window(&self, from: Seconds, to: Seconds) -> Workload {
+        let jobs = self
+            .jobs()
+            .iter()
+            .filter(|j| j.submit >= from && j.submit < to)
+            .enumerate()
+            .map(|(i, j)| {
+                let mut j = j.clone();
+                j.submit -= from;
+                j.id = JobId(i as u64);
+                j
+            })
+            .collect();
+        Workload::new(jobs).expect("windowing preserves validity")
+    }
+
+    /// Keeps the first `n` jobs (submission order), re-numbering ids.
+    pub fn take(&self, n: usize) -> Workload {
+        let jobs = self
+            .jobs()
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, j)| {
+                let mut j = j.clone();
+                j.id = JobId(i as u64);
+                j
+            })
+            .collect();
+        Workload::new(jobs).expect("prefix preserves validity")
+    }
+
+    /// Scales offered load by compressing (factor > 1) or stretching
+    /// (factor < 1) inter-arrival times: submit times divide by `factor`.
+    /// Runtimes are untouched, so load scales linearly with `factor`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive factor.
+    pub fn scale_load(&self, factor: f64) -> Workload {
+        assert!(factor > 0.0, "load factor must be positive");
+        let jobs = self
+            .jobs()
+            .iter()
+            .map(|j| {
+                let mut j = j.clone();
+                j.submit /= factor;
+                j
+            })
+            .collect();
+        Workload::new(jobs).expect("scaling preserves validity")
+    }
+
+    /// Returns a copy with every job's share eligibility forced to
+    /// `eligible` — the standard A/B toggle for sharing studies on traces
+    /// that carry no opt-in information.
+    pub fn with_share_eligibility(&self, eligible: bool) -> Workload {
+        self.map_jobs(|mut j| {
+            j.share_eligible = eligible;
+            j
+        })
+        .expect("toggling preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+    use nodeshare_perf::AppCatalog;
+
+    fn workload() -> Workload {
+        let catalog = AppCatalog::trinity();
+        let spec = WorkloadSpec {
+            n_jobs: 200,
+            ..WorkloadSpec::evaluation(&catalog, 21)
+        };
+        spec.generate(&catalog)
+    }
+
+    #[test]
+    fn window_rebases_and_renumbers() {
+        let w = workload();
+        let span = w.submit_span();
+        let mid = w.jobs()[0].submit + span / 2.0;
+        let first_half = w.window(0.0, mid);
+        let second_half = w.window(mid, f64::INFINITY);
+        assert_eq!(first_half.len() + second_half.len(), w.len());
+        assert!(first_half.len() > 10 && second_half.len() > 10);
+        // Re-based: each job's submit equals its original minus the
+        // window start.
+        let first_in_second = w.jobs().iter().find(|j| j.submit >= mid).unwrap();
+        assert!((second_half.jobs()[0].submit - (first_in_second.submit - mid)).abs() < 1e-9);
+        // Dense ids in both.
+        for (i, j) in second_half.jobs().iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn take_is_a_prefix() {
+        let w = workload();
+        let head = w.take(50);
+        assert_eq!(head.len(), 50);
+        for (a, b) in head.jobs().iter().zip(w.jobs()) {
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.app, b.app);
+        }
+        assert_eq!(w.take(10_000).len(), w.len());
+    }
+
+    #[test]
+    fn scale_load_compresses_arrivals() {
+        let w = workload();
+        let double = w.scale_load(2.0);
+        assert!((double.submit_span() - w.submit_span() / 2.0).abs() < 1e-6);
+        assert_eq!(
+            double.total_work_node_seconds(),
+            w.total_work_node_seconds()
+        );
+        // Scaling by 1 is the identity on times.
+        let same = w.scale_load(1.0);
+        assert_eq!(same.submit_span(), w.submit_span());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn scale_load_rejects_zero() {
+        workload().scale_load(0.0);
+    }
+
+    #[test]
+    fn share_toggle_is_total() {
+        let w = workload().with_share_eligibility(false);
+        assert_eq!(w.share_fraction(), 0.0);
+        let w = w.with_share_eligibility(true);
+        assert_eq!(w.share_fraction(), 1.0);
+    }
+}

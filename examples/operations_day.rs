@@ -1,0 +1,114 @@
+//! A day in the machine room: the evaluation cluster runs a saturated
+//! campaign under co-allocation-aware backfill while the real world
+//! interferes — random node failures (jobs requeue), a planned
+//! maintenance window on a rack, and a multifactor priority queue.
+//!
+//! ```text
+//! cargo run --release --example operations_day
+//! ```
+
+use nodeshare::engine::{FailureModel, MaintenanceWindow};
+use nodeshare::metrics::{by_user, user_slowdown_fairness};
+use nodeshare::prelude::*;
+use nodeshare::slurm::{MultifactorPriority, PriorityWeights};
+
+fn main() {
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let matrix = CoRunTruth::build(&catalog, &model);
+    let cluster = ClusterSpec::evaluation();
+
+    // One day of saturated submissions.
+    let mut spec = WorkloadSpec::evaluation(&catalog, 99);
+    spec.n_jobs = 350;
+    spec.arrival = ArrivalProcess::DailyCycle {
+        base_rate: 0.0080,
+        amplitude: 0.6,
+        period: 86_400.0,
+    };
+    let workload = spec.generate(&catalog);
+
+    // The operational environment: flaky nodes + a rack maintenance.
+    let mut config = SimConfig::new(cluster);
+    config.failures = Some(FailureModel {
+        mtbf_per_node: 400.0 * 3_600.0, // 400 h per node
+        repair_time: 2.0 * 3_600.0,
+        seed: 1_234,
+    });
+    config.failure_horizon = 14.0 * 86_400.0;
+    // Capture machine maps before, during, and after the rack drain.
+    config.snapshot_times = vec![5.0 * 3_600.0, 8.0 * 3_600.0, 12.0 * 3_600.0];
+    config.maintenance = vec![MaintenanceWindow {
+        // Rack 3: nodes 96..112, down for firmware from hour 6 to hour 10.
+        nodes: (96..112).map(NodeId).collect(),
+        start: 6.0 * 3_600.0,
+        end: 10.0 * 3_600.0,
+    }];
+
+    // Policy: CoBackfill behind a multifactor priority queue.
+    let pairing = Pairing::new(
+        PairingPolicy::default_threshold(),
+        Predictor::class_based(&catalog, &model),
+    );
+    let mut sched = MultifactorPriority::new(
+        Backfill::co(pairing),
+        PriorityWeights::default(),
+        cluster.node_count,
+    );
+    let out = nodeshare::engine::run(&workload, &matrix, &mut sched, &config);
+    assert!(out.complete(), "campaign must finish");
+
+    let m = out.metrics(&cluster);
+    println!("operations day on {} nodes:", cluster.node_count);
+    println!("  jobs completed        {}", m.jobs);
+    println!("  walltime kills        {}", m.killed);
+    println!("  failure requeues      {}", m.total_restarts);
+    println!("  makespan              {:.1} h", m.makespan / 3_600.0);
+    println!("  mean wait             {:.0} min", m.wait.mean / 60.0);
+    println!("  computational eff.    {:.3}", m.computational_efficiency);
+    println!("  scheduling eff.       {:.3}", m.scheduling_efficiency);
+    println!("  shared node-time      {:.0}%", m.shared_fraction * 100.0);
+    println!(
+        "  user fairness (Jain)  {:.3}",
+        user_slowdown_fairness(&out.records)
+    );
+
+    // The maintenance window is visible in the occupancy series.
+    let busy_at = |h: f64| out.busy_cores.value_at(h * 3_600.0);
+    println!(
+        "\nbusy cores at hour 5 / 8 / 12: {:.0} / {:.0} / {:.0} \
+         (rack drain bites in the middle)",
+        busy_at(5.0),
+        busy_at(8.0),
+        busy_at(12.0)
+    );
+
+    for (t, map) in &out.snapshots {
+        println!("\nmachine map at hour {:.0}:\n{map}", t / 3_600.0);
+    }
+
+    // Users most affected by requeues.
+    let mut hit: Vec<(u32, u32)> = Vec::new();
+    for r in &out.records {
+        if r.restarts > 0 {
+            hit.push((r.user, r.restarts));
+        }
+    }
+    hit.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("\njobs hit by node failures: {}", hit.len());
+    for (user, restarts) in hit.iter().take(5) {
+        println!("  u{user}: {restarts} restart(s)");
+    }
+
+    let groups = by_user(&out.records);
+    let worst = groups
+        .iter()
+        .max_by(|a, b| a.1.wait.mean.total_cmp(&b.1.wait.mean))
+        .expect("non-empty");
+    println!(
+        "\nslowest user: u{} (mean wait {:.0} min over {} jobs)",
+        worst.0,
+        worst.1.wait.mean / 60.0,
+        worst.1.jobs
+    );
+}

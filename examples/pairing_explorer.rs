@@ -1,0 +1,84 @@
+//! Explore the co-run structure of the mini-app catalog: which pairs
+//! share a node well, what each predictor believes, and what a pairing
+//! policy would accept.
+//!
+//! ```text
+//! cargo run --release --example pairing_explorer
+//! ```
+
+use nodeshare::prelude::*;
+
+fn main() {
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let truth = CoRunTruth::build(&catalog, &model);
+    let matrix = truth.pair_matrix();
+    let pairing = Pairing::new(
+        PairingPolicy::default_threshold(),
+        Predictor::oracle(&catalog, &model),
+    );
+
+    // Acceptance map: which pairings the default threshold accepts.
+    println!("pairing acceptance under the default threshold (oracle predictor):");
+    print!("{:>10}", "");
+    for b in catalog.iter() {
+        print!("{:>10}", b.name);
+    }
+    println!();
+    for a in catalog.iter() {
+        print!("{:>10}", a.name);
+        for b in catalog.iter() {
+            let mark = if pairing.allows(a.id, b.id) {
+                format!("{:.2}", matrix.combined_throughput(a.id, b.id))
+            } else {
+                "-".to_string()
+            };
+            print!("{mark:>10}");
+        }
+        println!();
+    }
+
+    // Ranked pairings.
+    let mut pairs: Vec<(String, String, f64)> = Vec::new();
+    for a in catalog.iter() {
+        for b in catalog.iter() {
+            if a.id.0 <= b.id.0 {
+                pairs.push((
+                    a.name.clone(),
+                    b.name.clone(),
+                    matrix.combined_throughput(a.id, b.id),
+                ));
+            }
+        }
+    }
+    pairs.sort_by(|x, y| y.2.total_cmp(&x.2));
+    println!("\nbest pairs:");
+    for (a, b, t) in pairs.iter().take(5) {
+        println!("  {a:>10} + {b:<10} combined throughput {t:.2}x");
+    }
+    println!("worst pairs:");
+    for (a, b, t) in pairs.iter().rev().take(5) {
+        println!("  {a:>10} + {b:<10} combined throughput {t:.2}x");
+    }
+
+    // How much does the class-based predictor distort the picture?
+    let class = Predictor::class_based(&catalog, &model);
+    let mut worst_err: f64 = 0.0;
+    let mut mean_err = 0.0;
+    let mut n = 0;
+    for a in catalog.ids() {
+        for b in catalog.ids() {
+            let truth = matrix.rate(a, b);
+            let pred = class.rates(a, b).rate_a;
+            let err = (truth - pred).abs();
+            worst_err = worst_err.max(err);
+            mean_err += err;
+            n += 1;
+        }
+    }
+    println!(
+        "\nclass-based predictor error vs oracle: mean {:.3}, worst {:.3} (rate units)",
+        mean_err / n as f64,
+        worst_err
+    );
+}

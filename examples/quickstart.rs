@@ -1,0 +1,105 @@
+//! Quickstart: simulate one campaign under the paper's strategy
+//! (co-allocation-aware backfill) and its baseline (EASY backfill), and
+//! compare the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nodeshare::metrics::{pct, relative_gain};
+use nodeshare::prelude::*;
+
+fn main() {
+    // The world: 128 SMT-2 nodes, the Trinity mini-app catalog, and the
+    // calibrated contention model as ground truth.
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let matrix = CoRunTruth::build(&catalog, &model);
+    let cluster = ClusterSpec::evaluation();
+    let config = SimConfig::new(cluster);
+
+    // A 500-job campaign at ~90% offered load; every job opts into
+    // sharing (the partition allows it).
+    let workload = WorkloadSpec {
+        n_jobs: 500,
+        ..WorkloadSpec::evaluation(&catalog, 2024)
+    }
+    .generate(&catalog);
+    println!(
+        "workload: {} jobs, {:.1} h of submissions, {:.0} node-hours of work\n",
+        workload.len(),
+        workload.submit_span() / 3600.0,
+        workload.total_work_node_seconds() / 3600.0
+    );
+
+    // Baseline: EASY backfill with exclusive ("standard") allocation.
+    let easy = nodeshare::engine::run(&workload, &matrix, &mut Backfill::easy(), &config);
+
+    // The paper's strategy: co-allocation-aware backfill. The scheduler
+    // plans with class-level predictions (what a site can measure) while
+    // the engine simulates the full pair matrix.
+    let pairing = Pairing::new(
+        PairingPolicy::default_threshold(),
+        Predictor::class_based(&catalog, &model),
+    );
+    let co = nodeshare::engine::run(&workload, &matrix, &mut Backfill::co(pairing), &config);
+
+    assert!(easy.complete() && co.complete());
+    let me = easy.metrics(&cluster);
+    let mc = co.metrics(&cluster);
+
+    let mut table = Table::new(vec!["metric", "easy-backfill", "co-backfill", "gain"]);
+    table.row(vec![
+        "makespan (h)".to_string(),
+        format!("{:.2}", me.makespan / 3600.0),
+        format!("{:.2}", mc.makespan / 3600.0),
+        pct(relative_gain(me.makespan, mc.makespan)), // smaller is better
+    ]);
+    table.row(vec![
+        "mean wait (min)".to_string(),
+        format!("{:.1}", me.wait.mean / 60.0),
+        format!("{:.1}", mc.wait.mean / 60.0),
+        String::new(),
+    ]);
+    table.row(vec![
+        "computational efficiency".to_string(),
+        format!("{:.3}", me.computational_efficiency),
+        format!("{:.3}", mc.computational_efficiency),
+        pct(relative_gain(
+            mc.computational_efficiency,
+            me.computational_efficiency,
+        )),
+    ]);
+    table.row(vec![
+        "scheduling efficiency".to_string(),
+        format!("{:.3}", me.scheduling_efficiency),
+        format!("{:.3}", mc.scheduling_efficiency),
+        pct(relative_gain(
+            mc.scheduling_efficiency,
+            me.scheduling_efficiency,
+        )),
+    ]);
+    table.row(vec![
+        "median dilation".to_string(),
+        format!("{:.3}", me.dilation.median),
+        format!("{:.3}", mc.dilation.median),
+        String::new(),
+    ]);
+    table.row(vec![
+        "shared node-time".to_string(),
+        pct(me.shared_fraction),
+        pct(mc.shared_fraction),
+        String::new(),
+    ]);
+    table.row(vec![
+        "walltime kills".to_string(),
+        me.killed.to_string(),
+        mc.killed.to_string(),
+        String::new(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "paper's claims: +19% computational efficiency, +25.2% scheduling efficiency, \
+         no co-allocation overhead"
+    );
+}

@@ -1,0 +1,130 @@
+//! An operator's-eye view: configure a machine with a `slurm.conf`,
+//! submit `#SBATCH` scripts, schedule with co-allocation-aware backfill,
+//! and inspect the run through `squeue` / `sinfo` / `sacct`.
+//!
+//! ```text
+//! cargo run --release --example sbatch_campaign
+//! ```
+
+use nodeshare::prelude::*;
+use nodeshare::slurm::{sacct, sinfo_at, squeue_at};
+
+const SLURM_CONF: &str = "\
+# A small oversubscribable machine.
+NodeName=n[0-15] Sockets=2 CoresPerSocket=16 ThreadsPerCore=2 RealMemory=131072
+PartitionName=batch Nodes=ALL Default=YES MaxTime=08:00:00 OverSubscribe=YES
+PartitionName=serial Nodes=ALL MaxTime=01:00:00 OverSubscribe=NO
+";
+
+fn script(app: &str, nodes: u32, time: &str, share: bool, partition: &str) -> String {
+    format!(
+        "#!/bin/bash\n\
+         #SBATCH --job-name={app}-{nodes}n\n\
+         #SBATCH --nodes={nodes}\n\
+         #SBATCH --time={time}\n\
+         #SBATCH --partition={partition}\n\
+         {}\
+         srun ./{app}\n",
+        if share {
+            "#SBATCH --oversubscribe\n"
+        } else {
+            ""
+        }
+    )
+}
+
+fn main() {
+    let conf = SlurmConf::parse(SLURM_CONF).expect("valid slurm.conf");
+    let catalog = AppCatalog::trinity();
+    let mut bs = BatchSystem::new(conf, catalog);
+
+    // A morning's worth of submissions: memory- and compute-bound jobs
+    // interleaved, a couple of non-sharing holdouts, one walltime liar.
+    let submissions: Vec<(String, f64, u32, f64)> = vec![
+        // (script, submit time, user, true runtime)
+        (script("AMG", 8, "02:00:00", true, "batch"), 0.0, 1, 5_400.0),
+        (
+            script("miniDFT", 8, "02:00:00", true, "batch"),
+            60.0,
+            2,
+            5_000.0,
+        ),
+        (
+            script("miniFE", 4, "01:30:00", true, "batch"),
+            120.0,
+            3,
+            4_200.0,
+        ),
+        (
+            script("SNAP", 4, "01:30:00", true, "batch"),
+            180.0,
+            4,
+            4_000.0,
+        ),
+        (
+            script("MILC", 16, "03:00:00", true, "batch"),
+            240.0,
+            5,
+            9_000.0,
+        ),
+        (
+            script("GTC", 2, "00:40:00", false, "serial"),
+            300.0,
+            6,
+            2_000.0,
+        ),
+        (
+            script("UMT", 8, "02:00:00", true, "batch"),
+            360.0,
+            7,
+            6_000.0,
+        ),
+        // Underestimates its runtime; will hit the walltime limit.
+        (
+            script("miniGhost", 2, "00:30:00", true, "batch"),
+            420.0,
+            8,
+            3_000.0,
+        ),
+    ];
+    for (text, t, user, runtime) in &submissions {
+        match bs.submit_script(text, *t, *user, *runtime) {
+            Ok(id) => println!("sbatch: Submitted batch {id}"),
+            Err(e) => println!("sbatch: error: {e}"),
+        }
+    }
+
+    // A submission the system must reject (walltime over the limit).
+    let err = bs
+        .submit_script(&script("AMG", 2, "10:00:00", true, "batch"), 500.0, 9, 60.0)
+        .unwrap_err();
+    println!("sbatch: error: {err}\n");
+
+    // Schedule the campaign with the paper's strategy.
+    let model = ContentionModel::calibrated();
+    let pairing = Pairing::new(
+        PairingPolicy::default_threshold(),
+        Predictor::class_based(bs.catalog(), &model),
+    );
+    let out = bs.run(&mut Backfill::co(pairing), &model);
+    let spec = bs.conf().cluster;
+
+    for &t in &[600.0, 3_600.0, 7_200.0] {
+        println!("--- t = {:>5.0}s ---", t);
+        println!("{}", sinfo_at(&out, &spec, t));
+        println!("{}", squeue_at(&out, bs.catalog(), t));
+    }
+
+    println!("--- accounting ---");
+    println!("{}", sacct(&out, bs.catalog()));
+
+    let m = out.metrics(&spec);
+    println!(
+        "campaign: {} jobs, makespan {:.1} h, computational efficiency {:.3}, \
+         shared node-time {:.0}%",
+        m.jobs,
+        m.makespan / 3_600.0,
+        m.computational_efficiency,
+        m.shared_fraction * 100.0
+    );
+}

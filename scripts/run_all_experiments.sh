@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of EXPERIMENTS.md into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  exp_t1_miniapps
+  exp_f2_pair_matrix
+  exp_t2_strategies
+  exp_f3_load_sweep
+  exp_f4_share_fraction
+  exp_f5_overhead
+  exp_t3_headline
+  exp_f7_pairing_ablation
+  exp_f8_estimate_error
+  exp_f9_failures
+  exp_f10_fairness
+  exp_f11_smt4
+  exp_f12_duration_match
+  exp_f13_site_profiles
+  exp_f14_gang_vs_smt
+  exp_f15_estimate_learning
+)
+
+cargo build --release -p nodeshare-bench
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  cargo run --release --quiet -p nodeshare-bench --bin "$bin"
+done
+echo "All experiment outputs are in results/."

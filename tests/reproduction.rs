@@ -1,0 +1,191 @@
+//! Reproduction guard-rails: fast versions of the paper's headline
+//! comparisons, asserted as directional invariants so a regression that
+//! breaks the science (not just the code) fails CI.
+
+use nodeshare::metrics::relative_gain;
+use nodeshare::prelude::*;
+use nodeshare::workload::ArrivalProcess;
+
+fn world() -> (AppCatalog, ContentionModel, CoRunTruth, ClusterSpec) {
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let matrix = CoRunTruth::build(&catalog, &model);
+    (catalog, model, matrix, ClusterSpec::evaluation())
+}
+
+fn saturated(catalog: &AppCatalog, seed: u64, n_jobs: usize) -> Workload {
+    let mut spec = WorkloadSpec::evaluation(catalog, seed);
+    spec.n_jobs = n_jobs;
+    spec.arrival = ArrivalProcess::Poisson { rate: 0.0080 };
+    spec.generate(catalog)
+}
+
+fn run_cfg(
+    cfg: &StrategyConfig,
+    workload: &Workload,
+    catalog: &AppCatalog,
+    model: &ContentionModel,
+    matrix: &CoRunTruth,
+    cluster: &ClusterSpec,
+) -> CampaignMetrics {
+    let mut sched = cfg.build(catalog, model);
+    let out = nodeshare::engine::run(workload, matrix, sched.as_mut(), &SimConfig::new(*cluster));
+    assert!(out.complete(), "{}: unscheduled jobs", cfg.label());
+    out.metrics(cluster)
+}
+
+/// The headline: CoBackfill beats standard allocation on both efficiency
+/// metrics by a double-digit margin on the saturated campaign (paper:
+/// +19% / +25.2%; we assert a conservative floor).
+#[test]
+fn cobackfill_beats_standard_allocation() {
+    let (catalog, model, matrix, cluster) = world();
+    let workload = saturated(&catalog, 42, 800);
+    let easy = run_cfg(
+        &StrategyConfig::exclusive(StrategyKind::EasyBackfill),
+        &workload,
+        &catalog,
+        &model,
+        &matrix,
+        &cluster,
+    );
+    let co = run_cfg(
+        &StrategyConfig::sharing(StrategyKind::CoBackfill),
+        &workload,
+        &catalog,
+        &model,
+        &matrix,
+        &cluster,
+    );
+    let comp_gain = relative_gain(co.computational_efficiency, easy.computational_efficiency);
+    let sched_gain = relative_gain(co.scheduling_efficiency, easy.scheduling_efficiency);
+    assert!(
+        comp_gain > 0.10,
+        "computational efficiency gain {comp_gain:.3}"
+    );
+    assert!(
+        sched_gain > 0.08,
+        "scheduling efficiency gain {sched_gain:.3}"
+    );
+    assert!(
+        co.makespan < easy.makespan,
+        "sharing should shorten the campaign"
+    );
+    assert!(co.wait.mean < easy.wait.mean, "sharing should cut waits");
+}
+
+/// "No overhead": under compatibility pairing the dilation distribution
+/// stays tight and essentially nothing is killed, while naive pairing
+/// shows the heavy tail.
+#[test]
+fn compatibility_pairing_has_no_overhead_but_any_pairing_does() {
+    let (catalog, model, matrix, cluster) = world();
+    let workload = saturated(&catalog, 7, 400);
+    let threshold = run_cfg(
+        &StrategyConfig::sharing(StrategyKind::CoBackfill),
+        &workload,
+        &catalog,
+        &model,
+        &matrix,
+        &cluster,
+    );
+    let mut any_cfg = StrategyConfig::sharing(StrategyKind::CoBackfill);
+    any_cfg.pairing = PairingPolicy::Any;
+    any_cfg.predictor = PredictorKind::Oblivious;
+    let any = run_cfg(&any_cfg, &workload, &catalog, &model, &matrix, &cluster);
+
+    assert!(
+        threshold.dilation.p95 < 1.5,
+        "threshold dilation p95 {}",
+        threshold.dilation.p95
+    );
+    assert!(
+        any.dilation.p95 > threshold.dilation.p95 + 0.1,
+        "any-pairing should have a heavier tail ({} vs {})",
+        any.dilation.p95,
+        threshold.dilation.p95
+    );
+    assert!(threshold.killed <= 2, "kills {}", threshold.killed);
+    assert!(
+        any.killed > threshold.killed,
+        "naive pairing should cause kills"
+    );
+}
+
+/// Sharing gains grow with offered load (the F3 shape) — checked at two
+/// well-separated points.
+#[test]
+fn gains_grow_with_load() {
+    let (catalog, model, matrix, cluster) = world();
+    let co = StrategyConfig::sharing(StrategyKind::CoBackfill);
+    let easy = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
+
+    let gain_at = |rate: f64| {
+        let mut spec = WorkloadSpec::evaluation(&catalog, 19);
+        spec.n_jobs = 300;
+        spec.arrival = ArrivalProcess::Poisson { rate };
+        let workload = spec.generate(&catalog);
+        let e = run_cfg(&easy, &workload, &catalog, &model, &matrix, &cluster);
+        let c = run_cfg(&co, &workload, &catalog, &model, &matrix, &cluster);
+        relative_gain(c.scheduling_efficiency, e.scheduling_efficiency)
+    };
+    let low = gain_at(0.0025); // ~0.5× saturation
+    let high = gain_at(0.0080); // ~1.7× saturation
+    assert!(
+        high > low + 0.05,
+        "gain must grow with load (low {low:.3}, high {high:.3})"
+    );
+}
+
+/// The strategy ordering of the T2 table: both sharing strategies beat
+/// every exclusive baseline on computational efficiency.
+#[test]
+fn sharing_strategies_lead_the_lineup() {
+    let (catalog, model, matrix, cluster) = world();
+    let workload = saturated(&catalog, 23, 300);
+    let mut results: Vec<(String, f64)> = Vec::new();
+    for cfg in StrategyConfig::lineup() {
+        let m = run_cfg(&cfg, &workload, &catalog, &model, &matrix, &cluster);
+        results.push((cfg.label().to_string(), m.computational_efficiency));
+    }
+    let of = |label: &str| {
+        results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, v)| v)
+            .unwrap()
+    };
+    for shared in ["co-first-fit", "co-backfill"] {
+        for excl in ["fcfs", "first-fit", "easy-backfill", "conservative"] {
+            assert!(
+                of(shared) > of(excl) + 0.05,
+                "{shared} ({:.3}) must beat {excl} ({:.3})",
+                of(shared),
+                of(excl)
+            );
+        }
+    }
+}
+
+/// Exclusive baselines deliver exactly E_comp = 1 (sanity anchor for the
+/// gain arithmetic).
+#[test]
+fn exclusive_baselines_anchor_at_unit_efficiency() {
+    let (catalog, model, matrix, cluster) = world();
+    let workload = saturated(&catalog, 31, 200);
+    for kind in [StrategyKind::Fcfs, StrategyKind::EasyBackfill] {
+        let m = run_cfg(
+            &StrategyConfig::exclusive(kind),
+            &workload,
+            &catalog,
+            &model,
+            &matrix,
+            &cluster,
+        );
+        assert!(
+            (m.computational_efficiency - 1.0).abs() < 1e-9,
+            "{kind:?}: E_comp {}",
+            m.computational_efficiency
+        );
+    }
+}
