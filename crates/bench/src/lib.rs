@@ -48,8 +48,25 @@ impl World {
     }
 
     /// Engine config for this world.
+    ///
+    /// Replay auditing follows the build profile (on in debug, off in
+    /// release benches) unless the experiment was invoked with `--audit`
+    /// or `NODESHARE_AUDIT=1`, which forces it on so a release campaign
+    /// can be re-run under the full invariant check.
     pub fn config(&self) -> SimConfig {
-        SimConfig::new(self.cluster)
+        let mut cfg = SimConfig::new(self.cluster);
+        if audit_requested() {
+            cfg.audit = true;
+            // Say so once: a silent auditor is indistinguishable from a
+            // disabled one in a recorded experiment log.
+            static ANNOUNCE: std::sync::Once = std::sync::Once::new();
+            ANNOUNCE.call_once(|| {
+                eprintln!(
+                    "[nodeshare-bench] replay audit ON: every campaign is traced and re-verified"
+                );
+            });
+        }
+        cfg
     }
 
     /// The *online* campaign: Poisson arrivals at ~90% offered load
@@ -102,6 +119,16 @@ impl World {
             })
             .collect()
     }
+}
+
+/// True when the current process was asked to audit its simulations,
+/// either via a `--audit` argument or the `NODESHARE_AUDIT` environment
+/// variable (any value except `0`/empty).
+pub fn audit_requested() -> bool {
+    if std::env::args().any(|a| a == "--audit") {
+        return true;
+    }
+    std::env::var("NODESHARE_AUDIT").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Mean of a field across replications.

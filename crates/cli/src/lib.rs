@@ -66,6 +66,13 @@ impl nodeshare_engine::Scheduler for BoxedScheduler {
     ) -> Vec<nodeshare_engine::Decision> {
         self.0.schedule(ctx)
     }
+    fn explain(
+        &self,
+        ctx: &nodeshare_engine::SchedContext<'_>,
+        decision: &nodeshare_engine::Decision,
+    ) -> nodeshare_engine::StartReason {
+        self.0.explain(ctx, decision)
+    }
 }
 
 /// Usage text.
@@ -74,10 +81,14 @@ nodeshare — node-sharing batch-system simulator
 
 USAGE:
   nodeshare simulate [options]     run one campaign and print a report
+  nodeshare audit [options]        run a campaign under the replay auditor
   nodeshare workload [options]     generate a synthetic campaign as SWF
   nodeshare pairs                  print the co-run pair matrix
   nodeshare apps                   print the mini-app characterization
   nodeshare help                   this text
+
+AUDIT OPTIONS (all SIMULATE options, plus):
+  --trace FILE       dump the decision trace as JSON
 
 SIMULATE OPTIONS:
   --strategy S       fcfs | first-fit | easy | conservative |
@@ -113,6 +124,7 @@ where
     let inv = Invocation::parse(argv)?;
     match inv.command.as_str() {
         "simulate" => simulate(&inv),
+        "audit" => audit_cmd(&inv),
         "workload" => workload_cmd(&inv),
         "pairs" => pairs(&inv),
         "apps" => apps(&inv),
@@ -214,25 +226,37 @@ fn build_workload(
     }
 }
 
-fn simulate(inv: &Invocation) -> Result<String, CliError> {
-    inv.check_known(&[
-        "strategy",
-        "pairing",
-        "predictor",
-        "conf",
-        "nodes",
-        "swf",
-        "jobs",
-        "seed",
-        "rate",
-        "preset",
-        "share-fraction",
-        "mtbf-hours",
-        "checkpoint-mins",
-        "duration-match",
-        "learning",
-        "csv",
-    ])?;
+/// Options shared by `simulate` and `audit`.
+const SIM_OPTIONS: &[&str] = &[
+    "strategy",
+    "pairing",
+    "predictor",
+    "conf",
+    "nodes",
+    "swf",
+    "jobs",
+    "seed",
+    "rate",
+    "preset",
+    "share-fraction",
+    "mtbf-hours",
+    "checkpoint-mins",
+    "duration-match",
+    "learning",
+    "csv",
+];
+
+/// Everything one campaign run needs, assembled from CLI options.
+struct Prepared {
+    catalog: AppCatalog,
+    truth: CoRunTruth,
+    cluster: ClusterSpec,
+    workload: Workload,
+    config: SimConfig,
+    sched: Box<dyn nodeshare_engine::Scheduler>,
+}
+
+fn prepare(inv: &Invocation) -> Result<Prepared, CliError> {
     let catalog = AppCatalog::trinity();
     let model = ContentionModel::calibrated();
     let truth = CoRunTruth::build(&catalog, &model);
@@ -282,7 +306,20 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
             3,
         ));
     }
-    let out = nodeshare_engine::run(&workload, &truth, sched.as_mut(), &config);
+    Ok(Prepared {
+        catalog,
+        truth,
+        cluster,
+        workload,
+        config,
+        sched,
+    })
+}
+
+fn simulate(inv: &Invocation) -> Result<String, CliError> {
+    inv.check_known(SIM_OPTIONS)?;
+    let mut p = prepare(inv)?;
+    let out = nodeshare_engine::run(&p.workload, &p.truth, p.sched.as_mut(), &p.config);
     if !out.complete() {
         return Err(CliError::Other(format!(
             "{} jobs could never be scheduled on this cluster (first: {:?})",
@@ -291,15 +328,52 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
         )));
     }
     if let Some(path) = inv.get("csv") {
-        std::fs::write(path, report::records_csv(&out, &catalog))
+        std::fs::write(path, report::records_csv(&out, &p.catalog))
             .map_err(|e| CliError::Io(path.to_string(), e))?;
     }
-    let stats = WorkloadStats::of(&workload);
+    let stats = WorkloadStats::of(&p.workload);
     Ok(format!(
         "workload:\n{}\n{}",
-        stats.report(Some(&catalog)),
-        report::render(&out, &cluster, &catalog)
+        stats.report(Some(&p.catalog)),
+        report::render(&out, &p.cluster, &p.catalog)
     ))
+}
+
+fn audit_cmd(inv: &Invocation) -> Result<String, CliError> {
+    let mut known: Vec<&str> = SIM_OPTIONS.to_vec();
+    known.push("trace");
+    inv.check_known(&known)?;
+    let mut p = prepare(inv)?;
+    // The auditor runs explicitly below, with the stricter queue-order
+    // check on; disable the engine's own implicit audit-and-panic.
+    p.config.audit = false;
+    let (out, trace) =
+        nodeshare_engine::run_traced(&p.workload, &p.truth, p.sched.as_mut(), &p.config);
+    if let Some(path) = inv.get("trace") {
+        std::fs::write(path, trace.to_json()).map_err(|e| CliError::Io(path.to_string(), e))?;
+    }
+    if let Some(path) = inv.get("csv") {
+        std::fs::write(path, report::records_csv(&out, &p.catalog))
+            .map_err(|e| CliError::Io(path.to_string(), e))?;
+    }
+    let verdict = nodeshare_engine::Auditor::new(&p.truth, &p.config)
+        .with_queue_order_check()
+        .audit(&trace, &out);
+    match verdict {
+        Ok(summary) => Ok(report::audit_report(&out, &summary, inv.get("trace"))),
+        Err(violations) => {
+            let mut msg = format!(
+                "audit of {} FAILED with {} violation(s):",
+                out.scheduler,
+                violations.len()
+            );
+            for v in &violations {
+                msg.push_str("\n  ");
+                msg.push_str(&v.to_string());
+            }
+            Err(CliError::Other(msg))
+        }
+    }
 }
 
 fn workload_cmd(inv: &Invocation) -> Result<String, CliError> {
@@ -464,6 +538,50 @@ mod tests {
         assert!(a.contains("smt-self"));
         // Extra flags are rejected.
         assert!(run_cli(["pairs", "--x", "1"]).is_err());
+    }
+
+    #[test]
+    fn audit_subcommand_verifies_a_campaign() {
+        let dir = std::env::temp_dir().join("nodeshare_cli_audit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let trace_str = trace.to_str().unwrap();
+        let out = run_cli([
+            "audit",
+            "--jobs",
+            "50",
+            "--seed",
+            "5",
+            "--nodes",
+            "32",
+            "--rate",
+            "0.02",
+            "--strategy",
+            "co-backfill",
+            "--trace",
+            trace_str,
+        ])
+        .unwrap();
+        assert!(out.contains("nodeshare audit: co-backfill"));
+        assert!(out.contains("all invariants hold"));
+        assert!(out.contains(trace_str));
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"events\":["));
+        assert!(json.contains("\"type\":\"started\""));
+        std::fs::remove_file(trace).ok();
+
+        // Exclusive strategies audit cleanly too, with zero shared starts.
+        let out = run_cli([
+            "audit",
+            "--jobs",
+            "30",
+            "--nodes",
+            "32",
+            "--strategy",
+            "fcfs",
+        ])
+        .unwrap();
+        assert!(out.contains("(0 shared)"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! breakdown.
 
 use nodeshare_cluster::ClusterSpec;
-use nodeshare_engine::SimOutcome;
+use nodeshare_engine::{AuditSummary, SimOutcome};
 use nodeshare_metrics::{by_app, fmt_seconds, user_slowdown_fairness, Buckets, Histogram, Table};
 use nodeshare_perf::AppCatalog;
 
@@ -84,6 +84,46 @@ pub fn render(outcome: &SimOutcome, spec: &ClusterSpec, catalog: &AppCatalog) ->
         ]);
     }
     out.push_str(&t.render());
+    out
+}
+
+/// Renders the verdict of a clean replay audit.
+pub fn audit_report(
+    outcome: &SimOutcome,
+    summary: &AuditSummary,
+    trace_path: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== nodeshare audit: {} ===\n\n",
+        outcome.scheduler
+    ));
+    out.push_str(&format!(
+        "replayed {} events: {} starts ({} shared), {} terminations ({} killed), {} requeues\n",
+        summary.events,
+        summary.starts,
+        summary.shared_starts,
+        summary.finished,
+        summary.killed,
+        summary.requeues,
+    ));
+    out.push_str(&format!(
+        "busy core-seconds:   replay {:.1}  outcome {:.1}\n\
+         shared core-seconds: replay {:.1}  outcome {:.1}\n",
+        summary.busy_core_seconds,
+        outcome.busy_core_seconds,
+        summary.shared_core_seconds,
+        outcome.shared_core_seconds,
+    ));
+    out.push_str(
+        "\nall invariants hold: node-second conservation, SMT capacity, \
+         share eligibility and pair compatibility, walltime enforcement, \
+         submit-before-start ordering, backfill queue-order justification, \
+         record/trace agreement, completion consistency\n",
+    );
+    if let Some(path) = trace_path {
+        out.push_str(&format!("decision trace written to {path}\n"));
+    }
     out
 }
 

@@ -47,6 +47,19 @@ impl std::fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
+/// One consistent view of cluster occupancy at an instant (see
+/// [`Cluster::occupancy_snapshot`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// Physical cores busy (a node's cores count fully once any job
+    /// resides on it).
+    pub busy_cores: u64,
+    /// Nodes hosting two or more jobs.
+    pub shared_nodes: usize,
+    /// Occupied nodes with their residents, in node-id order.
+    pub per_node: Vec<(NodeId, Vec<JobId>)>,
+}
+
 /// A cluster of homogeneous nodes with lane-granular allocation tracking.
 ///
 /// Two indices are maintained incrementally so schedulers can enumerate
@@ -367,6 +380,28 @@ impl Cluster {
         self.busy_cores() as f64 / self.spec.total_cores() as f64
     }
 
+    /// Point-in-time occupancy: every occupied node with its residents,
+    /// plus the aggregate counters derived from the same walk. One
+    /// consistent snapshot for tracing, auditing, and reporting.
+    pub fn occupancy_snapshot(&self) -> OccupancySnapshot {
+        let mut per_node = Vec::new();
+        let mut shared_nodes = 0;
+        for node in &self.nodes {
+            let occupants = node.occupants();
+            if occupants.len() >= 2 {
+                shared_nodes += 1;
+            }
+            if !occupants.is_empty() {
+                per_node.push((node.id(), occupants));
+            }
+        }
+        OccupancySnapshot {
+            busy_cores: per_node.len() as u64 * self.spec.node.cores() as u64,
+            shared_nodes,
+            per_node,
+        }
+    }
+
     /// Debug-only consistency check: allocation table and node lane state
     /// must describe the same world, and the indices must be exact.
     ///
@@ -539,6 +574,25 @@ mod tests {
         let total = ClusterSpec::test_small().total_cores() as f64;
         assert!((c.core_utilization() - 4.0 / total).abs() < 1e-12);
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn occupancy_snapshot_agrees_with_counters() {
+        let mut c = cluster();
+        assert_eq!(c.occupancy_snapshot().per_node, vec![]);
+        c.allocate_exclusive(JobId(1), &[NodeId(2)], 0).unwrap();
+        c.allocate_shared(JobId(2), &[NodeId(0)], 0).unwrap();
+        c.allocate_shared(JobId(3), &[NodeId(0)], 0).unwrap();
+        let snap = c.occupancy_snapshot();
+        assert_eq!(snap.busy_cores, c.busy_cores());
+        assert_eq!(snap.shared_nodes, 1);
+        assert_eq!(
+            snap.per_node,
+            vec![
+                (NodeId(0), vec![JobId(2), JobId(3)]),
+                (NodeId(2), vec![JobId(1)]),
+            ]
+        );
     }
 
     #[test]

@@ -33,6 +33,15 @@ impl Scheduler for Fcfs {
             None => Vec::new(),
         }
     }
+
+    fn explain(
+        &self,
+        _ctx: &SchedContext<'_>,
+        _decision: &Decision,
+    ) -> nodeshare_engine::StartReason {
+        // Strict FCFS only ever starts the queue head.
+        nodeshare_engine::StartReason::HeadOfQueue
+    }
 }
 
 #[cfg(test)]

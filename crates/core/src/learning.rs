@@ -132,6 +132,16 @@ impl<S: Scheduler> Scheduler for EstimateLearning<S> {
         };
         self.inner.schedule(&view)
     }
+
+    fn explain(
+        &self,
+        ctx: &SchedContext<'_>,
+        decision: &Decision,
+    ) -> nodeshare_engine::StartReason {
+        // Corrections change estimates, not queue order or occupancy, so
+        // the inner policy's justification applies unchanged.
+        self.inner.explain(ctx, decision)
+    }
 }
 
 #[cfg(test)]

@@ -12,23 +12,31 @@
 //! * [`sim`] — the driver ([`run`]) wiring workload + cluster + pair
 //!   matrix + policy together,
 //! * [`outcome`] — [`SimOutcome`] with per-job records and integrated
-//!   occupancy series.
+//!   occupancy series,
+//! * [`trace`] — structured [`DecisionTrace`] of every scheduler decision
+//!   and allocation change,
+//! * [`audit`] — the replay [`Auditor`] that re-derives cluster state from
+//!   a trace and checks conservation laws against the outcome.
 //!
 //! The engine enforces the sharing mechanism's ground rules (only
 //! share-eligible jobs may be co-allocated) and panics on inapplicable
 //! policy decisions, so a policy bug fails loudly rather than skewing
 //! results.
 
+pub mod audit;
 pub mod events;
 pub mod faults;
 pub mod outcome;
 pub mod progress;
 pub mod sim;
+pub mod trace;
 pub mod view;
 
+pub use audit::{AuditSummary, Auditor, Violation};
 pub use events::{Event, EventQueue};
 pub use faults::{FailureModel, MaintenanceWindow};
 pub use outcome::SimOutcome;
 pub use progress::RunningJob;
-pub use sim::{first_idle_nodes, run, SimConfig};
+pub use sim::{first_idle_nodes, run, run_traced, SimConfig};
+pub use trace::{DecisionTrace, DownCause, StartReason, TraceEvent};
 pub use view::{Decision, RunningSummary, SchedContext, Scheduler};

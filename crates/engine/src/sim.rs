@@ -1,10 +1,12 @@
 //! The simulation driver: wires workload, cluster, contention truth, and
 //! a scheduling policy into one deterministic discrete-event run.
 
+use crate::audit::Auditor;
 use crate::events::{Event, EventQueue};
 use crate::faults::{FailureModel, MaintenanceWindow};
 use crate::outcome::SimOutcome;
 use crate::progress::RunningJob;
+use crate::trace::{DecisionTrace, DownCause, StartReason, TraceEvent};
 use crate::view::{summary_of, Decision, SchedContext, Scheduler};
 use nodeshare_cluster::{AdminState, Cluster, ClusterSpec, JobId, NodeId, ShareMode};
 use nodeshare_metrics::{JobRecord, StepSeries};
@@ -50,6 +52,12 @@ pub struct SimConfig {
     /// Hard event budget; exceeded means a runaway policy. Generous
     /// default: ~40 events per job covers every policy in this workspace.
     pub max_events: u64,
+    /// Record a [`DecisionTrace`] and replay-audit it against the outcome
+    /// when the run ends, panicking on any violated invariant (see
+    /// [`crate::audit::Auditor`]). Defaults to on in debug builds (so
+    /// every test run is audited) and off in release builds (benchmark
+    /// runs pay no tracing cost).
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -66,6 +74,7 @@ impl SimConfig {
             checkpoint_interval: None,
             snapshot_times: Vec::new(),
             max_events: 50_000_000,
+            audit: cfg!(debug_assertions),
         }
     }
 }
@@ -86,7 +95,38 @@ pub fn run(
     scheduler: &mut dyn Scheduler,
     config: &SimConfig,
 ) -> SimOutcome {
-    Engine::new(workload, truth, config).run(scheduler)
+    if !config.audit {
+        let (outcome, _) = Engine::new(workload, truth, config, false).run(scheduler);
+        return outcome;
+    }
+    let (outcome, trace) = run_traced(workload, truth, scheduler, config);
+    if let Err(violations) = Auditor::new(truth, config).audit(&trace, &outcome) {
+        let mut msg = format!(
+            "audit of scheduler {:?} found {} violation(s):",
+            outcome.scheduler,
+            violations.len()
+        );
+        for v in &violations {
+            msg.push_str("\n  ");
+            msg.push_str(&v.to_string());
+        }
+        panic!("{msg}");
+    }
+    outcome
+}
+
+/// Like [`run`], but always records and returns the full
+/// [`DecisionTrace`] alongside the outcome (no implicit audit — callers
+/// hand the trace to an [`Auditor`] themselves, possibly with extra
+/// checks enabled, or export it).
+pub fn run_traced(
+    workload: &Workload,
+    truth: &CoRunTruth,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+) -> (SimOutcome, DecisionTrace) {
+    let (outcome, trace) = Engine::new(workload, truth, config, true).run(scheduler);
+    (outcome, trace.expect("tracing was requested"))
 }
 
 struct Engine<'a> {
@@ -118,10 +158,17 @@ struct Engine<'a> {
     /// Globally unique completion-event generations: requeued jobs must
     /// never collide with their previous attempt's event stamps.
     gen_counter: u64,
+    /// Decision trace, recorded when tracing/auditing is requested.
+    trace: Option<DecisionTrace>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(workload: &'a Workload, truth: &'a CoRunTruth, config: &'a SimConfig) -> Self {
+    fn new(
+        workload: &'a Workload,
+        truth: &'a CoRunTruth,
+        config: &'a SimConfig,
+        traced: bool,
+    ) -> Self {
         let mut events = EventQueue::new();
         for (i, job) in workload.jobs().iter().enumerate() {
             events.push(job.submit, Event::Arrival(i));
@@ -169,6 +216,7 @@ impl<'a> Engine<'a> {
             snapshots: Vec::new(),
             rejected: Vec::new(),
             gen_counter: 1,
+            trace: traced.then(DecisionTrace::new),
         }
     }
 
@@ -179,7 +227,14 @@ impl<'a> Engine<'a> {
         g
     }
 
-    fn run(mut self, scheduler: &mut dyn Scheduler) -> SimOutcome {
+    /// Records one trace event when tracing is on.
+    fn trace_ev(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(event);
+        }
+    }
+
+    fn run(mut self, scheduler: &mut dyn Scheduler) -> (SimOutcome, Option<DecisionTrace>) {
         while let Some((time, event)) = self.events.pop() {
             debug_assert!(time + 1e-9 >= self.now, "event time went backwards");
             self.now = time.max(self.now);
@@ -193,6 +248,14 @@ impl<'a> Engine<'a> {
                 Event::Arrival(i) => {
                     self.arrivals_pending -= 1;
                     let job = &self.workload.jobs()[i];
+                    self.trace_ev(TraceEvent::Submitted {
+                        time: self.now,
+                        job: job.id,
+                        app: job.app,
+                        nodes: job.nodes,
+                        walltime_estimate: job.walltime_estimate,
+                        share_eligible: job.share_eligible,
+                    });
                     // Requests no configuration of this machine can ever
                     // satisfy are rejected at submission, as sbatch does —
                     // otherwise an FCFS head would deadlock the queue.
@@ -200,6 +263,10 @@ impl<'a> Engine<'a> {
                         || job.mem_per_node_mib > self.config.cluster.node.mem_mib
                     {
                         self.rejected.push(job.id);
+                        self.trace_ev(TraceEvent::Rejected {
+                            time: self.now,
+                            job: job.id,
+                        });
                         continue;
                     }
                     self.queue.push(job.clone());
@@ -244,10 +311,19 @@ impl<'a> Engine<'a> {
                 }
                 Event::NodeRepair(node) => {
                     self.cluster.resume(node).expect("repaired node exists");
+                    self.trace_ev(TraceEvent::NodeUp {
+                        time: self.now,
+                        node,
+                    });
                     self.invoke(scheduler);
                 }
                 Event::DrainStart(node) => {
                     self.cluster.drain(node).expect("drained node exists");
+                    self.trace_ev(TraceEvent::NodeDown {
+                        time: self.now,
+                        node,
+                        cause: DownCause::Drained,
+                    });
                 }
                 Event::Snapshot(_) => {
                     self.snapshots.push((
@@ -264,6 +340,10 @@ impl<'a> Engine<'a> {
                         .is_some_and(|n| n.admin_state() == AdminState::Drained)
                     {
                         self.cluster.resume(node).expect("node exists");
+                        self.trace_ev(TraceEvent::NodeUp {
+                            time: self.now,
+                            node,
+                        });
                         self.invoke(scheduler);
                     }
                 }
@@ -271,7 +351,8 @@ impl<'a> Engine<'a> {
         }
 
         let end = self.now;
-        SimOutcome {
+        let trace = self.trace;
+        let outcome = SimOutcome {
             scheduler: scheduler.name().to_string(),
             records: {
                 let mut r = self.records;
@@ -287,7 +368,8 @@ impl<'a> Engine<'a> {
             queue_depth: self.queue_depth,
             snapshots: self.snapshots,
             rejected: self.rejected,
-        }
+        };
+        (outcome, trace)
     }
 
     /// Calls the policy until it has nothing more to start.
@@ -295,7 +377,7 @@ impl<'a> Engine<'a> {
         // Each round must start at least one job, so `queue.len()` rounds
         // bound the fixpoint iteration.
         for _ in 0..=self.queue.len() {
-            let decisions = {
+            let decisions: Vec<(Decision, StartReason)> = {
                 let ctx = SchedContext {
                     now: self.now,
                     queue: &self.queue,
@@ -304,25 +386,40 @@ impl<'a> Engine<'a> {
                     shared_grace: self.config.shared_walltime_grace,
                     completed: &self.records,
                 };
-                scheduler.schedule(&ctx)
+                let decided = scheduler.schedule(&ctx);
+                decided
+                    .into_iter()
+                    .map(|d| {
+                        let reason = if self.trace.is_some() {
+                            scheduler.explain(&ctx, &d)
+                        } else {
+                            StartReason::Unspecified
+                        };
+                        (d, reason)
+                    })
+                    .collect()
             };
             if decisions.is_empty() {
                 return;
             }
-            for d in decisions {
-                self.apply(d);
+            for (d, reason) in decisions {
+                self.apply(d, reason);
             }
         }
     }
 
     /// Applies one start decision. Panics on policy bugs.
-    fn apply(&mut self, decision: Decision) {
+    fn apply(&mut self, decision: Decision, reason: StartReason) {
         let job_id = decision.job();
         let pos = self
             .queue
             .iter()
             .position(|j| j.id == job_id)
             .unwrap_or_else(|| panic!("policy started {job_id} which is not queued"));
+        // Trace context captured before any state changes: who was still
+        // waiting ahead, and how many nodes were idle.
+        let idle_before = self.cluster.idle_count();
+        let head_waiting = (pos != 0).then(|| (self.queue[0].id, self.queue[0].nodes));
         let spec = self.queue.remove(pos);
         self.queue_depth.record(self.now, self.queue.len() as f64);
         assert_eq!(
@@ -378,12 +475,18 @@ impl<'a> Engine<'a> {
             shared_nodes_now: 0,
             spec,
         };
-        let affected: Vec<JobId> = self
-            .cluster
-            .co_runners(job_id)
-            .into_iter()
-            .map(|(_, co)| co)
-            .collect();
+        let partners = self.cluster.co_runners(job_id);
+        let affected: Vec<JobId> = partners.iter().map(|&(_, co)| co).collect();
+        self.trace_ev(TraceEvent::Started {
+            time: self.now,
+            job: job_id,
+            mode,
+            nodes: decision.nodes().to_vec(),
+            reason,
+            idle_before,
+            head_waiting,
+            partners,
+        });
         {
             let running_tbl = &self.running;
             running.rerate_with(&self.cluster, self.truth, |co| running_tbl[&co].spec.app);
@@ -469,6 +572,11 @@ impl<'a> Engine<'a> {
                 .unwrap_or(0.0),
             user: r.spec.user,
         });
+        self.trace_ev(TraceEvent::Finished {
+            time: self.now,
+            job: job_id,
+            killed,
+        });
         self.record_occupancy();
     }
 
@@ -502,9 +610,14 @@ impl<'a> Engine<'a> {
             return; // already down (e.g. repair pending)
         }
         for victim in n.occupants() {
-            self.requeue(victim);
+            self.requeue(victim, node);
         }
         self.cluster.set_down(node).expect("node emptied above");
+        self.trace_ev(TraceEvent::NodeDown {
+            time: self.now,
+            node,
+            cause: DownCause::Failed,
+        });
         let repair = self
             .config
             .failures
@@ -515,9 +628,15 @@ impl<'a> Engine<'a> {
         self.record_occupancy();
     }
 
-    /// Evicts a running job and puts it back in the queue (submission
-    /// order preserved); all progress is lost — no checkpointing.
-    fn requeue(&mut self, job_id: JobId) {
+    /// Evicts a running job (its node `failed`) and puts it back in the
+    /// queue (submission order preserved); all progress is lost — no
+    /// checkpointing.
+    fn requeue(&mut self, job_id: JobId, failed: NodeId) {
+        self.trace_ev(TraceEvent::Requeued {
+            time: self.now,
+            job: job_id,
+            node: failed,
+        });
         let mut r = self.running.remove(&job_id).expect("victim is running");
         self.running_view.remove(&job_id);
         r.advance_to(self.now); // keeps shared-time accounting exact
@@ -552,17 +671,16 @@ impl<'a> Engine<'a> {
 
     /// Records the occupancy series after an allocation change.
     fn record_occupancy(&mut self) {
-        self.busy_cores
-            .record(self.now, self.cluster.busy_cores() as f64);
+        let snap = self.cluster.occupancy_snapshot();
+        self.busy_cores.record(self.now, snap.busy_cores as f64);
         let cores_per_node = self.config.cluster.node.cores() as f64;
-        let shared_nodes = self
-            .cluster
-            .nodes()
-            .iter()
-            .filter(|n| n.occupants().len() >= 2)
-            .count();
         self.shared_cores
-            .record(self.now, shared_nodes as f64 * cores_per_node);
+            .record(self.now, snap.shared_nodes as f64 * cores_per_node);
+        self.trace_ev(TraceEvent::Occupancy {
+            time: self.now,
+            busy_cores: snap.busy_cores,
+            shared_nodes: snap.shared_nodes,
+        });
     }
 }
 

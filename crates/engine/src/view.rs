@@ -149,6 +149,16 @@ pub trait Scheduler {
 
     /// Inspects the context and returns jobs to start now.
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision>;
+
+    /// Justifies one of this invocation's decisions for the decision
+    /// trace ([`crate::trace::TraceEvent::Started`]). Called with the
+    /// same context `schedule` saw, before the decision is applied. The
+    /// default derives the reason from queue position and target-node
+    /// occupancy; policies with first-hand intent (a pure FCFS policy, a
+    /// backfiller that knows which hole it filled) may override it.
+    fn explain(&self, ctx: &SchedContext<'_>, decision: &Decision) -> crate::trace::StartReason {
+        crate::trace::StartReason::classify(ctx, decision)
+    }
 }
 
 pub(crate) fn summary_of(r: &RunningJob, kill_at: Seconds) -> RunningSummary {

@@ -1,4 +1,15 @@
 //! Small summary-statistics helpers shared by the metric computations.
+//!
+//! # NaN policy
+//!
+//! These helpers never *introduce* NaN: every function returns finite
+//! numbers for finite inputs, and the degenerate cases are defined rather
+//! than poisonous (`Summary::of(&[])` and [`mean`] of an empty sample are
+//! all-zero, [`relative_gain`] against a zero baseline is 0). NaN *inputs*
+//! are the caller's bug: sorting uses [`f64::total_cmp`], so a NaN sample
+//! never panics and deterministically sorts after `+∞` (contaminating
+//! `max`/`mean` but nothing else). Simulation outputs are finite by
+//! construction, so the engine-facing crates do not pre-filter.
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,150 @@
+//! Degenerate-input behavior of the metrics crate: empty series,
+//! single-sample summaries and histograms, zero baselines, and the
+//! documented NaN policy. Every case here is something an experiment
+//! binary can actually produce (an idle campaign, a one-job workload).
+
+use nodeshare_metrics::{
+    by_app, by_user, jain_index, mean, relative_gain, Buckets, Histogram, JobRecord, StepSeries,
+    Summary,
+};
+
+fn one_record() -> JobRecord {
+    JobRecord {
+        id: nodeshare_cluster::JobId(7),
+        app: nodeshare_perf::AppId(2),
+        nodes: 3,
+        submit: 10.0,
+        start: 10.0,
+        finish: 110.0,
+        runtime_exclusive: 100.0,
+        walltime_estimate: 200.0,
+        shared_node_seconds: 0.0,
+        killed: false,
+        shared_alloc: false,
+        restarts: 0,
+        salvaged_work: 0.0,
+        user: 5,
+    }
+}
+
+#[test]
+fn empty_series_is_zero_everywhere() {
+    let s = StepSeries::new();
+    assert_eq!(s.value_at(0.0), 0.0);
+    assert_eq!(s.value_at(1e12), 0.0);
+    assert_eq!(s.integral(0.0, 1e6), 0.0);
+    assert_eq!(s.integral(5.0, 5.0), 0.0);
+    assert_eq!(s.max_value(), 0.0);
+    assert!(s.points().is_empty());
+    // Sampling an empty series is legal and all-zero.
+    let samples = s.sample(0.0, 10.0, 3);
+    assert_eq!(samples, vec![(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
+}
+
+#[test]
+fn series_integral_handles_inverted_and_degenerate_ranges() {
+    let mut s = StepSeries::new();
+    s.record(0.0, 2.0);
+    assert_eq!(s.integral(10.0, 5.0), 0.0); // inverted: defined as 0
+    assert_eq!(s.integral(3.0, 3.0), 0.0); // zero-width
+    assert_eq!(s.integral(0.0, 4.0), 8.0);
+}
+
+#[test]
+fn single_sample_summary_is_that_sample() {
+    let s = Summary::of(&[42.5]);
+    assert_eq!(s.n, 1);
+    assert_eq!(s.mean, 42.5);
+    assert_eq!(s.median, 42.5);
+    assert_eq!(s.p95, 42.5);
+    assert_eq!(s.min, 42.5);
+    assert_eq!(s.max, 42.5);
+}
+
+#[test]
+fn single_sample_histogram_lands_in_one_bucket() {
+    let h = Histogram::of(
+        [1.5],
+        &Buckets::Linear {
+            lo: 0.0,
+            hi: 4.0,
+            count: 4,
+        },
+    );
+    assert_eq!(h.total(), 1);
+    let counts: Vec<u64> = h.buckets().map(|(_, _, c)| c).collect();
+    assert_eq!(counts, vec![0, 1, 0, 0]);
+    assert_eq!(h.underflow, 0);
+    assert_eq!(h.overflow, 0);
+    // Rendering a near-empty histogram neither panics nor divides by zero.
+    let empty = Histogram::of(
+        [],
+        &Buckets::Linear {
+            lo: 0.0,
+            hi: 1.0,
+            count: 2,
+        },
+    );
+    assert_eq!(empty.total(), 0);
+    assert_eq!(empty.render(10).lines().count(), 2);
+}
+
+#[test]
+fn relative_gain_zero_baseline_is_defined() {
+    assert_eq!(relative_gain(5.0, 0.0), 0.0);
+    assert_eq!(relative_gain(0.0, 0.0), 0.0);
+    assert_eq!(relative_gain(-3.0, 0.0), 0.0);
+    // ...and stays an actual ratio off zero.
+    assert!((relative_gain(1.5, 1.0) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn empty_and_singleton_groupings() {
+    assert!(by_user(&[]).is_empty());
+    assert!(by_app(&[]).is_empty());
+    let groups = by_user(&[one_record()]);
+    assert_eq!(groups.len(), 1);
+    let g = &groups[&5];
+    assert_eq!(g.jobs, 1);
+    assert_eq!(g.wait.n, 1);
+    assert_eq!(g.wait.mean, 0.0);
+    assert_eq!(g.shared_fraction, 0.0);
+    // A killed singleton has an *empty* dilation summary, not a NaN one.
+    let mut killed = one_record();
+    killed.killed = true;
+    let g = by_app(&[killed]).into_values().next().unwrap();
+    assert_eq!(g.dilation.n, 0);
+    assert_eq!(g.dilation.mean, 0.0);
+}
+
+#[test]
+fn jain_index_degenerate_samples() {
+    assert_eq!(jain_index(&[]), 1.0);
+    assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    assert_eq!(jain_index(&[3.7]), 1.0); // one user is trivially fair
+    let skewed = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+    assert!((skewed - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn finite_inputs_never_produce_nan() {
+    // The documented NaN policy: finite in, finite out, even at the
+    // degenerate corners.
+    for s in [
+        Summary::of(&[]),
+        Summary::of(&[0.0]),
+        Summary::of(&[f64::MAX, f64::MIN_POSITIVE]),
+    ] {
+        for v in [s.mean, s.median, s.p95, s.min, s.max] {
+            assert!(v.is_finite(), "{s:?}");
+        }
+    }
+    assert!(mean(&[]).is_finite());
+    assert!(!relative_gain(1.0, 0.0).is_nan());
+    assert!(!jain_index(&[0.0]).is_nan());
+
+    // NaN *inputs* are tolerated without panicking and sort last.
+    let s = Summary::of(&[1.0, f64::NAN, 2.0]);
+    assert_eq!(s.min, 1.0);
+    assert!(s.max.is_nan()); // contaminates max, as documented
+}

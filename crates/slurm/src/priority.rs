@@ -86,6 +86,31 @@ impl<S: Scheduler> Scheduler for MultifactorPriority<S> {
         };
         self.inner.schedule(&view)
     }
+
+    fn explain(
+        &self,
+        ctx: &SchedContext<'_>,
+        decision: &Decision,
+    ) -> nodeshare_engine::StartReason {
+        // Justify against the priority order the inner policy actually
+        // saw, not raw submission order — under multifactor priority a
+        // younger-but-higher-priority start is head-of-queue, not a jump.
+        let mut sorted: Vec<JobSpec> = ctx.queue.to_vec();
+        sorted.sort_by(|a, b| {
+            let pa = self.weights.priority(a, ctx.now, self.max_nodes);
+            let pb = self.weights.priority(b, ctx.now, self.max_nodes);
+            pb.total_cmp(&pa)
+        });
+        let view = SchedContext {
+            now: ctx.now,
+            queue: &sorted,
+            cluster: ctx.cluster,
+            running: ctx.running,
+            shared_grace: ctx.shared_grace,
+            completed: ctx.completed,
+        };
+        self.inner.explain(&view, decision)
+    }
 }
 
 #[cfg(test)]

@@ -32,22 +32,34 @@ pub fn parse_walltime(s: &str) -> Result<Seconds, TimeParseError> {
         }
         t.parse::<u64>().map_err(|_| bad())
     };
+    // Checked throughout: `u64::MAX` days (or minutes) is representable as
+    // a string but not as seconds, and must parse-fail rather than wrap or
+    // panic in debug builds.
+    let total = |d: u64, h: u64, m: u64, sec: u64| -> Result<Seconds, TimeParseError> {
+        d.checked_mul(24)
+            .and_then(|t| t.checked_add(h))
+            .and_then(|t| t.checked_mul(60))
+            .and_then(|t| t.checked_add(m))
+            .and_then(|t| t.checked_mul(60))
+            .and_then(|t| t.checked_add(sec))
+            .map(|t| t as Seconds)
+            .ok_or_else(bad)
+    };
     if let Some((days, rest)) = s.split_once('-') {
         let d = num(days)?;
         let parts: Vec<&str> = rest.split(':').collect();
-        let (h, m, sec) = match parts.as_slice() {
-            [h] => (num(h)?, 0, 0),
-            [h, m] => (num(h)?, num(m)?, 0),
-            [h, m, sec] => (num(h)?, num(m)?, num(sec)?),
-            _ => return Err(bad()),
-        };
-        Ok((((d * 24 + h) * 60 + m) * 60 + sec) as Seconds)
+        match parts.as_slice() {
+            [h] => total(d, num(h)?, 0, 0),
+            [h, m] => total(d, num(h)?, num(m)?, 0),
+            [h, m, sec] => total(d, num(h)?, num(m)?, num(sec)?),
+            _ => Err(bad()),
+        }
     } else {
         let parts: Vec<&str> = s.split(':').collect();
         match parts.as_slice() {
-            [m] => Ok((num(m)? * 60) as Seconds),
-            [m, sec] => Ok((num(m)? * 60 + num(sec)?) as Seconds),
-            [h, m, sec] => Ok(((num(h)? * 60 + num(m)?) * 60 + num(sec)?) as Seconds),
+            [m] => total(0, 0, num(m)?, 0),
+            [m, sec] => total(0, 0, num(m)?, num(sec)?),
+            [h, m, sec] => total(0, num(h)?, num(m)?, num(sec)?),
             _ => Err(bad()),
         }
     }

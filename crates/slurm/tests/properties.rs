@@ -1,0 +1,121 @@
+//! Property tests for the SLURM text surfaces: walltime round-trips and
+//! `#SBATCH` header parsing edge cases (zero/huge walltimes, malformed
+//! lines, memory suffixes).
+
+use nodeshare_slurm::{format_walltime, parse_walltime, JobScript, ScriptError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse ∘ format` is the identity on whole seconds, across the
+    /// minute / hour / multi-day rendering regimes.
+    #[test]
+    fn walltime_roundtrips_whole_seconds(total in 0u64..400_000_000) {
+        let seconds = total as f64;
+        let text = format_walltime(seconds);
+        prop_assert_eq!(parse_walltime(&text).unwrap(), seconds);
+    }
+
+    /// `format ∘ parse` is canonical: re-formatting a parsed canonical
+    /// string reproduces it exactly.
+    #[test]
+    fn walltime_formatting_is_canonical(total in 0u64..400_000_000) {
+        let text = format_walltime(total as f64);
+        let reparsed = parse_walltime(&text).unwrap();
+        prop_assert_eq!(format_walltime(reparsed), text);
+    }
+
+    /// Every accepted component form agrees with the arithmetic meaning.
+    #[test]
+    fn walltime_component_forms_agree(
+        d in 0u64..5_000,
+        h in 0u64..24,
+        m in 0u64..60,
+        sec in 0u64..60,
+    ) {
+        let expect = (((d * 24 + h) * 60 + m) * 60 + sec) as f64;
+        prop_assert_eq!(parse_walltime(&format!("{d}-{h}:{m}:{sec}")).unwrap(), expect);
+        prop_assert_eq!(
+            parse_walltime(&format!("{d}-{h}:{m}")).unwrap(),
+            expect - sec as f64
+        );
+        if d == 0 {
+            prop_assert_eq!(parse_walltime(&format!("{h}:{m}:{sec}")).unwrap(), expect);
+        }
+        // Bare minutes form.
+        prop_assert_eq!(parse_walltime(&format!("{m}")).unwrap(), (m * 60) as f64);
+    }
+
+    /// A well-formed header always parses and every field lands intact,
+    /// whatever the option order or `=`/space separator.
+    #[test]
+    fn well_formed_scripts_parse(
+        nodes in 1u32..5_000,
+        minutes in 0u64..1_000_000,
+        mem_gib in 1u64..1_024,
+        share in prop::bool::weighted(0.5),
+        spaced in prop::bool::weighted(0.5),
+    ) {
+        let sep = if spaced { " " } else { "=" };
+        let mut text = format!(
+            "#!/bin/bash\n#SBATCH --nodes{sep}{nodes}\n#SBATCH --time{sep}{minutes}\n\
+             #SBATCH --mem{sep}{mem_gib}G\n"
+        );
+        if share {
+            text.push_str("#SBATCH --oversubscribe\n");
+        }
+        text.push_str("srun ./app\n");
+
+        let s = JobScript::parse(&text).unwrap();
+        prop_assert_eq!(s.nodes, nodes);
+        prop_assert_eq!(s.walltime, Some((minutes * 60) as f64));
+        prop_assert_eq!(s.mem_per_node_mib, Some(mem_gib * 1024));
+        prop_assert_eq!(s.oversubscribe, share);
+        prop_assert_eq!(s.command.as_deref(), Some("srun ./app"));
+    }
+}
+
+#[test]
+fn huge_walltimes_fail_instead_of_overflowing() {
+    // u64::MAX parses as a number but not as seconds: each of these used
+    // to overflow the `((d*24+h)*60+m)*60+sec` fold in debug builds.
+    let max = u64::MAX.to_string();
+    for text in [
+        max.clone(),
+        format!("{max}:00"),
+        format!("00:{max}:00"),
+        format!("{max}-00"),
+        format!("{max}-23:59:59"),
+        format!("1-{max}"),
+    ] {
+        assert!(parse_walltime(&text).is_err(), "{text:?} must not overflow");
+    }
+    // ...while the largest representable day count still parses.
+    assert!(parse_walltime("213503982334601-0").is_ok());
+}
+
+#[test]
+fn zero_walltimes_are_legal_everywhere() {
+    assert_eq!(parse_walltime("0").unwrap(), 0.0);
+    assert_eq!(parse_walltime("0:00").unwrap(), 0.0);
+    assert_eq!(parse_walltime("0-0:0:0").unwrap(), 0.0);
+    let s = JobScript::parse("#SBATCH --time=0\nsrun ./app\n").unwrap();
+    assert_eq!(s.walltime, Some(0.0));
+}
+
+#[test]
+fn malformed_script_lines_error_with_context() {
+    // Missing value.
+    let err = JobScript::parse("#SBATCH --time=\n").unwrap_err();
+    assert!(matches!(err, ScriptError::BadValue { .. }), "{err}");
+    // Overflowing time propagates as a script error, not a panic.
+    let err = JobScript::parse(&format!("#SBATCH --time={}-0\n", u64::MAX)).unwrap_err();
+    assert!(matches!(err, ScriptError::BadValue { .. }), "{err}");
+    // A directive without `--` is rejected outright.
+    let err = JobScript::parse("#SBATCH time=10\n").unwrap_err();
+    assert!(matches!(err, ScriptError::BadDirective(_)), "{err}");
+    // Negative node counts never wrap into u32.
+    let err = JobScript::parse("#SBATCH --nodes=-4\n").unwrap_err();
+    assert!(matches!(err, ScriptError::BadValue { .. }), "{err}");
+}

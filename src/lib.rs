@@ -53,7 +53,10 @@ pub mod prelude {
         Backfill, Conservative, Fcfs, FirstFit, Pairing, PairingPolicy, PredictorKind,
         StrategyConfig, StrategyKind,
     };
-    pub use nodeshare_engine::{run, Decision, SchedContext, Scheduler, SimConfig, SimOutcome};
+    pub use nodeshare_engine::{
+        run, run_traced, AuditSummary, Auditor, Decision, DecisionTrace, SchedContext, Scheduler,
+        SimConfig, SimOutcome, StartReason, TraceEvent, Violation,
+    };
     pub use nodeshare_metrics::{CampaignMetrics, JobRecord, Summary, Table};
     pub use nodeshare_perf::{
         AppCatalog, AppClass, AppId, CoRunTruth, ContentionModel, PairMatrix, PairRates, Predictor,

@@ -1,0 +1,208 @@
+//! Differential tests across the full strategy lineup, with the replay
+//! auditor as the shared oracle, plus fault-injection tests proving the
+//! auditor actually catches accounting bugs.
+
+use nodeshare::cluster::NodeId;
+use nodeshare::prelude::*;
+
+fn world() -> (AppCatalog, ContentionModel, CoRunTruth) {
+    let catalog = AppCatalog::trinity();
+    let model = ContentionModel::calibrated();
+    let matrix = CoRunTruth::build(&catalog, &model);
+    (catalog, model, matrix)
+}
+
+/// A deep-queue campaign: jobs arrive faster than the machine drains
+/// them, so throughput (not arrival timing) limits the makespan. This is
+/// the regime where node sharing pays.
+fn saturated_workload(catalog: &AppCatalog, seed: u64, n_jobs: usize) -> Workload {
+    let mut spec = WorkloadSpec::evaluation(catalog, seed);
+    spec.n_jobs = n_jobs;
+    spec.arrival = ArrivalProcess::Poisson { rate: 0.0080 };
+    spec.generate(catalog)
+}
+
+/// Every strategy in the lineup, on shared seeds, passes a full replay
+/// audit (including the queue-order justification check) and schedules
+/// exactly the same job set.
+#[test]
+fn lineup_passes_audit_on_shared_seeds() {
+    let (catalog, model, matrix) = world();
+    let cluster = ClusterSpec::evaluation();
+    let mut config = SimConfig::new(cluster);
+    config.audit = false; // audited explicitly below
+
+    for seed in [11, 23] {
+        let workload = saturated_workload(&catalog, seed, 80);
+        let mut scheduled: Option<Vec<JobId>> = None;
+        for cfg in StrategyConfig::lineup() {
+            let mut sched = cfg.build(&catalog, &model);
+            let (out, trace) = run_traced(&workload, &matrix, sched.as_mut(), &config);
+            assert!(out.complete(), "{} seed {seed}", cfg.label());
+
+            let summary = Auditor::new(&matrix, &config)
+                .with_queue_order_check()
+                .audit(&trace, &out)
+                .unwrap_or_else(|vs| {
+                    panic!(
+                        "{} seed {seed}: {} violation(s), first: {}",
+                        cfg.label(),
+                        vs.len(),
+                        vs[0]
+                    )
+                });
+            assert_eq!(
+                summary.starts + out.rejected.len(),
+                workload.len() + summary.requeues
+            );
+
+            // Same seed => same job set scheduled, whatever the order.
+            let mut ids: Vec<JobId> = out.records.iter().map(|r| r.id).collect();
+            ids.sort();
+            match &scheduled {
+                None => scheduled = Some(ids),
+                Some(prev) => assert_eq!(prev, &ids, "{} seed {seed}", cfg.label()),
+            }
+        }
+    }
+}
+
+/// Exclusive strategies must never co-locate: zero shared starts in the
+/// trace and zero shared core-seconds in the outcome.
+#[test]
+fn exclusive_strategies_never_share() {
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+    let workload = saturated_workload(&catalog, 7, 60);
+
+    for cfg in StrategyConfig::lineup() {
+        if cfg.kind.shares() {
+            continue;
+        }
+        let mut sched = cfg.build(&catalog, &model);
+        let (out, trace) = run_traced(&workload, &matrix, sched.as_mut(), &config);
+        let summary = Auditor::new(&matrix, &config)
+            .audit(&trace, &out)
+            .unwrap_or_else(|vs| panic!("{}: {}", cfg.label(), vs[0]));
+        assert_eq!(summary.shared_starts, 0, "{}", cfg.label());
+        assert_eq!(out.shared_core_seconds, 0.0, "{}", cfg.label());
+        assert!(
+            out.records.iter().all(|r| !r.shared_alloc),
+            "{}",
+            cfg.label()
+        );
+    }
+}
+
+/// On a saturated campaign the sharing strategies dominate their
+/// exclusive baselines: co-backfill finishes no later than FCFS and
+/// actually co-locates work.
+#[test]
+fn sharing_dominates_exclusive_when_saturated() {
+    let (catalog, model, matrix) = world();
+    let cluster = ClusterSpec::evaluation();
+    let mut config = SimConfig::new(cluster);
+    config.audit = false;
+
+    for seed in [3, 19] {
+        let workload = saturated_workload(&catalog, seed, 100);
+
+        let run_one = |cfg: &StrategyConfig| {
+            let mut sched = cfg.build(&catalog, &model);
+            let (out, trace) = run_traced(&workload, &matrix, sched.as_mut(), &config);
+            let summary = Auditor::new(&matrix, &config)
+                .audit(&trace, &out)
+                .unwrap_or_else(|vs| panic!("{}: {}", cfg.label(), vs[0]));
+            (out.metrics(&cluster).makespan, summary.shared_starts)
+        };
+
+        let (fcfs_makespan, _) = run_one(&StrategyConfig::exclusive(StrategyKind::Fcfs));
+        let (co_makespan, co_shared) = run_one(&StrategyConfig::sharing(StrategyKind::CoBackfill));
+
+        assert!(co_shared > 0, "seed {seed}: co-backfill never co-located");
+        assert!(
+            co_makespan <= fcfs_makespan + 1e-6,
+            "seed {seed}: co-backfill makespan {co_makespan} worse than fcfs {fcfs_makespan}"
+        );
+    }
+}
+
+/// Acceptance check: a double-charged node-second in the outcome is a
+/// conservation violation the auditor reports by name.
+#[test]
+fn auditor_catches_double_charged_node_seconds() {
+    let (catalog, model, matrix) = world();
+    let cluster = ClusterSpec::evaluation();
+    let mut config = SimConfig::new(cluster);
+    config.audit = false;
+    let workload = saturated_workload(&catalog, 5, 40);
+
+    let cfg = StrategyConfig::sharing(StrategyKind::CoBackfill);
+    let mut sched = cfg.build(&catalog, &model);
+    let (mut out, trace) = run_traced(&workload, &matrix, sched.as_mut(), &config);
+
+    // Sanity: the untampered run is clean.
+    Auditor::new(&matrix, &config)
+        .audit(&trace, &out)
+        .expect("untampered run must audit clean");
+
+    // Inject the bug: one node billed for one extra second.
+    out.busy_core_seconds += cluster.node.cores() as f64;
+
+    let violations = Auditor::new(&matrix, &config)
+        .audit(&trace, &out)
+        .expect_err("double-charged node-second must be caught");
+    let v = violations
+        .iter()
+        .find(|v| v.invariant == "node-second-conservation")
+        .expect("conservation violation must be reported by name");
+    let msg = v.to_string();
+    assert!(msg.contains("node-second-conservation"), "{msg}");
+}
+
+/// Acceptance check: a doctored placement (a start on a node that does
+/// not exist) is reported with the job, the node, and the violated
+/// invariant — enough to act on.
+#[test]
+fn auditor_catches_doctored_placement() {
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+    let workload = saturated_workload(&catalog, 5, 40);
+
+    let cfg = StrategyConfig::sharing(StrategyKind::CoBackfill);
+    let mut sched = cfg.build(&catalog, &model);
+    let (out, trace) = run_traced(&workload, &matrix, sched.as_mut(), &config);
+
+    // Rewrite the first start to land on a node the cluster doesn't have.
+    let phantom = NodeId(9999);
+    let mut doctored = DecisionTrace::new();
+    let mut victim = None;
+    for ev in trace.events() {
+        let mut ev = ev.clone();
+        if victim.is_none() {
+            if let TraceEvent::Started { job, nodes, .. } = &mut ev {
+                victim = Some(*job);
+                nodes[0] = phantom;
+            }
+        }
+        doctored.push(ev);
+    }
+    let victim = victim.expect("campaign must start at least one job");
+
+    let violations = Auditor::new(&matrix, &config)
+        .audit(&doctored, &out)
+        .expect_err("phantom node must be caught");
+    let v = violations
+        .iter()
+        .find(|v| v.invariant == "known-node")
+        .expect("placement violation must be reported by name");
+    assert_eq!(v.job, Some(victim));
+    assert_eq!(v.node, Some(phantom));
+    let msg = v.to_string();
+    assert!(
+        msg.contains("known-node") && msg.contains(&victim.to_string()) && msg.contains("n9999"),
+        "violation message must name job, node, and invariant: {msg}"
+    );
+}

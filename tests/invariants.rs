@@ -107,6 +107,59 @@ proptest! {
         }
     }
 
+    /// The replay auditor is the oracle on hostile inputs: jobs larger
+    /// than the whole cluster (rejected at submission) and walltime
+    /// *under*-estimates (killed at the limit) must still satisfy every
+    /// conservation and placement invariant, for every strategy.
+    #[test]
+    fn audit_holds_with_rejections_and_kills(raw in prop::collection::vec(raw_job(), 1..15)) {
+        let catalog = AppCatalog::trinity();
+        let model = ContentionModel::calibrated();
+        let matrix = CoRunTruth::build(&catalog, &model);
+        let cluster = ClusterSpec::new(12, nodeshare::cluster::NodeSpec::tiny());
+        // Stretch sizes past the machine (rejections) and shrink some
+        // estimates below the true runtime (walltime kills).
+        let workload = build(
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, mut r)| {
+                    r.nodes += (i as u32 % 3) * 8; // up to 17 > 12 nodes
+                    r.over = 0.3 + (i as f64 * 0.37) % 2.7; // under- and over-estimates
+                    r
+                })
+                .collect(),
+        );
+        let mut config = SimConfig::new(cluster);
+        config.audit = false; // audited explicitly, so failures surface as prop errors
+
+        for cfg in StrategyConfig::lineup() {
+            let mut sched = cfg.build(&catalog, &model);
+            let (out, trace) = nodeshare::engine::run_traced(
+                &workload, &matrix, sched.as_mut(), &config,
+            );
+            prop_assert!(out.complete(), "{}", cfg.label());
+            let audit = nodeshare::engine::Auditor::new(&matrix, &config)
+                .audit(&trace, &out);
+            match audit {
+                Ok(summary) => {
+                    prop_assert_eq!(
+                        out.records.len() + out.rejected.len(),
+                        workload.len(),
+                        "{}", cfg.label()
+                    );
+                    prop_assert_eq!(summary.killed,
+                        out.records.iter().filter(|r| r.killed).count());
+                }
+                Err(violations) => {
+                    return Err(TestCaseError::fail(format!(
+                        "{}: {} violation(s), first: {}",
+                        cfg.label(), violations.len(), violations[0]
+                    )));
+                }
+            }
+        }
+    }
+
     /// The queue-depth series returns to zero and every record appears
     /// exactly once.
     #[test]

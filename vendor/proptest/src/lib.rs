@@ -1,0 +1,204 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`boxed`, range and
+//! tuple strategies, `prop::collection::vec`, `prop::bool::weighted`,
+//! `prop::option::of`, the `proptest!`/`prop_assert!`/`prop_assert_eq!`/
+//! `prop_oneof!` macros, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking.** A failing case reports the exact generated input
+//!   (all bound values, `Debug`-formatted) and the case number, which is
+//!   reproducible because…
+//! * **Deterministic seeding.** Each test's RNG is seeded from the hash of
+//!   its module path + name, so failures reproduce exactly on re-run. Set
+//!   `PROPTEST_SEED=<n>` to perturb all streams, and `PROPTEST_CASES=<n>`
+//!   to override the per-test case count globally.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Strategy constructors namespaced like upstream's `prop::` module.
+pub mod sub_modules {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A `Vec` of values from `element`, with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::WeightedBool;
+
+        /// `true` with probability `p`.
+        pub fn weighted(p: f64) -> WeightedBool {
+            assert!((0.0..=1.0).contains(&p), "weight must be a probability");
+            WeightedBool { p }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// `Some` of the inner strategy half the time, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner, p_some: 0.5 }
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::bool::weighted`, …).
+    pub mod prop {
+        pub use crate::sub_modules::bool;
+        pub use crate::sub_modules::collection;
+        pub use crate::sub_modules::option;
+    }
+}
+
+/// Declares property tests: a block of `#[test]` functions whose
+/// arguments are drawn from strategies (`arg in strategy` syntax), with an
+/// optional `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!([$config] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!([$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+/// Internal: expands each test item in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$config:expr]) => {};
+    ([$config:expr]
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.effective_cases();
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..cases {
+                let values = ($( $crate::strategy::Strategy::sample(&$strat, &mut rng), )+);
+                let shown = format!("{values:#?}");
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), ::std::string::String> {
+                        let ($($pat,)+) = values;
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(msg)) => panic!(
+                        "proptest case {case}/{cases} failed: {msg}\n\
+                         input: {shown}\n\
+                         (deterministic; re-run reproduces this case)",
+                    ),
+                    ::std::result::Result::Err(panic_payload) => {
+                        eprintln!(
+                            "proptest case {case}/{cases} panicked\n\
+                             input: {shown}\n\
+                             (deterministic; re-run reproduces this case)",
+                        );
+                        ::std::panic::resume_unwind(panic_payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!([$config] $($rest)*);
+    };
+}
+
+/// Asserts inside a `proptest!` body; on failure the failing *input* is
+/// reported alongside the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*), l, r
+                );
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

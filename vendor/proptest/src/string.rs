@@ -1,0 +1,321 @@
+//! Regex-subset string strategy: `impl Strategy for &str`, like upstream
+//! proptest's regex string strategies.
+//!
+//! Supported syntax (enough for fuzz-style "arbitrary text" patterns and
+//! simple structured tokens): literals, `.`, escapes (`\d` `\w` `\s` `\n`
+//! `\t` and escaped punctuation), character classes `[a-z0-9_]` with
+//! ranges (no negation), groups `( | )` with alternation, and the
+//! quantifiers `*` `+` `?` `{m}` `{m,n}` (unbounded `*`/`+` cap at 8
+//! repetitions). Inline flags `(?s)`/`(?m)`/`(?i)` at the start are
+//! accepted and ignored (`.` always includes `\n` here). Unsupported
+//! syntax panics with a message naming the pattern, so a test using a
+//! fancier regex fails loudly rather than generating wrong data.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Maximum repetitions for unbounded quantifiers.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Sequence of alternatives: pick one branch.
+    Alt(Vec<Vec<Node>>),
+    /// One literal char.
+    Lit(char),
+    /// Any char (printable ASCII + common whitespace + a few multibyte).
+    Dot,
+    /// One char from the set.
+    Class(Vec<(char, char)>),
+    /// Repetition of an inner node.
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            pattern,
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "proptest shim: unsupported regex {what} in string strategy {:?}; \
+             extend vendor/proptest/src/string.rs if the test needs it",
+            self.pattern
+        );
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alt(&mut self, in_group: bool) -> Node {
+        let mut branches = vec![Vec::new()];
+        loop {
+            match self.chars.peek().copied() {
+                None => break,
+                Some(')') if in_group => break,
+                Some(')') => self.fail("unbalanced ')'"),
+                Some('|') => {
+                    self.chars.next();
+                    branches.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = self.parse_atom();
+                    let atom = self.parse_quantifier(atom);
+                    branches.last_mut().unwrap().push(atom);
+                }
+            }
+        }
+        Node::Alt(branches)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                // Inline flag group `(?s)` etc.: accept and ignore.
+                if self.chars.peek() == Some(&'?') {
+                    self.chars.next();
+                    let mut flags = String::new();
+                    for c in self.chars.by_ref() {
+                        if c == ')' {
+                            break;
+                        }
+                        flags.push(c);
+                    }
+                    if !flags.chars().all(|c| "smix".contains(c)) {
+                        self.fail("group syntax `(?…)`");
+                    }
+                    // A flag group matches nothing.
+                    return Node::Alt(vec![vec![]]);
+                }
+                let inner = self.parse_alt(true);
+                match self.chars.next() {
+                    Some(')') => inner,
+                    _ => self.fail("unclosed group"),
+                }
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Node::Dot,
+            Some('\\') => match self.chars.next() {
+                Some('d') => Node::Class(vec![('0', '9')]),
+                Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                Some('s') => Node::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+                Some('n') => Node::Lit('\n'),
+                Some('t') => Node::Lit('\t'),
+                Some('r') => Node::Lit('\r'),
+                Some(c) if c.is_ascii_punctuation() => Node::Lit(c),
+                _ => self.fail("escape"),
+            },
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                self.fail(&format!("dangling quantifier `{c}`"));
+            }
+            Some(c) => Node::Lit(c),
+            None => self.fail("truncated pattern"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.fail("negated character class");
+        }
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => match self.chars.next() {
+                    Some('d') => {
+                        ranges.push(('0', '9'));
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(c) => c,
+                    None => self.fail("truncated class"),
+                },
+                Some(c) => c,
+                None => self.fail("unclosed character class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    Some(']') | None => {
+                        // Trailing '-' is a literal.
+                        ranges.push((c, c));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = self.chars.next().unwrap();
+                        assert!(c <= hi, "inverted class range");
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.chars.peek().copied() {
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => self.fail("unclosed `{`"),
+                    }
+                }
+                let (min, max) = match spec.split_once(',') {
+                    None => {
+                        let n: u32 = spec.trim().parse().unwrap_or_else(|_| self.fail("count"));
+                        (n, n)
+                    }
+                    Some((a, b)) => {
+                        let min: u32 = a.trim().parse().unwrap_or_else(|_| self.fail("count"));
+                        let max: u32 = if b.trim().is_empty() {
+                            min + UNBOUNDED_CAP
+                        } else {
+                            b.trim().parse().unwrap_or_else(|_| self.fail("count"))
+                        };
+                        (min, max)
+                    }
+                };
+                assert!(min <= max, "inverted repetition bounds");
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            _ => atom,
+        }
+    }
+}
+
+fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let branch = &branches[rng.below(branches.len() as u64) as usize];
+            for n in branch {
+                generate(n, rng, out);
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Dot => {
+            // Mostly printable ASCII, with some whitespace and multibyte
+            // characters so parsers meet non-trivial input.
+            let c = match rng.below(20) {
+                0 => '\n',
+                1 => '\t',
+                2 => 'é',
+                3 => '→',
+                _ => char::from(rng.below(95) as u8 + 0x20),
+            };
+            out.push(c);
+        }
+        Node::Class(ranges) => {
+            let idx = rng.below(ranges.len() as u64) as usize;
+            let (lo, hi) = ranges[idx];
+            let span = (hi as u32 - lo as u32) as u64 + 1;
+            let c = char::from_u32(lo as u32 + rng.below(span) as u32)
+                .expect("class range stays in valid chars");
+            out.push(c);
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = min + rng.below((max - min + 1) as u64) as u32;
+            for _ in 0..n {
+                generate(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Compiled regex-subset string strategy.
+#[derive(Clone, Debug)]
+pub struct StringStrategy {
+    root: std::rc::Rc<Node>,
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate(&self.root, rng, &mut out);
+        out
+    }
+}
+
+/// `&str` patterns are regex string strategies, as in upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        // Compile per call; patterns in tests are tiny.
+        let mut parser = Parser::new(self);
+        let root = parser.parse_alt(false);
+        let mut out = String::new();
+        generate(&root, rng, &mut out);
+        out
+    }
+}
+
+/// Compiles `pattern` once (avoids reparsing in hot strategies).
+pub fn string_regex(pattern: &str) -> StringStrategy {
+    let mut parser = Parser::new(pattern);
+    StringStrategy {
+        root: std::rc::Rc::new(parser.parse_alt(false)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn dot_star_pattern_generates_bounded_text() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = "(?s).{0,400}".sample(&mut rng);
+            assert!(s.chars().count() <= 400);
+        }
+    }
+
+    #[test]
+    fn classes_ranges_and_alternation() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = "[a-c]{2}(x|y)\\d+".sample(&mut rng);
+            let cs: Vec<char> = s.chars().collect();
+            assert!(cs.len() >= 4);
+            assert!(cs[0].is_ascii_lowercase() && cs[1].is_ascii_lowercase());
+            assert!(cs[2] == 'x' || cs[2] == 'y');
+            assert!(cs[3..].iter().all(char::is_ascii_digit));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_syntax_fails_loudly() {
+        let mut rng = TestRng::from_seed(3);
+        let _ = "[^abc]".sample(&mut rng);
+    }
+}

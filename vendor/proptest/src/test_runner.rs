@@ -1,0 +1,130 @@
+//! Test configuration and the deterministic RNG behind `proptest!`.
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Adapter matching upstream's `TestCaseError` constructor surface. In
+/// this shim, property-test bodies fail with plain `String` messages, so
+/// `fail` simply converts the reason into the message type.
+#[derive(Clone, Debug)]
+pub struct TestCaseError;
+
+impl TestCaseError {
+    /// Wraps a rejection reason as a test-case failure message.
+    pub fn fail(reason: impl std::fmt::Display) -> String {
+        reason.to_string()
+    }
+}
+
+/// Deterministic per-test RNG (SplitMix64 core). Seeded from the hash of
+/// the test's module path + name so every test has its own reproducible
+/// stream; `PROPTEST_SEED=<n>` perturbs all streams at once.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = extra.parse::<u64>() {
+                h ^= n.rotate_left(17);
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// Explicit seed (for tooling/tests of the shim itself).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    #[allow(clippy::should_implement_trait)] // named for upstream parity, not Iterator
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire multiply-shift with rejection (unbiased).
+        loop {
+            let x = self.next();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(a.next(), b.next());
+        let mut c = TestRng::for_test("x::z");
+        // Overwhelmingly likely to differ.
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn below_stays_below() {
+        let mut r = TestRng::from_seed(9);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+}

@@ -1,0 +1,159 @@
+//! Vendored offline stand-in for `rand_chacha`.
+//!
+//! A genuine ChaCha keystream generator (RFC 8439 block function, with the
+//! round count as a const parameter), exposing `ChaCha8Rng` /
+//! `ChaCha12Rng` / `ChaCha20Rng` over the local `rand` shim's traits. The
+//! word stream is not bit-identical to upstream `rand_chacha` (upstream
+//! buffers four blocks and uses a different stream layout), but it has the
+//! same statistical quality and the same determinism guarantees: a seed
+//! fully determines the stream, and distinct seeds give independent
+//! streams.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha generator with `R` double rounds... more precisely `R` total
+/// rounds as named (ChaCha8 = 8 rounds = 4 double rounds).
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Key words (seed).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    index: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn refill(&mut self) {
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&Self::SIGMA);
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = self.counter as u32;
+        s[13] = (self.counter >> 32) as u32;
+        s[14] = 0;
+        s[15] = 0;
+        let input = s;
+        debug_assert!(ROUNDS.is_multiple_of(2), "ChaCha needs an even round count");
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for (out, inp) in s.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = s;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+/// ChaCha with 8 rounds — the workspace's workhorse generator.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_give_distinct_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chacha20_rfc8439_test_vector() {
+        // RFC 8439 §2.3.2: key 00..1f, counter 1, nonce 000000090000004a00000000,
+        // but our layout fixes the nonce words to zero, so instead check the
+        // all-zero-key/zero-counter block against the widely published
+        // ChaCha20 zero vector's first words.
+        let mut r = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = r.next_u32();
+        // First keystream word of ChaCha20 with zero key/counter/nonce:
+        // 0xade0b876 (keystream byte order 76 b8 e0 ad).
+        assert_eq!(first, 0xade0_b876);
+    }
+
+    #[test]
+    fn float_draws_are_uniformish() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Vendored offline stand-in for `rayon`.
+//!
+//! This workspace only uses `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! (independent replications of a simulation). The shim implements that
+//! shape for real: `par_iter()` returns a [`ParIter`] whose `map` produces
+//! a [`ParMap`]; collecting a `ParMap` into a `Vec` fans the work out over
+//! `std::thread::scope` with one chunk per available core, preserving
+//! input order. Other iterator adaptors fall back to sequential execution
+//! via the `Iterator` implementation.
+
+use std::num::NonZeroUsize;
+
+/// Parallel-ish view over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+/// A mapped parallel view; collecting it into a `Vec` runs in parallel.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each element; the closure must be `Sync + Send` so chunks can
+    /// run on worker threads.
+    pub fn map<O, F: Fn(&'data T) -> O>(self, f: F) -> ParMap<'data, T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Sequential fallback iterator over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'data, T> {
+        self.items.iter()
+    }
+}
+
+impl<'data, T, F, O> ParMap<'data, T, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> O + Sync,
+    O: Send,
+{
+    /// Runs the map over all elements — in parallel when more than one
+    /// core is available — and collects results in input order.
+    pub fn collect<C: FromParallel<O>>(self) -> C {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        let mut results: Vec<Option<O>> = Vec::with_capacity(self.items.len());
+        results.resize_with(self.items.len(), || None);
+        if threads <= 1 {
+            for (slot, item) in results.iter_mut().zip(self.items) {
+                *slot = Some((self.f)(item));
+            }
+        } else {
+            let chunk = self.items.len().div_ceil(threads);
+            let f = &self.f;
+            std::thread::scope(|scope| {
+                for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(self.items.chunks(chunk))
+                {
+                    scope.spawn(move || {
+                        for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                            *slot = Some(f(item));
+                        }
+                    });
+                }
+            });
+        }
+        C::from_ordered(results.into_iter().map(|r| r.expect("worker filled slot")))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallel<O> {
+    /// Builds the collection from results in input order.
+    fn from_ordered<I: Iterator<Item = O>>(iter: I) -> Self;
+}
+
+impl<O> FromParallel<O> for Vec<O> {
+    fn from_ordered<I: Iterator<Item = O>>(iter: I) -> Self {
+        iter.collect()
+    }
+}
+
+/// The rayon prelude: brings `par_iter()` into scope.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Slice/Vec extension providing `par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type.
+    type Item: 'data;
+    /// Iterator-ish type returned.
+    type Iter;
+    /// A parallel view over `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_and_empty_inputs() {
+        let xs: Vec<u32> = vec![];
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+        let one = [7u32];
+        let ys: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, vec![8]);
+    }
+}

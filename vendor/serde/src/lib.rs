@@ -1,0 +1,54 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The workspace uses serde only as derive markers on data types; nothing
+//! serializes through the serde data model (JSON output in this repo is
+//! hand-written, e.g. `nodeshare_engine::trace::DecisionTrace::to_json`).
+//! The traits are therefore empty markers with blanket impls, and the
+//! derives (re-exported from the sibling `serde_derive` shim) expand to
+//! nothing. Swap in the real crates if the serde data model is needed.
+
+/// Marker for types annotated `#[derive(Serialize)]`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types annotated `#[derive(Deserialize)]`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        a: u32,
+        b: Vec<String>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum ProbeEnum {
+        #[allow(dead_code)]
+        Unit,
+        #[allow(dead_code)]
+        Tuple(u8, f64),
+        #[allow(dead_code)]
+        Struct { x: i64 },
+    }
+
+    fn assert_serialize<T: super::Serialize>() {}
+    fn assert_deserialize<T: for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_compile_and_traits_are_satisfied() {
+        assert_serialize::<Probe>();
+        assert_deserialize::<Probe>();
+        assert_serialize::<ProbeEnum>();
+        let p = Probe {
+            a: 1,
+            b: vec!["x".into()],
+        };
+        assert_eq!(p, p);
+    }
+}

@@ -1,0 +1,24 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in environments with no network access and no
+//! crates.io mirror, so the real serde cannot be fetched. The workspace
+//! only uses serde as derive markers (`#[derive(Serialize, Deserialize)]`)
+//! — nothing calls `serialize`/`deserialize` — so the derives expand to
+//! nothing and the traits are blanket-implemented in the `serde` shim.
+//!
+//! If real serialization is ever needed, replace `vendor/serde*` with the
+//! upstream crates (the call sites are already annotated correctly).
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
