@@ -80,6 +80,7 @@ fn bench_decision_latency(c: &mut Criterion) {
             running: &fx.running,
             shared_grace: 1.5,
             completed: &[],
+            telemetry: None,
         };
         group.bench_with_input(BenchmarkId::new("easy", depth), &depth, |b, _| {
             let mut sched = Backfill::easy();

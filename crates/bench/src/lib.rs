@@ -11,11 +11,15 @@
 
 use nodeshare_cluster::ClusterSpec;
 use nodeshare_core::StrategyConfig;
-use nodeshare_engine::{run, SimConfig, SimOutcome};
+use nodeshare_engine::{
+    run, run_traced_with_telemetry, run_with_telemetry, Auditor, SimConfig, SimOutcome,
+    SimTelemetry,
+};
 use nodeshare_metrics::CampaignMetrics;
 use nodeshare_perf::{AppCatalog, CoRunTruth, ContentionModel, PairMatrix};
 use nodeshare_workload::{ArrivalProcess, Workload, WorkloadSpec};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The fixed evaluation world shared by all experiments.
 pub struct World {
@@ -61,8 +65,9 @@ impl World {
             // disabled one in a recorded experiment log.
             static ANNOUNCE: std::sync::Once = std::sync::Once::new();
             ANNOUNCE.call_once(|| {
-                eprintln!(
-                    "[nodeshare-bench] replay audit ON: every campaign is traced and re-verified"
+                nodeshare_obs::info!(
+                    "bench",
+                    "replay audit ON: every campaign is traced and re-verified"
                 );
             });
         }
@@ -86,13 +91,49 @@ impl World {
     }
 
     /// Runs `workload` under a strategy and returns outcome + metrics.
+    ///
+    /// When `NODESHARE_TELEMETRY` names a directory, the campaign runs
+    /// under the telemetry layer and its JSONL sample stream plus
+    /// Prometheus exposition are written there, one file pair per
+    /// campaign (see [`telemetry_dir`]).
     pub fn run_strategy(
         &self,
         workload: &Workload,
         cfg: &StrategyConfig,
     ) -> (SimOutcome, CampaignMetrics) {
         let mut sched = cfg.build(&self.catalog, &self.model);
-        let out = run(workload, &self.matrix, sched.as_mut(), &self.config());
+        let sim_cfg = self.config();
+        let out = match telemetry_dir() {
+            Some(dir) => {
+                let telemetry = SimTelemetry::new(telemetry_sample_interval());
+                let out = if sim_cfg.audit {
+                    // Telemetry must not cost the campaign its audit:
+                    // trace and re-verify exactly as `run` would.
+                    let (out, trace) = run_traced_with_telemetry(
+                        workload,
+                        &self.matrix,
+                        sched.as_mut(),
+                        &sim_cfg,
+                        &telemetry,
+                    );
+                    if let Err(violations) =
+                        Auditor::new(&self.matrix, &sim_cfg).audit(&trace, &out)
+                    {
+                        panic!(
+                            "audit of {} found {} violation(s): {violations:?}",
+                            cfg.label(),
+                            violations.len()
+                        );
+                    }
+                    out
+                } else {
+                    run_with_telemetry(workload, &self.matrix, sched.as_mut(), &sim_cfg, &telemetry)
+                };
+                write_campaign_telemetry(&dir, cfg.label(), &telemetry);
+                out
+            }
+            None => run(workload, &self.matrix, sched.as_mut(), &sim_cfg),
+        };
         assert!(
             out.complete(),
             "{}: {} jobs never scheduled",
@@ -129,6 +170,63 @@ pub fn audit_requested() -> bool {
         return true;
     }
     std::env::var("NODESHARE_AUDIT").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The directory campaigns dump telemetry into, from the
+/// `NODESHARE_TELEMETRY` environment variable (`0`/empty disables).
+pub fn telemetry_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("NODESHARE_TELEMETRY") {
+        Ok(dir) if !dir.is_empty() && dir != "0" => Some(std::path::PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// Telemetry sampling period in simulated seconds:
+/// `NODESHARE_SAMPLE_INTERVAL` when set and positive, else 300.
+fn telemetry_sample_interval() -> f64 {
+    std::env::var("NODESHARE_SAMPLE_INTERVAL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .unwrap_or(300.0)
+}
+
+/// Writes one campaign's JSONL samples and Prometheus exposition into
+/// `dir` under a sanitized strategy label with a process-wide sequence
+/// number (replications run in parallel and must not collide).
+fn write_campaign_telemetry(dir: &std::path::Path, label: &str, telemetry: &SimTelemetry) {
+    static CAMPAIGN: AtomicU64 = AtomicU64::new(0);
+    let n = CAMPAIGN.fetch_add(1, Ordering::Relaxed);
+    let slug: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if std::fs::create_dir_all(dir).is_err() {
+        nodeshare_obs::warn!("bench", "cannot create telemetry directory"; dir = dir.display());
+        return;
+    }
+    let stem = format!("{slug}-{n:04}");
+    let jsonl = dir.join(format!("{stem}.jsonl"));
+    let prom = dir.join(format!("{stem}.prom"));
+    let ok = std::fs::write(&jsonl, telemetry.jsonl()).is_ok()
+        && std::fs::write(&prom, telemetry.prometheus()).is_ok();
+    if ok {
+        nodeshare_obs::debug!(
+            "bench",
+            "campaign telemetry written";
+            samples = telemetry.samples().len(),
+            jsonl = jsonl.display(),
+            prometheus = prom.display()
+        );
+    } else {
+        nodeshare_obs::warn!("bench", "failed to write campaign telemetry"; stem = stem);
+    }
 }
 
 /// Mean of a field across replications.
@@ -190,6 +288,39 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.makespan, y.makespan);
         }
+    }
+
+    #[test]
+    fn telemetry_env_dumps_campaign_files() {
+        let dir = std::env::temp_dir().join("nodeshare_bench_telemetry_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Campaigns started while the variable is set dump telemetry;
+        // concurrent tests may also write here, which is harmless.
+        std::env::set_var("NODESHARE_TELEMETRY", &dir);
+        let world = World::evaluation();
+        let mut spec = world.online_spec(13);
+        spec.n_jobs = 25;
+        let workload = spec.generate(&world.catalog);
+        let cfg = StrategyConfig::exclusive(StrategyKind::Conservative);
+        let (out, _) = world.run_strategy(&workload, &cfg);
+        std::env::remove_var("NODESHARE_TELEMETRY");
+        assert!(out.complete());
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        let slug_jsonl = names
+            .iter()
+            .find(|n| n.starts_with("conservative") && n.ends_with(".jsonl"))
+            .unwrap_or_else(|| panic!("no conservative jsonl in {names:?}"));
+        let jsonl = std::fs::read_to_string(dir.join(slug_jsonl)).unwrap();
+        assert!(jsonl.lines().count() >= 2);
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"t\":")));
+        let prom_name = slug_jsonl.replace(".jsonl", ".prom");
+        let prom = std::fs::read_to_string(dir.join(prom_name)).unwrap();
+        assert!(prom.contains("# TYPE sched_decisions_total counter"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

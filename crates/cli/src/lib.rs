@@ -7,6 +7,8 @@
 //! ```text
 //! nodeshare simulate --jobs 500 --seed 42 --strategy co-backfill
 //! nodeshare simulate --swf trace.swf --conf slurm.conf --strategy easy
+//! nodeshare simulate --telemetry run.jsonl --log-level debug
+//! nodeshare metrics --jobs 200 --strategy co-backfill
 //! nodeshare workload --jobs 1000 --seed 1 --out campaign.swf
 //! nodeshare pairs
 //! nodeshare apps
@@ -81,14 +83,23 @@ nodeshare — node-sharing batch-system simulator
 
 USAGE:
   nodeshare simulate [options]     run one campaign and print a report
+  nodeshare metrics [options]      run one campaign and print its Prometheus
+                                   metrics exposition instead of the report
   nodeshare audit [options]        run a campaign under the replay auditor
   nodeshare workload [options]     generate a synthetic campaign as SWF
   nodeshare pairs                  print the co-run pair matrix
   nodeshare apps                   print the mini-app characterization
   nodeshare help                   this text
 
-AUDIT OPTIONS (all SIMULATE options, plus):
+AUDIT OPTIONS (all SIMULATE options except --telemetry, plus):
   --trace FILE       dump the decision trace as JSON
+
+TELEMETRY OPTIONS (simulate and metrics):
+  --telemetry FILE   write sim-time JSONL samples to FILE and the
+                     Prometheus exposition to FILE.prom
+  --sample-interval S  sampling period in simulated seconds (default 300)
+  --log-level SPEC   structured-log filter, e.g. `debug` or
+                     `warn,engine=debug` (overrides NODESHARE_LOG)
 
 SIMULATE OPTIONS:
   --strategy S       fcfs | first-fit | easy | conservative |
@@ -124,6 +135,7 @@ where
     let inv = Invocation::parse(argv)?;
     match inv.command.as_str() {
         "simulate" => simulate(&inv),
+        "metrics" => metrics_cmd(&inv),
         "audit" => audit_cmd(&inv),
         "workload" => workload_cmd(&inv),
         "pairs" => pairs(&inv),
@@ -246,6 +258,65 @@ const SIM_OPTIONS: &[&str] = &[
     "csv",
 ];
 
+/// Options accepted by the commands that can attach a telemetry layer
+/// (`simulate` and `metrics`; `audit` takes only `log-level`).
+const TELEMETRY_OPTIONS: &[&str] = &["telemetry", "sample-interval", "log-level"];
+
+/// Applies `--log-level` to the global structured logger.
+fn apply_log_level(inv: &Invocation) -> Result<(), CliError> {
+    if let Some(spec) = inv.get("log-level") {
+        if spec.is_empty() {
+            return Err(CliError::Other(
+                "--log-level needs a filter spec, e.g. `debug` or `warn,engine=debug`".into(),
+            ));
+        }
+        nodeshare_obs::logger::set_filter(nodeshare_obs::Filter::parse(spec));
+    }
+    Ok(())
+}
+
+/// Builds the telemetry layer requested on the command line, validating
+/// the sampling interval. `force` makes one even without `--telemetry`
+/// (the `metrics` subcommand always samples).
+fn build_telemetry(
+    inv: &Invocation,
+    force: bool,
+) -> Result<Option<nodeshare_engine::SimTelemetry>, CliError> {
+    if !force && !inv.has("telemetry") {
+        if inv.has("sample-interval") {
+            return Err(CliError::Other(
+                "--sample-interval requires --telemetry".into(),
+            ));
+        }
+        return Ok(None);
+    }
+    let interval: f64 = inv.num("sample-interval", 300.0)?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(CliError::Other(
+            "--sample-interval must be a positive number of seconds".into(),
+        ));
+    }
+    Ok(Some(nodeshare_engine::SimTelemetry::new(interval)))
+}
+
+/// Writes the JSONL sample stream to `path` and the Prometheus
+/// exposition next to it, returning a one-line note for the report.
+fn write_telemetry(
+    telemetry: &nodeshare_engine::SimTelemetry,
+    path: &str,
+) -> Result<String, CliError> {
+    if path.is_empty() {
+        return Err(CliError::Other("--telemetry needs a file path".into()));
+    }
+    std::fs::write(path, telemetry.jsonl()).map_err(|e| CliError::Io(path.to_string(), e))?;
+    let prom = format!("{path}.prom");
+    std::fs::write(&prom, telemetry.prometheus()).map_err(|e| CliError::Io(prom.clone(), e))?;
+    Ok(format!(
+        "telemetry: {} samples -> {path}; exposition -> {prom}",
+        telemetry.samples().len()
+    ))
+}
+
 /// Everything one campaign run needs, assembled from CLI options.
 struct Prepared {
     catalog: AppCatalog,
@@ -317,9 +388,21 @@ fn prepare(inv: &Invocation) -> Result<Prepared, CliError> {
 }
 
 fn simulate(inv: &Invocation) -> Result<String, CliError> {
-    inv.check_known(SIM_OPTIONS)?;
+    let known: Vec<&str> = [SIM_OPTIONS, TELEMETRY_OPTIONS].concat();
+    inv.check_known(&known)?;
+    apply_log_level(inv)?;
+    let telemetry = build_telemetry(inv, false)?;
     let mut p = prepare(inv)?;
-    let out = nodeshare_engine::run(&p.workload, &p.truth, p.sched.as_mut(), &p.config);
+    let out = match telemetry.as_ref() {
+        Some(t) => nodeshare_engine::run_with_telemetry(
+            &p.workload,
+            &p.truth,
+            p.sched.as_mut(),
+            &p.config,
+            t,
+        ),
+        None => nodeshare_engine::run(&p.workload, &p.truth, p.sched.as_mut(), &p.config),
+    };
     if !out.complete() {
         return Err(CliError::Other(format!(
             "{} jobs could never be scheduled on this cluster (first: {:?})",
@@ -331,18 +414,56 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
         std::fs::write(path, report::records_csv(&out, &p.catalog))
             .map_err(|e| CliError::Io(path.to_string(), e))?;
     }
+    let mut tail = String::new();
+    if let (Some(t), Some(path)) = (telemetry.as_ref(), inv.get("telemetry")) {
+        tail = format!("\n{}", write_telemetry(t, path)?);
+    }
     let stats = WorkloadStats::of(&p.workload);
     Ok(format!(
-        "workload:\n{}\n{}",
+        "workload:\n{}\n{}{tail}",
         stats.report(Some(&p.catalog)),
         report::render(&out, &p.cluster, &p.catalog)
     ))
 }
 
+/// `nodeshare metrics`: run the campaign with telemetry always on and
+/// print the Prometheus exposition instead of the human report.
+fn metrics_cmd(inv: &Invocation) -> Result<String, CliError> {
+    let known: Vec<&str> = [SIM_OPTIONS, TELEMETRY_OPTIONS].concat();
+    inv.check_known(&known)?;
+    apply_log_level(inv)?;
+    let telemetry = build_telemetry(inv, true)?.expect("forced telemetry");
+    let mut p = prepare(inv)?;
+    let out = nodeshare_engine::run_with_telemetry(
+        &p.workload,
+        &p.truth,
+        p.sched.as_mut(),
+        &p.config,
+        &telemetry,
+    );
+    if !out.complete() {
+        return Err(CliError::Other(format!(
+            "{} jobs could never be scheduled on this cluster (first: {:?})",
+            out.unscheduled.len(),
+            out.unscheduled.first()
+        )));
+    }
+    if let Some(path) = inv.get("csv") {
+        std::fs::write(path, report::records_csv(&out, &p.catalog))
+            .map_err(|e| CliError::Io(path.to_string(), e))?;
+    }
+    if let Some(path) = inv.get("telemetry") {
+        write_telemetry(&telemetry, path)?;
+    }
+    Ok(telemetry.prometheus())
+}
+
 fn audit_cmd(inv: &Invocation) -> Result<String, CliError> {
     let mut known: Vec<&str> = SIM_OPTIONS.to_vec();
     known.push("trace");
+    known.push("log-level");
     inv.check_known(&known)?;
+    apply_log_level(inv)?;
     let mut p = prepare(inv)?;
     // The auditor runs explicitly below, with the stricter queue-order
     // check on; disable the engine's own implicit audit-and-panic.
@@ -582,6 +703,83 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("(0 shared)"));
+    }
+
+    #[test]
+    fn telemetry_flag_writes_jsonl_and_prometheus() {
+        let dir = std::env::temp_dir().join("nodeshare_cli_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("samples.jsonl");
+        let path_str = path.to_str().unwrap();
+        let out = run_cli([
+            "simulate",
+            "--jobs",
+            "60",
+            "--seed",
+            "7",
+            "--nodes",
+            "32",
+            "--rate",
+            "0.02",
+            "--telemetry",
+            path_str,
+            "--sample-interval",
+            "200",
+        ])
+        .unwrap();
+        assert!(out.contains("telemetry:"), "report should note the files");
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            jsonl.lines().count() >= 20,
+            "expected a dense stream, got {} lines",
+            jsonl.lines().count()
+        );
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"t\":")));
+        let prom_path = format!("{path_str}.prom");
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE sched_decisions_total counter"));
+        assert!(prom.contains("# TYPE sim_nodes_occupied gauge"));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(prom_path).ok();
+    }
+
+    #[test]
+    fn metrics_subcommand_prints_exposition() {
+        let out = run_cli([
+            "metrics", "--jobs", "40", "--seed", "3", "--nodes", "32", "--rate", "0.02",
+        ])
+        .unwrap();
+        assert!(out.contains("# TYPE sched_decisions_total counter"));
+        assert!(out.contains("# TYPE sim_queue_depth gauge"));
+        assert!(out.contains("# TYPE sched_backfill_scan_depth histogram"));
+        assert!(out.contains("sim_strategy_info{strategy=\"co-backfill\"} 1"));
+    }
+
+    #[test]
+    fn telemetry_options_are_validated() {
+        // Non-positive or malformed sampling intervals are rejected.
+        let err = run_cli([
+            "simulate",
+            "--telemetry",
+            "/tmp/x",
+            "--sample-interval",
+            "0",
+        ]);
+        assert!(err.is_err());
+        let err = run_cli([
+            "simulate",
+            "--telemetry",
+            "/tmp/x",
+            "--sample-interval",
+            "soon",
+        ]);
+        assert!(err.is_err());
+        // --sample-interval without --telemetry is an error, not a no-op.
+        assert!(run_cli(["simulate", "--jobs", "5", "--sample-interval", "60"]).is_err());
+        // audit does not take the telemetry flags.
+        assert!(run_cli(["audit", "--jobs", "5", "--telemetry", "/tmp/x"]).is_err());
+        // An empty log-level spec is rejected before it can silence output.
+        assert!(run_cli(["simulate", "--jobs", "5", "--log-level", "--seed", "1"]).is_err());
     }
 
     #[test]

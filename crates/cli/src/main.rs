@@ -4,7 +4,7 @@ fn main() {
     match nodeshare_cli::run_cli(std::env::args().skip(1)) {
         Ok(text) => println!("{text}"),
         Err(e) => {
-            eprintln!("nodeshare: {e}");
+            nodeshare_obs::error!("cli", "nodeshare failed"; error = e);
             std::process::exit(1);
         }
     }

@@ -60,6 +60,23 @@ pub struct OccupancySnapshot {
     pub per_node: Vec<(NodeId, Vec<JobId>)>,
 }
 
+/// Cumulative operation counters for one [`Cluster`].
+///
+/// Plain integers bumped on the allocation paths — cheap enough to be
+/// always on, and read out by the telemetry layer without the cluster
+/// crate depending on it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Successful exclusive allocations.
+    pub exclusive_allocs: u64,
+    /// Successful shared (lane) allocations.
+    pub shared_allocs: u64,
+    /// Successful releases.
+    pub releases: u64,
+    /// Allocation requests rejected with an [`AllocError`].
+    pub failed_allocs: u64,
+}
+
 /// A cluster of homogeneous nodes with lane-granular allocation tracking.
 ///
 /// Two indices are maintained incrementally so schedulers can enumerate
@@ -76,6 +93,7 @@ pub struct Cluster {
     allocations: HashMap<JobId, Allocation>,
     idle: BTreeSet<NodeId>,
     partial: BTreeSet<NodeId>,
+    stats: AllocStats,
 }
 
 impl Cluster {
@@ -96,7 +114,14 @@ impl Cluster {
             allocations: HashMap::new(),
             idle,
             partial: BTreeSet::new(),
+            stats: AllocStats::default(),
         }
+    }
+
+    /// Cumulative allocate/release operation counters.
+    #[inline]
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.stats
     }
 
     /// The static spec this cluster was built from.
@@ -202,6 +227,24 @@ impl Cluster {
         nodes: &[NodeId],
         mem_per_node: u64,
     ) -> Result<&Allocation, AllocError> {
+        match self.do_allocate_exclusive(job, nodes, mem_per_node) {
+            Ok(()) => {
+                self.stats.exclusive_allocs += 1;
+                Ok(&self.allocations[&job])
+            }
+            Err(e) => {
+                self.stats.failed_allocs += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn do_allocate_exclusive(
+        &mut self,
+        job: JobId,
+        nodes: &[NodeId],
+        mem_per_node: u64,
+    ) -> Result<(), AllocError> {
         self.check_node_ids(nodes)?;
         if self.allocations.contains_key(&job) {
             return Err(AllocError::DuplicateJob(job));
@@ -241,7 +284,8 @@ impl Cluster {
             mem_per_node,
             mode: ShareMode::Exclusive,
         };
-        Ok(self.allocations.entry(job).or_insert(alloc))
+        self.allocations.insert(job, alloc);
+        Ok(())
     }
 
     /// Grants `job` one free lane on each listed node (co-allocation).
@@ -254,6 +298,24 @@ impl Cluster {
         nodes: &[NodeId],
         mem_per_node: u64,
     ) -> Result<&Allocation, AllocError> {
+        match self.do_allocate_shared(job, nodes, mem_per_node) {
+            Ok(()) => {
+                self.stats.shared_allocs += 1;
+                Ok(&self.allocations[&job])
+            }
+            Err(e) => {
+                self.stats.failed_allocs += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn do_allocate_shared(
+        &mut self,
+        job: JobId,
+        nodes: &[NodeId],
+        mem_per_node: u64,
+    ) -> Result<(), AllocError> {
         self.check_node_ids(nodes)?;
         if self.allocations.contains_key(&job) {
             return Err(AllocError::DuplicateJob(job));
@@ -299,7 +361,8 @@ impl Cluster {
             mem_per_node,
             mode: ShareMode::Shared,
         };
-        Ok(self.allocations.entry(job).or_insert(alloc))
+        self.allocations.insert(job, alloc);
+        Ok(())
     }
 
     /// Releases every lane held by `job` and returns its allocation record.
@@ -314,6 +377,7 @@ impl Cluster {
                 .expect("allocation table and node state must agree");
             self.refresh_index(p.node);
         }
+        self.stats.releases += 1;
         Ok(alloc)
     }
 
@@ -593,6 +657,22 @@ mod tests {
                 (NodeId(2), vec![JobId(1)]),
             ]
         );
+    }
+
+    #[test]
+    fn alloc_stats_count_operations() {
+        let mut c = cluster();
+        assert_eq!(c.alloc_stats(), AllocStats::default());
+        c.allocate_exclusive(JobId(1), &[NodeId(0)], 0).unwrap();
+        c.allocate_shared(JobId(2), &[NodeId(1)], 0).unwrap();
+        c.allocate_exclusive(JobId(1), &[NodeId(2)], 0).unwrap_err();
+        c.release(JobId(2)).unwrap();
+        let s = c.alloc_stats();
+        assert_eq!(s.exclusive_allocs, 1);
+        assert_eq!(s.shared_allocs, 1);
+        assert_eq!(s.failed_allocs, 1);
+        assert_eq!(s.releases, 1);
+        c.check_invariants().unwrap();
     }
 
     #[test]

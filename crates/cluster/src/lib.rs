@@ -33,7 +33,7 @@ pub mod render;
 pub mod spec;
 
 pub use alloc::{Allocation, Placement, ShareMode};
-pub use cluster::{AllocError, Cluster, OccupancySnapshot};
+pub use cluster::{AllocError, AllocStats, Cluster, OccupancySnapshot};
 pub use ids::{JobId, Lane, NodeId};
 pub use node::{AdminState, Node, NodeError, Occupancy};
 pub use render::{node_glyph, render_occupancy};

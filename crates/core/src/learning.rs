@@ -112,7 +112,12 @@ impl<S: Scheduler> Scheduler for EstimateLearning<S> {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let digested_before = self.digested;
         self.digest(ctx.completed);
+        if let Some(t) = ctx.telemetry {
+            t.learning_updates
+                .add((self.digested - digested_before) as u64);
+        }
         let corrected: Vec<JobSpec> = ctx
             .queue
             .iter()
@@ -129,6 +134,7 @@ impl<S: Scheduler> Scheduler for EstimateLearning<S> {
             running: ctx.running,
             shared_grace: ctx.shared_grace,
             completed: ctx.completed,
+            telemetry: ctx.telemetry,
         };
         self.inner.schedule(&view)
     }

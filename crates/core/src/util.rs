@@ -149,6 +149,11 @@ pub fn plan_shared(
         .filter(|&n| allowed(n))
         .filter_map(|n| {
             let node = ctx.cluster.node(n)?;
+            // A query is one candidate partial node evaluated against the
+            // pairing policy; a hit is one that survives every filter.
+            if let Some(t) = ctx.telemetry {
+                t.pairing_queries.inc();
+            }
             if node.mem_free() < job.mem_per_node_mib {
                 return None;
             }
@@ -172,6 +177,9 @@ pub fn plan_shared(
             }
             if !pairing.allows_stack(job.app, &resident_apps) {
                 return None;
+            }
+            if let Some(t) = ctx.telemetry {
+                t.pairing_hits.inc();
             }
             Some((n, score))
         })

@@ -61,6 +61,7 @@ impl Fixture {
             running: &self.running,
             shared_grace: 1.5,
             completed: &[],
+            telemetry: None,
         }
     }
 }

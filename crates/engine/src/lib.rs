@@ -13,6 +13,8 @@
 //!   matrix + policy together,
 //! * [`outcome`] — [`SimOutcome`] with per-job records and integrated
 //!   occupancy series,
+//! * [`telemetry`] — runtime observability ([`SimTelemetry`]): metric
+//!   instruments, scheduler perf counters, and a sim-time JSONL sampler,
 //! * [`trace`] — structured [`DecisionTrace`] of every scheduler decision
 //!   and allocation change,
 //! * [`audit`] — the replay [`Auditor`] that re-derives cluster state from
@@ -29,6 +31,7 @@ pub mod faults;
 pub mod outcome;
 pub mod progress;
 pub mod sim;
+pub mod telemetry;
 pub mod trace;
 pub mod view;
 
@@ -37,6 +40,9 @@ pub use events::{Event, EventQueue};
 pub use faults::{FailureModel, MaintenanceWindow};
 pub use outcome::SimOutcome;
 pub use progress::RunningJob;
-pub use sim::{first_idle_nodes, run, run_traced, SimConfig};
+pub use sim::{
+    first_idle_nodes, run, run_traced, run_traced_with_telemetry, run_with_telemetry, SimConfig,
+};
+pub use telemetry::{SchedTelemetry, SimTelemetry, TelemetrySample};
 pub use trace::{DecisionTrace, DownCause, StartReason, TraceEvent};
 pub use view::{Decision, RunningSummary, SchedContext, Scheduler};

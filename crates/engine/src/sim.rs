@@ -6,6 +6,7 @@ use crate::events::{Event, EventQueue};
 use crate::faults::{FailureModel, MaintenanceWindow};
 use crate::outcome::SimOutcome;
 use crate::progress::RunningJob;
+use crate::telemetry::SimTelemetry;
 use crate::trace::{DecisionTrace, DownCause, StartReason, TraceEvent};
 use crate::view::{summary_of, Decision, SchedContext, Scheduler};
 use nodeshare_cluster::{AdminState, Cluster, ClusterSpec, JobId, NodeId, ShareMode};
@@ -96,7 +97,7 @@ pub fn run(
     config: &SimConfig,
 ) -> SimOutcome {
     if !config.audit {
-        let (outcome, _) = Engine::new(workload, truth, config, false).run(scheduler);
+        let (outcome, _) = Engine::new(workload, truth, config, false, None).run(scheduler);
         return outcome;
     }
     let (outcome, trace) = run_traced(workload, truth, scheduler, config);
@@ -125,7 +126,43 @@ pub fn run_traced(
     scheduler: &mut dyn Scheduler,
     config: &SimConfig,
 ) -> (SimOutcome, DecisionTrace) {
-    let (outcome, trace) = Engine::new(workload, truth, config, true).run(scheduler);
+    let (outcome, trace) = Engine::new(workload, truth, config, true, None).run(scheduler);
+    (outcome, trace.expect("tracing was requested"))
+}
+
+/// Like [`run`], but collects runtime telemetry into `telemetry`: engine
+/// counters/gauges/latency histograms, scheduler perf counters (exposed
+/// to the policy through [`SchedContext::telemetry`]), and periodic
+/// [`crate::telemetry::TelemetrySample`]s every
+/// `telemetry.sample_interval` seconds of simulation time.
+///
+/// Telemetry does not alter scheduling decisions or outcomes — the same
+/// workload/config/policy produces an identical [`SimOutcome`] with or
+/// without it. No audit is implied; compose with [`run_traced`] manually
+/// if both are wanted.
+pub fn run_with_telemetry(
+    workload: &Workload,
+    truth: &CoRunTruth,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    telemetry: &SimTelemetry,
+) -> SimOutcome {
+    let (outcome, _) = Engine::new(workload, truth, config, false, Some(telemetry)).run(scheduler);
+    outcome
+}
+
+/// [`run_traced`] and [`run_with_telemetry`] combined: records the full
+/// decision trace *and* collects telemetry, so a campaign can be both
+/// replay-audited and observed in one run. No implicit audit.
+pub fn run_traced_with_telemetry(
+    workload: &Workload,
+    truth: &CoRunTruth,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    telemetry: &SimTelemetry,
+) -> (SimOutcome, DecisionTrace) {
+    let (outcome, trace) =
+        Engine::new(workload, truth, config, true, Some(telemetry)).run(scheduler);
     (outcome, trace.expect("tracing was requested"))
 }
 
@@ -160,6 +197,10 @@ struct Engine<'a> {
     gen_counter: u64,
     /// Decision trace, recorded when tracing/auditing is requested.
     trace: Option<DecisionTrace>,
+    /// Runtime telemetry sink; `None` costs one branch per site.
+    telemetry: Option<&'a SimTelemetry>,
+    /// Simulation time of the next periodic telemetry sample.
+    next_sample: Seconds,
 }
 
 impl<'a> Engine<'a> {
@@ -168,6 +209,7 @@ impl<'a> Engine<'a> {
         truth: &'a CoRunTruth,
         config: &'a SimConfig,
         traced: bool,
+        telemetry: Option<&'a SimTelemetry>,
     ) -> Self {
         let mut events = EventQueue::new();
         for (i, job) in workload.jobs().iter().enumerate() {
@@ -217,6 +259,8 @@ impl<'a> Engine<'a> {
             rejected: Vec::new(),
             gen_counter: 1,
             trace: traced.then(DecisionTrace::new),
+            telemetry,
+            next_sample: 0.0,
         }
     }
 
@@ -235,8 +279,38 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self, scheduler: &mut dyn Scheduler) -> (SimOutcome, Option<DecisionTrace>) {
+        if let Some(t) = self.telemetry {
+            t.note_strategy(scheduler.name());
+            nodeshare_obs::debug!(
+                "engine",
+                "run started";
+                strategy = scheduler.name(),
+                jobs = self.workload.len(),
+                nodes = self.config.cluster.node_count
+            );
+        }
         while let Some((time, event)) = self.events.pop() {
             debug_assert!(time + 1e-9 >= self.now, "event time went backwards");
+            if let Some(t) = self.telemetry {
+                // Periodic state samples land *before* the event that
+                // crosses the sample instant, so each sample reflects the
+                // world as of its own timestamp.
+                while self.next_sample <= time {
+                    t.record_sample(
+                        self.next_sample,
+                        self.queue.len(),
+                        self.running.len(),
+                        self.records.len(),
+                        self.events.len(),
+                        &self.cluster,
+                    );
+                    self.next_sample += t.sample_interval;
+                }
+            }
+            let _event_span = self.telemetry.map(|t| {
+                t.events_total.inc();
+                SimTelemetry::time(&t.event_seconds)
+            });
             self.now = time.max(self.now);
             self.processed += 1;
             assert!(
@@ -263,6 +337,16 @@ impl<'a> Engine<'a> {
                         || job.mem_per_node_mib > self.config.cluster.node.mem_mib
                     {
                         self.rejected.push(job.id);
+                        if let Some(t) = self.telemetry {
+                            t.rejected.inc();
+                            nodeshare_obs::debug!(
+                                "engine",
+                                "job rejected as unsatisfiable";
+                                job = job.id,
+                                nodes = job.nodes,
+                                mem_per_node_mib = job.mem_per_node_mib
+                            );
+                        }
                         self.trace_ev(TraceEvent::Rejected {
                             time: self.now,
                             job: job.id,
@@ -350,6 +434,28 @@ impl<'a> Engine<'a> {
             }
         }
 
+        if let Some(t) = self.telemetry {
+            // One closing sample at the end time (replacing a periodic
+            // sample that landed exactly there, so final state wins).
+            t.record_sample(
+                self.now,
+                self.queue.len(),
+                self.running.len(),
+                self.records.len(),
+                self.events.len(),
+                &self.cluster,
+            );
+            nodeshare_obs::debug!(
+                "engine",
+                "run finished";
+                strategy = scheduler.name(),
+                end_time = self.now,
+                completed = self.records.len(),
+                unscheduled = self.queue.len(),
+                events = self.processed
+            );
+        }
+
         let end = self.now;
         let trace = self.trace;
         let outcome = SimOutcome {
@@ -378,6 +484,9 @@ impl<'a> Engine<'a> {
         // bound the fixpoint iteration.
         for _ in 0..=self.queue.len() {
             let decisions: Vec<(Decision, StartReason)> = {
+                let _invoke_span = self
+                    .telemetry
+                    .map(|t| SimTelemetry::time(&t.invoke_seconds));
                 let ctx = SchedContext {
                     now: self.now,
                     queue: &self.queue,
@@ -385,6 +494,7 @@ impl<'a> Engine<'a> {
                     running: &self.running_view,
                     shared_grace: self.config.shared_walltime_grace,
                     completed: &self.records,
+                    telemetry: self.telemetry.map(|t| &t.sched),
                 };
                 let decided = scheduler.schedule(&ctx);
                 decided
@@ -401,6 +511,9 @@ impl<'a> Engine<'a> {
             };
             if decisions.is_empty() {
                 return;
+            }
+            if let Some(t) = self.telemetry {
+                t.sched.decisions.add(decisions.len() as u64);
             }
             for (d, reason) in decisions {
                 self.apply(d, reason);
@@ -446,18 +559,27 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        let result = match mode {
-            ShareMode::Exclusive => {
-                self.cluster
+        let result = {
+            let _alloc_span = self.telemetry.map(|t| SimTelemetry::time(&t.alloc_seconds));
+            match mode {
+                ShareMode::Exclusive => self
+                    .cluster
                     .allocate_exclusive(job_id, decision.nodes(), spec.mem_per_node_mib)
-            }
-            ShareMode::Shared => {
-                self.cluster
+                    .map(|_| ()),
+                ShareMode::Shared => self
+                    .cluster
                     .allocate_shared(job_id, decision.nodes(), spec.mem_per_node_mib)
+                    .map(|_| ()),
             }
         };
         if let Err(e) = result {
             panic!("policy decision for {job_id} failed: {e}");
+        }
+        if let Some(t) = self.telemetry {
+            match mode {
+                ShareMode::Exclusive => t.starts_exclusive.inc(),
+                ShareMode::Shared => t.starts_shared.inc(),
+            }
         }
 
         let walltime = spec.walltime_estimate;
@@ -536,10 +658,20 @@ impl<'a> Engine<'a> {
                 r.work_remaining()
             );
         }
-        let alloc = self
-            .cluster
-            .release(job_id)
-            .expect("job held an allocation");
+        let alloc = {
+            let _release_span = self
+                .telemetry
+                .map(|t| SimTelemetry::time(&t.release_seconds));
+            self.cluster
+                .release(job_id)
+                .expect("job held an allocation")
+        };
+        if let Some(t) = self.telemetry {
+            t.completions.inc();
+            if killed {
+                t.walltime_kills.inc();
+            }
+        }
         // Re-rate every survivor that shared a node with the leaver.
         let mut affected: Vec<JobId> = Vec::new();
         for p in &alloc.placements {
@@ -632,6 +764,15 @@ impl<'a> Engine<'a> {
     /// queue (submission order preserved); all progress is lost — no
     /// checkpointing.
     fn requeue(&mut self, job_id: JobId, failed: NodeId) {
+        if let Some(t) = self.telemetry {
+            t.requeues.inc();
+            nodeshare_obs::warn!(
+                "engine",
+                "job requeued by node failure";
+                job = job_id,
+                node = failed
+            );
+        }
         self.trace_ev(TraceEvent::Requeued {
             time: self.now,
             job: job_id,

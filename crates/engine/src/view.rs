@@ -75,6 +75,12 @@ pub struct SchedContext<'a> {
     /// learn from history (e.g. walltime-estimate correction); append-only
     /// across invocations within one run.
     pub completed: &'a [nodeshare_metrics::JobRecord],
+    /// Scheduler-side telemetry instruments, when the run collects
+    /// telemetry (see [`crate::telemetry::SimTelemetry`]). Policies bump
+    /// these to report decision counts, backfill scan depth, and pairing
+    /// hit rates; `None` means the run is untelemetered and policies
+    /// skip the bookkeeping entirely.
+    pub telemetry: Option<&'a crate::telemetry::SchedTelemetry>,
 }
 
 impl SchedContext<'_> {

@@ -104,6 +104,57 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from raw parts: `edges.len() - 1` bucket
+    /// counts plus under/overflow. The constructor for converters that
+    /// hold already-binned data (see [`Histogram::from_obs`]).
+    ///
+    /// # Panics
+    /// Panics unless there are at least two strictly ascending edges and
+    /// exactly one count per bucket.
+    pub fn from_parts(
+        edges: Vec<f64>,
+        counts: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+    ) -> Histogram {
+        assert!(edges.len() >= 2, "degenerate histogram: need two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        assert_eq!(
+            counts.len(),
+            edges.len() - 1,
+            "one count per bucket required"
+        );
+        Histogram {
+            edges,
+            counts,
+            underflow,
+            overflow,
+        }
+    }
+
+    /// Converts a live `nodeshare-obs` runtime histogram into this
+    /// analysis type, so telemetry distributions can reuse the rendering
+    /// and summary code the experiment binaries already have.
+    ///
+    /// The obs histogram's upper bounds become this histogram's edges:
+    /// its first bucket (`value <= bounds[0]`) maps to `underflow` and its
+    /// `+Inf` bucket to `overflow`. Boundary semantics differ by a
+    /// half-open flip (obs buckets are `(lo, hi]`, these are `[lo, hi)`),
+    /// which only matters for samples landing exactly on an edge.
+    ///
+    /// # Panics
+    /// Panics when the obs histogram has fewer than two bounds.
+    pub fn from_obs(h: &nodeshare_obs::Histogram) -> Histogram {
+        let edges = h.bounds().to_vec();
+        let mut counts = h.bucket_counts();
+        let overflow = counts.pop().expect("obs histograms have an +Inf bucket");
+        let underflow = counts.remove(0);
+        Histogram::from_parts(edges, counts, underflow, overflow)
+    }
+
     /// `(lo, hi, count)` per bucket.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
         self.edges
@@ -132,6 +183,12 @@ impl Histogram {
             out.push_str(&format!("{:>18}  {}\n", ">= hi", self.overflow));
         }
         out
+    }
+}
+
+impl From<&nodeshare_obs::Histogram> for Histogram {
+    fn from(h: &nodeshare_obs::Histogram) -> Histogram {
+        Histogram::from_obs(h)
     }
 }
 
@@ -206,6 +263,38 @@ mod tests {
         let s = h.render(20);
         assert!(s.contains('#'));
         assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn from_obs_preserves_counts_and_edges() {
+        let o = nodeshare_obs::Histogram::detached(&[1.0, 2.0, 5.0]);
+        o.observe(0.5); // <= 1.0 → underflow here
+        o.observe(1.5);
+        o.observe(1.5);
+        o.observe(4.0);
+        o.observe(100.0); // > 5.0 → overflow here
+        let h = Histogram::from_obs(&o);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        let buckets: Vec<(f64, f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(1.0, 2.0, 2), (2.0, 5.0, 1)]);
+        assert_eq!(h.total(), o.count());
+        let via_from: Histogram = (&o).into();
+        assert_eq!(via_from, h);
+        assert!(h.render(10).contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "two edges")]
+    fn from_obs_rejects_single_bound() {
+        let o = nodeshare_obs::Histogram::detached(&[1.0]);
+        Histogram::from_obs(&o);
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per bucket")]
+    fn from_parts_validates_shape() {
+        Histogram::from_parts(vec![0.0, 1.0, 2.0], vec![1], 0, 0);
     }
 
     #[test]

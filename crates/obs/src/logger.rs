@@ -1,0 +1,367 @@
+//! A leveled, structured (key=value) logger with per-target filtering.
+//!
+//! The filter is configured from the `NODESHARE_LOG` environment variable
+//! on first use, in the familiar comma-separated form:
+//!
+//! ```text
+//! NODESHARE_LOG=info                  # default level for every target
+//! NODESHARE_LOG=warn,engine=debug     # per-target override (prefix match)
+//! NODESHARE_LOG=debug,core::util=trace
+//! ```
+//!
+//! Records go to stderr by default; tests (and embedders) may inject any
+//! `Write + Send` sink with [`set_writer`]. The level gate is a single
+//! relaxed atomic load, so disabled log calls cost one branch.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed; output is unusable.
+    Error = 1,
+    /// Something surprising that does not invalidate the run.
+    Warn = 2,
+    /// High-level lifecycle messages (default).
+    Info = 3,
+    /// Per-decision diagnostics.
+    Debug = 4,
+    /// Per-event firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive). `off` disables everything.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Fixed-width upper-case name for record rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// A parsed `NODESHARE_LOG`-style filter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Filter {
+    /// Level applied when no target directive matches. `None` = off.
+    default: Option<Level>,
+    /// `(target prefix, level)` directives; the longest matching prefix
+    /// wins.
+    targets: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    /// The out-of-the-box filter: `info` for every target.
+    pub fn default_info() -> Filter {
+        Filter {
+            default: Some(Level::Info),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Parses a spec like `warn,engine=debug,core::util=trace`. Unknown
+    /// level names are treated as `off` for that directive; an empty spec
+    /// yields the default (`info`).
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default_info();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            match part.split_once('=') {
+                Some((target, level)) => {
+                    let lv = if level.trim().eq_ignore_ascii_case("off") {
+                        None
+                    } else {
+                        Level::parse(level)
+                    };
+                    filter.targets.push((target.trim().to_string(), lv));
+                }
+                None => {
+                    filter.default = if part.eq_ignore_ascii_case("off") {
+                        None
+                    } else {
+                        Level::parse(part).or(filter.default)
+                    };
+                }
+            }
+        }
+        // Longest prefix first so lookup can take the first match.
+        filter.targets.sort_by_key(|t| std::cmp::Reverse(t.0.len()));
+        filter
+    }
+
+    /// The level in force for `target`.
+    pub fn level_for(&self, target: &str) -> Option<Level> {
+        for (prefix, level) in &self.targets {
+            if target.starts_with(prefix.as_str()) {
+                return *level;
+            }
+        }
+        self.default
+    }
+
+    /// The most verbose level any target can reach (the fast gate).
+    fn max_level(&self) -> u8 {
+        self.targets
+            .iter()
+            .filter_map(|(_, l)| *l)
+            .chain(self.default)
+            .map(|l| l as u8)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+struct LoggerState {
+    filter: Filter,
+    writer: Box<dyn Write + Send>,
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX); // unset sentinel
+static STATE: OnceLock<Mutex<LoggerState>> = OnceLock::new();
+
+fn state() -> &'static Mutex<LoggerState> {
+    STATE.get_or_init(|| {
+        let filter = match std::env::var("NODESHARE_LOG") {
+            Ok(spec) if !spec.is_empty() => Filter::parse(&spec),
+            _ => Filter::default_info(),
+        };
+        MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
+        Mutex::new(LoggerState {
+            filter,
+            writer: Box::new(std::io::stderr()),
+        })
+    })
+}
+
+/// Replaces the whole filter (e.g. from a `--log-level` flag).
+pub fn set_filter(filter: Filter) {
+    let mut s = state().lock().expect("logger poisoned");
+    MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
+    s.filter = filter;
+}
+
+/// Sets a uniform maximum level for every target.
+pub fn set_max_level(level: Level) {
+    set_filter(Filter {
+        default: Some(level),
+        targets: Vec::new(),
+    });
+}
+
+/// Redirects log output (tests inject a capture buffer here). Returns the
+/// previous writer so callers can restore it.
+pub fn set_writer(writer: Box<dyn Write + Send>) -> Box<dyn Write + Send> {
+    let mut s = state().lock().expect("logger poisoned");
+    std::mem::replace(&mut s.writer, writer)
+}
+
+/// Whether a record at `level` for `target` would be emitted. One atomic
+/// load on the common (disabled) path.
+#[inline]
+pub fn enabled(level: Level, target: &str) -> bool {
+    let max = MAX_LEVEL.load(Ordering::Relaxed);
+    if max == u8::MAX {
+        // Logger not initialized yet: initialize from the environment,
+        // then re-check.
+        let _ = state();
+        return enabled(level, target);
+    }
+    if level as u8 > max {
+        return false;
+    }
+    state()
+        .lock()
+        .expect("logger poisoned")
+        .filter
+        .level_for(target)
+        .is_some_and(|l| level <= l)
+}
+
+/// Quotes a field value when it contains characters that would break the
+/// `key=value` structure.
+fn field_value(v: &str) -> String {
+    if v.is_empty() || v.contains([' ', '"', '=']) {
+        format!("{v:?}")
+    } else {
+        v.to_string()
+    }
+}
+
+/// Writes one record. Callers go through the [`crate::log!`]-family
+/// macros, which check [`enabled`] first.
+pub fn write_record(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+    let mut line = format!("[{:<5} {}] {}", level.as_str(), target, msg);
+    for (k, v) in fields {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&field_value(v));
+    }
+    line.push('\n');
+    let mut s = state().lock().expect("logger poisoned");
+    let _ = s.writer.write_all(line.as_bytes());
+    let _ = s.writer.flush();
+}
+
+/// Logs a structured record at an explicit level.
+///
+/// ```
+/// nodeshare_obs::log!(nodeshare_obs::Level::Info, "engine::sim", "job started";
+///     job = 17, nodes = 4);
+/// ```
+#[macro_export]
+macro_rules! log {
+    ($lvl:expr, $target:expr, $msg:expr $(; $($k:ident = $v:expr),* $(,)?)?) => {{
+        let lvl = $lvl;
+        let target: &str = $target;
+        if $crate::logger::enabled(lvl, target) {
+            $crate::logger::write_record(
+                lvl,
+                target,
+                &::std::format!("{}", $msg),
+                &[$($((::std::stringify!($k), ::std::format!("{}", $v))),*)?],
+            );
+        }
+    }};
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $msg:expr $(; $($k:ident = $v:expr),* $(,)?)?) => {
+        $crate::log!($crate::Level::Error, $target, $msg $(; $($k = $v),*)?)
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $msg:expr $(; $($k:ident = $v:expr),* $(,)?)?) => {
+        $crate::log!($crate::Level::Warn, $target, $msg $(; $($k = $v),*)?)
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $msg:expr $(; $($k:ident = $v:expr),* $(,)?)?) => {
+        $crate::log!($crate::Level::Info, $target, $msg $(; $($k = $v),*)?)
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $msg:expr $(; $($k:ident = $v:expr),* $(,)?)?) => {
+        $crate::log!($crate::Level::Debug, $target, $msg $(; $($k = $v),*)?)
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($target:expr, $msg:expr $(; $($k:ident = $v:expr),* $(,)?)?) => {
+        $crate::log!($crate::Level::Trace, $target, $msg $(; $($k = $v),*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Shared capture buffer usable as a log writer.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    /// The logger is process-global; tests that reconfigure it must not
+    /// interleave.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: StdMutex<()> = StdMutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn filter_parsing_and_prefix_match() {
+        let f = Filter::parse("warn,engine=debug,engine::sim=trace,core=off");
+        assert_eq!(f.level_for("workload"), Some(Level::Warn));
+        assert_eq!(f.level_for("engine"), Some(Level::Debug));
+        assert_eq!(f.level_for("engine::events"), Some(Level::Debug));
+        assert_eq!(f.level_for("engine::sim"), Some(Level::Trace));
+        assert_eq!(f.level_for("core::util"), None);
+        assert_eq!(Filter::parse("").level_for("x"), Some(Level::Info));
+        assert_eq!(Filter::parse("off").level_for("x"), None);
+        assert_eq!(Filter::parse("bogus").level_for("x"), Some(Level::Info));
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn records_are_structured_and_filtered() {
+        let _guard = serial();
+        let cap = Capture::default();
+        let prev = set_writer(Box::new(cap.clone()));
+        set_filter(Filter::parse("info,noisy=off"));
+
+        crate::info!("test::target", "job started"; job = 17, nodes = 4);
+        crate::debug!("test::target", "filtered out"; detail = 1);
+        crate::info!("noisy", "also filtered");
+        crate::warn!("test::target", "value gets quoted"; msg = "two words");
+
+        let text = cap.text();
+        assert!(text.contains("[INFO  test::target] job started job=17 nodes=4"));
+        assert!(!text.contains("filtered"));
+        assert!(text.contains("msg=\"two words\""));
+
+        set_max_level(Level::Info);
+        let _ = set_writer(prev);
+    }
+
+    #[test]
+    fn enabled_gate_respects_per_target_levels() {
+        let _guard = serial();
+        set_filter(Filter::parse("error,deep::inside=trace"));
+        assert!(enabled(Level::Error, "anywhere"));
+        assert!(!enabled(Level::Info, "anywhere"));
+        assert!(enabled(Level::Trace, "deep::inside::module"));
+        set_max_level(Level::Info);
+    }
+}

@@ -1,0 +1,145 @@
+//! Prometheus text-exposition rendering for a [`MetricsRegistry`].
+//!
+//! The output follows the text format v0.0.4: one `# HELP` and `# TYPE`
+//! line per family, families in name order, series in label order, and
+//! histograms expanded into cumulative `_bucket{le=...}` samples plus
+//! `_sum` and `_count`. Label values are escaped (`\\`, `\"`, `\n`).
+
+use crate::registry::{Instrument, MetricsRegistry};
+
+/// Escapes a label value for the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a HELP text (only backslash and newline per the spec).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Formats an `f64` the way Prometheus expects: integral values without a
+/// trailing `.0`, non-finite values as `+Inf`/`-Inf`/`NaN`.
+pub(crate) fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf" } else { "-Inf" }.to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders the whole registry in the Prometheus text exposition format.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let families = registry.families.lock().expect("registry poisoned");
+    let mut names: Vec<usize> = (0..families.len()).collect();
+    names.sort_by(|&a, &b| families[a].name.cmp(&families[b].name));
+
+    let mut out = String::new();
+    for idx in names {
+        let f = &families[idx];
+        out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
+        out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
+        for s in &f.series {
+            match &s.instrument {
+                Instrument::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        f.name,
+                        render_labels(&s.labels, None),
+                        c.get()
+                    ));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        f.name,
+                        render_labels(&s.labels, None),
+                        fmt_value(g.get())
+                    ));
+                }
+                Instrument::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (bound, count) in h.bounds().iter().zip(&counts) {
+                        cumulative += count;
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, Some(("le", &fmt_value(*bound)))),
+                            cumulative
+                        ));
+                    }
+                    cumulative += counts.last().copied().unwrap_or(0);
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        f.name,
+                        render_labels(&s.labels, Some(("le", "+Inf"))),
+                        cumulative
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        f.name,
+                        render_labels(&s.labels, None),
+                        fmt_value(h.sum())
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        f.name,
+                        render_labels(&s.labels, None),
+                        h.count()
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(42.0), "42");
+        assert_eq!(fmt_value(1.5), "1.5");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,79 @@
+//! Golden-file test for the Prometheus text exposition: family ordering,
+//! label rendering and escaping, and cumulative histogram expansion must
+//! not drift — external scrapers parse this surface.
+
+use nodeshare_obs::{render_prometheus, MetricsRegistry};
+
+#[test]
+fn exposition_matches_golden() {
+    let r = MetricsRegistry::new();
+
+    let shared = r.counter_with(
+        "sim_jobs_started_total",
+        "Jobs started, by allocation mode.",
+        &[("mode", "shared")],
+    );
+    let exclusive = r.counter_with(
+        "sim_jobs_started_total",
+        "Jobs started, by allocation mode.",
+        &[("mode", "exclusive")],
+    );
+    shared.add(3);
+    exclusive.add(7);
+
+    let depth = r.gauge("sim_queue_depth", "Jobs waiting in the queue.");
+    depth.set(12.0);
+    let util = r.gauge("sim_core_utilization", "Fraction of cores busy.");
+    util.set(0.75);
+
+    let h = r.histogram(
+        "sched_invoke_duration_seconds",
+        "Wall-clock time of one scheduler invocation.",
+        &[0.001, 0.01, 0.1],
+    );
+    h.observe(0.0005);
+    h.observe(0.005);
+    h.observe(0.005);
+    h.observe(0.05);
+    h.observe(5.0);
+
+    let odd = r.gauge_with(
+        "sim_strategy_info",
+        "Strategy in use (always 1).",
+        &[("strategy", "co-\"backfill\"\nv2\\x")],
+    );
+    odd.set(1.0);
+
+    let golden = "\
+# HELP sched_invoke_duration_seconds Wall-clock time of one scheduler invocation.
+# TYPE sched_invoke_duration_seconds histogram
+sched_invoke_duration_seconds_bucket{le=\"0.001\"} 1
+sched_invoke_duration_seconds_bucket{le=\"0.01\"} 3
+sched_invoke_duration_seconds_bucket{le=\"0.1\"} 4
+sched_invoke_duration_seconds_bucket{le=\"+Inf\"} 5
+sched_invoke_duration_seconds_sum 5.0605
+sched_invoke_duration_seconds_count 5
+# HELP sim_core_utilization Fraction of cores busy.
+# TYPE sim_core_utilization gauge
+sim_core_utilization 0.75
+# HELP sim_jobs_started_total Jobs started, by allocation mode.
+# TYPE sim_jobs_started_total counter
+sim_jobs_started_total{mode=\"exclusive\"} 7
+sim_jobs_started_total{mode=\"shared\"} 3
+# HELP sim_queue_depth Jobs waiting in the queue.
+# TYPE sim_queue_depth gauge
+sim_queue_depth 12
+# HELP sim_strategy_info Strategy in use (always 1).
+# TYPE sim_strategy_info gauge
+sim_strategy_info{strategy=\"co-\\\"backfill\\\"\\nv2\\\\x\"} 1
+";
+    assert_eq!(render_prometheus(&r), golden);
+}
+
+#[test]
+fn rendering_is_stable_across_calls() {
+    let r = MetricsRegistry::new();
+    r.counter("a_total", "a").inc();
+    r.gauge("b", "b").set(2.5);
+    assert_eq!(render_prometheus(&r), render_prometheus(&r));
+}

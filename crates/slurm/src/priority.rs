@@ -83,6 +83,7 @@ impl<S: Scheduler> Scheduler for MultifactorPriority<S> {
             running: ctx.running,
             shared_grace: ctx.shared_grace,
             completed: ctx.completed,
+            telemetry: ctx.telemetry,
         };
         self.inner.schedule(&view)
     }
@@ -108,6 +109,7 @@ impl<S: Scheduler> Scheduler for MultifactorPriority<S> {
             running: ctx.running,
             shared_grace: ctx.shared_grace,
             completed: ctx.completed,
+            telemetry: ctx.telemetry,
         };
         self.inner.explain(&view, decision)
     }

@@ -1,7 +1,17 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of EXPERIMENTS.md into results/.
-set -euo pipefail
+#
+# Each experiment also dumps per-campaign telemetry (JSONL samples +
+# Prometheus exposition) into results/telemetry/ unless the caller
+# already pointed NODESHARE_TELEMETRY elsewhere (or disabled it with
+# NODESHARE_TELEMETRY=0).
+set -uo pipefail
 cd "$(dirname "$0")/.."
+
+export NODESHARE_TELEMETRY="${NODESHARE_TELEMETRY:-results/telemetry}"
+if [[ "$NODESHARE_TELEMETRY" != 0 && -n "$NODESHARE_TELEMETRY" ]]; then
+  mkdir -p "$NODESHARE_TELEMETRY"
+fi
 
 BINS=(
   exp_t1_miniapps
@@ -22,9 +32,26 @@ BINS=(
   exp_f15_estimate_learning
 )
 
-cargo build --release -p nodeshare-bench
+cargo build --release -p nodeshare-bench || exit 1
+
+# Run every experiment even when one fails, report per-binary status,
+# and propagate failure through the script's own exit code (a plain
+# `for` loop under `set -e` would stop at the first failure and, in some
+# shells, mask the code of the last command).
+failed=()
 for bin in "${BINS[@]}"; do
   echo "=== $bin ==="
-  cargo run --release --quiet -p nodeshare-bench --bin "$bin"
+  if ! cargo run --release --quiet -p nodeshare-bench --bin "$bin"; then
+    echo "!!! $bin FAILED (exit $?)" >&2
+    failed+=("$bin")
+  fi
 done
+
+if ((${#failed[@]})); then
+  echo "FAILED experiments: ${failed[*]}" >&2
+  exit 1
+fi
 echo "All experiment outputs are in results/."
+if [[ "$NODESHARE_TELEMETRY" != 0 && -n "$NODESHARE_TELEMETRY" ]]; then
+  echo "Per-campaign telemetry (JSONL + .prom) is in $NODESHARE_TELEMETRY/."
+fi
