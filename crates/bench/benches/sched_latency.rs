@@ -71,7 +71,9 @@ fn fixture(queue_depth: usize) -> Fixture {
 fn bench_decision_latency(c: &mut Criterion) {
     let world = World::evaluation();
     let mut group = c.benchmark_group("sched_latency");
-    for &depth in &[100usize, 1_000, 5_000] {
+    // 1024/4096 are the deep-queue regimes where the indexed planner's
+    // caches pay off; 100 keeps a shallow point for the latency floor.
+    for &depth in &[100usize, 1_024, 4_096] {
         let fx = fixture(depth);
         let ctx = || SchedContext {
             now: 100.0,
@@ -94,6 +96,18 @@ fn bench_decision_latency(c: &mut Criterion) {
             let mut sched = Backfill::co(pairing);
             b.iter(|| black_box(sched.schedule(&ctx())));
         });
+        group.bench_with_input(
+            BenchmarkId::new("co_backfill_reference", depth),
+            &depth,
+            |b, _| {
+                let pairing = Pairing::new(
+                    PairingPolicy::default_threshold(),
+                    Predictor::class_based(&world.catalog, &world.model),
+                );
+                let mut sched = Backfill::co(pairing).reference();
+                b.iter(|| black_box(sched.schedule(&ctx())));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("conservative", depth), &depth, |b, _| {
             let mut sched = Conservative::new();
             b.iter(|| black_box(sched.schedule(&ctx())));

@@ -1,0 +1,300 @@
+//! **Machine-readable scheduler performance baseline.**
+//!
+//! Times fixed saturated campaigns (128 evaluation nodes) under the
+//! strategies whose hot paths this workspace optimizes — EASY backfill,
+//! CoBackfill, and conservative backfill — and writes the results as
+//! JSON so CI can detect throughput regressions mechanically.
+//!
+//! ```text
+//! # full baseline (slow; regenerates BENCH_sched.json at the repo root)
+//! cargo run --release -p nodeshare-bench --bin perf_baseline
+//!
+//! # CI smoke: small campaigns only, compare against the committed file
+//! cargo run --release -p nodeshare-bench --bin perf_baseline -- \
+//!     --quick --check BENCH_sched.json --out /tmp/BENCH_sched.json
+//! ```
+//!
+//! Options:
+//!
+//! * `--quick` — run only the small campaigns (seconds, not minutes).
+//! * `--out FILE` — where to write the JSON (default `BENCH_sched.json`).
+//! * `--check FILE` — read a previously committed baseline and **exit
+//!   non-zero** when any matching campaign (same strategy/jobs/nodes/reps)
+//!   now runs at less than half its recorded events/sec.
+//! * `--reference` — time the retained pre-optimization scheduler
+//!   implementations instead (see `StrategyConfig::build_reference`), so
+//!   the fast-path speedup can be measured on one build.
+//! * `--reps N` — additionally time N independent replications of each
+//!   campaign executed in parallel with Rayon, reporting aggregate
+//!   events/sec (demonstrates multi-core scaling of the harness).
+//!
+//! Timing methodology: audit and telemetry are off (the committed numbers
+//! are release-mode hot-path figures), workload generation is outside the
+//! timed region, and each campaign runs once — scheduler construction is
+//! cheap and campaigns are long enough to dominate noise. Outcomes stay
+//! bit-identical to the audited runs; only the clock is new here.
+
+use nodeshare_bench::{seeds, World};
+use nodeshare_core::{StrategyConfig, StrategyKind};
+use nodeshare_engine::{run, SimConfig};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed campaign.
+struct Entry {
+    strategy: &'static str,
+    jobs: u32,
+    nodes: u32,
+    reps: u32,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    peak_queue_depth: u64,
+}
+
+/// The campaign grid: (label, config, full jobs, quick jobs).
+fn campaigns() -> Vec<(&'static str, StrategyConfig, u32, u32)> {
+    vec![
+        (
+            "easy-backfill",
+            StrategyConfig::exclusive(StrategyKind::EasyBackfill),
+            20_000,
+            2_000,
+        ),
+        (
+            "co-backfill",
+            StrategyConfig::sharing(StrategyKind::CoBackfill),
+            20_000,
+            1_000,
+        ),
+        (
+            "conservative",
+            StrategyConfig::exclusive(StrategyKind::Conservative),
+            4_000,
+            500,
+        ),
+    ]
+}
+
+/// Times one saturated campaign; audit/telemetry off so the clock sees
+/// only the engine + policy hot path.
+fn time_campaign(
+    world: &World,
+    cfg: &StrategyConfig,
+    jobs: u32,
+    seed: u64,
+    reference: bool,
+) -> (u64, f64, u64) {
+    let mut spec = world.saturated_spec(seed);
+    spec.n_jobs = jobs as usize;
+    let workload = spec.generate(&world.catalog);
+    let mut sim_cfg = SimConfig::new(world.cluster);
+    sim_cfg.audit = false;
+    let mut sched = if reference {
+        cfg.build_reference(&world.catalog, &world.model)
+    } else {
+        cfg.build(&world.catalog, &world.model)
+    };
+    let started = Instant::now();
+    let out = run(&workload, &world.matrix, sched.as_mut(), &sim_cfg);
+    let wall = started.elapsed().as_secs_f64();
+    assert!(
+        out.complete(),
+        "{}: {} jobs never scheduled",
+        cfg.label(),
+        out.unscheduled.len()
+    );
+    (
+        out.events_processed,
+        wall,
+        out.queue_depth.max_value().max(0.0) as u64,
+    )
+}
+
+fn measure(world: &World, quick: bool, reps: u32, reference: bool) -> Vec<Entry> {
+    let nodes = world.cluster.node_count;
+    let mut entries = Vec::new();
+    for (label, cfg, full_jobs, quick_jobs) in campaigns() {
+        let jobs = if quick { quick_jobs } else { full_jobs };
+        eprintln!("timing {label}: {jobs} jobs on {nodes} nodes ...");
+        let (events, wall, peak) = time_campaign(world, &cfg, jobs, 1_000, reference);
+        entries.push(Entry {
+            strategy: label,
+            jobs,
+            nodes,
+            reps: 1,
+            events,
+            wall_s: wall,
+            events_per_sec: events as f64 / wall.max(1e-9),
+            peak_queue_depth: peak,
+        });
+        if reps > 1 {
+            eprintln!("timing {label}: {reps} parallel replications ...");
+            let started = Instant::now();
+            let per_rep: Vec<(u64, f64, u64)> = seeds(u64::from(reps))
+                .par_iter()
+                .map(|&seed| time_campaign(world, &cfg, jobs, seed, reference))
+                .collect();
+            let wall = started.elapsed().as_secs_f64();
+            let events: u64 = per_rep.iter().map(|r| r.0).sum();
+            let peak = per_rep.iter().map(|r| r.2).max().unwrap_or(0);
+            entries.push(Entry {
+                strategy: label,
+                jobs,
+                nodes,
+                reps,
+                events,
+                wall_s: wall,
+                events_per_sec: events as f64 / wall.max(1e-9),
+                peak_queue_depth: peak,
+            });
+        }
+    }
+    entries
+}
+
+/// Hand-written JSON (the vendored serde is a derive-marker stand-in;
+/// structured output in this workspace is emitted directly).
+fn to_json(entries: &[Entry], quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"strategy\": \"{}\", \"jobs\": {}, \"nodes\": {}, \"reps\": {}, \
+             \"events\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}, \
+             \"peak_queue_depth\": {}}}{comma}",
+            e.strategy,
+            e.jobs,
+            e.nodes,
+            e.reps,
+            e.events,
+            e.wall_s,
+            e.events_per_sec,
+            e.peak_queue_depth,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Minimal field extraction from the baseline file this binary itself
+/// writes (one entry object per line — see [`to_json`]). Returns
+/// `(strategy, jobs, nodes, reps, events_per_sec)` per entry.
+fn parse_baseline(text: &str) -> Vec<(String, u32, u32, u32, f64)> {
+    fn field(line: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find([',', '"', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    }
+    text.lines()
+        .filter(|l| l.contains("\"strategy\""))
+        .filter_map(|l| {
+            Some((
+                field(l, "strategy")?,
+                field(l, "jobs")?.parse().ok()?,
+                field(l, "nodes")?.parse().ok()?,
+                field(l, "reps")?.parse().ok()?,
+                field(l, "events_per_sec")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// Compares `entries` against a committed baseline; returns the failure
+/// messages (empty = pass). Campaigns absent from the baseline are
+/// reported informationally but do not fail the check.
+fn check_against(entries: &[Entry], baseline: &[(String, u32, u32, u32, f64)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for e in entries {
+        let matched = baseline.iter().find(|(s, j, n, r, _)| {
+            s == e.strategy && *j == e.jobs && *n == e.nodes && *r == e.reps
+        });
+        match matched {
+            Some((_, _, _, _, base_eps)) => {
+                let ratio = e.events_per_sec / base_eps.max(1e-9);
+                println!(
+                    "check {}/{} jobs/reps={}: {:.0} events/s vs baseline {:.0} ({:.2}x)",
+                    e.strategy, e.jobs, e.reps, e.events_per_sec, base_eps, ratio
+                );
+                if ratio < 0.5 {
+                    failures.push(format!(
+                        "{} ({} jobs, reps={}) regressed >2x: {:.0} events/s vs baseline {:.0}",
+                        e.strategy, e.jobs, e.reps, e.events_per_sec, base_eps
+                    ));
+                }
+            }
+            None => println!(
+                "check {}/{} jobs/reps={}: no matching baseline entry, skipped",
+                e.strategy, e.jobs, e.reps
+            ),
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_sched.json");
+    let mut check_path: Option<String> = None;
+    let mut reps: u32 = 1;
+    let mut reference = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--reference" => reference = true,
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
+            "--reps" => {
+                reps = it
+                    .next()
+                    .expect("--reps needs a count")
+                    .parse()
+                    .expect("--reps takes an integer");
+            }
+            other => {
+                panic!("unknown option {other} (see --quick/--reference/--out/--check/--reps)")
+            }
+        }
+    }
+
+    let world = World::evaluation();
+    let entries = measure(&world, quick, reps, reference);
+    for e in &entries {
+        println!(
+            "{:>14} jobs={:<6} reps={} events={:<8} wall={:>8.3}s {:>9.0} events/s peak_queue={}",
+            e.strategy, e.jobs, e.reps, e.events, e.wall_s, e.events_per_sec, e.peak_queue_depth
+        );
+    }
+    let json = to_json(&entries, quick);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let failures = check_against(&entries, &parse_baseline(&text));
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("PERF REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("perf check against {path}: OK");
+    }
+}

@@ -393,6 +393,7 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
     apply_log_level(inv)?;
     let telemetry = build_telemetry(inv, false)?;
     let mut p = prepare(inv)?;
+    let started = std::time::Instant::now();
     let out = match telemetry.as_ref() {
         Some(t) => nodeshare_engine::run_with_telemetry(
             &p.workload,
@@ -403,6 +404,7 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
         ),
         None => nodeshare_engine::run(&p.workload, &p.truth, p.sched.as_mut(), &p.config),
     };
+    let wall = started.elapsed().as_secs_f64();
     if !out.complete() {
         return Err(CliError::Other(format!(
             "{} jobs could never be scheduled on this cluster (first: {:?})",
@@ -420,9 +422,12 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
     }
     let stats = WorkloadStats::of(&p.workload);
     Ok(format!(
-        "workload:\n{}\n{}{tail}",
+        "workload:\n{}\n{}\nsimulated {} events in {:.3} s wall time ({:.0} events/s){tail}",
         stats.report(Some(&p.catalog)),
-        report::render(&out, &p.cluster, &p.catalog)
+        report::render(&out, &p.cluster, &p.catalog),
+        out.events_processed,
+        wall,
+        out.events_processed as f64 / wall.max(1e-9),
     ))
 }
 
@@ -599,6 +604,7 @@ mod tests {
         assert!(out.contains("nodeshare report: co-backfill"));
         assert!(out.contains("computational efficiency"));
         assert!(out.contains("jobs 60"));
+        assert!(out.contains("events/s"), "summary reports throughput");
     }
 
     #[test]

@@ -77,23 +77,81 @@ pub struct AllocStats {
     pub failed_allocs: u64,
 }
 
+/// Cached occupancy classification of one node, diffed on every index
+/// refresh so the cluster-wide counters stay O(1) to read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct NodeClass {
+    /// At least one resident job (regardless of admin state).
+    occupied: bool,
+    /// Two or more distinct resident jobs.
+    shared: bool,
+    /// Free-lane bucket the node currently sits in (0 = none).
+    bucket: u8,
+}
+
 /// A cluster of homogeneous nodes with lane-granular allocation tracking.
 ///
-/// Two indices are maintained incrementally so schedulers can enumerate
-/// capacity without scanning every node:
+/// Several indices are maintained incrementally so schedulers can
+/// enumerate capacity without scanning every node:
 ///
 /// * **idle** — up nodes with no resident job (candidates for exclusive
 ///   allocation);
 /// * **partial** — up nodes with at least one resident job *and* at least
-///   one free lane (candidates for co-allocation).
-#[derive(Clone, Debug)]
+///   one free lane (candidates for co-allocation);
+/// * **free-lane buckets** — the partial set split by free-lane count, so
+///   SMT>2 lane searches can ask for "nodes with ≥ n free lanes" directly;
+/// * **occupancy counters** — occupied/shared node counts, making
+///   [`Cluster::occupancy_counts`] O(1) (the per-event occupancy series
+///   recorded by the engine reads these instead of walking every node).
+///
+/// Every successful mutation bumps a [version counter](Cluster::version);
+/// together with the process-unique [`Cluster::instance_id`], `(instance,
+/// version)` identifies one exact occupancy state, which lets schedulers
+/// cache derived planning state and invalidate it by events instead of
+/// recomputing it every pass.
+#[derive(Debug)]
 pub struct Cluster {
     spec: ClusterSpec,
     nodes: Vec<Node>,
     allocations: HashMap<JobId, Allocation>,
     idle: BTreeSet<NodeId>,
     partial: BTreeSet<NodeId>,
+    /// `lane_buckets[f]` = partial nodes with exactly `f` free lanes.
+    lane_buckets: Vec<BTreeSet<NodeId>>,
+    class: Vec<NodeClass>,
+    occupied_nodes: usize,
+    shared_nodes: usize,
+    version: u64,
+    instance: u64,
     stats: AllocStats,
+}
+
+/// Cloning starts a new mutation history: the clone gets a fresh
+/// [`Cluster::instance_id`] so `(instance, version)` stays a unique key
+/// even when a clone and its original diverge.
+impl Clone for Cluster {
+    fn clone(&self) -> Self {
+        Cluster {
+            spec: self.spec,
+            nodes: self.nodes.clone(),
+            allocations: self.allocations.clone(),
+            idle: self.idle.clone(),
+            partial: self.partial.clone(),
+            lane_buckets: self.lane_buckets.clone(),
+            class: self.class.clone(),
+            occupied_nodes: self.occupied_nodes,
+            shared_nodes: self.shared_nodes,
+            version: self.version,
+            instance: next_instance_id(),
+            stats: self.stats,
+        }
+    }
+}
+
+fn next_instance_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Cluster {
@@ -108,12 +166,19 @@ impl Cluster {
             .map(|i| Node::new(NodeId(i), spec.node))
             .collect();
         let idle = nodes.iter().map(Node::id).collect();
+        let class = vec![NodeClass::default(); nodes.len()];
         Cluster {
             spec,
             nodes,
             allocations: HashMap::new(),
             idle,
             partial: BTreeSet::new(),
+            lane_buckets: vec![BTreeSet::new(); spec.node.smt as usize + 1],
+            class,
+            occupied_nodes: 0,
+            shared_nodes: 0,
+            version: 0,
+            instance: next_instance_id(),
             stats: AllocStats::default(),
         }
     }
@@ -169,6 +234,53 @@ impl Cluster {
         self.partial.len()
     }
 
+    /// Partial nodes with at least `min_free` free lanes, in id order —
+    /// the lane-bucket index, so an SMT>2 search for "room for n more
+    /// lanes" does not touch nodes that cannot qualify.
+    pub fn partial_nodes_with_free_lanes(&self, min_free: u8) -> impl Iterator<Item = NodeId> + '_ {
+        let lo = (min_free as usize).max(1).min(self.lane_buckets.len());
+        let mut ids: Vec<NodeId> = self.lane_buckets[lo..]
+            .iter()
+            .flat_map(|b| b.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter()
+    }
+
+    /// Number of partial nodes with exactly `free` free lanes.
+    pub fn lane_bucket_count(&self, free: u8) -> usize {
+        self.lane_buckets
+            .get(free as usize)
+            .map_or(0, BTreeSet::len)
+    }
+
+    /// Monotone state-change counter: bumped on every successful mutation
+    /// (allocate, release, drain, resume, set-down). Equal versions on the
+    /// same [`Cluster::instance_id`] mean identical occupancy.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Process-unique id of this cluster object's mutation history (a
+    /// clone gets a fresh one). Cache keys must pair this with
+    /// [`Cluster::version`].
+    #[inline]
+    pub fn instance_id(&self) -> u64 {
+        self.instance
+    }
+
+    /// O(1) occupancy counters: `(busy physical cores, nodes hosting two
+    /// or more jobs)` — the same numbers
+    /// [`Cluster::occupancy_snapshot`] derives by walking every node.
+    #[inline]
+    pub fn occupancy_counts(&self) -> (u64, usize) {
+        (
+            self.occupied_nodes as u64 * self.spec.node.cores() as u64,
+            self.shared_nodes,
+        )
+    }
+
     /// The live allocation of a job, if any.
     pub fn allocation(&self, job: JobId) -> Option<&Allocation> {
         self.allocations.get(&job)
@@ -205,16 +317,48 @@ impl Cluster {
         let node = &self.nodes[id.index()];
         let up = node.admin_state() == AdminState::Up;
         let idle = node.is_idle();
-        let has_free_lane = node.free_lane_count() > 0;
+        let free_lanes = node.free_lane_count();
+        let new = NodeClass {
+            occupied: !idle,
+            shared: node.occupant_count() >= 2,
+            bucket: if up && !idle && free_lanes > 0 {
+                free_lanes
+            } else {
+                0
+            },
+        };
         if up && idle {
             self.idle.insert(id);
         } else {
             self.idle.remove(&id);
         }
-        if up && !idle && has_free_lane {
+        if new.bucket > 0 {
             self.partial.insert(id);
         } else {
             self.partial.remove(&id);
+        }
+        let old = std::mem::replace(&mut self.class[id.index()], new);
+        if old.occupied != new.occupied {
+            if new.occupied {
+                self.occupied_nodes += 1;
+            } else {
+                self.occupied_nodes -= 1;
+            }
+        }
+        if old.shared != new.shared {
+            if new.shared {
+                self.shared_nodes += 1;
+            } else {
+                self.shared_nodes -= 1;
+            }
+        }
+        if old.bucket != new.bucket {
+            if old.bucket > 0 {
+                self.lane_buckets[old.bucket as usize].remove(&id);
+            }
+            if new.bucket > 0 {
+                self.lane_buckets[new.bucket as usize].insert(id);
+            }
         }
     }
 
@@ -230,6 +374,7 @@ impl Cluster {
         match self.do_allocate_exclusive(job, nodes, mem_per_node) {
             Ok(()) => {
                 self.stats.exclusive_allocs += 1;
+                self.version += 1;
                 Ok(&self.allocations[&job])
             }
             Err(e) => {
@@ -301,6 +446,7 @@ impl Cluster {
         match self.do_allocate_shared(job, nodes, mem_per_node) {
             Ok(()) => {
                 self.stats.shared_allocs += 1;
+                self.version += 1;
                 Ok(&self.allocations[&job])
             }
             Err(e) => {
@@ -378,6 +524,7 @@ impl Cluster {
             self.refresh_index(p.node);
         }
         self.stats.releases += 1;
+        self.version += 1;
         Ok(alloc)
     }
 
@@ -405,6 +552,7 @@ impl Cluster {
         }
         self.nodes[id.index()].drain();
         self.refresh_index(id);
+        self.version += 1;
         Ok(())
     }
 
@@ -415,6 +563,7 @@ impl Cluster {
         }
         self.nodes[id.index()].resume();
         self.refresh_index(id);
+        self.version += 1;
         Ok(())
     }
 
@@ -425,6 +574,7 @@ impl Cluster {
         }
         self.nodes[id.index()].set_down()?;
         self.refresh_index(id);
+        self.version += 1;
         Ok(())
     }
 
@@ -509,6 +659,27 @@ impl Cluster {
             if self.partial.contains(&id) != want_partial {
                 return Err(format!("partial index wrong for {id}"));
             }
+            let want_bucket = if want_partial {
+                node.free_lane_count()
+            } else {
+                0
+            };
+            if self.class[id.index()].bucket != want_bucket {
+                return Err(format!("lane bucket wrong for {id}"));
+            }
+            for (f, bucket) in self.lane_buckets.iter().enumerate() {
+                if bucket.contains(&id) != (want_bucket as usize == f && f > 0) {
+                    return Err(format!("lane bucket {f} membership wrong for {id}"));
+                }
+            }
+        }
+        let snap = self.occupancy_snapshot();
+        let (busy, shared) = self.occupancy_counts();
+        if busy != snap.busy_cores || shared != snap.shared_nodes {
+            return Err(format!(
+                "occupancy counters ({busy}, {shared}) disagree with snapshot ({}, {})",
+                snap.busy_cores, snap.shared_nodes
+            ));
         }
         Ok(())
     }

@@ -154,6 +154,29 @@ impl Node {
         out
     }
 
+    /// Lane owners in lane order, *without* deduplication or allocation —
+    /// an exclusive job appears once per lane it owns. The hot paths
+    /// (engine validation, free-time scans) only need "every owner" or a
+    /// max over owners, where duplicates are harmless; use
+    /// [`Node::occupants`] when distinct residents matter.
+    #[inline]
+    pub fn lane_owners(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.lanes.iter().copied().flatten()
+    }
+
+    /// Number of distinct resident jobs, without allocating.
+    pub fn occupant_count(&self) -> usize {
+        let mut count = 0;
+        for (i, owner) in self.lanes.iter().enumerate() {
+            if let Some(j) = owner {
+                if !self.lanes[..i].contains(&Some(*j)) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
     /// The job owning the given lane, if any.
     pub fn lane_owner(&self, lane: Lane) -> Option<JobId> {
         self.lanes.get(lane.index()).copied().flatten()

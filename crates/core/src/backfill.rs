@@ -19,8 +19,15 @@
 //! "candidates ending after the shadow may not touch reserved nodes"
 //! therefore covers shared placements exactly as it covers exclusive
 //! ones — the property test in `tests/prop_policies.rs` checks it.
+//!
+//! Two implementations coexist: the optimized hot path (default), which
+//! plans against the incremental [`Planner`] caches, and the original
+//! straight-line reference, kept behind [`Backfill::reference`] so the
+//! differential tests can hold the optimized path to bit-identical
+//! outcomes.
 
 use crate::pairing::Pairing;
+use crate::planner::Planner;
 use crate::util::{pick_exclusive, pick_shared, HeadReservation, PLAN_EPS};
 use nodeshare_engine::{Decision, SchedContext, Scheduler};
 
@@ -31,32 +38,43 @@ pub struct Backfill {
     /// Whether the head itself may start in shared mode (CoBackfill
     /// behavior; disable to share only via backfill).
     share_head: bool,
+    planner: Planner,
+    reference: bool,
 }
 
 impl Backfill {
+    fn new(pairing: Pairing, share_head: bool) -> Self {
+        Backfill {
+            planner: Planner::new(&pairing),
+            pairing,
+            share_head,
+            reference: false,
+        }
+    }
+
     /// Plain EASY backfill with exclusive allocation (baseline).
     pub fn easy() -> Self {
-        Backfill {
-            pairing: Pairing::never(),
-            share_head: false,
-        }
+        Backfill::new(Pairing::never(), false)
     }
 
     /// Co-allocation-aware backfill with the given pairing policy.
     pub fn co(pairing: Pairing) -> Self {
-        Backfill {
-            pairing,
-            share_head: true,
-        }
+        Backfill::new(pairing, true)
     }
 
     /// Co-allocation restricted to backfill candidates (the head always
     /// waits for exclusive nodes). Used by the ablation experiments.
     pub fn co_backfill_only(pairing: Pairing) -> Self {
-        Backfill {
-            pairing,
-            share_head: false,
-        }
+        Backfill::new(pairing, false)
+    }
+
+    /// Switches to the pre-optimization reference implementation (the
+    /// straight-line pickers in [`crate::util`]). Slower but obviously
+    /// correct; the differential tests compare the optimized default
+    /// against it decision for decision.
+    pub fn reference(mut self) -> Self {
+        self.reference = true;
+        self
     }
 
     /// The pairing in use.
@@ -64,15 +82,123 @@ impl Backfill {
         &self.pairing
     }
 
-    /// The backfill candidate scan, monomorphized over whether telemetry
-    /// is attached. This loop is the scheduler's hottest path (it runs
-    /// ~10^8 iterations in a saturated campaign; see the `sched_latency`
-    /// benches), and even a spare counter increment or an extra live
-    /// value measurably slows the `TELEMETRY = false` case. Compiling two
-    /// copies keeps the telemetry-off loop identical to the uninstrumented
-    /// code, so the only cost when telemetry is off is one dispatch branch
-    /// per `schedule` call.
-    fn scan<const TELEMETRY: bool>(
+    /// The optimized backfill candidate scan, monomorphized over whether
+    /// telemetry is attached. This loop is the scheduler's hottest path
+    /// (it runs ~10^8 iterations in a saturated campaign; see the
+    /// `sched_latency` benches). The `TELEMETRY = false` copy is the lean
+    /// one: it may take the planner's memoized and bounded early exits,
+    /// which skip work — and therefore would skip counter increments —
+    /// while provably returning the same decisions; the `true` copy
+    /// evaluates every candidate faithfully so the counters match the
+    /// reference exactly.
+    fn scan_fast<const TELEMETRY: bool>(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        sharing: bool,
+    ) -> Vec<Decision> {
+        if !TELEMETRY
+            && ctx.cluster.idle_count() == 0
+            && (!sharing || self.planner.eligible_partial_count() == 0)
+        {
+            // No idle node and no shareable lane: every candidate fails.
+            return Vec::new();
+        }
+        let shadow = self.planner.shadow();
+        let mut scanned = 0u64;
+        for job in &ctx.queue[1..] {
+            if TELEMETRY {
+                scanned += 1;
+            }
+            let excl_end = ctx.now + job.walltime_estimate;
+            let shared_end = ctx.now + job.walltime_estimate * ctx.shared_grace.max(1.0);
+            let excl_fits = excl_end <= shadow + PLAN_EPS;
+            let shared_fits = shared_end <= shadow + PLAN_EPS;
+
+            if sharing && job.share_eligible {
+                let restricted = !shared_fits;
+                if let Some(nodes) = self.planner.pick_exclusive(ctx, job, restricted) {
+                    if TELEMETRY {
+                        Self::record_backfill(ctx, scanned, true);
+                    }
+                    return vec![Decision::StartShared { job: job.id, nodes }];
+                }
+                if let Some(nodes) =
+                    self.planner
+                        .pick_shared(ctx, job, &self.pairing, restricted, !TELEMETRY)
+                {
+                    if TELEMETRY {
+                        Self::record_backfill(ctx, scanned, true);
+                    }
+                    return vec![Decision::StartShared { job: job.id, nodes }];
+                }
+            } else {
+                let restricted = !excl_fits;
+                if let Some(nodes) = self.planner.pick_exclusive(ctx, job, restricted) {
+                    if TELEMETRY {
+                        Self::record_backfill(ctx, scanned, true);
+                    }
+                    return vec![Decision::StartExclusive { job: job.id, nodes }];
+                }
+            }
+        }
+        if TELEMETRY {
+            Self::record_backfill(ctx, scanned, false);
+        }
+        Vec::new()
+    }
+
+    fn schedule_fast(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let Some(head) = ctx.queue.first() else {
+            return Vec::new();
+        };
+
+        let sharing = self.pairing.sharing_enabled();
+        self.planner.begin_pass(ctx);
+
+        // 1. Start the head if it fits now (see `schedule_reference` for
+        // the policy rationale; the logic is identical).
+        if let Some(nodes) = self.planner.pick_exclusive(ctx, head, false) {
+            if let Some(t) = ctx.telemetry {
+                t.head_started.inc();
+            }
+            return if sharing && head.share_eligible {
+                vec![Decision::StartShared {
+                    job: head.id,
+                    nodes,
+                }]
+            } else {
+                vec![Decision::StartExclusive {
+                    job: head.id,
+                    nodes,
+                }]
+            };
+        }
+        if self.share_head && sharing && head.share_eligible {
+            if let Some(nodes) =
+                self.planner
+                    .pick_shared(ctx, head, &self.pairing, false, ctx.telemetry.is_none())
+            {
+                if let Some(t) = ctx.telemetry {
+                    t.head_started.inc();
+                }
+                return vec![Decision::StartShared {
+                    job: head.id,
+                    nodes,
+                }];
+            }
+        }
+
+        // 2. Reserve for the head, then backfill behind the reservation.
+        self.planner.compute_reservation(ctx, head.nodes as usize);
+        if ctx.telemetry.is_some() {
+            self.scan_fast::<true>(ctx, sharing)
+        } else {
+            self.scan_fast::<false>(ctx, sharing)
+        }
+    }
+
+    /// The pre-optimization candidate scan (reference implementation).
+    fn scan_reference<const TELEMETRY: bool>(
         &self,
         ctx: &SchedContext<'_>,
         reservation: &HeadReservation,
@@ -116,30 +242,7 @@ impl Backfill {
         Vec::new()
     }
 
-    /// Records the counters for one backfill pass that evaluated
-    /// `scanned` candidates and did (`started`) or did not start one.
-    #[cold]
-    fn record_backfill(ctx: &SchedContext<'_>, scanned: u64, started: bool) {
-        if let Some(t) = ctx.telemetry {
-            t.backfill_scanned.add(scanned);
-            t.backfill_scan_depth.observe(scanned as f64);
-            if started {
-                t.backfill_started.inc();
-            }
-        }
-    }
-}
-
-impl Scheduler for Backfill {
-    fn name(&self) -> &'static str {
-        if self.pairing.sharing_enabled() {
-            "co-backfill"
-        } else {
-            "easy-backfill"
-        }
-    }
-
-    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+    fn schedule_reference(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
         let Some(head) = ctx.queue.first() else {
             return Vec::new();
         };
@@ -186,9 +289,40 @@ impl Scheduler for Backfill {
         // be held longer — the shadow test must use the padded bound.
         let reservation = HeadReservation::compute(ctx, head.nodes as usize);
         if ctx.telemetry.is_some() {
-            self.scan::<true>(ctx, &reservation, sharing)
+            self.scan_reference::<true>(ctx, &reservation, sharing)
         } else {
-            self.scan::<false>(ctx, &reservation, sharing)
+            self.scan_reference::<false>(ctx, &reservation, sharing)
+        }
+    }
+
+    /// Records the counters for one backfill pass that evaluated
+    /// `scanned` candidates and did (`started`) or did not start one.
+    #[cold]
+    fn record_backfill(ctx: &SchedContext<'_>, scanned: u64, started: bool) {
+        if let Some(t) = ctx.telemetry {
+            t.backfill_scanned.add(scanned);
+            t.backfill_scan_depth.observe(scanned as f64);
+            if started {
+                t.backfill_started.inc();
+            }
+        }
+    }
+}
+
+impl Scheduler for Backfill {
+    fn name(&self) -> &'static str {
+        if self.pairing.sharing_enabled() {
+            "co-backfill"
+        } else {
+            "easy-backfill"
+        }
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        if self.reference {
+            self.schedule_reference(ctx)
+        } else {
+            self.schedule_fast(ctx)
         }
     }
 }
@@ -326,6 +460,23 @@ mod tests {
             "backfill-only head must wait for exclusive nodes (start {})",
             r1.start
         );
+    }
+
+    #[test]
+    fn reference_mode_matches_the_optimized_path() {
+        // Quick in-crate smoke; the exhaustive check (all strategies,
+        // many seeds, full traces) lives in tests/differential.rs.
+        let jobs: Vec<_> = (0..12)
+            .map(|i| match i % 3 {
+                0 => job_app(i, 2, 150.0, "AMG"),
+                1 => job_app(i, 1, 80.0, "miniDFT"),
+                _ => job_app(i, 3, 220.0, "SNAP"),
+            })
+            .collect();
+        let world = testkit::world(4, jobs);
+        let fast = testkit::simulate(&world, &mut co_backfill());
+        let refr = testkit::simulate(&world, &mut co_backfill().reference());
+        assert_eq!(fast.records, refr.records);
     }
 
     #[test]

@@ -11,8 +11,13 @@
 //! placements are tried first — filling lanes is the whole point — with
 //! exclusive placement as the fallback for jobs that did not opt in or
 //! found no partners.
+//!
+//! Like [`crate::Backfill`], the default path plans against the
+//! incremental [`Planner`] caches; [`FirstFit::reference`] keeps the
+//! original implementation for the differential tests.
 
 use crate::pairing::Pairing;
+use crate::planner::Planner;
 use crate::util::{pick_exclusive, pick_shared};
 use nodeshare_engine::{Decision, SchedContext, Scheduler};
 
@@ -20,37 +25,74 @@ use nodeshare_engine::{Decision, SchedContext, Scheduler};
 #[derive(Clone, Debug)]
 pub struct FirstFit {
     pairing: Pairing,
+    planner: Planner,
+    reference: bool,
 }
 
 impl FirstFit {
     /// Plain exclusive first-fit (the paper's baseline).
     pub fn exclusive() -> Self {
-        FirstFit {
-            pairing: Pairing::never(),
-        }
+        FirstFit::with_pairing(Pairing::never())
     }
 
     /// Co-allocation-aware first-fit with the given pairing policy.
     pub fn sharing(pairing: Pairing) -> Self {
-        FirstFit { pairing }
+        FirstFit::with_pairing(pairing)
+    }
+
+    fn with_pairing(pairing: Pairing) -> Self {
+        FirstFit {
+            planner: Planner::new(&pairing),
+            pairing,
+            reference: false,
+        }
+    }
+
+    /// Switches to the pre-optimization reference implementation; see
+    /// [`crate::Backfill::reference`].
+    pub fn reference(mut self) -> Self {
+        self.reference = true;
+        self
     }
 
     /// The pairing in use.
     pub fn pairing(&self) -> &Pairing {
         &self.pairing
     }
-}
 
-impl Scheduler for FirstFit {
-    fn name(&self) -> &'static str {
-        if self.pairing.sharing_enabled() {
-            "co-first-fit"
-        } else {
-            "first-fit"
+    fn schedule_fast(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let sharing = self.pairing.sharing_enabled();
+        self.planner.begin_pass(ctx);
+        let use_memo = ctx.telemetry.is_none();
+        if use_memo
+            && ctx.cluster.idle_count() == 0
+            && (!sharing || self.planner.eligible_partial_count() == 0)
+        {
+            // No idle node and no shareable lane: nothing can start.
+            return Vec::new();
         }
+        for job in ctx.queue {
+            // Idle capacity first: sharing never beats running alone.
+            if let Some(nodes) = self.planner.pick_exclusive(ctx, job, false) {
+                return if sharing && job.share_eligible {
+                    vec![Decision::StartShared { job: job.id, nodes }]
+                } else {
+                    vec![Decision::StartExclusive { job: job.id, nodes }]
+                };
+            }
+            if sharing && job.share_eligible {
+                if let Some(nodes) =
+                    self.planner
+                        .pick_shared(ctx, job, &self.pairing, false, use_memo)
+                {
+                    return vec![Decision::StartShared { job: job.id, nodes }];
+                }
+            }
+        }
+        Vec::new()
     }
 
-    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+    fn schedule_reference(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
         let sharing = self.pairing.sharing_enabled();
         for job in ctx.queue {
             // Idle capacity first: sharing never beats running alone.
@@ -72,6 +114,24 @@ impl Scheduler for FirstFit {
             }
         }
         Vec::new()
+    }
+}
+
+impl Scheduler for FirstFit {
+    fn name(&self) -> &'static str {
+        if self.pairing.sharing_enabled() {
+            "co-first-fit"
+        } else {
+            "first-fit"
+        }
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        if self.reference {
+            self.schedule_reference(ctx)
+        } else {
+            self.schedule_fast(ctx)
+        }
     }
 }
 
@@ -149,6 +209,23 @@ mod tests {
         assert!(!out.records[0].shared_alloc);
         assert_eq!(out.records[0].shared_node_seconds, 0.0);
         assert!(out.records[1].start >= 99.0);
+    }
+
+    #[test]
+    fn reference_mode_matches_the_optimized_path() {
+        let jobs: Vec<_> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    job_app(i, 2, 120.0, "AMG")
+                } else {
+                    job_app(i, 1, 60.0, "miniDFT")
+                }
+            })
+            .collect();
+        let world = testkit::world(3, jobs);
+        let fast = testkit::simulate(&world, &mut co_first_fit());
+        let refr = testkit::simulate(&world, &mut co_first_fit().reference());
+        assert_eq!(fast.records, refr.records);
     }
 
     #[test]

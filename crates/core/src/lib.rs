@@ -44,6 +44,8 @@ pub mod fcfs;
 pub mod firstfit;
 pub mod learning;
 pub mod pairing;
+pub mod pairtab;
+pub(crate) mod planner;
 pub mod strategy;
 pub mod util;
 
@@ -56,5 +58,6 @@ pub use fcfs::Fcfs;
 pub use firstfit::FirstFit;
 pub use learning::EstimateLearning;
 pub use pairing::{Pairing, PairingPolicy};
+pub use pairtab::PairingTable;
 pub use strategy::{PredictorKind, StrategyConfig, StrategyKind};
 pub use util::{AvailabilityProfile, HeadReservation};

@@ -1,0 +1,207 @@
+//! A dense `AppId`-indexed lookup table over a [`Pairing`].
+//!
+//! The backfill scan consults the pairing policy for every (candidate,
+//! resident) combination it considers — roughly `queue × partial nodes`
+//! times per scheduler invocation. Going through
+//! [`Pairing::allows_stack`]/[`Pairing::stack_rates`] costs a predictor
+//! evaluation (matrix indexing, class mapping, or a full contention-model
+//! solve) per query. This table precomputes every pairwise answer once,
+//! by calling the reference `Pairing` methods themselves, so lookups are
+//! bit-identical to the originals by construction — the property the
+//! `prop_pairtable` suite checks for arbitrary catalogs.
+//!
+//! Stacks of two or more residents (SMT > 2) cannot be enumerated ahead
+//! of time; those fall back to the reference implementation, as do app
+//! ids outside the predictor's range.
+
+use crate::pairing::Pairing;
+use nodeshare_perf::predict::StackRates;
+use nodeshare_perf::AppId;
+
+/// Domain used for predictors that accept any app id (the constant
+/// predictors): `AppId` is a `u8`, so 256 entries cover everything.
+const FULL_DOMAIN: usize = 256;
+
+/// Precomputed pairwise pairing decisions and rates.
+///
+/// `n × n` dense arrays indexed `[candidate × n + resident]`, built by
+/// evaluating the wrapped [`Pairing`] on every pair — the table *is* the
+/// reference policy, cached.
+#[derive(Clone, Debug)]
+pub struct PairingTable {
+    n: usize,
+    allow: Vec<bool>,
+    score: Vec<f64>,
+    cand_rate: Vec<f64>,
+    res_rate: Vec<f64>,
+    sharing: bool,
+}
+
+impl PairingTable {
+    /// Builds the table by querying `pairing` for every app pair in the
+    /// predictor's domain (the full 256-id domain for constant
+    /// predictors).
+    pub fn build(pairing: &Pairing) -> Self {
+        let n = pairing.predictor.n_apps().unwrap_or(FULL_DOMAIN);
+        let mut allow = Vec::with_capacity(n * n);
+        let mut score = Vec::with_capacity(n * n);
+        let mut cand_rate = Vec::with_capacity(n * n);
+        let mut res_rate = Vec::with_capacity(n * n);
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (AppId(a as u8), AppId(b as u8));
+                allow.push(pairing.allows(a, b));
+                score.push(pairing.score(a, b));
+                let sr = pairing.stack_rates(a, &[b]);
+                cand_rate.push(sr.candidate);
+                res_rate.push(sr.residents[0]);
+            }
+        }
+        PairingTable {
+            n,
+            allow,
+            score,
+            cand_rate,
+            res_rate,
+            sharing: pairing.sharing_enabled(),
+        }
+    }
+
+    /// Whether the underlying pairing can ever co-allocate.
+    #[inline]
+    pub fn sharing_enabled(&self) -> bool {
+        self.sharing
+    }
+
+    #[inline]
+    fn idx(&self, a: AppId, b: AppId) -> Option<usize> {
+        let (ai, bi) = (a.index(), b.index());
+        (ai < self.n && bi < self.n).then(|| ai * self.n + bi)
+    }
+
+    /// [`Pairing::allows`] as a lookup.
+    #[inline]
+    pub fn allows(&self, pairing: &Pairing, a: AppId, b: AppId) -> bool {
+        match self.idx(a, b) {
+            Some(i) => self.allow[i],
+            None => pairing.allows(a, b),
+        }
+    }
+
+    /// [`Pairing::score`] as a lookup.
+    #[inline]
+    pub fn score(&self, pairing: &Pairing, a: AppId, b: AppId) -> f64 {
+        match self.idx(a, b) {
+            Some(i) => self.score[i],
+            None => pairing.score(a, b),
+        }
+    }
+
+    /// [`Pairing::allows_stack`]: a lookup for the single-resident case
+    /// (the whole story on SMT-2 hardware), the reference implementation
+    /// for deeper stacks.
+    #[inline]
+    pub fn allows_stack(&self, pairing: &Pairing, candidate: AppId, residents: &[AppId]) -> bool {
+        match residents {
+            [] => self.sharing,
+            [r] => self.allows(pairing, candidate, *r),
+            _ => pairing.allows_stack(candidate, residents),
+        }
+    }
+
+    /// `(candidate rate, resident rate)` of
+    /// `Pairing::stack_rates(candidate, &[resident])` as a lookup.
+    #[inline]
+    pub fn stack_pair(&self, pairing: &Pairing, candidate: AppId, resident: AppId) -> (f64, f64) {
+        match self.idx(candidate, resident) {
+            Some(i) => (self.cand_rate[i], self.res_rate[i]),
+            None => {
+                let sr = pairing.stack_rates(candidate, &[resident]);
+                (sr.candidate, sr.residents[0])
+            }
+        }
+    }
+
+    /// [`Pairing::stack_rates`] routed through the table where possible.
+    pub fn stack_rates(
+        &self,
+        pairing: &Pairing,
+        candidate: AppId,
+        residents: &[AppId],
+    ) -> StackRates {
+        match residents {
+            [r] => {
+                let (cand, res) = self.stack_pair(pairing, candidate, *r);
+                StackRates {
+                    candidate: cand,
+                    residents: vec![res],
+                }
+            }
+            _ => pairing.stack_rates(candidate, residents),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::PairingPolicy;
+    use nodeshare_perf::{AppCatalog, ContentionModel, Predictor};
+
+    fn pairings() -> Vec<Pairing> {
+        let c = AppCatalog::trinity();
+        let m = ContentionModel::calibrated();
+        vec![
+            Pairing::never(),
+            Pairing::new(PairingPolicy::Any, Predictor::Oblivious),
+            Pairing::new(
+                PairingPolicy::default_threshold(),
+                Predictor::oracle(&c, &m),
+            ),
+            Pairing::new(
+                PairingPolicy::default_threshold(),
+                Predictor::nway_oracle(&c, &m),
+            ),
+            Pairing::new(
+                PairingPolicy::default_threshold(),
+                Predictor::class_based(&c, &m),
+            ),
+            Pairing::new(
+                PairingPolicy::default_threshold(),
+                Predictor::Pessimistic { rate: 0.6 },
+            ),
+        ]
+    }
+
+    #[test]
+    fn table_matches_reference_on_all_pairs_and_small_stacks() {
+        let c = AppCatalog::trinity();
+        for p in pairings() {
+            let t = PairingTable::build(&p);
+            assert_eq!(t.sharing_enabled(), p.sharing_enabled());
+            for a in c.ids() {
+                assert_eq!(t.allows_stack(&p, a, &[]), p.allows_stack(a, &[]));
+                for b in c.ids() {
+                    assert_eq!(t.allows(&p, a, b), p.allows(a, b));
+                    assert_eq!(t.score(&p, a, b), p.score(a, b));
+                    assert_eq!(t.allows_stack(&p, a, &[b]), p.allows_stack(a, &[b]));
+                    let sr = p.stack_rates(a, &[b]);
+                    assert_eq!(t.stack_pair(&p, a, b), (sr.candidate, sr.residents[0]));
+                    for d in c.ids() {
+                        assert_eq!(t.allows_stack(&p, a, &[b, d]), p.allows_stack(a, &[b, d]));
+                        assert_eq!(t.stack_rates(&p, a, &[b, d]), p.stack_rates(a, &[b, d]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_predictors_cover_the_full_id_domain() {
+        let p = Pairing::new(PairingPolicy::Any, Predictor::Oblivious);
+        let t = PairingTable::build(&p);
+        let (hi, lo) = (AppId(255), AppId(0));
+        assert!(t.allows(&p, hi, lo));
+        assert_eq!(t.stack_pair(&p, hi, hi), (1.0, 1.0));
+    }
+}

@@ -1,0 +1,470 @@
+//! Incremental planning state for the optimized scheduler hot path.
+//!
+//! The reference pickers in [`crate::util`] re-derive everything from the
+//! cluster on every call: they walk all nodes for free times, allocate a
+//! fresh occupant list per partial node, and re-evaluate the predictor
+//! per (candidate, resident) pair. A saturated campaign calls them
+//! millions of times against a cluster that changed only once in between.
+//!
+//! The [`Planner`] keeps the derived state and invalidates it by *events*
+//! instead of recomputing it per pass:
+//!
+//! * **Version-keyed caches** — partial-node info (residents, memory,
+//!   eligibility) and raw node free times are rebuilt only when the
+//!   cluster's `(instance, version)` key changes, i.e. when an allocation
+//!   actually happened.
+//! * **Reservation as a bitset** — the head reservation is a shadow time
+//!   plus a `Vec<bool>` over node ids, computed once per pass with a
+//!   selection (not a full sort) over the cached free times.
+//! * **Pairing table** — all pairwise policy answers come from the dense
+//!   [`PairingTable`] instead of predictor evaluations.
+//! * **Per-pass failure memo** — a shared-placement attempt is fully
+//!   determined, within one pass, by `(app, node count, reservation
+//!   restriction, memory-threshold rank, walltime bits)`; failed keys are
+//!   remembered so equivalent queue candidates skip the whole evaluation.
+//!   The memo (and the exact-upper-bound early exits) are only engaged
+//!   when telemetry is off, because skipping an evaluation also skips its
+//!   `pairing_queries` counter increments; outcomes are identical either
+//!   way.
+//!
+//! Every shortcut here is *exact*: for any context, the pickers return
+//! bit-identical results to [`crate::util::pick_exclusive`] and
+//! [`crate::util::pick_shared`] — `tests/differential.rs` holds the
+//! optimized strategies to byte-equal decision traces against the
+//! reference implementations.
+
+use crate::pairing::Pairing;
+use crate::pairtab::PairingTable;
+use nodeshare_cluster::{AdminState, JobId, NodeId};
+use nodeshare_engine::SchedContext;
+use nodeshare_perf::AppId;
+use nodeshare_workload::JobSpec;
+use std::collections::HashSet;
+
+/// One resident of a partial node, denormalized from the running map.
+#[derive(Clone, Copy, Debug)]
+struct Resident {
+    job: JobId,
+    app: AppId,
+    est_end: f64,
+    nodes: u32,
+}
+
+/// Cached per-partial-node planning facts (residents live in the flat
+/// `Planner::residents` arena to keep the rebuild allocation-free).
+#[derive(Clone, Copy, Debug)]
+struct PartialInfo {
+    node: NodeId,
+    mem_free: u64,
+    /// Every resident is known to the running map and share-eligible —
+    /// the per-resident preconditions that do not depend on the candidate.
+    eligible: bool,
+    res_start: u32,
+    res_len: u32,
+}
+
+/// Event-invalidated planning cache + allocation-free picker scratch.
+#[derive(Clone, Debug)]
+pub(crate) struct Planner {
+    table: PairingTable,
+    /// `(cluster instance, cluster version)` the caches were built for.
+    cache_key: Option<(u64, u64)>,
+    partials: Vec<PartialInfo>,
+    residents: Vec<Resident>,
+    eligible_count: usize,
+    /// Ascending `mem_free` of all partial nodes, for the memo key's
+    /// memory-threshold rank.
+    mem_sorted: Vec<u64>,
+    /// Raw free time per up node in id order: max resident `est_end`, or
+    /// −∞ when idle (clamped to `now` at reservation time, matching the
+    /// reference fold that starts at `now`).
+    free_raw: Vec<(NodeId, f64)>,
+    // Per-pass reservation state.
+    shadow: f64,
+    reserved: Vec<bool>,
+    reserved_idle: usize,
+    eligible_unreserved: usize,
+    // Per-pass shared-planning failure memo (packed keys).
+    failed_shared: HashSet<u128>,
+    // Scratch buffers reused across calls.
+    sort_buf: Vec<(NodeId, f64)>,
+    cand_buf: Vec<(u32, NodeId, f64)>,
+    nodes_buf: Vec<NodeId>,
+    apps_buf: Vec<AppId>,
+    partner_buf: Vec<(JobId, u32, f64)>,
+}
+
+impl Planner {
+    pub fn new(pairing: &Pairing) -> Self {
+        Planner {
+            table: PairingTable::build(pairing),
+            cache_key: None,
+            partials: Vec::new(),
+            residents: Vec::new(),
+            eligible_count: 0,
+            mem_sorted: Vec::new(),
+            free_raw: Vec::new(),
+            shadow: f64::INFINITY,
+            reserved: Vec::new(),
+            reserved_idle: 0,
+            eligible_unreserved: 0,
+            failed_shared: HashSet::new(),
+            sort_buf: Vec::new(),
+            cand_buf: Vec::new(),
+            nodes_buf: Vec::new(),
+            apps_buf: Vec::new(),
+            partner_buf: Vec::new(),
+        }
+    }
+
+    /// Partial nodes whose whole stack could accept *some* candidate.
+    #[inline]
+    pub fn eligible_partial_count(&self) -> usize {
+        self.eligible_count
+    }
+
+    /// The current pass's shadow time (∞ before a reservation is set).
+    #[inline]
+    pub fn shadow(&self) -> f64 {
+        self.shadow
+    }
+
+    /// Starts one scheduling pass: refreshes the version-keyed caches if
+    /// the cluster changed, clears the failure memo, and resets the
+    /// reservation to "none" (shadow ∞, nothing restricted).
+    pub fn begin_pass(&mut self, ctx: &SchedContext<'_>) {
+        self.refresh(ctx);
+        self.failed_shared.clear();
+        self.shadow = f64::INFINITY;
+        self.reserved_idle = 0;
+        self.eligible_unreserved = self.eligible_count;
+    }
+
+    fn refresh(&mut self, ctx: &SchedContext<'_>) {
+        let key = (ctx.cluster.instance_id(), ctx.cluster.version());
+        if self.cache_key == Some(key) {
+            return;
+        }
+        self.partials.clear();
+        self.residents.clear();
+        self.mem_sorted.clear();
+        self.eligible_count = 0;
+        for id in ctx.cluster.partial_nodes() {
+            let Some(node) = ctx.cluster.node(id) else {
+                continue;
+            };
+            let res_start = self.residents.len() as u32;
+            let mut eligible = true;
+            for j in node.occupants() {
+                match ctx.running.get(&j) {
+                    Some(r) if r.share_eligible => self.residents.push(Resident {
+                        job: j,
+                        app: r.app,
+                        est_end: r.est_end(),
+                        nodes: r.nodes,
+                    }),
+                    // Unknown or non-eligible resident: the node can never
+                    // host a co-runner, whatever the candidate.
+                    _ => {
+                        eligible = false;
+                        break;
+                    }
+                }
+            }
+            if !eligible {
+                self.residents.truncate(res_start as usize);
+            }
+            let mem_free = node.mem_free();
+            self.partials.push(PartialInfo {
+                node: id,
+                mem_free,
+                eligible,
+                res_start,
+                res_len: self.residents.len() as u32 - res_start,
+            });
+            self.mem_sorted.push(mem_free);
+            self.eligible_count += eligible as usize;
+        }
+        self.mem_sorted.sort_unstable();
+        self.free_raw.clear();
+        for node in ctx.cluster.nodes() {
+            if node.admin_state() != AdminState::Up {
+                continue;
+            }
+            let raw = node
+                .lane_owners()
+                .filter_map(|j| ctx.running.get(&j))
+                .map(|r| r.est_end())
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.free_raw.push((node.id(), raw));
+        }
+        self.reserved.clear();
+        self.reserved.resize(ctx.cluster.node_count(), false);
+        self.cache_key = Some(key);
+    }
+
+    /// Computes the head reservation for `k` nodes: same shadow and same
+    /// reserved-node set as [`crate::util::HeadReservation::compute`],
+    /// via a selection over the cached free times instead of a full sort
+    /// (the `(free time, id)` key is a unique total order, so the k
+    /// smallest — and the k-th itself — are identical).
+    pub fn compute_reservation(&mut self, ctx: &SchedContext<'_>, k: usize) {
+        assert!(k >= 1, "reservation for a zero-node head");
+        self.reserved.fill(false);
+        if self.free_raw.len() < k {
+            self.shadow = f64::INFINITY;
+            self.reserved_idle = 0;
+            self.eligible_unreserved = self.eligible_count;
+            return;
+        }
+        self.sort_buf.clear();
+        self.sort_buf
+            .extend(self.free_raw.iter().map(|&(n, raw)| (n, raw.max(ctx.now))));
+        self.sort_buf
+            .select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.shadow = self.sort_buf[k - 1].1;
+        for &(n, _) in &self.sort_buf[..k] {
+            self.reserved[n.index()] = true;
+        }
+        self.reserved_idle = ctx
+            .cluster
+            .idle_nodes()
+            .filter(|n| self.reserved[n.index()])
+            .count();
+        self.eligible_unreserved = self
+            .partials
+            .iter()
+            .filter(|p| p.eligible && !self.reserved[p.node.index()])
+            .count();
+    }
+
+    /// [`crate::util::pick_exclusive`] with `allowed = !restricted-or-
+    /// unreserved`, in O(k): idle nodes always have their full memory
+    /// free (memory is charged with lanes and released with them), so the
+    /// per-node memory check collapses to one capacity comparison and the
+    /// result is simply the first `k` allowed idle ids.
+    pub fn pick_exclusive(
+        &self,
+        ctx: &SchedContext<'_>,
+        job: &JobSpec,
+        restricted: bool,
+    ) -> Option<Vec<NodeId>> {
+        let k = job.nodes as usize;
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        if job.mem_per_node_mib > ctx.cluster.spec().node.mem_mib {
+            return None;
+        }
+        let avail = ctx.cluster.idle_count() - if restricted { self.reserved_idle } else { 0 };
+        if k > avail {
+            return None;
+        }
+        let picked: Vec<NodeId> = if restricted {
+            ctx.cluster
+                .idle_nodes()
+                .filter(|n| !self.reserved[n.index()])
+                .take(k)
+                .collect()
+        } else {
+            ctx.cluster.idle_nodes().take(k).collect()
+        };
+        debug_assert_eq!(picked.len(), k);
+        Some(picked)
+    }
+
+    /// [`crate::util::pick_shared`] against the cached state. With
+    /// `use_memo` (telemetry off), failed attempts are memoized under a
+    /// key that exactly determines the outcome within one pass, and
+    /// attempts that provably cannot assemble `k` nodes exit before
+    /// evaluating anything.
+    pub fn pick_shared(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        job: &JobSpec,
+        pairing: &Pairing,
+        restricted: bool,
+        use_memo: bool,
+    ) -> Option<Vec<NodeId>> {
+        if !job.share_eligible || !self.table.sharing_enabled() {
+            return None;
+        }
+        let k = job.nodes as usize;
+        let idle_ok = job.mem_per_node_mib <= ctx.cluster.spec().node.mem_mib;
+        let mut key = 0u128;
+        if use_memo {
+            // Rank of the memory requirement among partial nodes: how many
+            // pass the memory check. Within one pass this rank pins the
+            // exact subset of partial nodes the evaluation would consider,
+            // so together with the other fields it determines the outcome.
+            let t = self.partials.len()
+                - self
+                    .mem_sorted
+                    .partition_point(|&m| m < job.mem_per_node_mib);
+            let wt = pairing
+                .duration_match
+                .map_or(0u64, |_| job.walltime_estimate.to_bits());
+            key = job.app.index() as u128
+                | (k as u128) << 8
+                | (restricted as u128) << 40
+                | (idle_ok as u128) << 41
+                | (t as u128) << 42
+                | (wt as u128) << 64;
+            if self.failed_shared.contains(&key) {
+                return None;
+            }
+            // Exact upper bound on assemblable nodes: eligible partial
+            // nodes passing the reservation and memory filters, plus
+            // allowed idle nodes.
+            let avail_partials = if restricted {
+                self.eligible_unreserved
+            } else {
+                self.eligible_count
+            }
+            .min(t);
+            let avail_idle = if idle_ok {
+                ctx.cluster.idle_count() - if restricted { self.reserved_idle } else { 0 }
+            } else {
+                0
+            };
+            if k > avail_partials + avail_idle {
+                return None;
+            }
+        }
+        match self.plan_and_eval(ctx, job, pairing, restricted, k, idle_ok) {
+            Some(net_gain) if net_gain > pairing.net_gain_floor => Some(self.nodes_buf.clone()),
+            _ => {
+                if use_memo {
+                    self.failed_shared.insert(key);
+                }
+                None
+            }
+        }
+    }
+
+    /// The body of [`crate::util::plan_shared`] over the cached partials:
+    /// same filters in the same order (including the telemetry counter
+    /// points), same sort key, same evaluation fold order — so scores,
+    /// rates, and the net gain come out bit-identical. Leaves the chosen
+    /// nodes in `nodes_buf` and returns the net gain.
+    fn plan_and_eval(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        job: &JobSpec,
+        pairing: &Pairing,
+        restricted: bool,
+        k: usize,
+        idle_ok: bool,
+    ) -> Option<f64> {
+        self.cand_buf.clear();
+        let cand_bound = job.walltime_estimate * ctx.shared_grace.max(1.0);
+        'nodes: for (i, info) in self.partials.iter().enumerate() {
+            if restricted && self.reserved[info.node.index()] {
+                continue;
+            }
+            if let Some(t) = ctx.telemetry {
+                t.pairing_queries.inc();
+            }
+            if info.mem_free < job.mem_per_node_mib {
+                continue;
+            }
+            if !info.eligible {
+                continue;
+            }
+            let res =
+                &self.residents[info.res_start as usize..(info.res_start + info.res_len) as usize];
+            if let Some(theta) = pairing.duration_match {
+                for r in res {
+                    let remaining = (r.est_end - ctx.now).max(0.0);
+                    let overlap = remaining.min(cand_bound) / remaining.max(cand_bound).max(1e-9);
+                    if overlap < theta {
+                        continue 'nodes;
+                    }
+                }
+            }
+            let mut score = f64::INFINITY;
+            for r in res {
+                score = score.min(self.table.score(pairing, job.app, r.app));
+            }
+            let ok = match res {
+                [r] => self.table.allows(pairing, job.app, r.app),
+                _ => {
+                    self.apps_buf.clear();
+                    self.apps_buf.extend(res.iter().map(|r| r.app));
+                    self.table.allows_stack(pairing, job.app, &self.apps_buf)
+                }
+            };
+            if !ok {
+                continue;
+            }
+            if let Some(t) = ctx.telemetry {
+                t.pairing_hits.inc();
+            }
+            self.cand_buf.push((i as u32, info.node, score));
+        }
+        // Best predicted pairs first, ties by node id — a unique total
+        // order, so the unstable sort is deterministic.
+        self.cand_buf
+            .sort_unstable_by(|a, b| b.2.total_cmp(&a.2).then(a.1.cmp(&b.1)));
+        let chosen = self.cand_buf.len().min(k);
+        self.nodes_buf.clear();
+        self.nodes_buf
+            .extend(self.cand_buf[..chosen].iter().map(|c| c.1));
+        if chosen < k && idle_ok {
+            let need = k - chosen;
+            if restricted {
+                self.nodes_buf.extend(
+                    ctx.cluster
+                        .idle_nodes()
+                        .filter(|n| !self.reserved[n.index()])
+                        .take(need),
+                );
+            } else {
+                self.nodes_buf.extend(ctx.cluster.idle_nodes().take(need));
+            }
+        }
+        if self.nodes_buf.len() < k {
+            return None;
+        }
+        // Idle nodes host no residents, so only the chosen partial nodes
+        // contribute to the rates and losses.
+        let mut candidate_rate = 1.0f64;
+        self.partner_buf.clear();
+        for &(i, _, _) in &self.cand_buf[..chosen] {
+            let info = &self.partials[i as usize];
+            let res =
+                &self.residents[info.res_start as usize..(info.res_start + info.res_len) as usize];
+            match res {
+                [r] => {
+                    let (cr, rr) = self.table.stack_pair(pairing, job.app, r.app);
+                    candidate_rate = candidate_rate.min(cr);
+                    update_partner(&mut self.partner_buf, r, rr);
+                }
+                _ => {
+                    self.apps_buf.clear();
+                    self.apps_buf.extend(res.iter().map(|r| r.app));
+                    let sr = self.table.stack_rates(pairing, job.app, &self.apps_buf);
+                    candidate_rate = candidate_rate.min(sr.candidate);
+                    for (r, &rate) in res.iter().zip(&sr.residents) {
+                        update_partner(&mut self.partner_buf, r, rate);
+                    }
+                }
+            }
+        }
+        let losses: f64 = self
+            .partner_buf
+            .iter()
+            .map(|&(_, nodes, rate)| nodes as f64 * (1.0 - rate))
+            .sum();
+        Some(k as f64 * candidate_rate - losses)
+    }
+}
+
+/// Tracks each distinct partner once at its worst predicted rate, in
+/// first-encounter order (the order the reference's loss sum uses).
+fn update_partner(buf: &mut Vec<(JobId, u32, f64)>, r: &Resident, rate: f64) {
+    match buf.iter_mut().find(|p| p.0 == r.job) {
+        Some(p) => p.2 = p.2.min(rate),
+        None => buf.push((r.job, r.nodes, rate)),
+    }
+}

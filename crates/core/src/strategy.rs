@@ -143,6 +143,29 @@ impl StrategyConfig {
             StrategyKind::CoBackfillOnly => Box::new(Backfill::co_backfill_only(pairing())),
         }
     }
+
+    /// Instantiates the pre-optimization reference implementation of the
+    /// scheduler (see [`Backfill::reference`]) — the oracle the
+    /// differential tests compare the optimized default against.
+    /// Strategies without an optimized fast path build identically.
+    pub fn build_reference(
+        &self,
+        catalog: &AppCatalog,
+        model: &ContentionModel,
+    ) -> Box<dyn Scheduler> {
+        let pairing = || Pairing::new(self.pairing, self.predictor.build(catalog, model));
+        match self.kind {
+            StrategyKind::Fcfs => Box::new(Fcfs::new()),
+            StrategyKind::FirstFit => Box::new(FirstFit::exclusive().reference()),
+            StrategyKind::EasyBackfill => Box::new(Backfill::easy().reference()),
+            StrategyKind::Conservative => Box::new(Conservative::new()),
+            StrategyKind::CoFirstFit => Box::new(FirstFit::sharing(pairing()).reference()),
+            StrategyKind::CoBackfill => Box::new(Backfill::co(pairing()).reference()),
+            StrategyKind::CoBackfillOnly => {
+                Box::new(Backfill::co_backfill_only(pairing()).reference())
+            }
+        }
+    }
 }
 
 #[cfg(test)]

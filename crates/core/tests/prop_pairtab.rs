@@ -1,0 +1,160 @@
+//! Property tests for the dense pairing table: for *arbitrary* app
+//! catalogs, pairing policies, predictors, and resident stacks, every
+//! table accessor must agree exactly — including f64 bit patterns — with
+//! the [`Pairing`] methods it memoizes, and fall back to the reference
+//! for out-of-domain ids.
+
+use nodeshare_core::{Pairing, PairingPolicy, PairingTable};
+use nodeshare_perf::{
+    AppCatalog, AppClass, AppId, AppProfile, ContentionModel, Predictor, ResourceVector,
+};
+use proptest::prelude::*;
+
+/// An arbitrary valid app profile (name/id are assigned by the catalog).
+fn profile() -> impl Strategy<Value = AppProfile> {
+    (
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0usize..4,
+        1u64..=96_000,
+    )
+        .prop_map(|(issue, membw, llc, net, class, mem)| AppProfile {
+            id: AppId(0), // reassigned by AppCatalog::new
+            name: "app".to_string(),
+            class: [
+                AppClass::ComputeBound,
+                AppClass::MemoryBound,
+                AppClass::Balanced,
+                AppClass::CommBound,
+            ][class],
+            demand: ResourceVector::new(issue, membw, llc, net),
+            mem_per_node_mib: mem,
+        })
+}
+
+/// An arbitrary catalog of 1..=12 apps.
+fn catalog() -> impl Strategy<Value = AppCatalog> {
+    prop::collection::vec(profile(), 1..=12).prop_map(|mut apps| {
+        for (i, a) in apps.iter_mut().enumerate() {
+            a.name = format!("app{i}");
+        }
+        AppCatalog::new(apps)
+    })
+}
+
+/// An arbitrary pairing policy.
+fn policy() -> impl Strategy<Value = PairingPolicy> {
+    prop_oneof![
+        Just(PairingPolicy::Never),
+        Just(PairingPolicy::Any),
+        (0.0f64..=1.0, 0.5f64..=2.0).prop_map(|(min_rate, min_combined)| {
+            PairingPolicy::Threshold {
+                min_rate,
+                min_combined,
+            }
+        }),
+    ]
+}
+
+/// Builds one of the five predictor kinds against the given catalog.
+fn predictor(kind: u8, rate: f64, catalog: &AppCatalog, model: &ContentionModel) -> Predictor {
+    match kind {
+        0 => Predictor::oracle(catalog, model),
+        1 => Predictor::nway_oracle(catalog, model),
+        2 => Predictor::class_based(catalog, model),
+        3 => Predictor::Pessimistic { rate },
+        _ => Predictor::Oblivious,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary catalogs/policies/predictors, the table agrees with
+    /// the reference `Pairing` on every pair accessor and on stacks of
+    /// 0..=3 residents — exact equality, including NaN-free f64 bits.
+    #[test]
+    fn table_agrees_with_pairing_reference(
+        catalog in catalog(),
+        policy in policy(),
+        kind in 0u8..5,
+        rate in 0.1f64..=1.0,
+        floor in -0.5f64..=0.5,
+        theta in prop::option::of(0.0f64..=1.0),
+        stack_picks in prop::collection::vec(0u8..16, 0..3),
+        cand_pick in 0u8..16,
+    ) {
+        let model = ContentionModel::calibrated();
+        let mut pairing = Pairing::new(policy, predictor(kind, rate, &catalog, &model))
+            .with_net_gain_floor(floor);
+        if let Some(theta) = theta {
+            pairing = pairing.with_duration_match(theta);
+        }
+        let table = PairingTable::build(&pairing);
+        prop_assert_eq!(table.sharing_enabled(), pairing.sharing_enabled());
+
+        let n = catalog.len() as u8;
+        let wrap = |p: u8| AppId(p % n);
+        let cand = wrap(cand_pick);
+
+        // Every in-catalog pair, all accessors.
+        for a in catalog.ids() {
+            for b in catalog.ids() {
+                prop_assert_eq!(table.allows(&pairing, a, b), pairing.allows(a, b));
+                let (ts, ps) = (table.score(&pairing, a, b), pairing.score(a, b));
+                prop_assert_eq!(ts.to_bits(), ps.to_bits(), "score {a:?}x{b:?}");
+                let want = pairing.stack_rates(a, &[b]);
+                let got = table.stack_rates(&pairing, a, &[b]);
+                prop_assert_eq!(got.candidate.to_bits(), want.candidate.to_bits());
+                prop_assert_eq!(got.residents.len(), want.residents.len());
+                for (g, w) in got.residents.iter().zip(&want.residents) {
+                    prop_assert_eq!(g.to_bits(), w.to_bits());
+                }
+                let (cr, rr) = table.stack_pair(&pairing, a, b);
+                prop_assert_eq!(cr.to_bits(), want.candidate.to_bits());
+                prop_assert_eq!(rr.to_bits(), want.residents[0].to_bits());
+            }
+        }
+
+        // An arbitrary resident stack (depth 0..=3), in-catalog ids.
+        let residents: Vec<AppId> = stack_picks.iter().map(|&p| wrap(p)).collect();
+        prop_assert_eq!(
+            table.allows_stack(&pairing, cand, &residents),
+            pairing.allows_stack(cand, &residents),
+            "stack allow for {residents:?}"
+        );
+        let want = pairing.stack_rates(cand, &residents);
+        let got = table.stack_rates(&pairing, cand, &residents);
+        prop_assert_eq!(got.candidate.to_bits(), want.candidate.to_bits());
+        for (g, w) in got.residents.iter().zip(&want.residents) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// Ids outside the table's domain route through the reference
+    /// implementation, so the table never changes behavior for apps the
+    /// predictor happens to accept beyond the catalog.
+    #[test]
+    fn out_of_domain_ids_fall_back_to_reference(
+        policy in policy(),
+        rate in 0.1f64..=1.0,
+        a in 0u8..=255,
+        b in 0u8..=255,
+    ) {
+        // Constant predictors answer for the full u8 id domain.
+        let pairing = Pairing::new(policy, Predictor::Pessimistic { rate });
+        let table = PairingTable::build(&pairing);
+        let (a, b) = (AppId(a), AppId(b));
+        prop_assert_eq!(table.allows(&pairing, a, b), pairing.allows(a, b));
+        prop_assert_eq!(
+            table.score(&pairing, a, b).to_bits(),
+            pairing.score(a, b).to_bits()
+        );
+        prop_assert_eq!(
+            table.allows_stack(&pairing, a, &[b]),
+            pairing.allows_stack(a, &[b])
+        );
+    }
+}

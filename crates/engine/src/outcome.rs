@@ -6,8 +6,14 @@ use nodeshare_workload::Seconds;
 use serde::{Deserialize, Serialize};
 
 /// Everything a finished simulation produced.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimOutcome {
+    /// Total discrete events the engine processed — the denominator of
+    /// the events/sec throughput figure reported by the perf harness.
+    /// Defaults to 0 when deserializing outcomes written before the
+    /// field existed.
+    #[serde(default)]
+    pub events_processed: u64,
     /// Name of the policy that ran.
     pub scheduler: String,
     /// Per-job records, in job-id order.

@@ -9,7 +9,7 @@ use crate::progress::RunningJob;
 use crate::telemetry::SimTelemetry;
 use crate::trace::{DecisionTrace, DownCause, StartReason, TraceEvent};
 use crate::view::{summary_of, Decision, SchedContext, Scheduler};
-use nodeshare_cluster::{AdminState, Cluster, ClusterSpec, JobId, NodeId, ShareMode};
+use nodeshare_cluster::{AdminState, Allocation, Cluster, ClusterSpec, JobId, NodeId, ShareMode};
 use nodeshare_metrics::{JobRecord, StepSeries};
 use nodeshare_perf::CoRunTruth;
 use nodeshare_workload::{JobSpec, Seconds, Workload};
@@ -195,6 +195,10 @@ struct Engine<'a> {
     /// Globally unique completion-event generations: requeued jobs must
     /// never collide with their previous attempt's event stamps.
     gen_counter: u64,
+    /// Reusable scratch for the affected-co-runner dedup in
+    /// [`Engine::finish`]/[`Engine::requeue`]; avoids a fresh `Vec` per
+    /// release on the hot path.
+    affected_buf: Vec<JobId>,
     /// Decision trace, recorded when tracing/auditing is requested.
     trace: Option<DecisionTrace>,
     /// Runtime telemetry sink; `None` costs one branch per site.
@@ -258,6 +262,7 @@ impl<'a> Engine<'a> {
             snapshots: Vec::new(),
             rejected: Vec::new(),
             gen_counter: 1,
+            affected_buf: Vec::new(),
             trace: traced.then(DecisionTrace::new),
             telemetry,
             next_sample: 0.0,
@@ -459,6 +464,7 @@ impl<'a> Engine<'a> {
         let end = self.now;
         let trace = self.trace;
         let outcome = SimOutcome {
+            events_processed: self.processed,
             scheduler: scheduler.name().to_string(),
             records: {
                 let mut r = self.records;
@@ -550,7 +556,10 @@ impl<'a> Engine<'a> {
                 "policy co-allocated {job_id} which did not opt into sharing"
             );
             for &n in decision.nodes() {
-                for resident in self.cluster.node(n).expect("node exists").occupants() {
+                // `lane_owners` may repeat a multi-lane resident; the
+                // assertion is idempotent, and skipping the dedup keeps
+                // this validation allocation-free.
+                for resident in self.cluster.node(n).expect("node exists").lane_owners() {
                     let r = &self.running[&resident];
                     assert!(
                         r.spec.share_eligible,
@@ -673,17 +682,7 @@ impl<'a> Engine<'a> {
             }
         }
         // Re-rate every survivor that shared a node with the leaver.
-        let mut affected: Vec<JobId> = Vec::new();
-        for p in &alloc.placements {
-            for occupant in self.cluster.node(p.node).expect("node exists").occupants() {
-                if !affected.contains(&occupant) {
-                    affected.push(occupant);
-                }
-            }
-        }
-        for co in affected {
-            self.rerate_job(co);
-        }
+        self.rerate_affected(&alloc);
         self.records.push(JobRecord {
             id: r.spec.id,
             app: r.spec.app,
@@ -710,6 +709,31 @@ impl<'a> Engine<'a> {
             killed,
         });
         self.record_occupancy();
+    }
+
+    /// Re-rates every distinct job still resident on the nodes a released
+    /// allocation covered. First-encounter lane order matches the old
+    /// per-node `occupants()` walk; the scratch buffer makes the dedup
+    /// allocation-free across calls.
+    fn rerate_affected(&mut self, alloc: &Allocation) {
+        let mut affected = std::mem::take(&mut self.affected_buf);
+        affected.clear();
+        for p in &alloc.placements {
+            for occupant in self
+                .cluster
+                .node(p.node)
+                .expect("node exists")
+                .lane_owners()
+            {
+                if !affected.contains(&occupant) {
+                    affected.push(occupant);
+                }
+            }
+        }
+        for &co in &affected {
+            self.rerate_job(co);
+        }
+        self.affected_buf = affected;
     }
 
     /// Advances and re-rates one running job after an occupancy change on
@@ -782,17 +806,7 @@ impl<'a> Engine<'a> {
         self.running_view.remove(&job_id);
         r.advance_to(self.now); // keeps shared-time accounting exact
         let alloc = self.cluster.release(job_id).expect("victim held nodes");
-        let mut affected: Vec<JobId> = Vec::new();
-        for p in &alloc.placements {
-            for occupant in self.cluster.node(p.node).expect("node exists").occupants() {
-                if !affected.contains(&occupant) {
-                    affected.push(occupant);
-                }
-            }
-        }
-        for co in affected {
-            self.rerate_job(co);
-        }
+        self.rerate_affected(&alloc);
         *self.attempts.entry(job_id).or_insert(0) += 1;
         if let Some(interval) = self.config.checkpoint_interval {
             debug_assert!(interval > 0.0, "checkpoint interval must be positive");
@@ -810,17 +824,20 @@ impl<'a> Engine<'a> {
         self.record_occupancy();
     }
 
-    /// Records the occupancy series after an allocation change.
+    /// Records the occupancy series after an allocation change. Reads the
+    /// cluster's O(1) occupancy counters rather than walking every node;
+    /// the counters are invariant-checked against the full walk in the
+    /// cluster crate's tests.
     fn record_occupancy(&mut self) {
-        let snap = self.cluster.occupancy_snapshot();
-        self.busy_cores.record(self.now, snap.busy_cores as f64);
+        let (busy_cores, shared_nodes) = self.cluster.occupancy_counts();
+        self.busy_cores.record(self.now, busy_cores as f64);
         let cores_per_node = self.config.cluster.node.cores() as f64;
         self.shared_cores
-            .record(self.now, snap.shared_nodes as f64 * cores_per_node);
+            .record(self.now, shared_nodes as f64 * cores_per_node);
         self.trace_ev(TraceEvent::Occupancy {
             time: self.now,
-            busy_cores: snap.busy_cores,
-            shared_nodes: snap.shared_nodes,
+            busy_cores,
+            shared_nodes,
         });
     }
 }

@@ -175,6 +175,19 @@ impl Predictor {
         }
     }
 
+    /// Number of app ids this predictor can price, when the predictor is
+    /// backed by per-app data. `None` for the constant predictors
+    /// ([`Predictor::Pessimistic`] / [`Predictor::Oblivious`]), which
+    /// accept any app id. Dense lookup tables built over a predictor size
+    /// themselves with this.
+    pub fn n_apps(&self) -> Option<usize> {
+        match self {
+            Predictor::Oracle(m) | Predictor::NWayOracle { matrix: m, .. } => Some(m.len()),
+            Predictor::ClassBased { classes, .. } => Some(classes.len()),
+            Predictor::Pessimistic { .. } | Predictor::Oblivious => None,
+        }
+    }
+
     /// The worst rate app `a` could suffer next to any app in `0..n` —
     /// used by co-allocation-aware backfill to inflate runtime bounds so
     /// the reservation guarantee survives sharing.

@@ -128,6 +128,103 @@ fn sharing_dominates_exclusive_when_saturated() {
     }
 }
 
+/// The optimized schedulers (dense pairing tables, cached reservations,
+/// allocation-free scans) must be **bit-identical** to the retained
+/// pre-optimization implementations: the same decision trace and the
+/// same outcome, for every strategy in the lineup (plus the
+/// co-backfill-only ablation) across several saturated seeds.
+#[test]
+fn optimized_schedulers_match_reference_bit_for_bit() {
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+
+    let mut lineup = StrategyConfig::lineup();
+    lineup.push(StrategyConfig::sharing(StrategyKind::CoBackfillOnly));
+    for seed in [2, 5, 11, 17, 23] {
+        let workload = saturated_workload(&catalog, seed, 70);
+        for cfg in &lineup {
+            let mut fast = cfg.build(&catalog, &model);
+            let (out_fast, trace_fast) = run_traced(&workload, &matrix, fast.as_mut(), &config);
+            let mut refr = cfg.build_reference(&catalog, &model);
+            let (out_ref, trace_ref) = run_traced(&workload, &matrix, refr.as_mut(), &config);
+            assert_eq!(
+                trace_fast.events().len(),
+                trace_ref.events().len(),
+                "{} seed {seed}: trace lengths diverge",
+                cfg.label()
+            );
+            assert!(
+                trace_fast == trace_ref,
+                "{} seed {seed}: decision traces diverge",
+                cfg.label()
+            );
+            assert!(
+                out_fast == out_ref,
+                "{} seed {seed}: outcomes diverge",
+                cfg.label()
+            );
+        }
+    }
+}
+
+/// The optimized paths must also report the *same scheduler telemetry*
+/// as the reference: pairing query/hit counters are part of the observed
+/// behavior, so the caching layers may not skip counted work when a
+/// telemetry sink is attached.
+#[test]
+fn optimized_schedulers_match_reference_telemetry() {
+    use nodeshare::engine::{run_with_telemetry, SimTelemetry};
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+    let workload = saturated_workload(&catalog, 31, 60);
+
+    for kind in [
+        StrategyKind::CoFirstFit,
+        StrategyKind::CoBackfill,
+        StrategyKind::CoBackfillOnly,
+    ] {
+        let cfg = StrategyConfig::sharing(kind);
+        let tele_fast = SimTelemetry::new(300.0);
+        let tele_ref = SimTelemetry::new(300.0);
+        let mut fast = cfg.build(&catalog, &model);
+        let out_fast = run_with_telemetry(&workload, &matrix, fast.as_mut(), &config, &tele_fast);
+        let mut refr = cfg.build_reference(&catalog, &model);
+        let out_ref = run_with_telemetry(&workload, &matrix, refr.as_mut(), &config, &tele_ref);
+        assert!(out_fast == out_ref, "{}: outcomes diverge", cfg.label());
+        for (name, a, b) in [
+            (
+                "decisions",
+                tele_fast.sched.decisions.get(),
+                tele_ref.sched.decisions.get(),
+            ),
+            (
+                "pairing_queries",
+                tele_fast.sched.pairing_queries.get(),
+                tele_ref.sched.pairing_queries.get(),
+            ),
+            (
+                "pairing_hits",
+                tele_fast.sched.pairing_hits.get(),
+                tele_ref.sched.pairing_hits.get(),
+            ),
+            (
+                "head_started",
+                tele_fast.sched.head_started.get(),
+                tele_ref.sched.head_started.get(),
+            ),
+            (
+                "backfill_started",
+                tele_fast.sched.backfill_started.get(),
+                tele_ref.sched.backfill_started.get(),
+            ),
+        ] {
+            assert_eq!(a, b, "{}: telemetry counter {name} diverges", cfg.label());
+        }
+    }
+}
+
 /// Acceptance check: a double-charged node-second in the outcome is a
 /// conservation violation the auditor reports by name.
 #[test]
