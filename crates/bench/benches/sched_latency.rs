@@ -108,10 +108,33 @@ fn bench_decision_latency(c: &mut Criterion) {
                 b.iter(|| black_box(sched.schedule(&ctx())));
             },
         );
+        // Warm path: repeated identical passes hit the cross-pass prefix
+        // memo (what an engine sees while the cluster stamp is unchanged).
         group.bench_with_input(BenchmarkId::new("conservative", depth), &depth, |b, _| {
             let mut sched = Conservative::new();
             b.iter(|| black_box(sched.schedule(&ctx())));
         });
+        // Cold path: a fresh scheduler per pass, so every iteration pays
+        // the full rebuild + plan + reserve sweep with no memo.
+        group.bench_with_input(
+            BenchmarkId::new("conservative_cold", depth),
+            &depth,
+            |b, _| {
+                b.iter_batched(
+                    Conservative::new,
+                    |mut sched| black_box(sched.schedule(&ctx())),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conservative_reference", depth),
+            &depth,
+            |b, _| {
+                let mut sched = Conservative::new().reference();
+                b.iter(|| black_box(sched.schedule(&ctx())));
+            },
+        );
     }
     group.finish();
 }

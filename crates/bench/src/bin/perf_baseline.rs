@@ -6,7 +6,8 @@
 //! JSON so CI can detect throughput regressions mechanically.
 //!
 //! ```text
-//! # full baseline (slow; regenerates BENCH_sched.json at the repo root)
+//! # full baseline (slow; regenerates BENCH_sched.json at the repo root,
+//! # including the quick campaigns the CI smoke compares against)
 //! cargo run --release -p nodeshare-bench --bin perf_baseline
 //!
 //! # CI smoke: small campaigns only, compare against the committed file
@@ -19,19 +20,32 @@
 //! * `--quick` — run only the small campaigns (seconds, not minutes).
 //! * `--out FILE` — where to write the JSON (default `BENCH_sched.json`).
 //! * `--check FILE` — read a previously committed baseline and **exit
-//!   non-zero** when any matching campaign (same strategy/jobs/nodes/reps)
-//!   now runs at less than half its recorded events/sec.
+//!   non-zero** when any matching campaign (same
+//!   strategy/mode/jobs/nodes/reps) regresses below the baseline's
+//!   statistical bound, or when a baseline campaign of the current run's
+//!   mode is missing from the fresh run entirely (a silently dropped
+//!   campaign must not pass the gate).
 //! * `--reference` — time the retained pre-optimization scheduler
 //!   implementations instead (see `StrategyConfig::build_reference`), so
 //!   the fast-path speedup can be measured on one build.
+//! * `--only LABEL` — restrict the grid to one strategy (e.g. time just
+//!   the conservative reference without paying for the 20 000-job
+//!   backfill campaigns).
+//! * `--samples N` — timing replications per campaign (default 3). The
+//!   committed samples give `--check` a spread to gate on: a fresh run
+//!   fails when it lands below `mean - 3·max(σ, 0.10·mean)` of the
+//!   baseline samples (the 10 % floor keeps near-deterministic campaigns
+//!   from gating on vanishing σ).
 //! * `--reps N` — additionally time N independent replications of each
 //!   campaign executed in parallel with Rayon, reporting aggregate
 //!   events/sec (demonstrates multi-core scaling of the harness).
 //!
 //! Timing methodology: audit and telemetry are off (the committed numbers
 //! are release-mode hot-path figures), workload generation is outside the
-//! timed region, and each campaign runs once — scheduler construction is
-//! cheap and campaigns are long enough to dominate noise. Outcomes stay
+//! timed region, and each sample runs the whole campaign — scheduler
+//! construction is cheap and campaigns are long enough to dominate noise.
+//! The event count must be identical across samples (the simulation is
+//! deterministic; a drift is a bug, not noise) and outcomes stay
 //! bit-identical to the audited runs; only the clock is new here.
 
 use nodeshare_bench::{seeds, World};
@@ -44,13 +58,31 @@ use std::time::Instant;
 /// One timed campaign.
 struct Entry {
     strategy: &'static str,
+    /// "full" or "quick" — which campaign grid the entry belongs to.
+    mode: &'static str,
     jobs: u32,
     nodes: u32,
     reps: u32,
     events: u64,
     wall_s: f64,
+    /// Mean over `samples`.
     events_per_sec: f64,
+    /// Per-sample events/sec, in run order.
+    samples: Vec<f64>,
     peak_queue_depth: u64,
+}
+
+/// A parsed baseline entry (see [`parse_baseline`]).
+struct BaselineEntry {
+    strategy: String,
+    /// `None` on legacy schema-1 files, which carried no per-entry mode.
+    mode: Option<String>,
+    jobs: u32,
+    nodes: u32,
+    reps: u32,
+    events_per_sec: f64,
+    /// Empty on legacy single-sample baselines.
+    samples: Vec<f64>,
 }
 
 /// The campaign grid: (label, config, full jobs, quick jobs).
@@ -112,68 +144,143 @@ fn time_campaign(
     )
 }
 
-fn measure(world: &World, quick: bool, reps: u32, reference: bool) -> Vec<Entry> {
+/// Times `samples_n` replications of one campaign and folds them into an
+/// [`Entry`]; the deterministic event count must not drift across
+/// samples.
+#[allow(clippy::too_many_arguments)]
+fn sample_campaign(
+    world: &World,
+    label: &'static str,
+    mode: &'static str,
+    cfg: &StrategyConfig,
+    jobs: u32,
+    nodes: u32,
+    samples_n: u32,
+    reference: bool,
+) -> Entry {
+    let mut samples = Vec::with_capacity(samples_n as usize);
+    let mut walls = Vec::with_capacity(samples_n as usize);
+    let mut events = 0u64;
+    let mut peak = 0u64;
+    for s in 0..samples_n.max(1) {
+        let (ev, wall, pk) = time_campaign(world, cfg, jobs, 1_000, reference);
+        if s == 0 {
+            events = ev;
+            peak = pk;
+        } else {
+            assert_eq!(
+                ev, events,
+                "{label}: event count drifted between samples — nondeterminism"
+            );
+        }
+        samples.push(ev as f64 / wall.max(1e-9));
+        walls.push(wall);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let wall_mean = walls.iter().sum::<f64>() / walls.len() as f64;
+    Entry {
+        strategy: label,
+        mode,
+        jobs,
+        nodes,
+        reps: 1,
+        events,
+        wall_s: wall_mean,
+        events_per_sec: mean,
+        samples,
+        peak_queue_depth: peak,
+    }
+}
+
+fn measure(
+    world: &World,
+    quick: bool,
+    reps: u32,
+    reference: bool,
+    samples_n: u32,
+    only: Option<&str>,
+) -> Vec<Entry> {
     let nodes = world.cluster.node_count;
     let mut entries = Vec::new();
-    for (label, cfg, full_jobs, quick_jobs) in campaigns() {
-        let jobs = if quick { quick_jobs } else { full_jobs };
-        eprintln!("timing {label}: {jobs} jobs on {nodes} nodes ...");
-        let (events, wall, peak) = time_campaign(world, &cfg, jobs, 1_000, reference);
-        entries.push(Entry {
-            strategy: label,
-            jobs,
-            nodes,
-            reps: 1,
-            events,
-            wall_s: wall,
-            events_per_sec: events as f64 / wall.max(1e-9),
-            peak_queue_depth: peak,
-        });
-        if reps > 1 {
-            eprintln!("timing {label}: {reps} parallel replications ...");
-            let started = Instant::now();
-            let per_rep: Vec<(u64, f64, u64)> = seeds(u64::from(reps))
-                .par_iter()
-                .map(|&seed| time_campaign(world, &cfg, jobs, seed, reference))
-                .collect();
-            let wall = started.elapsed().as_secs_f64();
-            let events: u64 = per_rep.iter().map(|r| r.0).sum();
-            let peak = per_rep.iter().map(|r| r.2).max().unwrap_or(0);
-            entries.push(Entry {
-                strategy: label,
-                jobs,
-                nodes,
-                reps,
-                events,
-                wall_s: wall,
-                events_per_sec: events as f64 / wall.max(1e-9),
-                peak_queue_depth: peak,
-            });
+    // A full baseline also times the quick grid, so one committed file
+    // carries the campaigns the CI quick smoke checks against.
+    let modes: &[&'static str] = if quick {
+        &["quick"]
+    } else {
+        &["full", "quick"]
+    };
+    for &mode in modes {
+        for (label, cfg, full_jobs, quick_jobs) in campaigns() {
+            if only.is_some_and(|o| o != label) {
+                continue;
+            }
+            let jobs = if mode == "quick" {
+                quick_jobs
+            } else {
+                full_jobs
+            };
+            eprintln!("timing {label} ({mode}): {jobs} jobs on {nodes} nodes x{samples_n} ...");
+            entries.push(sample_campaign(
+                world, label, mode, &cfg, jobs, nodes, samples_n, reference,
+            ));
+            if reps > 1 {
+                eprintln!("timing {label} ({mode}): {reps} parallel replications ...");
+                let started = Instant::now();
+                let per_rep: Vec<(u64, f64, u64)> = seeds(u64::from(reps))
+                    .par_iter()
+                    .map(|&seed| time_campaign(world, &cfg, jobs, seed, reference))
+                    .collect();
+                let wall = started.elapsed().as_secs_f64();
+                let events: u64 = per_rep.iter().map(|r| r.0).sum();
+                let peak = per_rep.iter().map(|r| r.2).max().unwrap_or(0);
+                let eps = events as f64 / wall.max(1e-9);
+                entries.push(Entry {
+                    strategy: label,
+                    mode,
+                    jobs,
+                    nodes,
+                    reps,
+                    events,
+                    wall_s: wall,
+                    events_per_sec: eps,
+                    samples: vec![eps],
+                    peak_queue_depth: peak,
+                });
+            }
         }
     }
     entries
 }
 
 /// Hand-written JSON (the vendored serde is a derive-marker stand-in;
-/// structured output in this workspace is emitted directly).
+/// structured output in this workspace is emitted directly). One entry
+/// object per line, `samples` last so the line-oriented parser's scalar
+/// field extraction never crosses the array.
 fn to_json(entries: &[Entry], quick: bool) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
-        if quick { "quick" } else { "full" }
+        if quick { "quick" } else { "baseline" }
     );
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let samples = e
+            .samples
+            .iter()
+            .map(|s| format!("{s:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = writeln!(
             out,
-            "    {{\"strategy\": \"{}\", \"jobs\": {}, \"nodes\": {}, \"reps\": {}, \
-             \"events\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}, \
-             \"peak_queue_depth\": {}}}{comma}",
+            "    {{\"strategy\": \"{}\", \"mode\": \"{}\", \"jobs\": {}, \"nodes\": {}, \
+             \"reps\": {}, \"events\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}, \
+             \"peak_queue_depth\": {}, \"samples\": [{samples}]}}{comma}",
             e.strategy,
+            e.mode,
             e.jobs,
             e.nodes,
             e.reps,
@@ -189,45 +296,106 @@ fn to_json(entries: &[Entry], quick: bool) -> String {
 }
 
 /// Minimal field extraction from the baseline file this binary itself
-/// writes (one entry object per line — see [`to_json`]). Returns
-/// `(strategy, jobs, nodes, reps, events_per_sec)` per entry.
-fn parse_baseline(text: &str) -> Vec<(String, u32, u32, u32, f64)> {
+/// writes (one entry object per line — see [`to_json`]). Accepts legacy
+/// schema-1 lines (no `mode`, no `samples`) for older committed files.
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
     fn field(line: &str, key: &str) -> Option<String> {
         let pat = format!("\"{key}\": ");
         let start = line.find(&pat)? + pat.len();
         let rest = &line[start..];
         let rest = rest.strip_prefix('"').unwrap_or(rest);
-        let end = rest.find([',', '"', '}']).unwrap_or(rest.len());
+        let end = rest.find([',', '"', '}', ']']).unwrap_or(rest.len());
         Some(rest[..end].trim().to_string())
+    }
+    fn samples(line: &str) -> Vec<f64> {
+        let Some(start) = line.find("\"samples\": [") else {
+            return Vec::new();
+        };
+        let rest = &line[start + "\"samples\": [".len()..];
+        let Some(end) = rest.find(']') else {
+            return Vec::new();
+        };
+        rest[..end]
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect()
     }
     text.lines()
         .filter(|l| l.contains("\"strategy\""))
         .filter_map(|l| {
-            Some((
-                field(l, "strategy")?,
-                field(l, "jobs")?.parse().ok()?,
-                field(l, "nodes")?.parse().ok()?,
-                field(l, "reps")?.parse().ok()?,
-                field(l, "events_per_sec")?.parse().ok()?,
-            ))
+            Some(BaselineEntry {
+                strategy: field(l, "strategy")?,
+                mode: field(l, "mode"),
+                jobs: field(l, "jobs")?.parse().ok()?,
+                nodes: field(l, "nodes")?.parse().ok()?,
+                reps: field(l, "reps")?.parse().ok()?,
+                events_per_sec: field(l, "events_per_sec")?.parse().ok()?,
+                samples: samples(l),
+            })
         })
         .collect()
 }
 
+/// Whether a fresh entry and a baseline entry describe the same
+/// campaign. Legacy baselines carry no mode; they match on shape alone.
+fn matches(e: &Entry, b: &BaselineEntry) -> bool {
+    b.strategy == e.strategy
+        && b.mode.as_deref().is_none_or(|m| m == e.mode)
+        && b.jobs == e.jobs
+        && b.nodes == e.nodes
+        && b.reps == e.reps
+}
+
 /// Compares `entries` against a committed baseline; returns the failure
-/// messages (empty = pass). Campaigns absent from the baseline are
-/// reported informationally but do not fail the check.
-fn check_against(entries: &[Entry], baseline: &[(String, u32, u32, u32, f64)]) -> Vec<String> {
+/// messages (empty = pass).
+///
+/// Two gates:
+///
+/// * **Throughput.** With baseline samples, the bound is statistical:
+///   fail below `mean − 3·max(σ, 0.10·mean)` of the recorded samples.
+///   Legacy single-number baselines fall back to the blanket >2×
+///   (ratio < 0.5) gate.
+/// * **Coverage.** Every baseline campaign of a mode this run measured
+///   must have a fresh counterpart; a campaign that silently vanished
+///   from the grid fails the check rather than being skipped.
+fn check_against(entries: &[Entry], baseline: &[BaselineEntry]) -> Vec<String> {
     let mut failures = Vec::new();
     for e in entries {
-        let matched = baseline.iter().find(|(s, j, n, r, _)| {
-            s == e.strategy && *j == e.jobs && *n == e.nodes && *r == e.reps
-        });
-        match matched {
-            Some((_, _, _, _, base_eps)) => {
+        match baseline.iter().find(|b| matches(e, b)) {
+            Some(b) if b.samples.len() >= 2 => {
+                let n = b.samples.len() as f64;
+                let mean = b.samples.iter().sum::<f64>() / n;
+                let var = b
+                    .samples
+                    .iter()
+                    .map(|s| (s - mean) * (s - mean))
+                    .sum::<f64>()
+                    / n;
+                let sigma = var.sqrt().max(0.10 * mean);
+                let bound = mean - 3.0 * sigma;
+                println!(
+                    "check {}/{} jobs/reps={}: {:.0} events/s vs baseline mean {:.0} - 3σ bound {:.0}",
+                    e.strategy, e.jobs, e.reps, e.events_per_sec, mean, bound
+                );
+                if e.events_per_sec < bound {
+                    failures.push(format!(
+                        "{} ({} jobs, reps={}) regressed: {:.0} events/s below mean-3σ bound \
+                         {:.0} (baseline mean {:.0} over {} samples)",
+                        e.strategy,
+                        e.jobs,
+                        e.reps,
+                        e.events_per_sec,
+                        bound,
+                        mean,
+                        b.samples.len()
+                    ));
+                }
+            }
+            Some(b) => {
+                let base_eps = b.events_per_sec;
                 let ratio = e.events_per_sec / base_eps.max(1e-9);
                 println!(
-                    "check {}/{} jobs/reps={}: {:.0} events/s vs baseline {:.0} ({:.2}x)",
+                    "check {}/{} jobs/reps={}: {:.0} events/s vs baseline {:.0} ({:.2}x, legacy gate)",
                     e.strategy, e.jobs, e.reps, e.events_per_sec, base_eps, ratio
                 );
                 if ratio < 0.5 {
@@ -243,6 +411,24 @@ fn check_against(entries: &[Entry], baseline: &[(String, u32, u32, u32, f64)]) -
             ),
         }
     }
+    // Coverage gate: a baseline campaign of a measured mode with no
+    // fresh counterpart means the run silently dropped it.
+    let measured_modes: Vec<&str> = entries.iter().map(|e| e.mode).collect();
+    for b in baseline {
+        let Some(mode) = b.mode.as_deref() else {
+            continue; // legacy entries carry no mode to scope the check
+        };
+        if !measured_modes.contains(&mode) {
+            continue; // e.g. full-grid baselines during a --quick smoke
+        }
+        if !entries.iter().any(|e| matches(e, b)) {
+            failures.push(format!(
+                "baseline entry {} ({mode}, {} jobs, reps={}) missing from the fresh run — \
+                 campaign dropped without updating the baseline",
+                b.strategy, b.jobs, b.reps
+            ));
+        }
+    }
     failures
 }
 
@@ -252,7 +438,9 @@ fn main() {
     let mut out_path = String::from("BENCH_sched.json");
     let mut check_path: Option<String> = None;
     let mut reps: u32 = 1;
+    let mut samples_n: u32 = 3;
     let mut reference = false;
+    let mut only: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -260,6 +448,14 @@ fn main() {
             "--reference" => reference = true,
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
+            "--only" => only = Some(it.next().expect("--only needs a strategy label").clone()),
+            "--samples" => {
+                samples_n = it
+                    .next()
+                    .expect("--samples needs a count")
+                    .parse()
+                    .expect("--samples takes an integer");
+            }
             "--reps" => {
                 reps = it
                     .next()
@@ -267,18 +463,27 @@ fn main() {
                     .parse()
                     .expect("--reps takes an integer");
             }
-            other => {
-                panic!("unknown option {other} (see --quick/--reference/--out/--check/--reps)")
-            }
+            other => panic!(
+                "unknown option {other} (see --quick/--reference/--only/--out/--check/--samples/--reps)"
+            ),
         }
     }
 
     let world = World::evaluation();
-    let entries = measure(&world, quick, reps, reference);
+    let entries = measure(&world, quick, reps, reference, samples_n, only.as_deref());
     for e in &entries {
         println!(
-            "{:>14} jobs={:<6} reps={} events={:<8} wall={:>8.3}s {:>9.0} events/s peak_queue={}",
-            e.strategy, e.jobs, e.reps, e.events, e.wall_s, e.events_per_sec, e.peak_queue_depth
+            "{:>14} {:>5} jobs={:<6} reps={} events={:<8} wall={:>8.3}s {:>9.0} events/s \
+             ({} samples) peak_queue={}",
+            e.strategy,
+            e.mode,
+            e.jobs,
+            e.reps,
+            e.events,
+            e.wall_s,
+            e.events_per_sec,
+            e.samples.len(),
+            e.peak_queue_depth
         );
     }
     let json = to_json(&entries, quick);

@@ -270,6 +270,17 @@ impl Cluster {
         self.instance
     }
 
+    /// The `(instance, version)` invalidation stamp as one value — the
+    /// cache key schedulers use to detect occupancy changes. Equal stamps
+    /// guarantee identical occupancy (and, because every start and
+    /// release mutates the cluster, that no job started or stopped in
+    /// between); any allocation, release, drain, resume, or node-down
+    /// event yields a fresh stamp.
+    #[inline]
+    pub fn stamp(&self) -> (u64, u64) {
+        (self.instance, self.version)
+    }
+
     /// O(1) occupancy counters: `(busy physical cores, nodes hosting two
     /// or more jobs)` — the same numbers
     /// [`Cluster::occupancy_snapshot`] derives by walking every node.

@@ -2,22 +2,116 @@
 //!
 //! A candidate may start early only when doing so delays *no*
 //! earlier-queued job's planned start. Implemented with the count-based
-//! [`AvailabilityProfile`]: queued jobs are planned in order, each taking
+//! availability profile: queued jobs are planned in order, each taking
 //! the earliest slot that fits its size and estimate; a job whose planned
 //! slot is "now" actually starts. Exclusive allocation only — the paper
 //! uses it as a second baseline.
+//!
+//! Two implementations share this module, the same split as
+//! [`crate::Backfill`]:
+//!
+//! * the optimized path plans against an incrementally maintained
+//!   [`ReservationTimeline`] (version-keyed base, in-place reservation
+//!   splicing, cross-pass prefix cache) and places via the planner's
+//!   O(k) exclusive picker;
+//! * [`Conservative::reference`] keeps the original from-scratch
+//!   [`AvailabilityProfile`] loop, the oracle `tests/differential.rs`
+//!   holds the optimized path byte-equal to.
 
+use crate::pairing::Pairing;
+use crate::planner::{Planner, ReservationTimeline};
 use crate::util::{pick_exclusive, AvailabilityProfile, PLAN_EPS};
 use nodeshare_engine::{Decision, SchedContext, Scheduler};
 
 /// Conservative backfill with exclusive allocation.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Conservative;
+#[derive(Clone, Debug)]
+pub struct Conservative {
+    planner: Planner,
+    timeline: ReservationTimeline,
+    reference: bool,
+    /// Pending one-shot profile corruption (fault-injection tests).
+    poison: Option<i64>,
+}
 
 impl Conservative {
-    /// Creates the policy.
+    /// Creates the policy (optimized path).
     pub fn new() -> Self {
-        Conservative
+        Conservative {
+            planner: Planner::new(&Pairing::never()),
+            timeline: ReservationTimeline::new(),
+            reference: false,
+            poison: None,
+        }
+    }
+
+    /// Switches to the unoptimized reference implementation — the
+    /// differential oracle the fast path is tested against.
+    pub fn reference(mut self) -> Self {
+        self.reference = true;
+        self
+    }
+
+    /// Arms a one-shot corruption of the incremental profile's anchor
+    /// entry (`free -= delta` at the next pass), for the audit
+    /// fault-injection tests. No effect in reference mode.
+    #[doc(hidden)]
+    pub fn corrupt_next_pass(&mut self, delta: i64) {
+        self.poison = Some(delta);
+    }
+
+    /// The incremental profile's current steps (for the property tests
+    /// that diff it against a from-scratch rebuild).
+    #[doc(hidden)]
+    pub fn profile_steps(&self) -> &[(f64, i64)] {
+        self.timeline.steps()
+    }
+
+    fn schedule_fast(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let resume = self.timeline.begin_pass(ctx);
+        if let Some(delta) = self.poison.take() {
+            self.timeline.corrupt_anchor_for_test(delta);
+        }
+        for job in &ctx.queue[resume..] {
+            let start = self
+                .timeline
+                .plan(job.id, job.nodes as i64, job.walltime_estimate);
+            if start <= ctx.now + PLAN_EPS {
+                if let Some(nodes) = self.planner.pick_exclusive(ctx, job, false) {
+                    self.timeline.invalidate();
+                    return vec![Decision::StartExclusive { job: job.id, nodes }];
+                }
+                // Count-based plan said "fits now" but no concrete idle
+                // nodes satisfy memory — plan it for later instead.
+            }
+            if start.is_finite() {
+                self.timeline
+                    .reserve(start, job.walltime_estimate, job.nodes as i64);
+            }
+        }
+        self.timeline.seal();
+        Vec::new()
+    }
+
+    fn schedule_reference(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let mut profile = AvailabilityProfile::from_context(ctx);
+        for job in ctx.queue {
+            let start = profile.earliest_fit(ctx.now, job.nodes as i64, job.walltime_estimate);
+            if start <= ctx.now + PLAN_EPS {
+                if let Some(nodes) = pick_exclusive(ctx, job, |_| true) {
+                    return vec![Decision::StartExclusive { job: job.id, nodes }];
+                }
+            }
+            if start.is_finite() {
+                profile.reserve(start, job.walltime_estimate, job.nodes as i64);
+            }
+        }
+        Vec::new()
+    }
+}
+
+impl Default for Conservative {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -27,21 +121,11 @@ impl Scheduler for Conservative {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
-        let mut profile = AvailabilityProfile::from_context(ctx);
-        for job in ctx.queue {
-            let start = profile.earliest_fit(ctx.now, job.nodes as i64, job.walltime_estimate);
-            if start <= ctx.now + PLAN_EPS {
-                if let Some(nodes) = pick_exclusive(ctx, job, |_| true) {
-                    return vec![Decision::StartExclusive { job: job.id, nodes }];
-                }
-                // Count-based plan said "fits now" but no concrete idle
-                // nodes satisfy memory — plan it for later instead.
-            }
-            if start.is_finite() {
-                profile.reserve(start, job.walltime_estimate, job.nodes as i64);
-            }
+        if self.reference {
+            self.schedule_reference(ctx)
+        } else {
+            self.schedule_fast(ctx)
         }
-        Vec::new()
     }
 }
 
@@ -98,5 +182,28 @@ mod tests {
         let out = testkit::simulate(&world, &mut Conservative::new());
         assert!(out.complete());
         assert_eq!(out.records.len(), 1);
+    }
+
+    #[test]
+    fn reference_mode_matches_the_optimized_path() {
+        // In-crate smoke check; the cross-workload battery lives in
+        // tests/differential.rs.
+        let jobs = || {
+            let mut j3 = job(3, 2, 150.0);
+            j3.walltime_estimate = 350.0;
+            vec![
+                job(0, 2, 100.0),
+                job(1, 4, 100.0),
+                job(2, 2, 100.0),
+                j3,
+                job(4, 1, 5.0),
+                job(5, 3, 40.0),
+            ]
+        };
+        let world = testkit::world(4, jobs());
+        let fast = testkit::simulate(&world, &mut Conservative::new());
+        let refr = testkit::simulate(&world, &mut Conservative::new().reference());
+        assert!(fast.complete() && refr.complete());
+        assert_eq!(fast.records, refr.records);
     }
 }

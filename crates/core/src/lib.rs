@@ -45,7 +45,7 @@ pub mod firstfit;
 pub mod learning;
 pub mod pairing;
 pub mod pairtab;
-pub(crate) mod planner;
+pub mod planner;
 pub mod strategy;
 pub mod util;
 
@@ -59,5 +59,6 @@ pub use firstfit::FirstFit;
 pub use learning::EstimateLearning;
 pub use pairing::{Pairing, PairingPolicy};
 pub use pairtab::PairingTable;
+pub use planner::ReservationTimeline;
 pub use strategy::{PredictorKind, StrategyConfig, StrategyKind};
 pub use util::{AvailabilityProfile, HeadReservation};

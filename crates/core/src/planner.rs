@@ -35,6 +35,7 @@
 
 use crate::pairing::Pairing;
 use crate::pairtab::PairingTable;
+use crate::util::PLAN_EPS;
 use nodeshare_cluster::{AdminState, JobId, NodeId};
 use nodeshare_engine::SchedContext;
 use nodeshare_perf::AppId;
@@ -466,5 +467,497 @@ fn update_partner(buf: &mut Vec<(JobId, u32, f64)>, r: &Resident, rate: f64) {
     match buf.iter_mut().find(|p| p.0 == r.job) {
         Some(p) => p.2 = p.2.min(rate),
         None => buf.push((r.job, r.nodes, rate)),
+    }
+}
+
+/// Incrementally maintained availability profile for conservative
+/// backfill — the diffable reservation timeline behind the optimized
+/// [`crate::Conservative`] path.
+///
+/// The reference implementation rebuilds an
+/// [`crate::util::AvailabilityProfile`] from the context on every
+/// scheduling pass and then, per queued job, runs an `earliest_fit` that
+/// rescans every step per candidate and a `reserve` that re-sorts and
+/// rebuilds the whole step vector. At a 4096-deep queue that is the
+/// quadratic outlier of the F6 table (~285 ms per decision).
+///
+/// This structure produces **bit-identical plans** (same candidate
+/// comparisons, same `PLAN_EPS` expressions, same step merging) with
+/// three incremental layers:
+///
+/// 1. **Version-keyed base** — the sorted `(est_end, nodes)` release
+///    list is cached under the cluster [`stamp`](nodeshare_cluster::Cluster::stamp)
+///    and re-sorted only when an allocation or release actually happened;
+///    per pass it is clamped to `now` and merged into the step vector in
+///    one O(R) sweep.
+/// 2. **Allocation-free planning** — `earliest_fit` walks candidates and
+///    deficient steps with two monotone cursors (amortized O(S) per job
+///    instead of O(S²)), and `reserve` splices the two breakpoints in
+///    place instead of rebuilding. Jobs whose `(nodes, duration)` already
+///    proved unfittable since the last profile mutation are skipped via a
+///    memo (the same per-pass failure-memo discipline as
+///    [`Planner::pick_shared`]; conservative planning touches no
+///    telemetry counters, so the skip is unconditionally safe).
+/// 3. **Cross-pass placement cache** — when a pass ends with no decision,
+///    the planned queue prefix and final steps are sealed under the
+///    cluster stamp. A later pass with an equal stamp and an unchanged
+///    queue prefix resumes planning at the first new job instead of
+///    re-planning the prefix (see [`ReservationTimeline::begin_pass`]
+///    for the exact soundness conditions when `now` has advanced).
+///
+/// `crates/core/tests/prop_profile.rs` checks the timeline step-for-step
+/// against a from-scratch rebuild at every decision point of randomized
+/// campaigns, and `tests/differential.rs` holds the full strategy to
+/// byte-equal traces against [`crate::Conservative::reference`].
+#[derive(Clone, Debug, Default)]
+pub struct ReservationTimeline {
+    /// Cluster stamp the `ends` cache was built for.
+    cache_key: Option<(u64, u64)>,
+    /// Raw (unclamped) `(est_end, nodes)` of all running jobs, sorted by
+    /// time — the version-keyed base the per-pass profile derives from.
+    ends: Vec<(f64, i64)>,
+    /// The working profile: `(time, free_node_count)` breakpoints,
+    /// strictly time-ascending, value holds until the next breakpoint.
+    /// Identical contents to the reference profile's steps at every
+    /// point of the planning loop.
+    steps: Vec<(f64, i64)>,
+    /// `(nodes, duration)` keys proven unfittable (earliest fit = ∞)
+    /// against the *current* steps; cleared on any profile mutation.
+    infeasible: HashSet<u128>,
+    /// Whether the sealed memo below may be reused.
+    memo_valid: bool,
+    /// `now` of the sealed pass.
+    memo_now: f64,
+    /// Anchor level (`steps[0].1`) at seal time.
+    memo_level: i64,
+    /// Minimum node request over all planned jobs of the sealed prefix.
+    memo_min_k: i64,
+    /// Whether any planned reservation was anchored at `now` (start ≤
+    /// `now + PLAN_EPS`), which makes the profile sensitive to where the
+    /// anchor sits.
+    memo_anchored: bool,
+    /// Queue prefix (job ids, in order) the sealed profile accounts for.
+    memo_ids: Vec<JobId>,
+    /// `now` of the pass currently being planned.
+    pass_now: f64,
+}
+
+impl ReservationTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a scheduling pass and returns the queue index to resume
+    /// planning at: `0` means the profile was rebuilt and every queued
+    /// job must be planned; `n > 0` means the first `n` jobs are already
+    /// accounted for by the sealed previous pass and planning continues
+    /// at `queue[n..]` against the retained steps.
+    ///
+    /// The prefix is reusable when the cluster stamp is unchanged (equal
+    /// stamps mean identical occupancy, so the base profile and every
+    /// prefix decision replay identically), the queued job ids still
+    /// match the sealed prefix, and either
+    ///
+    /// * `now` is unchanged (the engine re-invokes the policy within one
+    ///   instant until it returns no decision), or
+    /// * `now` advanced and the old plan is provably insensitive to the
+    ///   anchor move: no reservation was anchored at the old `now`, no
+    ///   profile breakpoint lies in `(old now, new now + PLAN_EPS]` (so
+    ///   no planned start or release crosses the anchor or the fit-now
+    ///   epsilon window), and every planned job requests more nodes than
+    ///   the anchor level (so the `now` candidate fails its count check
+    ///   in both passes and the remaining candidates — all strictly
+    ///   later — are shared). Under those conditions the fresh rebuild
+    ///   would produce these exact steps with the anchor moved, so the
+    ///   anchor is moved in place.
+    pub fn begin_pass(&mut self, ctx: &SchedContext<'_>) -> usize {
+        self.pass_now = ctx.now;
+        let key = ctx.cluster.stamp();
+        let memo_ok = self.memo_valid
+            && self.cache_key == Some(key)
+            && self.memo_ids.len() <= ctx.queue.len()
+            && self.memo_ids.iter().zip(ctx.queue).all(|(m, j)| *m == j.id);
+        if memo_ok {
+            if ctx.now == self.memo_now {
+                self.memo_valid = false; // re-sealed by `seal`
+                return self.memo_ids.len();
+            }
+            if ctx.now > self.memo_now
+                && !self.memo_anchored
+                && self.memo_min_k > self.memo_level
+                && self.no_breakpoint_in(self.memo_now, ctx.now + PLAN_EPS)
+            {
+                self.steps[0].0 = ctx.now;
+                self.memo_valid = false;
+                return self.memo_ids.len();
+            }
+        }
+        self.rebuild(ctx, key);
+        0
+    }
+
+    /// Rebuilds the working steps from the (possibly refreshed) base:
+    /// idle nodes free at `now`, each running job returning its nodes at
+    /// `max(est_end, now)` — the same deltas, ordering, and equal-time
+    /// merging as [`crate::util::AvailabilityProfile::from_context`].
+    fn rebuild(&mut self, ctx: &SchedContext<'_>, key: (u64, u64)) {
+        if self.cache_key != Some(key) {
+            self.ends.clear();
+            self.ends
+                .extend(ctx.running.values().map(|r| (r.est_end(), r.nodes as i64)));
+            self.ends.sort_by(|a, b| a.0.total_cmp(&b.0));
+            self.cache_key = Some(key);
+        }
+        let now = ctx.now;
+        // Releases at or before `now` clamp onto the anchor, exactly as
+        // the reference's `max(est_end, now)` merges them there.
+        let cut = self.ends.partition_point(|e| e.0 <= now);
+        let mut level = ctx.cluster.idle_count() as i64;
+        for e in &self.ends[..cut] {
+            level += e.1;
+        }
+        self.steps.clear();
+        self.steps.push((now, level));
+        for &(t, k) in &self.ends[cut..] {
+            level += k;
+            match self.steps.last_mut() {
+                Some(last) if last.0 == t => last.1 = level,
+                _ => self.steps.push((t, level)),
+            }
+        }
+        self.infeasible.clear();
+        self.memo_valid = false;
+        self.memo_ids.clear();
+        self.memo_anchored = false;
+        self.memo_min_k = i64::MAX;
+    }
+
+    /// Whether no breakpoint time `t` satisfies `lo < t ≤ hi`.
+    fn no_breakpoint_in(&self, lo: f64, hi: f64) -> bool {
+        let i = self.steps.partition_point(|s| s.0 <= lo);
+        i >= self.steps.len() || self.steps[i].0 > hi
+    }
+
+    /// Plans one queued job: earliest `t ≥ now` with `nodes` free
+    /// throughout `[t, t + duration)`, bit-identical to
+    /// [`crate::util::AvailabilityProfile::earliest_fit`], plus the
+    /// cross-pass memo bookkeeping. The caller then either starts the
+    /// job (and must [`ReservationTimeline::invalidate`]) or commits the
+    /// finite plan with [`ReservationTimeline::reserve`].
+    pub fn plan(&mut self, id: JobId, nodes: i64, duration: f64) -> f64 {
+        self.memo_ids.push(id);
+        self.memo_min_k = self.memo_min_k.min(nodes);
+        let key = (duration.to_bits() as u128) | (nodes as u128) << 64;
+        if self.infeasible.contains(&key) {
+            return f64::INFINITY;
+        }
+        let start = self.earliest_fit(self.pass_now, nodes, duration);
+        if start == f64::INFINITY {
+            // Deterministic against unchanged steps: an identical later
+            // request is ∞ too, with no side effects either way.
+            self.infeasible.insert(key);
+        } else if start <= self.pass_now + PLAN_EPS {
+            self.memo_anchored = true;
+        }
+        start
+    }
+
+    /// The reference `earliest_fit` with two monotone cursors. The
+    /// candidate sequence (`from`, then each breakpoint after it) and
+    /// every comparison — `free_at(t) < nodes`, `st > t + PLAN_EPS`,
+    /// `st < end - PLAN_EPS` — are the reference's own expressions; only
+    /// the rescans are gone: the deficient-step cursor `q` never moves
+    /// backwards because both of its conditions are monotone in the
+    /// candidate time (a breakpoint inside the epsilon guard for one
+    /// candidate stays inside it for every later candidate, and a level
+    /// `≥ nodes` never becomes deficient within one call).
+    fn earliest_fit(&self, from: f64, nodes: i64, duration: f64) -> f64 {
+        let steps = &self.steps[..];
+        let n = steps.len();
+        let first_after = steps.partition_point(|s| s.0 <= from);
+        let mut free = if first_after > 0 {
+            steps[first_after - 1].1
+        } else {
+            0
+        };
+        let mut t = from;
+        let mut i = first_after;
+        let mut q = 0usize;
+        loop {
+            if free >= nodes {
+                let end = t + duration;
+                while q < n && !(steps[q].0 > t + PLAN_EPS && steps[q].1 < nodes) {
+                    q += 1;
+                }
+                if !(q < n && steps[q].0 < end - PLAN_EPS) {
+                    return t;
+                }
+            }
+            if i >= n {
+                return f64::INFINITY;
+            }
+            t = steps[i].0;
+            free = steps[i].1;
+            i += 1;
+        }
+    }
+
+    /// Subtracts `nodes` during `[start, start + duration)` — the
+    /// committed reservation of a planned job. Equivalent to the
+    /// reference's delta-rebuild: the two breakpoints are spliced in with
+    /// the pre-existing level (so a zero-length reservation still leaves
+    /// its breakpoint, as the rebuild would) and the covered range is
+    /// decremented in place.
+    pub fn reserve(&mut self, start: f64, duration: f64, nodes: i64) {
+        let end = start + duration;
+        let i0 = self.ensure_breakpoint(start);
+        let i1 = self.ensure_breakpoint(end);
+        for s in &mut self.steps[i0..i1] {
+            s.1 -= nodes;
+        }
+        self.infeasible.clear();
+    }
+
+    /// Index of the breakpoint at exactly `t`, inserting one carrying the
+    /// current level if absent. (Times here are non-negative event times,
+    /// so the `total_cmp` search agrees with the reference's `==` merge;
+    /// there is no `-0.0` to disagree on.)
+    fn ensure_breakpoint(&mut self, t: f64) -> usize {
+        match self.steps.binary_search_by(|s| s.0.total_cmp(&t)) {
+            Ok(i) => i,
+            Err(i) => {
+                let level = if i > 0 { self.steps[i - 1].1 } else { 0 };
+                self.steps.insert(i, (t, level));
+                i
+            }
+        }
+    }
+
+    /// Ends a no-decision pass: seals the planned prefix so the next
+    /// pass may resume after it.
+    pub fn seal(&mut self) {
+        self.memo_now = self.pass_now;
+        self.memo_level = self.steps.first().map_or(0, |s| s.1);
+        self.memo_valid = true;
+    }
+
+    /// Drops the sealed prefix — called when a decision is returned
+    /// (applying it mutates the cluster, so the profile is stale) or
+    /// when the caller abandons the pass.
+    pub fn invalidate(&mut self) {
+        self.memo_valid = false;
+    }
+
+    /// The working profile steps (for equivalence tests).
+    pub fn steps(&self) -> &[(f64, i64)] {
+        &self.steps
+    }
+
+    /// Fault-injection hook for the audit tests: corrupts the anchor
+    /// entry of the working profile by `delta` free nodes. Not part of
+    /// the scheduling API.
+    #[doc(hidden)]
+    pub fn corrupt_anchor_for_test(&mut self, delta: i64) {
+        if let Some(first) = self.steps.first_mut() {
+            first.1 -= delta;
+        }
+        self.infeasible.clear();
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+    use crate::util::AvailabilityProfile;
+    use nodeshare_cluster::{Cluster, ClusterSpec, NodeSpec, ShareMode};
+    use nodeshare_engine::RunningSummary;
+    use std::collections::BTreeMap;
+
+    fn queued(id: u64, nodes: u32, est: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            app: AppId(0),
+            nodes,
+            submit: 0.0,
+            runtime_exclusive: est / 2.0,
+            walltime_estimate: est,
+            mem_per_node_mib: 64,
+            share_eligible: false,
+            user: 0,
+        }
+    }
+
+    struct Rig {
+        cluster: Cluster,
+        running: BTreeMap<JobId, RunningSummary>,
+        queue: Vec<JobSpec>,
+    }
+
+    /// `total`-node cluster with `busy` = `(job id, nodes, est end)`
+    /// exclusive residents packed from node 0 up.
+    fn rig(total: u32, busy: &[(u64, u32, f64)], queue: Vec<JobSpec>) -> Rig {
+        let mut cluster = Cluster::new(ClusterSpec::new(total, NodeSpec::tiny()));
+        let mut running = BTreeMap::new();
+        let mut next = 0u32;
+        for &(id, nodes, end) in busy {
+            let ids: Vec<NodeId> = (next..next + nodes).map(NodeId).collect();
+            next += nodes;
+            cluster.allocate_exclusive(JobId(id), &ids, 64).unwrap();
+            running.insert(
+                JobId(id),
+                RunningSummary {
+                    job: JobId(id),
+                    app: AppId(0),
+                    nodes,
+                    start: 0.0,
+                    walltime_estimate: end,
+                    kill_at: end,
+                    share_eligible: false,
+                    mode: ShareMode::Exclusive,
+                },
+            );
+        }
+        Rig {
+            cluster,
+            running,
+            queue,
+        }
+    }
+
+    impl Rig {
+        fn ctx(&self, now: f64) -> SchedContext<'_> {
+            self.ctx_prefix(now, self.queue.len())
+        }
+
+        fn ctx_prefix(&self, now: f64, n: usize) -> SchedContext<'_> {
+            SchedContext {
+                now,
+                queue: &self.queue[..n],
+                cluster: &self.cluster,
+                running: &self.running,
+                shared_grace: 1.5,
+                completed: &[],
+                telemetry: None,
+            }
+        }
+    }
+
+    /// Plans and reserves every queued job against both profiles,
+    /// asserting bit-equal plans and identical steps after each commit.
+    fn plan_all_checked(tl: &mut ReservationTimeline, ctx: &SchedContext<'_>) {
+        let mut profile = AvailabilityProfile::from_context(ctx);
+        assert_eq!(tl.steps(), profile.steps());
+        for job in ctx.queue {
+            let fast = tl.plan(job.id, job.nodes as i64, job.walltime_estimate);
+            let refr = profile.earliest_fit(ctx.now, job.nodes as i64, job.walltime_estimate);
+            assert_eq!(fast.to_bits(), refr.to_bits(), "plan for job {}", job.id);
+            if fast.is_finite() {
+                tl.reserve(fast, job.walltime_estimate, job.nodes as i64);
+                profile.reserve(refr, job.walltime_estimate, job.nodes as i64);
+                assert_eq!(tl.steps(), profile.steps(), "steps after job {}", job.id);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_from_scratch_profile_at_every_step() {
+        let rig = rig(
+            8,
+            &[(100, 4, 50.0), (101, 2, 80.0)],
+            vec![
+                queued(0, 8, 60.0),
+                queued(1, 2, 30.0),
+                queued(2, 4, 200.0),
+                queued(3, 1, 10.0),
+                queued(4, 8, 10_000.0),
+                queued(5, 3, 45.0),
+            ],
+        );
+        let ctx = rig.ctx(5.0);
+        let mut tl = ReservationTimeline::new();
+        assert_eq!(tl.begin_pass(&ctx), 0);
+        plan_all_checked(&mut tl, &ctx);
+    }
+
+    #[test]
+    fn oversized_requests_plan_to_infinity() {
+        let rig = rig(4, &[], vec![queued(0, 5, 10.0)]);
+        let ctx = rig.ctx(0.0);
+        let mut tl = ReservationTimeline::new();
+        tl.begin_pass(&ctx);
+        assert!(tl.plan(JobId(0), 5, 10.0).is_infinite());
+        // Memoized second answer must agree.
+        assert!(tl.plan(JobId(0), 5, 10.0).is_infinite());
+    }
+
+    #[test]
+    fn sealed_pass_resumes_after_the_planned_prefix() {
+        let rig = rig(
+            4,
+            &[(100, 4, 50.0)],
+            vec![queued(0, 2, 30.0), queued(1, 4, 60.0), queued(2, 1, 5.0)],
+        );
+        let mut tl = ReservationTimeline::new();
+        let ctx2 = rig.ctx_prefix(0.0, 2);
+        assert_eq!(tl.begin_pass(&ctx2), 0);
+        plan_all_checked(&mut tl, &ctx2);
+        tl.seal();
+        let sealed = tl.steps().to_vec();
+        // Same instant, the queue grew at the tail: only job 2 is new.
+        let ctx3 = rig.ctx(0.0);
+        assert_eq!(tl.begin_pass(&ctx3), 2);
+        assert_eq!(tl.steps(), &sealed[..]);
+    }
+
+    #[test]
+    fn occupancy_change_invalidates_the_sealed_prefix() {
+        let mut rig = rig(4, &[(100, 2, 50.0)], vec![queued(0, 4, 60.0)]);
+        let mut tl = ReservationTimeline::new();
+        {
+            let ctx = rig.ctx(0.0);
+            assert_eq!(tl.begin_pass(&ctx), 0);
+            plan_all_checked(&mut tl, &ctx);
+            tl.seal();
+        }
+        rig.cluster
+            .allocate_exclusive(JobId(101), &[NodeId(2)], 64)
+            .unwrap();
+        let ctx = rig.ctx(0.0);
+        assert_eq!(tl.begin_pass(&ctx), 0, "stamp change must force a rebuild");
+    }
+
+    #[test]
+    fn now_advance_shifts_the_anchor_when_provably_safe() {
+        // All nodes busy until t=1000; the only plan sits at 1000, far
+        // from the anchor, and needs more nodes than are ever free now.
+        let rig = rig(4, &[(100, 4, 1_000.0)], vec![queued(0, 2, 10.0)]);
+        let mut tl = ReservationTimeline::new();
+        let ctx0 = rig.ctx(0.0);
+        assert_eq!(tl.begin_pass(&ctx0), 0);
+        plan_all_checked(&mut tl, &ctx0);
+        tl.seal();
+        let ctx5 = rig.ctx(5.0);
+        assert_eq!(tl.begin_pass(&ctx5), 1, "anchor shift should resume");
+        // The shifted steps must equal a from-scratch replay at t=5.
+        let mut fresh = ReservationTimeline::new();
+        assert_eq!(fresh.begin_pass(&ctx5), 0);
+        plan_all_checked(&mut fresh, &ctx5);
+        assert_eq!(tl.steps(), fresh.steps());
+    }
+
+    #[test]
+    fn now_advance_rebuilds_when_a_breakpoint_is_crossed() {
+        // A release at t=3 lies inside (0, 5 + eps]: the sealed profile
+        // is anchor-sensitive, so the pass must rebuild.
+        let rig = rig(4, &[(100, 4, 3.0)], vec![queued(0, 2, 10.0)]);
+        let mut tl = ReservationTimeline::new();
+        let ctx0 = rig.ctx(0.0);
+        assert_eq!(tl.begin_pass(&ctx0), 0);
+        plan_all_checked(&mut tl, &ctx0);
+        tl.seal();
+        let ctx5 = rig.ctx(5.0);
+        assert_eq!(tl.begin_pass(&ctx5), 0);
+        plan_all_checked(&mut tl, &ctx5);
     }
 }

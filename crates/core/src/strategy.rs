@@ -158,7 +158,7 @@ impl StrategyConfig {
             StrategyKind::Fcfs => Box::new(Fcfs::new()),
             StrategyKind::FirstFit => Box::new(FirstFit::exclusive().reference()),
             StrategyKind::EasyBackfill => Box::new(Backfill::easy().reference()),
-            StrategyKind::Conservative => Box::new(Conservative::new()),
+            StrategyKind::Conservative => Box::new(Conservative::new().reference()),
             StrategyKind::CoFirstFit => Box::new(FirstFit::sharing(pairing()).reference()),
             StrategyKind::CoBackfill => Box::new(Backfill::co(pairing()).reference()),
             StrategyKind::CoBackfillOnly => {

@@ -303,6 +303,13 @@ impl AvailabilityProfile {
         AvailabilityProfile { steps }
     }
 
+    /// The `(time, free_node_count)` breakpoints, time-ascending. Exposed
+    /// so the incremental [`crate::planner::ReservationTimeline`] can be
+    /// checked step-for-step against a from-scratch rebuild.
+    pub fn steps(&self) -> &[(Seconds, i64)] {
+        &self.steps
+    }
+
     /// Free nodes at `time`.
     pub fn free_at(&self, time: Seconds) -> i64 {
         match self.steps.binary_search_by(|s| s.0.total_cmp(&time)) {

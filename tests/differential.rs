@@ -180,12 +180,14 @@ fn optimized_schedulers_match_reference_telemetry() {
     config.audit = false;
     let workload = saturated_workload(&catalog, 31, 60);
 
-    for kind in [
-        StrategyKind::CoFirstFit,
-        StrategyKind::CoBackfill,
-        StrategyKind::CoBackfillOnly,
+    for cfg in [
+        StrategyConfig::sharing(StrategyKind::CoFirstFit),
+        StrategyConfig::sharing(StrategyKind::CoBackfill),
+        StrategyConfig::sharing(StrategyKind::CoBackfillOnly),
+        // Conservative's fast path skips re-planning via its memos; the
+        // engine-side decision counter must not notice.
+        StrategyConfig::exclusive(StrategyKind::Conservative),
     ] {
-        let cfg = StrategyConfig::sharing(kind);
         let tele_fast = SimTelemetry::new(300.0);
         let tele_ref = SimTelemetry::new(300.0);
         let mut fast = cfg.build(&catalog, &model);
@@ -223,6 +225,135 @@ fn optimized_schedulers_match_reference_telemetry() {
             assert_eq!(a, b, "{}: telemetry counter {name} diverges", cfg.label());
         }
     }
+}
+
+/// The incremental conservative path (version-keyed profile base,
+/// in-place reservation splicing, cross-pass prefix memo) must be
+/// bit-identical to the from-scratch reference on **every workload
+/// mix**, not just the saturated regime: trace, outcome, and records.
+#[test]
+fn conservative_matches_reference_on_every_workload_mix() {
+    use nodeshare::workload::Preset;
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+    let cfg = StrategyConfig::exclusive(StrategyKind::Conservative);
+
+    for preset in Preset::ALL {
+        for seed in [2, 5, 11, 17, 23] {
+            let mut spec = preset.spec(&catalog, seed);
+            spec.n_jobs = 60;
+            let workload = spec.generate(&catalog);
+
+            let mut fast = cfg.build(&catalog, &model);
+            let (out_fast, trace_fast) = run_traced(&workload, &matrix, fast.as_mut(), &config);
+            let mut refr = cfg.build_reference(&catalog, &model);
+            let (out_ref, trace_ref) = run_traced(&workload, &matrix, refr.as_mut(), &config);
+
+            assert!(
+                trace_fast == trace_ref,
+                "{preset:?} seed {seed}: decision traces diverge"
+            );
+            assert!(
+                out_fast == out_ref,
+                "{preset:?} seed {seed}: outcomes diverge"
+            );
+            assert!(out_fast.complete(), "{preset:?} seed {seed}");
+        }
+    }
+}
+
+/// Wraps the optimized conservative scheduler and corrupts its
+/// incremental profile once, the first time the clock reaches `at`.
+struct CorruptedConservative {
+    inner: Conservative,
+    at: f64,
+    fired: bool,
+}
+
+impl Scheduler for CorruptedConservative {
+    fn name(&self) -> &'static str {
+        "conservative-backfill"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        if !self.fired && ctx.now >= self.at {
+            self.fired = true;
+            self.inner.corrupt_next_pass(1);
+        }
+        self.inner.schedule(ctx)
+    }
+}
+
+/// Acceptance check for the incremental profile: corrupt one entry of
+/// the timeline mid-campaign (one free node vanishes from the anchor
+/// step) and the replay auditor names the violated reservation
+/// invariant. The corrupted anchor makes the fast path believe the
+/// 3-node head cannot start now, so a later 1-node job overtakes it
+/// while enough idle nodes sit free — exactly the "queue-order"
+/// justification check.
+#[test]
+fn auditor_catches_corrupted_incremental_profile() {
+    use nodeshare::workload::{JobSpec, Workload};
+    let (_catalog, _model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::new(4, NodeSpec::tiny()));
+    config.audit = false;
+
+    let job = |id: u64, nodes: u32, submit: f64, runtime: f64, est: f64| JobSpec {
+        id: JobId(id),
+        app: AppId(0),
+        nodes,
+        submit,
+        runtime_exclusive: runtime,
+        walltime_estimate: est,
+        mem_per_node_mib: 64,
+        share_eligible: false,
+        user: 0,
+    };
+    // j0 keeps one node until t=300 (estimated free at 600). The 3-node
+    // j1 fits the 3 idle nodes the moment it arrives at t=10 — unless
+    // the profile lies about a free node, in which case j2 (1 node,
+    // arriving just after) jumps it.
+    let workload = Workload::new(vec![
+        job(0, 1, 0.0, 300.0, 600.0),
+        job(1, 3, 10.0, 100.0, 200.0),
+        job(2, 1, 11.0, 50.0, 100.0),
+    ])
+    .unwrap();
+
+    // Control: the untampered optimized path passes the queue-order audit.
+    let mut clean = Conservative::new();
+    let (out, trace) = run_traced(&workload, &matrix, &mut clean, &config);
+    assert!(out.complete());
+    Auditor::new(&matrix, &config)
+        .with_queue_order_check()
+        .audit(&trace, &out)
+        .expect("untampered incremental profile must audit clean");
+
+    // Corrupt the anchor entry of the incremental profile at t=10.
+    let mut sched = CorruptedConservative {
+        inner: Conservative::new(),
+        at: 10.0,
+        fired: false,
+    };
+    let (out, trace) = run_traced(&workload, &matrix, &mut sched, &config);
+    assert!(sched.fired);
+    assert!(out.complete(), "corruption delays but must not wedge");
+
+    let violations = Auditor::new(&matrix, &config)
+        .with_queue_order_check()
+        .audit(&trace, &out)
+        .expect_err("corrupted profile must fail the replay audit");
+    let v = violations
+        .iter()
+        .find(|v| v.invariant == "queue-order")
+        .expect("the violated reservation invariant must be named");
+    assert_eq!(v.job, Some(JobId(2)), "the overtaking job is flagged");
+    let msg = v.to_string();
+    assert!(
+        msg.contains("queue-order") && msg.contains("jumped waiting head job1"),
+        "violation must name the invariant and the delayed head: {msg}"
+    );
 }
 
 /// Acceptance check: a double-charged node-second in the outcome is a

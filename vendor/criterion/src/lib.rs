@@ -56,6 +56,45 @@ impl Bencher {
         }
     }
 
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup from the measured time (criterion's `iter_batched`). The
+    /// batch-size hint is accepted for API parity and ignored — inputs
+    /// are built one at a time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        // Calibration: find an iteration count whose routine-only time
+        // accumulates to ≥ ~20 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                elapsed += t0.elapsed();
+            }
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 24 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                elapsed += t0.elapsed();
+            }
+            self.samples.push(elapsed / iters as u32);
+        }
+    }
+
     fn report(&self, label: &str, throughput: Option<&Throughput>) {
         if self.samples.is_empty() {
             println!("{label:<50} (no samples)");
@@ -80,6 +119,17 @@ impl Bencher {
         };
         println!("{label:<50} median {median:>12.3?}  [{lo:.3?} .. {hi:.3?}]{per_elem}");
     }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// parity with criterion, not acted on.
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per allocation.
+    SmallInput,
+    /// Large inputs: criterion would batch few per allocation.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
 }
 
 /// Work-rate annotation for a benchmark group.
