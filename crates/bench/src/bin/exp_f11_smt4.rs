@@ -4,47 +4,57 @@
 //! n-way contention model prices the extra residents, and the pairing
 //! policy requires *pairwise* compatibility within the stack.
 //!
+//! Runs as a declarative campaign over a genuine cluster axis — one
+//! [`ClusterVariant`] per SMT width — sharded over a worker pool with a
+//! deterministic merge, so the table is bit-identical under `--serial`,
+//! `--jobs 1`, or `--jobs 8`.
+//!
 //! ```text
-//! cargo run --release -p nodeshare-bench --bin exp_f11_smt4
+//! cargo run --release -p nodeshare-bench --bin exp_f11_smt4 -- [--jobs N|--serial] [--quick]
 //! ```
 
+use nodeshare_bench::campaign::{
+    exit_on_failures, run_campaign, write_cell_table, CampaignSpec, CellOptions, ClusterVariant,
+    PresetVariant, StrategyVariant,
+};
+use nodeshare_bench::orchestrator::CampaignCli;
 use nodeshare_bench::{emit, mean_of, seeds, World};
 use nodeshare_cluster::{ClusterSpec, NodeSpec};
 use nodeshare_core::{StrategyConfig, StrategyKind};
-use nodeshare_engine::SimConfig;
-use nodeshare_metrics::{pct, relative_gain, CampaignMetrics, Table};
-use rayon::prelude::*;
+use nodeshare_metrics::{pct, relative_gain, Table};
 
 fn main() {
+    let cli = CampaignCli::parse();
     let world = World::evaluation();
-    let reps = seeds(3);
+    let n_seeds = if cli.quick { 2 } else { 3 };
+    let quick_jobs = if cli.quick { Some(80) } else { None };
 
-    let run_smt = |cfg: &StrategyConfig, smt: u8| -> Vec<CampaignMetrics> {
+    let smt_cluster = |smt: u8| {
         let node = NodeSpec {
             smt,
             ..NodeSpec::trinity_like()
         };
-        let cluster = ClusterSpec::new(128, node);
-        reps.par_iter()
-            .map(|&seed| {
-                let workload = world.saturated_spec(seed).generate(&world.catalog);
-                let mut sched = cfg.build(&world.catalog, &world.model);
-                let out = nodeshare_engine::run(
-                    &workload,
-                    &world.matrix,
-                    sched.as_mut(),
-                    &SimConfig::new(cluster),
-                );
-                assert!(out.complete(), "{}: stuck", cfg.label());
-                out.metrics(&cluster)
-            })
-            .collect()
+        ClusterVariant::named(format!("128n-smt{smt}"), ClusterSpec::new(128, node))
     };
-
-    let easy = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
-    let co = StrategyConfig::sharing(StrategyKind::CoBackfill);
     let mut co_nway = StrategyConfig::sharing(StrategyKind::CoBackfill);
     co_nway.predictor = nodeshare_core::PredictorKind::NWayOracle;
+
+    let spec = CampaignSpec {
+        name: "f11",
+        presets: vec![PresetVariant {
+            n_jobs: quick_jobs,
+            ..PresetVariant::saturated("saturated")
+        }],
+        clusters: vec![smt_cluster(2), smt_cluster(3), smt_cluster(4)],
+        strategies: vec![
+            StrategyConfig::exclusive(StrategyKind::EasyBackfill).into(),
+            StrategyConfig::sharing(StrategyKind::CoBackfill).into(),
+            StrategyVariant::named("co-backfill+nway", co_nway),
+        ],
+        seeds: seeds(n_seeds),
+    };
+    let run = run_campaign(&world, &spec, cli.parallelism, &CellOptions::default())
+        .unwrap_or_else(|failures| exit_on_failures(failures));
 
     let mut t = Table::new(vec![
         "SMT width / predictor",
@@ -54,15 +64,17 @@ fn main() {
         "dil p95",
         "kills",
     ]);
-    for (smt, cfg, label) in [
-        (2u8, &co, "SMT-2 pairwise"),
-        (3, &co, "SMT-3 pairwise"),
-        (4, &co, "SMT-4 pairwise"),
-        (3, &co_nway, "SMT-3 n-way oracle"),
-        (4, &co_nway, "SMT-4 n-way oracle"),
+    // (cluster index, sharing-strategy index, display label); the EASY
+    // baseline is strategy 0 at the same SMT width.
+    for (cluster, strategy, label) in [
+        (0usize, 1usize, "SMT-2 pairwise"),
+        (1, 1, "SMT-3 pairwise"),
+        (2, 1, "SMT-4 pairwise"),
+        (1, 2, "SMT-3 n-way oracle"),
+        (2, 2, "SMT-4 n-way oracle"),
     ] {
-        let base = run_smt(&easy, smt);
-        let shared = run_smt(cfg, smt);
+        let base = run.seed_metrics(0, cluster, 0);
+        let shared = run.seed_metrics(0, cluster, strategy);
         t.row(vec![
             label.to_string(),
             pct(relative_gain(
@@ -78,8 +90,9 @@ fn main() {
             format!("{:.1}", mean_of(&shared, |m| m.killed as f64)),
         ]);
     }
+    let quick_note = if cli.quick { " [quick]" } else { "" };
     let text = format!(
-        "F11 — node-sharing gains vs SMT width (saturated campaign, {} replications)\n\n{}\n\
+        "F11 — node-sharing gains vs SMT width (saturated campaign, {} replications){}\n\n{}\n\
          two findings: (1) with *pairwise* prediction, wider SMT backfires —\n\
          three/four-way contention is underestimated, stacks get admitted that\n\
          dilate and kill their residents; (2) with *n-way-aware* prediction the\n\
@@ -88,8 +101,10 @@ fn main() {
          triples are scarce — a third job always crowds someone's bottleneck).\n\
          Both support the paper's SMT-2 focus: pairwise profiling is sound\n\
          there, and wider SMT has little to offer this workload class anyway.\n",
-        reps.len(),
+        spec.seeds.len(),
+        quick_note,
         t.render()
     );
     emit("exp_f11_smt4", &text, Some(&t.to_csv()));
+    write_cell_table("exp_f11_smt4", &run);
 }

@@ -4,24 +4,54 @@
 //! sharing gains grow with load (an uncontended machine has nothing to
 //! share for) and flatten once the machine saturates.
 //!
+//! Runs as a declarative campaign — every load factor is a preset axis
+//! entry, and the (strategy × seed × preset) grid is sharded over a
+//! worker pool with a deterministic merge, so the table is bit-identical
+//! under `--serial`, `--jobs 1`, or `--jobs 8`.
+//!
 //! ```text
-//! cargo run --release -p nodeshare-bench --bin exp_f3_load_sweep
+//! cargo run --release -p nodeshare-bench --bin exp_f3_load_sweep -- [--jobs N|--serial] [--quick]
 //! ```
 
+use nodeshare_bench::campaign::{
+    exit_on_failures, run_campaign, write_cell_table, CampaignSpec, CellOptions, PresetVariant,
+};
+use nodeshare_bench::orchestrator::CampaignCli;
 use nodeshare_bench::{emit, mean_of, seeds, World};
 use nodeshare_core::{StrategyConfig, StrategyKind};
 use nodeshare_metrics::{pct, relative_gain, Table};
-use nodeshare_workload::ArrivalProcess;
 
 fn main() {
+    let cli = CampaignCli::parse();
     let world = World::evaluation();
-    let reps = seeds(3);
     // Offered load ≈ 1.0 near rate 0.0047 (see WorkloadSpec::evaluation).
     let base_rate = 0.0047;
-    let factors = [0.5, 0.7, 0.85, 1.0, 1.15, 1.3, 1.5, 1.7];
+    let factors: &[f64] = if cli.quick {
+        &[0.7, 1.0, 1.5]
+    } else {
+        &[0.5, 0.7, 0.85, 1.0, 1.15, 1.3, 1.5, 1.7]
+    };
+    let n_jobs = if cli.quick { 80 } else { 600 };
+    let n_seeds = if cli.quick { 2 } else { 3 };
 
-    let easy = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
-    let co = StrategyConfig::sharing(StrategyKind::CoBackfill);
+    let spec = CampaignSpec::on_evaluation_cluster(
+        "f3",
+        factors
+            .iter()
+            .map(|&f| PresetVariant {
+                n_jobs: Some(n_jobs),
+                arrival_rate: Some(base_rate * f),
+                ..PresetVariant::online(format!("{f:.2}x"))
+            })
+            .collect(),
+        vec![
+            StrategyConfig::exclusive(StrategyKind::EasyBackfill).into(),
+            StrategyConfig::sharing(StrategyKind::CoBackfill).into(),
+        ],
+        seeds(n_seeds),
+    );
+    let run = run_campaign(&world, &spec, cli.parallelism, &CellOptions::default())
+        .unwrap_or_else(|failures| exit_on_failures(failures));
 
     let mut t = Table::new(vec![
         "load",
@@ -32,21 +62,13 @@ fn main() {
         "wait co(m)",
         "shared",
     ]);
-    for &f in &factors {
-        let spec_of = |seed| {
-            let mut s = world.online_spec(seed);
-            s.arrival = ArrivalProcess::Poisson {
-                rate: base_rate * f,
-            };
-            s.n_jobs = 600;
-            s
-        };
-        let me = world.replicate(&easy, &reps, spec_of);
-        let mc = world.replicate(&co, &reps, spec_of);
+    for (p, pv) in spec.presets.iter().enumerate() {
+        let me = run.seed_metrics(p, 0, 0);
+        let mc = run.seed_metrics(p, 0, 1);
         let es_e = mean_of(&me, |m| m.scheduling_efficiency);
         let es_c = mean_of(&mc, |m| m.scheduling_efficiency);
         t.row(vec![
-            format!("{f:.2}x"),
+            pv.label.clone(),
             format!("{es_e:.3}"),
             format!("{es_c:.3}"),
             pct(relative_gain(es_c, es_e)),
@@ -55,11 +77,15 @@ fn main() {
             pct(mean_of(&mc, |m| m.shared_fraction)),
         ]);
     }
+    let quick_note = if cli.quick { " [quick]" } else { "" };
     let text = format!(
-        "F3 — CoBackfill gain vs offered load ({} replications x 600 jobs per point)\n\n{}\n\
+        "F3 — CoBackfill gain vs offered load ({} replications x {} jobs per point){}\n\n{}\n\
          expected shape: gains grow with load, flatten at deep saturation.\n",
-        reps.len(),
+        spec.seeds.len(),
+        n_jobs,
+        quick_note,
         t.render()
     );
     emit("exp_f3_load_sweep", &text, Some(&t.to_csv()));
+    write_cell_table("exp_f3_load_sweep", &run);
 }

@@ -4,43 +4,60 @@
 //! sweep, EASY vs CoBackfill, counting requeues and re-measuring the
 //! headline metrics.
 //!
+//! Runs as a declarative campaign — every MTBF/checkpoint variant is a
+//! preset axis entry with its own [`FailurePlan`], and the grid is
+//! sharded over a worker pool with a deterministic merge, so the table
+//! is bit-identical under `--serial`, `--jobs 1`, or `--jobs 8`.
+//!
 //! ```text
-//! cargo run --release -p nodeshare-bench --bin exp_f9_failures
+//! cargo run --release -p nodeshare-bench --bin exp_f9_failures -- [--jobs N|--serial] [--quick]
 //! ```
 
+use nodeshare_bench::campaign::{
+    exit_on_failures, run_campaign, write_cell_table, CampaignSpec, CellOptions, FailurePlan,
+    PresetVariant,
+};
+use nodeshare_bench::orchestrator::CampaignCli;
 use nodeshare_bench::{emit, mean_of, seeds, World};
 use nodeshare_core::{StrategyConfig, StrategyKind};
-use nodeshare_engine::FailureModel;
-use nodeshare_metrics::{pct, relative_gain, CampaignMetrics, Table};
-use rayon::prelude::*;
+use nodeshare_metrics::{pct, relative_gain, Table};
 
 fn main() {
+    let cli = CampaignCli::parse();
     let world = World::evaluation();
-    let reps = seeds(3);
-    let easy = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
-    let co = StrategyConfig::sharing(StrategyKind::CoBackfill);
+    let n_seeds = if cli.quick { 2 } else { 3 };
+    let quick_jobs = if cli.quick { Some(80) } else { None };
 
-    let run_with = |cfg: &StrategyConfig, mtbf_h: f64, ckpt: Option<f64>| -> Vec<CampaignMetrics> {
-        reps.par_iter()
-            .map(|&seed| {
-                let workload = world.saturated_spec(seed).generate(&world.catalog);
-                let mut config = world.config();
-                config.checkpoint_interval = ckpt;
-                if mtbf_h.is_finite() {
-                    config.failures = Some(FailureModel {
-                        mtbf_per_node: mtbf_h * 3_600.0,
-                        repair_time: 1_800.0,
-                        seed: seed ^ 0xfa11,
-                    });
-                    config.failure_horizon = 30.0 * 86_400.0;
-                }
-                let mut sched = cfg.build(&world.catalog, &world.model);
-                let out = nodeshare_engine::run(&workload, &world.matrix, sched.as_mut(), &config);
-                assert!(out.complete(), "{}: stuck", cfg.label());
-                out.metrics(&world.cluster)
+    let variants: [(&str, f64, Option<f64>); 5] = [
+        ("no failures", f64::INFINITY, None),
+        ("1000 h", 1_000.0, None),
+        ("300 h", 300.0, None),
+        ("100 h", 100.0, None),
+        ("100 h + 15min ckpt", 100.0, Some(900.0)),
+    ];
+    let spec = CampaignSpec::on_evaluation_cluster(
+        "f9",
+        variants
+            .iter()
+            .map(|&(label, mtbf_h, ckpt)| PresetVariant {
+                n_jobs: quick_jobs,
+                failures: mtbf_h.is_finite().then_some(FailurePlan {
+                    mtbf_hours: mtbf_h,
+                    repair_s: 1_800.0,
+                    horizon_s: 30.0 * 86_400.0,
+                }),
+                checkpoint_interval: ckpt,
+                ..PresetVariant::saturated(label)
             })
-            .collect()
-    };
+            .collect(),
+        vec![
+            StrategyConfig::exclusive(StrategyKind::EasyBackfill).into(),
+            StrategyConfig::sharing(StrategyKind::CoBackfill).into(),
+        ],
+        seeds(n_seeds),
+    );
+    let run = run_campaign(&world, &spec, cli.parallelism, &CellOptions::default())
+        .unwrap_or_else(|failures| exit_on_failures(failures));
 
     let mut t = Table::new(vec![
         "MTBF/node",
@@ -51,17 +68,11 @@ fn main() {
         "makespan easy(h)",
         "makespan co(h)",
     ]);
-    for (label, mtbf_h, ckpt) in [
-        ("no failures", f64::INFINITY, None),
-        ("1000 h", 1_000.0, None),
-        ("300 h", 300.0, None),
-        ("100 h", 100.0, None),
-        ("100 h + 15min ckpt", 100.0, Some(900.0)),
-    ] {
-        let me = run_with(&easy, mtbf_h, ckpt);
-        let mc = run_with(&co, mtbf_h, ckpt);
+    for (p, pv) in spec.presets.iter().enumerate() {
+        let me = run.seed_metrics(p, 0, 0);
+        let mc = run.seed_metrics(p, 0, 1);
         t.row(vec![
-            label.to_string(),
+            pv.label.clone(),
             format!("{:.0}", mean_of(&me, |m| m.total_restarts as f64)),
             format!("{:.0}", mean_of(&mc, |m| m.total_restarts as f64)),
             pct(relative_gain(
@@ -76,14 +87,17 @@ fn main() {
             format!("{:.1}", mean_of(&mc, |m| m.makespan) / 3_600.0),
         ]);
     }
+    let quick_note = if cli.quick { " [quick]" } else { "" };
     let text = format!(
-        "F9 — node-failure resilience (saturated campaign, {} replications; repair 30 min)\n\n{}\n\
+        "F9 — node-failure resilience (saturated campaign, {} replications; repair 30 min){}\n\n{}\n\
          reading: sharing roughly doubles the jobs hit per failure, but the\n\
          efficiency advantage persists because restarts cost both variants\n\
          similar node-time fractions; application checkpointing recovers most\n\
          of the failure-induced makespan loss for both.\n",
-        reps.len(),
+        spec.seeds.len(),
+        quick_note,
         t.render()
     );
     emit("exp_f9_failures", &text, Some(&t.to_csv()));
+    write_cell_table("exp_f9_failures", &run);
 }

@@ -2,17 +2,49 @@
 //! evaluation campaign: makespan, waits, slowdown, utilization, and the
 //! two efficiency metrics.
 //!
+//! Runs as a declarative campaign: the (strategy × seed × preset) grid
+//! is sharded over a worker pool and merged deterministically, so the
+//! tables below are bit-identical under `--serial`, `--jobs 1`, or
+//! `--jobs 8`.
+//!
 //! ```text
-//! cargo run --release -p nodeshare-bench --bin exp_t2_strategies
+//! cargo run --release -p nodeshare-bench --bin exp_t2_strategies -- [--jobs N|--serial] [--quick]
 //! ```
 
+use nodeshare_bench::campaign::{
+    exit_on_failures, run_campaign, write_cell_table, CampaignSpec, CellOptions, PresetVariant,
+};
+use nodeshare_bench::orchestrator::CampaignCli;
 use nodeshare_bench::{emit, mean_of, seeds, World};
 use nodeshare_core::StrategyConfig;
 use nodeshare_metrics::{pct, Table};
 
 fn main() {
+    let cli = CampaignCli::parse();
     let world = World::evaluation();
-    let reps = seeds(3);
+    let n_seeds = if cli.quick { 2 } else { 3 };
+    let quick_jobs = if cli.quick { Some(60) } else { None };
+
+    let spec = CampaignSpec::on_evaluation_cluster(
+        "t2",
+        vec![
+            PresetVariant {
+                n_jobs: quick_jobs,
+                ..PresetVariant::saturated("saturated")
+            },
+            PresetVariant {
+                n_jobs: quick_jobs,
+                ..PresetVariant::online("online")
+            },
+        ],
+        StrategyConfig::lineup()
+            .into_iter()
+            .map(Into::into)
+            .collect(),
+        seeds(n_seeds),
+    );
+    let run = run_campaign(&world, &spec, cli.parallelism, &CellOptions::default())
+        .unwrap_or_else(|failures| exit_on_failures(failures));
 
     let mut t = Table::new(vec![
         "strategy",
@@ -27,10 +59,10 @@ fn main() {
         "kills",
     ]);
     let mut csv_rows = String::new();
-    for cfg in StrategyConfig::lineup() {
-        let ms = world.replicate(&cfg, &reps, |s| world.saturated_spec(s));
+    for (s, sv) in spec.strategies.iter().enumerate() {
+        let ms = run.seed_metrics(0, 0, s);
         let row = [
-            cfg.label().to_string(),
+            sv.label.clone(),
             format!("{:.1}", mean_of(&ms, |m| m.makespan) / 3600.0),
             format!("{:.0}", mean_of(&ms, |m| m.wait.mean) / 60.0),
             format!("{:.0}", mean_of(&ms, |m| m.wait.p95) / 60.0),
@@ -55,10 +87,10 @@ fn main() {
         "E_comp",
         "shared",
     ]);
-    for cfg in StrategyConfig::lineup() {
-        let ms = world.replicate(&cfg, &reps, |s| world.online_spec(s));
+    for (s, sv) in spec.strategies.iter().enumerate() {
+        let ms = run.seed_metrics(1, 0, s);
         t2.row(vec![
-            cfg.label().to_string(),
+            sv.label.clone(),
             format!("{:.0}", mean_of(&ms, |m| m.wait.mean) / 60.0),
             format!("{:.0}", mean_of(&ms, |m| m.wait.p95) / 60.0),
             format!("{:.1}", mean_of(&ms, |m| m.bounded_slowdown.p95)),
@@ -66,10 +98,13 @@ fn main() {
             pct(mean_of(&ms, |m| m.shared_fraction)),
         ]);
     }
+    let jobs_note = if cli.quick { " [quick]" } else { "" };
     let text = format!(
-        "T2 — strategy comparison, saturated campaign ({} replications x 1000 jobs, 128 nodes)\n\n{}\n\
+        "T2 — strategy comparison, saturated campaign ({} replications x {} jobs, 128 nodes){}\n\n{}\n\
          T2b — the same lineup in the online (~90% load) regime:\n\n{}",
-        reps.len(),
+        spec.seeds.len(),
+        quick_jobs.unwrap_or(1000),
+        jobs_note,
         t.render(),
         t2.render()
     );
@@ -77,4 +112,5 @@ fn main() {
         "strategy,makespan_h,wait_mean_m,wait_p95_m,bsld_p95,util,e_comp,e_sched,shared,kills\n{csv_rows}"
     );
     emit("exp_t2_strategies", &text, Some(&csv));
+    write_cell_table("exp_t2_strategies", &run);
 }

@@ -28,6 +28,13 @@
 //! * `--reference` — time the retained pre-optimization scheduler
 //!   implementations instead (see `StrategyConfig::build_reference`), so
 //!   the fast-path speedup can be measured on one build.
+//! * `--campaign` — additionally time the saturated multi-seed campaign
+//!   through the parallel orchestrator at 1 worker and at every
+//!   available core, recording aggregate events/sec per worker count
+//!   (mode `campaign`; the `reps` field carries the worker count and the
+//!   top-level `cores` field the machine's parallelism). These entries
+//!   are informational on other machines — the mode-scoped coverage gate
+//!   never requires them during a `--quick` CI smoke.
 //! * `--only LABEL` — restrict the grid to one strategy (e.g. time just
 //!   the conservative reference without paying for the 20 000-job
 //!   backfill campaigns).
@@ -48,6 +55,8 @@
 //! deterministic; a drift is a bug, not noise) and outcomes stay
 //! bit-identical to the audited runs; only the clock is new here.
 
+use nodeshare_bench::campaign::{run_campaign, CampaignSpec, CellOptions, PresetVariant};
+use nodeshare_bench::orchestrator::Parallelism;
 use nodeshare_bench::{seeds, World};
 use nodeshare_core::{StrategyConfig, StrategyKind};
 use nodeshare_engine::{run, SimConfig};
@@ -265,6 +274,9 @@ fn to_json(entries: &[Entry], quick: bool) -> String {
         "  \"mode\": \"{}\",",
         if quick { "quick" } else { "baseline" }
     );
+    // Context for the campaign-mode entries: parallel speedup is a
+    // property of the machine that produced the file.
+    let _ = writeln!(out, "  \"cores\": {},", rayon::current_num_threads());
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -432,6 +444,70 @@ fn check_against(entries: &[Entry], baseline: &[BaselineEntry]) -> Vec<String> {
     failures
 }
 
+/// Times the saturated multi-seed co-backfill campaign through the
+/// parallel orchestrator at one worker and at every available core,
+/// recording aggregate events/sec per worker count (the `reps` field
+/// carries the worker count). The speedup these entries document is
+/// machine-dependent — the committed file's top-level `cores` field says
+/// how many cores produced it — so the CI quick smoke never gates on
+/// `campaign`-mode entries (its `--quick` run measures mode "quick"
+/// only, and the coverage gate is mode-scoped).
+fn measure_orchestrator(world: &World, quick: bool) -> Vec<Entry> {
+    let n_jobs: u32 = if quick { 300 } else { 1_500 };
+    let spec = CampaignSpec::on_evaluation_cluster(
+        "perf",
+        vec![PresetVariant {
+            n_jobs: Some(n_jobs as usize),
+            ..PresetVariant::saturated("saturated")
+        }],
+        vec![StrategyConfig::sharing(StrategyKind::CoBackfill).into()],
+        seeds(6),
+    );
+    let mut workers = vec![1usize, rayon::current_num_threads()];
+    workers.dedup();
+    let mut entries = Vec::new();
+    let mut serial_wall = None;
+    for w in workers {
+        eprintln!(
+            "timing campaign orchestrator: {} cells x {n_jobs} jobs at {w} worker(s) ...",
+            spec.n_cells()
+        );
+        let started = Instant::now();
+        let run = run_campaign(world, &spec, Parallelism::Jobs(w), &CellOptions::default())
+            .unwrap_or_else(|f| panic!("perf campaign failed: {}", f[0]));
+        let wall = started.elapsed().as_secs_f64();
+        let events: u64 = run.results.iter().map(|r| r.outcome.events_processed).sum();
+        let peak = run
+            .results
+            .iter()
+            .map(|r| r.outcome.queue_depth.max_value().max(0.0) as u64)
+            .max()
+            .unwrap_or(0);
+        let eps = events as f64 / wall.max(1e-9);
+        if w == 1 {
+            serial_wall = Some(wall);
+        } else if let Some(base) = serial_wall {
+            eprintln!(
+                "campaign speedup at {w} workers: {:.2}x over 1 worker",
+                base / wall.max(1e-9)
+            );
+        }
+        entries.push(Entry {
+            strategy: "campaign-co-backfill",
+            mode: "campaign",
+            jobs: n_jobs,
+            nodes: world.cluster.node_count,
+            reps: w as u32,
+            events,
+            wall_s: wall,
+            events_per_sec: eps,
+            samples: vec![eps],
+            peak_queue_depth: peak,
+        });
+    }
+    entries
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -440,12 +516,14 @@ fn main() {
     let mut reps: u32 = 1;
     let mut samples_n: u32 = 3;
     let mut reference = false;
+    let mut campaign = false;
     let mut only: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--reference" => reference = true,
+            "--campaign" => campaign = true,
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
             "--only" => only = Some(it.next().expect("--only needs a strategy label").clone()),
@@ -464,13 +542,17 @@ fn main() {
                     .expect("--reps takes an integer");
             }
             other => panic!(
-                "unknown option {other} (see --quick/--reference/--only/--out/--check/--samples/--reps)"
+                "unknown option {other} \
+                 (see --quick/--reference/--campaign/--only/--out/--check/--samples/--reps)"
             ),
         }
     }
 
     let world = World::evaluation();
-    let entries = measure(&world, quick, reps, reference, samples_n, only.as_deref());
+    let mut entries = measure(&world, quick, reps, reference, samples_n, only.as_deref());
+    if campaign {
+        entries.extend(measure_orchestrator(&world, quick));
+    }
     for e in &entries {
         println!(
             "{:>14} {:>5} jobs={:<6} reps={} events={:<8} wall={:>8.3}s {:>9.0} events/s \

@@ -1,0 +1,676 @@
+//! Declarative experiment campaigns over a (strategy × seed × preset ×
+//! cluster) cell grid.
+//!
+//! Every experiment binary used to hand-roll its own nested
+//! strategy/seed loops; a [`CampaignSpec`] replaces them with data: four
+//! axes whose cartesian product is the campaign's cell grid. Each cell
+//! is one **serial** simulation — determinism inside a cell is exactly
+//! the source paper's serial-code contract — and cells are independent,
+//! so the orchestrator ([`crate::orchestrator`]) shards them freely
+//! across workers while [`run_campaign`] merges the per-cell
+//! [`CampaignMetrics`] rows back in **canonical cell order**. The
+//! resulting tables are bit-identical whether the campaign ran
+//! `--serial`, `--jobs 1`, or `--jobs 64`.
+//!
+//! Canonical order is the declaration order of the axes, nested
+//! preset-major: presets → clusters → strategies → seeds (seeds
+//! innermost, so replications of one configuration are adjacent).
+
+use crate::orchestrator::{run_cells, CellFailure, Parallelism};
+use crate::{
+    audit_requested, telemetry_dir, telemetry_sample_interval, write_telemetry_files, World,
+};
+use nodeshare_cluster::ClusterSpec;
+use nodeshare_core::StrategyConfig;
+use nodeshare_engine::{
+    run, run_traced, run_traced_with_telemetry, run_with_telemetry, Auditor, DecisionTrace,
+    FailureModel, SimConfig, SimOutcome, SimTelemetry,
+};
+use nodeshare_metrics::{CampaignMetrics, Table};
+use nodeshare_workload::{ArrivalProcess, WorkloadSpec};
+
+/// One strategy axis entry: a configuration plus the label it carries in
+/// tables, telemetry paths, and failure reports.
+#[derive(Clone, Debug)]
+pub struct StrategyVariant {
+    /// Table/log label (unique within the campaign).
+    pub label: String,
+    /// The scheduling policy this axis entry runs.
+    pub config: StrategyConfig,
+}
+
+impl From<StrategyConfig> for StrategyVariant {
+    fn from(config: StrategyConfig) -> Self {
+        StrategyVariant {
+            label: config.label().to_string(),
+            config,
+        }
+    }
+}
+
+impl StrategyVariant {
+    /// A variant with an explicit label (for configurations that differ
+    /// only in predictor or pairing policy).
+    pub fn named(label: impl Into<String>, config: StrategyConfig) -> Self {
+        StrategyVariant {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// Which base workload a preset builds on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadBase {
+    /// [`World::online_spec`]: Poisson arrivals at ~90% offered load.
+    Online,
+    /// [`World::saturated_spec`]: arrivals ~40% above drain rate.
+    Saturated,
+}
+
+/// Pre-sampled random node failures for a preset, mirroring the F9
+/// experiment's configuration. The per-cell failure stream is seeded
+/// from the cell's workload seed (`seed ^ 0xfa11`), so failure campaigns
+/// replicate exactly like failure-free ones.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailurePlan {
+    /// Mean time between failures per node, hours.
+    pub mtbf_hours: f64,
+    /// Node repair time, seconds.
+    pub repair_s: f64,
+    /// Horizon over which failures are pre-sampled, seconds.
+    pub horizon_s: f64,
+}
+
+/// One workload-preset axis entry: a named, data-only description of the
+/// campaign a cell simulates. Everything seed-dependent (workload
+/// generation, failure streams) is derived inside the cell from the
+/// seed axis, keeping the spec declarative.
+#[derive(Clone, Debug)]
+pub struct PresetVariant {
+    /// Table/log label (unique within the campaign).
+    pub label: String,
+    /// Base workload shape.
+    pub base: WorkloadBase,
+    /// Override the job count (default: the base spec's 1000).
+    pub n_jobs: Option<usize>,
+    /// Override the Poisson arrival rate (jobs/second).
+    pub arrival_rate: Option<f64>,
+    /// Inject random node failures.
+    pub failures: Option<FailurePlan>,
+    /// Application checkpoint interval in *work* seconds.
+    pub checkpoint_interval: Option<f64>,
+}
+
+impl PresetVariant {
+    /// An online (~90% load) preset.
+    pub fn online(label: impl Into<String>) -> Self {
+        PresetVariant {
+            label: label.into(),
+            base: WorkloadBase::Online,
+            n_jobs: None,
+            arrival_rate: None,
+            failures: None,
+            checkpoint_interval: None,
+        }
+    }
+
+    /// A saturated (headline-regime) preset.
+    pub fn saturated(label: impl Into<String>) -> Self {
+        PresetVariant {
+            base: WorkloadBase::Saturated,
+            ..PresetVariant::online(label)
+        }
+    }
+
+    /// The workload spec this preset generates for one seed.
+    pub fn workload_spec(&self, world: &World, seed: u64) -> WorkloadSpec {
+        let mut spec = match self.base {
+            WorkloadBase::Online => world.online_spec(seed),
+            WorkloadBase::Saturated => world.saturated_spec(seed),
+        };
+        if let Some(n) = self.n_jobs {
+            spec.n_jobs = n;
+        }
+        if let Some(rate) = self.arrival_rate {
+            spec.arrival = ArrivalProcess::Poisson { rate };
+        }
+        spec
+    }
+}
+
+/// One cluster axis entry.
+#[derive(Clone, Debug)]
+pub struct ClusterVariant {
+    /// Table/log label (unique within the campaign).
+    pub label: String,
+    /// The machine this axis entry simulates.
+    pub spec: ClusterSpec,
+}
+
+impl ClusterVariant {
+    /// The canonical 128-node SMT-2 evaluation machine.
+    pub fn evaluation() -> Self {
+        ClusterVariant {
+            label: "128n-smt2".to_string(),
+            spec: ClusterSpec::evaluation(),
+        }
+    }
+
+    /// A variant with an explicit label.
+    pub fn named(label: impl Into<String>, spec: ClusterSpec) -> Self {
+        ClusterVariant {
+            label: label.into(),
+            spec,
+        }
+    }
+}
+
+/// A declarative campaign: the cartesian product of four axes.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Campaign name — prefixes telemetry directories, obs log targets,
+    /// and result files.
+    pub name: &'static str,
+    /// Workload presets (outermost canonical axis).
+    pub presets: Vec<PresetVariant>,
+    /// Simulated machines.
+    pub clusters: Vec<ClusterVariant>,
+    /// Scheduling policies.
+    pub strategies: Vec<StrategyVariant>,
+    /// Replication seeds (innermost canonical axis).
+    pub seeds: Vec<u64>,
+}
+
+/// Coordinates of one cell: indices into the four spec axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellCoord {
+    /// Index into [`CampaignSpec::presets`].
+    pub preset: usize,
+    /// Index into [`CampaignSpec::clusters`].
+    pub cluster: usize,
+    /// Index into [`CampaignSpec::strategies`].
+    pub strategy: usize,
+    /// Index into [`CampaignSpec::seeds`].
+    pub seed: usize,
+}
+
+impl CampaignSpec {
+    /// A campaign on the evaluation cluster only.
+    pub fn on_evaluation_cluster(
+        name: &'static str,
+        presets: Vec<PresetVariant>,
+        strategies: Vec<StrategyVariant>,
+        seeds: Vec<u64>,
+    ) -> Self {
+        CampaignSpec {
+            name,
+            presets,
+            clusters: vec![ClusterVariant::evaluation()],
+            strategies,
+            seeds,
+        }
+    }
+
+    /// Total cell count.
+    pub fn n_cells(&self) -> usize {
+        self.presets.len() * self.clusters.len() * self.strategies.len() * self.seeds.len()
+    }
+
+    /// Every cell coordinate, in canonical order.
+    pub fn cells(&self) -> Vec<CellCoord> {
+        let mut out = Vec::with_capacity(self.n_cells());
+        for preset in 0..self.presets.len() {
+            for cluster in 0..self.clusters.len() {
+                for strategy in 0..self.strategies.len() {
+                    for seed in 0..self.seeds.len() {
+                        out.push(CellCoord {
+                            preset,
+                            cluster,
+                            strategy,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The canonical index of a coordinate — the inverse of
+    /// [`CampaignSpec::cells`] ordering.
+    pub fn index_of(&self, c: &CellCoord) -> usize {
+        ((c.preset * self.clusters.len() + c.cluster) * self.strategies.len() + c.strategy)
+            * self.seeds.len()
+            + c.seed
+    }
+
+    /// Human-readable cell coordinates:
+    /// `preset/cluster/strategy/seedN`.
+    pub fn cell_label(&self, c: &CellCoord) -> String {
+        format!(
+            "{}/{}/{}/seed{}",
+            self.presets[c.preset].label,
+            self.clusters[c.cluster].label,
+            self.strategies[c.strategy].label,
+            self.seeds[c.seed]
+        )
+    }
+
+    /// Filesystem-safe cell name (telemetry subdirectory).
+    pub fn cell_slug(&self, c: &CellCoord) -> String {
+        self.cell_label(c)
+            .chars()
+            .map(|ch| {
+                if ch.is_ascii_alphanumeric() || ch == '-' || ch == '_' {
+                    ch
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    }
+
+    /// Validates axis shapes: every axis non-empty, labels unique within
+    /// their axis (duplicate labels would alias telemetry directories
+    /// and make failure reports ambiguous).
+    pub fn validate(&self) {
+        assert!(
+            !self.presets.is_empty()
+                && !self.clusters.is_empty()
+                && !self.strategies.is_empty()
+                && !self.seeds.is_empty(),
+            "campaign {}: every axis needs at least one entry",
+            self.name
+        );
+        let unique = |labels: Vec<&str>, axis: &str| {
+            let mut seen = std::collections::HashSet::new();
+            for l in labels {
+                assert!(
+                    seen.insert(l.to_string()),
+                    "campaign {}: duplicate {axis} label {l:?}",
+                    self.name
+                );
+            }
+        };
+        unique(
+            self.presets.iter().map(|p| p.label.as_str()).collect(),
+            "preset",
+        );
+        unique(
+            self.clusters.iter().map(|c| c.label.as_str()).collect(),
+            "cluster",
+        );
+        unique(
+            self.strategies.iter().map(|s| s.label.as_str()).collect(),
+            "strategy",
+        );
+    }
+}
+
+/// Per-cell execution options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellOptions {
+    /// Record a decision trace for every cell and keep its FNV-1a hash
+    /// in the result — the differential tests compare these across
+    /// worker counts. (Tracing also happens whenever auditing is on.)
+    pub hash_traces: bool,
+}
+
+/// What one cell produced.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Where in the grid this result belongs.
+    pub coord: CellCoord,
+    /// The full simulation outcome (records, occupancy series, …).
+    pub outcome: SimOutcome,
+    /// Aggregated campaign metrics against the cell's cluster.
+    pub metrics: CampaignMetrics,
+    /// FNV-1a hash of the decision trace, when one was recorded.
+    pub trace_hash: Option<u64>,
+}
+
+/// Stable FNV-1a hash of a decision trace (over the `Debug` rendering of
+/// every event — `f64` formatting is exact for round-trip values, so
+/// equal traces hash equal and diverging traces collide with
+/// probability ~2⁻⁶⁴).
+pub fn trace_hash(trace: &DecisionTrace) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = String::new();
+    for ev in trace.events() {
+        use std::fmt::Write as _;
+        buf.clear();
+        let _ = write!(buf, "{ev:?}");
+        for b in buf.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Runs one cell: generates the seeded workload, builds the policy,
+/// runs the serial simulation (audited and/or telemetry-instrumented as
+/// configured), and aggregates metrics.
+///
+/// # Panics
+/// Panics when the policy wedges (incomplete campaign) or the replay
+/// audit finds violations — the orchestrator turns either into a
+/// [`CellFailure`] carrying this cell's coordinates.
+pub fn run_cell(
+    world: &World,
+    spec: &CampaignSpec,
+    coord: &CellCoord,
+    opts: &CellOptions,
+) -> CellResult {
+    let sv = &spec.strategies[coord.strategy];
+    let pv = &spec.presets[coord.preset];
+    let cv = &spec.clusters[coord.cluster];
+    let seed = spec.seeds[coord.seed];
+    let label = spec.cell_label(coord);
+    let slug = spec.cell_slug(coord);
+    let target = format!("campaign::{}::{}", spec.name, slug);
+
+    let workload = pv.workload_spec(world, seed).generate(&world.catalog);
+    let mut sim_cfg = SimConfig::new(cv.spec);
+    if audit_requested() {
+        sim_cfg.audit = true;
+        crate::announce_audit();
+    }
+    if let Some(fp) = &pv.failures {
+        sim_cfg.failures = Some(FailureModel {
+            mtbf_per_node: fp.mtbf_hours * 3_600.0,
+            repair_time: fp.repair_s,
+            seed: seed ^ 0xfa11,
+        });
+        sim_cfg.failure_horizon = fp.horizon_s;
+    }
+    sim_cfg.checkpoint_interval = pv.checkpoint_interval;
+
+    nodeshare_obs::debug!(target.as_str(), "cell start"; jobs = workload.len());
+    let mut sched = sv.config.build(&world.catalog, &world.model);
+    let want_trace = sim_cfg.audit || opts.hash_traces;
+    let telemetry = telemetry_dir().map(|dir| {
+        (
+            dir.join(spec.name).join(&slug),
+            SimTelemetry::new(telemetry_sample_interval()),
+        )
+    });
+
+    let audit = |trace: &DecisionTrace, out: &SimOutcome| {
+        if let Err(violations) = Auditor::new(&world.matrix, &sim_cfg).audit(trace, out) {
+            panic!(
+                "audit of cell {label} found {} violation(s): {violations:?}",
+                violations.len()
+            );
+        }
+    };
+    let (out, hash) = match (&telemetry, want_trace) {
+        (Some((_, tele)), true) => {
+            let (out, trace) =
+                run_traced_with_telemetry(&workload, &world.matrix, sched.as_mut(), &sim_cfg, tele);
+            if sim_cfg.audit {
+                audit(&trace, &out);
+            }
+            let h = trace_hash(&trace);
+            (out, Some(h))
+        }
+        (Some((_, tele)), false) => (
+            run_with_telemetry(&workload, &world.matrix, sched.as_mut(), &sim_cfg, tele),
+            None,
+        ),
+        (None, true) => {
+            // `run_traced` never audits implicitly — we hand the trace
+            // to the auditor ourselves so the panic carries the cell.
+            let (out, trace) = run_traced(&workload, &world.matrix, sched.as_mut(), &sim_cfg);
+            if sim_cfg.audit {
+                audit(&trace, &out);
+            }
+            let h = trace_hash(&trace);
+            (out, Some(h))
+        }
+        (None, false) => (
+            run(&workload, &world.matrix, sched.as_mut(), &sim_cfg),
+            None,
+        ),
+    };
+    if let Some((dir, tele)) = telemetry {
+        // One subdirectory per cell: parallel cells never interleave
+        // JSONL writes, and a campaign's telemetry is browsable by cell
+        // coordinates.
+        write_telemetry_files(&dir, "campaign", &tele);
+    }
+    assert!(
+        out.complete(),
+        "cell {label}: {} jobs never scheduled",
+        out.unscheduled.len()
+    );
+    let metrics = out.metrics(&cv.spec);
+    nodeshare_obs::debug!(
+        target.as_str(),
+        "cell done";
+        events = out.events_processed,
+        makespan_h = format!("{:.2}", metrics.makespan / 3_600.0)
+    );
+    CellResult {
+        coord: *coord,
+        outcome: out,
+        metrics,
+        trace_hash: hash,
+    }
+}
+
+/// A completed campaign: per-cell results in canonical order plus the
+/// streamed per-cell metrics table.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// The spec that produced this run.
+    pub spec: CampaignSpec,
+    /// Per-cell results, canonical order.
+    pub results: Vec<CellResult>,
+    /// One row per cell (canonical order), streamed as cells completed.
+    pub cell_table: Table,
+}
+
+impl CampaignRun {
+    /// The per-seed metrics of one (preset, cluster, strategy)
+    /// configuration, in seed order — the replication vector the
+    /// experiment tables aggregate with [`crate::mean_of`].
+    pub fn seed_metrics(
+        &self,
+        preset: usize,
+        cluster: usize,
+        strategy: usize,
+    ) -> Vec<CampaignMetrics> {
+        self.spec
+            .seeds
+            .iter()
+            .enumerate()
+            .map(|(seed, _)| {
+                let idx = self.spec.index_of(&CellCoord {
+                    preset,
+                    cluster,
+                    strategy,
+                    seed,
+                });
+                self.results[idx].metrics.clone()
+            })
+            .collect()
+    }
+}
+
+/// The columns of the streamed per-cell table.
+fn cell_table_header() -> Vec<&'static str> {
+    vec![
+        "cell",
+        "preset",
+        "cluster",
+        "strategy",
+        "seed",
+        "makespan_h",
+        "e_comp",
+        "e_sched",
+        "util",
+        "shared",
+        "kills",
+        "restarts",
+    ]
+}
+
+fn cell_table_row(spec: &CampaignSpec, index: usize, r: &CellResult) -> Vec<String> {
+    let c = &r.coord;
+    let m = &r.metrics;
+    vec![
+        format!("{index}"),
+        spec.presets[c.preset].label.clone(),
+        spec.clusters[c.cluster].label.clone(),
+        spec.strategies[c.strategy].label.clone(),
+        format!("{}", spec.seeds[c.seed]),
+        format!("{:.2}", m.makespan / 3_600.0),
+        format!("{:.3}", m.computational_efficiency),
+        format!("{:.3}", m.scheduling_efficiency),
+        format!("{:.3}", m.utilization),
+        format!("{:.3}", m.shared_fraction),
+        format!("{}", m.killed),
+        format!("{}", m.total_restarts),
+    ]
+}
+
+/// Executes a campaign under the given parallelism and merges the
+/// per-cell rows into the metrics table in canonical cell order.
+///
+/// On failure, sibling cells' results are still computed (and logged),
+/// but the campaign as a whole reports every failed cell's coordinates.
+pub fn run_campaign(
+    world: &World,
+    spec: &CampaignSpec,
+    parallelism: Parallelism,
+    opts: &CellOptions,
+) -> Result<CampaignRun, Vec<CellFailure>> {
+    spec.validate();
+    let coords = spec.cells();
+    let n = coords.len();
+    let campaign_target = format!("campaign::{}", spec.name);
+    nodeshare_obs::info!(
+        campaign_target.as_str(),
+        "campaign start";
+        cells = n,
+        workers = parallelism.workers(),
+        serial = (parallelism == Parallelism::Serial)
+    );
+    let mut table = Table::new(cell_table_header());
+    let completed = run_cells(
+        &coords,
+        parallelism,
+        |_, c| spec.cell_label(c),
+        |_, c| run_cell(world, spec, c, opts),
+        |idx, r: &CellResult| {
+            table.row(cell_table_row(spec, idx, r));
+        },
+    );
+    let results = completed.into_results()?;
+    Ok(CampaignRun {
+        spec: spec.clone(),
+        results,
+        cell_table: table,
+    })
+}
+
+/// Writes the streamed per-cell table to `results/<name>_cells.csv` —
+/// the raw replication-level artifact behind an experiment's aggregated
+/// tables, in canonical cell order by construction.
+pub fn write_cell_table(name: &str, run: &CampaignRun) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(
+            dir.join(format!("{name}_cells.csv")),
+            run.cell_table.to_csv(),
+        );
+    }
+}
+
+/// Binary-side failure handling: prints every failed cell with its
+/// coordinates and exits non-zero.
+pub fn exit_on_failures(failures: Vec<CellFailure>) -> ! {
+    for f in &failures {
+        nodeshare_obs::error!("campaign", f);
+    }
+    eprintln!(
+        "campaign failed: {} cell(s) panicked or failed audit; sibling cells were unaffected",
+        failures.len()
+    );
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_core::StrategyKind;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::on_evaluation_cluster(
+            "unit",
+            vec![
+                PresetVariant {
+                    n_jobs: Some(20),
+                    ..PresetVariant::saturated("sat")
+                },
+                PresetVariant {
+                    n_jobs: Some(15),
+                    ..PresetVariant::online("online")
+                },
+            ],
+            vec![
+                StrategyConfig::exclusive(StrategyKind::Fcfs).into(),
+                StrategyConfig::sharing(StrategyKind::CoBackfill).into(),
+            ],
+            vec![1_000, 1_001],
+        )
+    }
+
+    #[test]
+    fn cell_enumeration_is_canonical_and_invertible() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), spec.n_cells());
+        // 2 presets x 1 cluster x 2 strategies x 2 seeds
+        assert_eq!(cells.len(), 8);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(spec.index_of(c), i);
+        }
+        // Seeds are the innermost axis: adjacent cells replicate one
+        // configuration.
+        assert_eq!(cells[0].seed, 0);
+        assert_eq!(cells[1].seed, 1);
+        assert_eq!(cells[0].strategy, cells[1].strategy);
+        assert_eq!(spec.cell_label(&cells[0]), "sat/128n-smt2/fcfs/seed1000");
+    }
+
+    #[test]
+    fn campaign_runs_and_aggregates_deterministically() {
+        let world = World::evaluation();
+        let spec = tiny_spec();
+        let opts = CellOptions { hash_traces: true };
+        let serial = run_campaign(&world, &spec, Parallelism::Serial, &opts).unwrap();
+        let parallel = run_campaign(&world, &spec, Parallelism::Jobs(4), &opts).unwrap();
+        assert_eq!(serial.results.len(), spec.n_cells());
+        for (a, b) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(a.coord, b.coord);
+            assert_eq!(a.trace_hash, b.trace_hash);
+            assert!(a.outcome == b.outcome);
+        }
+        assert_eq!(serial.cell_table.to_csv(), parallel.cell_table.to_csv());
+        let ms = serial.seed_metrics(0, 0, 1);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].jobs, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate strategy label")]
+    fn duplicate_labels_are_rejected() {
+        let mut spec = tiny_spec();
+        let dup = spec.strategies[0].clone();
+        spec.strategies.push(dup);
+        spec.validate();
+    }
+}

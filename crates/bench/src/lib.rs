@@ -9,6 +9,9 @@
 //! aggregate campaign metrics across replications (in parallel with
 //! Rayon — replications are independent).
 
+pub mod campaign;
+pub mod orchestrator;
+
 use nodeshare_cluster::ClusterSpec;
 use nodeshare_core::StrategyConfig;
 use nodeshare_engine::{
@@ -61,15 +64,7 @@ impl World {
         let mut cfg = SimConfig::new(self.cluster);
         if audit_requested() {
             cfg.audit = true;
-            // Say so once: a silent auditor is indistinguishable from a
-            // disabled one in a recorded experiment log.
-            static ANNOUNCE: std::sync::Once = std::sync::Once::new();
-            ANNOUNCE.call_once(|| {
-                nodeshare_obs::info!(
-                    "bench",
-                    "replay audit ON: every campaign is traced and re-verified"
-                );
-            });
+            announce_audit();
         }
         cfg
     }
@@ -172,6 +167,19 @@ pub fn audit_requested() -> bool {
     std::env::var("NODESHARE_AUDIT").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Says once, on stderr, that the replay auditor is forced on: a silent
+/// auditor is indistinguishable from a disabled one in a recorded
+/// experiment log.
+pub(crate) fn announce_audit() {
+    static ANNOUNCE: std::sync::Once = std::sync::Once::new();
+    ANNOUNCE.call_once(|| {
+        nodeshare_obs::info!(
+            "bench",
+            "replay audit ON: every campaign is traced and re-verified"
+        );
+    });
+}
+
 /// The directory campaigns dump telemetry into, from the
 /// `NODESHARE_TELEMETRY` environment variable (`0`/empty disables).
 pub fn telemetry_dir() -> Option<std::path::PathBuf> {
@@ -183,7 +191,7 @@ pub fn telemetry_dir() -> Option<std::path::PathBuf> {
 
 /// Telemetry sampling period in simulated seconds:
 /// `NODESHARE_SAMPLE_INTERVAL` when set and positive, else 300.
-fn telemetry_sample_interval() -> f64 {
+pub(crate) fn telemetry_sample_interval() -> f64 {
     std::env::var("NODESHARE_SAMPLE_INTERVAL")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -212,6 +220,22 @@ fn write_campaign_telemetry(dir: &std::path::Path, label: &str, telemetry: &SimT
         return;
     }
     let stem = format!("{slug}-{n:04}");
+    write_files(dir, &stem, telemetry);
+}
+
+/// Writes one simulation's JSONL samples and Prometheus exposition as
+/// `<dir>/<stem>.jsonl` / `<dir>/<stem>.prom`, creating `dir` as needed.
+/// Campaign cells call this with a per-cell directory so parallel cells
+/// never interleave writes into one file.
+pub(crate) fn write_telemetry_files(dir: &std::path::Path, stem: &str, telemetry: &SimTelemetry) {
+    if std::fs::create_dir_all(dir).is_err() {
+        nodeshare_obs::warn!("bench", "cannot create telemetry directory"; dir = dir.display());
+        return;
+    }
+    write_files(dir, stem, telemetry);
+}
+
+fn write_files(dir: &std::path::Path, stem: &str, telemetry: &SimTelemetry) {
     let jsonl = dir.join(format!("{stem}.jsonl"));
     let prom = dir.join(format!("{stem}.prom"));
     let ok = std::fs::write(&jsonl, telemetry.jsonl()).is_ok()

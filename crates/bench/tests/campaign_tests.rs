@@ -1,0 +1,204 @@
+//! Campaign orchestrator acceptance tests: canonical-order merging under
+//! adversarial completion schedules, and per-cell fault isolation with
+//! coordinate-labeled failures.
+
+use nodeshare_bench::campaign::{run_campaign, run_cell, CampaignSpec, CellOptions, PresetVariant};
+use nodeshare_bench::orchestrator::{
+    run_cells, run_cells_serial, run_cells_with_schedule, Parallelism,
+};
+use nodeshare_bench::{seeds, World};
+use nodeshare_core::{StrategyConfig, StrategyKind};
+use proptest::prelude::*;
+
+/// A small real campaign grid (axes named so failure labels are
+/// recognizable), used by the fault-isolation tests.
+fn small_spec() -> CampaignSpec {
+    CampaignSpec::on_evaluation_cluster(
+        "faults",
+        vec![
+            PresetVariant {
+                n_jobs: Some(25),
+                ..PresetVariant::saturated("saturated")
+            },
+            PresetVariant {
+                n_jobs: Some(20),
+                ..PresetVariant::online("online")
+            },
+        ],
+        vec![
+            StrategyConfig::exclusive(StrategyKind::EasyBackfill).into(),
+            StrategyConfig::sharing(StrategyKind::CoBackfill).into(),
+        ],
+        seeds(2),
+    )
+}
+
+/// Turns arbitrary sort keys into a completion permutation of `0..n`.
+fn permutation_from_keys(keys: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by_key(|&i| (keys[i], i));
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// An arbitrary campaign grid, completed in an arbitrary (injected,
+    /// adversarial) order, still merges in canonical cell order and
+    /// matches the serial reference cell for cell. The runner is
+    /// synthetic — the property under test is the merge path, not the
+    /// simulator.
+    #[test]
+    fn arbitrary_grids_merge_canonically_under_shuffled_schedules(
+        n_presets in 1usize..5,
+        n_clusters in 1usize..4,
+        n_strategies in 1usize..5,
+        n_seeds in 1usize..5,
+        keys in prop::collection::vec(0u64..10_000, 300),
+    ) {
+        // A real spec supplies the grid enumeration; the cells carry
+        // coordinates only.
+        let spec = CampaignSpec {
+            name: "prop",
+            presets: (0..n_presets)
+                .map(|i| PresetVariant::saturated(format!("p{i}")))
+                .collect(),
+            clusters: (0..n_clusters)
+                .map(|i| nodeshare_bench::campaign::ClusterVariant::named(
+                    format!("c{i}"),
+                    nodeshare_cluster::ClusterSpec::evaluation(),
+                ))
+                .collect(),
+            strategies: (0..n_strategies)
+                .map(|i| nodeshare_bench::campaign::StrategyVariant::named(
+                    format!("s{i}"),
+                    StrategyConfig::sharing(StrategyKind::CoBackfill),
+                ))
+                .collect(),
+            seeds: (0..n_seeds as u64).collect(),
+        };
+        let cells = spec.cells();
+        prop_assert_eq!(cells.len(), spec.n_cells());
+        // Every coordinate round-trips through the canonical index.
+        for (i, c) in cells.iter().enumerate() {
+            prop_assert_eq!(spec.index_of(c), i);
+        }
+        let schedule = permutation_from_keys(&keys[..cells.len()]);
+        let runner = |i: usize, c: &nodeshare_bench::campaign::CellCoord| {
+            (i, c.preset * 1000 + c.cluster * 100 + c.strategy * 10 + c.seed)
+        };
+
+        let reference = run_cells_serial(&cells, runner, |_, _| {});
+        let mut merged_order = Vec::new();
+        let shuffled = run_cells_with_schedule(&cells, &schedule, runner, |i, _| {
+            merged_order.push(i);
+        });
+        prop_assert_eq!(&merged_order, &(0..cells.len()).collect::<Vec<_>>());
+        prop_assert_eq!(shuffled, reference);
+    }
+
+    /// The same property through the real worker pool: whatever
+    /// completion order the threads produce, the merge delivers
+    /// canonical order and serial-identical results.
+    #[test]
+    fn worker_pool_merges_canonically(
+        n_cells in 1usize..120,
+        jobs in 1usize..9,
+    ) {
+        let cells: Vec<usize> = (0..n_cells).collect();
+        let runner = |i: usize, c: &usize| i as u64 * 31 + *c as u64;
+        let reference = run_cells_serial(&cells, runner, |_, _| {});
+        let mut merged_order = Vec::new();
+        let done = run_cells(
+            &cells,
+            Parallelism::Jobs(jobs),
+            |i, _| format!("cell{i}"),
+            runner,
+            |i, _| merged_order.push(i),
+        );
+        prop_assert_eq!(&merged_order, &(0..n_cells).collect::<Vec<_>>());
+        prop_assert_eq!(done.into_results().unwrap(), reference);
+    }
+}
+
+/// A cell that panics mid-campaign is reported with its full
+/// (preset, cluster, strategy, seed) coordinates, and sibling cells —
+/// which run *real* simulations — keep their results.
+#[test]
+fn panicking_cell_reports_coordinates_without_poisoning_siblings() {
+    let world = World::evaluation();
+    let spec = small_spec();
+    let cells = spec.cells();
+    let opts = CellOptions::default();
+    // Poison one mid-grid cell: online preset, co-backfill, second seed.
+    let poisoned = spec.index_of(&nodeshare_bench::campaign::CellCoord {
+        preset: 1,
+        cluster: 0,
+        strategy: 1,
+        seed: 1,
+    });
+
+    let done = run_cells(
+        &cells,
+        Parallelism::Jobs(4),
+        |_, c| spec.cell_label(c),
+        |i, c| {
+            if i == poisoned {
+                panic!("injected wedge");
+            }
+            run_cell(&world, &spec, c, &opts)
+        },
+        |_, _| {},
+    );
+
+    assert_eq!(done.failures.len(), 1);
+    let f = &done.failures[0];
+    assert_eq!(f.index, poisoned);
+    assert_eq!(f.label, "online/128n-smt2/co-backfill/seed1001");
+    assert!(f.message.contains("injected wedge"));
+    // The Display form carries everything needed to re-run the cell.
+    let report = f.to_string();
+    assert!(report.contains("online"), "{report}");
+    assert!(report.contains("co-backfill"), "{report}");
+    assert!(report.contains("seed1001"), "{report}");
+
+    // Every sibling simulated to completion and kept its result.
+    for (i, slot) in done.results.iter().enumerate() {
+        if i == poisoned {
+            assert!(slot.is_none());
+        } else {
+            let r = slot.as_ref().expect("sibling cell lost its result");
+            assert_eq!(spec.index_of(&r.coord), i);
+            assert!(r.outcome.complete());
+        }
+    }
+    assert!(done.into_results().is_err());
+}
+
+/// End-to-end through [`run_campaign`]: a preset whose workload
+/// generation panics (negative arrival rate) fails the campaign with one
+/// coordinate-labeled failure per poisoned cell — and the same campaign
+/// without the poison preset succeeds.
+#[test]
+fn run_campaign_surfaces_failed_cells_with_coordinates() {
+    let world = World::evaluation();
+    let mut spec = small_spec();
+    spec.presets.push(PresetVariant {
+        n_jobs: Some(10),
+        arrival_rate: Some(-1.0),
+        ..PresetVariant::saturated("poison")
+    });
+
+    let failures = run_campaign(&world, &spec, Parallelism::Jobs(4), &CellOptions::default())
+        .expect_err("the poison preset must fail the campaign");
+    // Exactly the poison cells failed: one per (strategy, seed).
+    assert_eq!(failures.len(), spec.strategies.len() * spec.seeds.len());
+    for f in &failures {
+        assert!(f.label.starts_with("poison/"), "{}", f.label);
+    }
+
+    spec.presets.pop();
+    let run = run_campaign(&world, &spec, Parallelism::Jobs(4), &CellOptions::default())
+        .expect("without the poison preset the campaign succeeds");
+    assert_eq!(run.results.len(), spec.n_cells());
+}

@@ -1,0 +1,235 @@
+//! Deterministic merge of out-of-order results.
+//!
+//! The campaign orchestrator runs independent simulation cells on a
+//! worker pool, so results arrive in *completion* order — a function of
+//! thread scheduling, not of the experiment. Everything downstream
+//! (tables, CSVs, aggregate statistics) must instead see the *canonical*
+//! order declared by the campaign spec, or two runs of the same campaign
+//! would emit differently ordered (and differently rounded, once
+//! aggregated) artifacts.
+//!
+//! [`OrderedMerge`] is the reorder buffer between the two: results are
+//! pushed under their canonical index in any order; the merge emits the
+//! longest contiguous prefix the moment it becomes available. Memory is
+//! bounded by the out-of-orderness of the schedule, not by the campaign
+//! size. [`OrderedTable`] layers a [`Table`] on top so experiment rows
+//! can stream straight into a render-ready artifact.
+
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A reorder buffer: accepts `(canonical index, item)` pairs in any
+/// order and releases items in canonical order.
+#[derive(Debug)]
+pub struct OrderedMerge<T> {
+    /// Next canonical index to emit.
+    next: usize,
+    /// Total number of expected items.
+    n: usize,
+    /// Items that arrived ahead of their turn, keyed by canonical index.
+    pending: BTreeMap<usize, T>,
+    /// High-water mark of `pending.len()`, for diagnostics.
+    peak_pending: usize,
+}
+
+impl<T> OrderedMerge<T> {
+    /// A merge expecting exactly `n` items with canonical indices
+    /// `0..n`.
+    pub fn new(n: usize) -> Self {
+        OrderedMerge {
+            next: 0,
+            n,
+            pending: BTreeMap::new(),
+            peak_pending: 0,
+        }
+    }
+
+    /// Offers one completed item. `emit` is invoked — possibly several
+    /// times — for every item whose canonical turn has come, in
+    /// canonical order.
+    ///
+    /// # Panics
+    /// Panics on an index `>= n` or on a duplicate: both mean the
+    /// producer enumerated cells inconsistently with the spec, which
+    /// would silently corrupt the merge if tolerated.
+    pub fn push(&mut self, index: usize, item: T, mut emit: impl FnMut(usize, T)) {
+        assert!(
+            index < self.n,
+            "merge index {index} out of range (expected {} items)",
+            self.n
+        );
+        assert!(
+            index >= self.next && !self.pending.contains_key(&index),
+            "duplicate merge index {index}"
+        );
+        if index == self.next {
+            emit(self.next, item);
+            self.next += 1;
+            // Release the contiguous run the newcomer unblocked.
+            while let Some(item) = self.pending.remove(&self.next) {
+                emit(self.next, item);
+                self.next += 1;
+            }
+        } else {
+            self.pending.insert(index, item);
+            self.peak_pending = self.peak_pending.max(self.pending.len());
+        }
+    }
+
+    /// True once every expected item has been pushed and emitted.
+    pub fn is_complete(&self) -> bool {
+        self.next == self.n && self.pending.is_empty()
+    }
+
+    /// Number of items emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.next
+    }
+
+    /// Items currently buffered out of order.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The largest number of items ever buffered at once — how far the
+    /// completion schedule strayed from canonical order.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+}
+
+/// A [`Table`] fed by out-of-order row completions: rows stream in under
+/// their canonical index and land in the table in canonical order.
+#[derive(Debug)]
+pub struct OrderedTable {
+    table: Table,
+    merge: OrderedMerge<Vec<String>>,
+}
+
+impl OrderedTable {
+    /// A table with the given header, expecting `n` rows.
+    pub fn new<S: Into<String>>(header: Vec<S>, n: usize) -> Self {
+        OrderedTable {
+            table: Table::new(header),
+            merge: OrderedMerge::new(n),
+        }
+    }
+
+    /// Ingests one row under its canonical index; returns how many rows
+    /// the table grew by (0 when the row was buffered, more when it
+    /// unblocked a run).
+    pub fn push(&mut self, index: usize, row: Vec<String>) -> usize {
+        let before = self.table.len();
+        let table = &mut self.table;
+        self.merge.push(index, row, |_, r| {
+            table.row(r);
+        });
+        self.table.len() - before
+    }
+
+    /// Rows ingested *and released* so far.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no rows have been released yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Finishes the stream, returning the completed table.
+    ///
+    /// # Panics
+    /// Panics when rows are missing — a campaign that lost cells must
+    /// not render a silently truncated table.
+    pub fn finish(self) -> Table {
+        assert!(
+            self.merge.is_complete(),
+            "ordered table incomplete: {} of {} rows ingested ({} buffered out of order)",
+            self.merge.emitted(),
+            self.merge.n,
+            self.merge.pending_len()
+        );
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let mut m = OrderedMerge::new(3);
+        let mut got = Vec::new();
+        for i in 0..3 {
+            m.push(i, i * 10, |idx, v| got.push((idx, v)));
+        }
+        assert_eq!(got, vec![(0, 0), (1, 10), (2, 20)]);
+        assert!(m.is_complete());
+        assert_eq!(m.peak_pending(), 0);
+    }
+
+    #[test]
+    fn reversed_stream_is_reordered() {
+        let mut m = OrderedMerge::new(4);
+        let mut got = Vec::new();
+        for i in (0..4).rev() {
+            m.push(i, i, |idx, v| got.push((idx, v)));
+        }
+        assert_eq!(got, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert_eq!(m.peak_pending(), 3);
+        assert!(m.is_complete());
+    }
+
+    #[test]
+    fn partial_stream_reports_incomplete() {
+        let mut m = OrderedMerge::new(3);
+        m.push(2, "c", |_, _| {});
+        m.push(0, "a", |_, _| {});
+        assert!(!m.is_complete());
+        assert_eq!(m.emitted(), 1);
+        assert_eq!(m.pending_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        OrderedMerge::new(2).push(2, (), |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate merge index")]
+    fn duplicate_index_panics() {
+        let mut m = OrderedMerge::new(3);
+        m.push(1, (), |_, _| {});
+        m.push(1, (), |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate merge index")]
+    fn already_emitted_index_panics() {
+        let mut m = OrderedMerge::new(3);
+        m.push(0, (), |_, _| {});
+        m.push(0, (), |_, _| {});
+    }
+
+    #[test]
+    fn ordered_table_streams_rows_canonically() {
+        let mut t = OrderedTable::new(vec!["cell", "value"], 3);
+        assert_eq!(t.push(1, vec!["b".into(), "2".into()]), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.push(0, vec!["a".into(), "1".into()]), 2);
+        assert_eq!(t.push(2, vec!["c".into(), "3".into()]), 1);
+        assert_eq!(t.len(), 3);
+        let csv = t.finish().to_csv();
+        assert_eq!(csv, "cell,value\na,1\nb,2\nc,3\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn unfinished_table_panics_on_finish() {
+        let t = OrderedTable::new(vec!["x"], 2);
+        t.finish();
+    }
+}

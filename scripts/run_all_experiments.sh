@@ -1,17 +1,56 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of EXPERIMENTS.md into results/.
 #
+# Usage: run_all_experiments.sh [--jobs N | --serial]
+#
+# The campaign-orchestrated experiments (see CAMPAIGN_BINS below) shard
+# their (strategy x seed x preset x cluster) cell grid over N workers;
+# `--jobs`/`--serial` (or NODESHARE_JOBS=N|serial) is passed through to
+# them. The merge is deterministic, so results/ is bit-identical
+# whatever worker count is chosen. The remaining binaries are serial (or
+# use their own internal replication parallelism) and ignore the flag.
+#
 # Each experiment also dumps per-campaign telemetry (JSONL samples +
 # Prometheus exposition) into results/telemetry/ unless the caller
 # already pointed NODESHARE_TELEMETRY elsewhere (or disabled it with
-# NODESHARE_TELEMETRY=0).
+# NODESHARE_TELEMETRY=0). Campaign binaries write one subdirectory per
+# cell (results/telemetry/<campaign>/<cell-slug>/), so parallel cells
+# never interleave JSONL writes into a shared file.
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS_ARGS=()
+while (($#)); do
+  case "$1" in
+    --jobs)
+      shift
+      [[ $# -ge 1 ]] || { echo "--jobs needs a worker count" >&2; exit 2; }
+      JOBS_ARGS=(--jobs "$1")
+      ;;
+    --serial)
+      JOBS_ARGS=(--serial)
+      ;;
+    *)
+      echo "unknown option $1 (see --jobs N / --serial)" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
 
 export NODESHARE_TELEMETRY="${NODESHARE_TELEMETRY:-results/telemetry}"
 if [[ "$NODESHARE_TELEMETRY" != 0 && -n "$NODESHARE_TELEMETRY" ]]; then
   mkdir -p "$NODESHARE_TELEMETRY"
 fi
+
+# Experiments ported onto the campaign orchestrator: these accept
+# --jobs/--serial and shard cells over a worker pool.
+CAMPAIGN_BINS=(
+  exp_t2_strategies
+  exp_f3_load_sweep
+  exp_f9_failures
+  exp_f11_smt4
+)
 
 BINS=(
   exp_t1_miniapps
@@ -41,7 +80,11 @@ cargo build --release -p nodeshare-bench || exit 1
 failed=()
 for bin in "${BINS[@]}"; do
   echo "=== $bin ==="
-  if ! cargo run --release --quiet -p nodeshare-bench --bin "$bin"; then
+  extra=()
+  if [[ " ${CAMPAIGN_BINS[*]} " == *" $bin "* ]]; then
+    extra=("${JOBS_ARGS[@]}")
+  fi
+  if ! cargo run --release --quiet -p nodeshare-bench --bin "$bin" -- "${extra[@]}"; then
     echo "!!! $bin FAILED (exit $?)" >&2
     failed+=("$bin")
   fi

@@ -356,6 +356,78 @@ fn auditor_catches_corrupted_incremental_profile() {
     );
 }
 
+/// The parallel campaign orchestrator must be **bit-identical** to the
+/// serial reference: the same campaign grid run under `--serial`,
+/// `--jobs 1`, and `--jobs 8` produces byte-identical emitted tables and
+/// identical per-cell outcomes and decision-trace hashes, across three
+/// replication seeds. This is the "two roads" contract end to end —
+/// parallelizing the campaign must not change a single byte of the
+/// science.
+#[test]
+fn parallel_campaign_is_bit_identical_to_serial() {
+    use nodeshare_bench::campaign::{run_campaign, CampaignSpec, CellOptions, PresetVariant};
+    use nodeshare_bench::orchestrator::Parallelism;
+    use nodeshare_bench::{seeds, World};
+
+    let world = World::evaluation();
+    let spec = CampaignSpec::on_evaluation_cluster(
+        "differential",
+        vec![
+            PresetVariant {
+                n_jobs: Some(60),
+                ..PresetVariant::saturated("saturated")
+            },
+            PresetVariant {
+                n_jobs: Some(50),
+                ..PresetVariant::online("online")
+            },
+        ],
+        vec![
+            StrategyConfig::exclusive(StrategyKind::EasyBackfill).into(),
+            StrategyConfig::sharing(StrategyKind::CoBackfill).into(),
+            StrategyConfig::exclusive(StrategyKind::Conservative).into(),
+        ],
+        seeds(3),
+    );
+    let opts = CellOptions { hash_traces: true };
+
+    let reference = run_campaign(&world, &spec, Parallelism::Serial, &opts)
+        .expect("serial reference campaign must succeed");
+    assert_eq!(reference.results.len(), spec.n_cells());
+
+    for jobs in [1, 8] {
+        let parallel = run_campaign(&world, &spec, Parallelism::Jobs(jobs), &opts)
+            .unwrap_or_else(|f| panic!("--jobs {jobs} campaign failed: {}", f[0]));
+        for (a, b) in reference.results.iter().zip(&parallel.results) {
+            let label = spec.cell_label(&a.coord);
+            assert_eq!(a.coord, b.coord, "jobs={jobs}: cell order diverges");
+            assert!(
+                a.trace_hash.is_some() && a.trace_hash == b.trace_hash,
+                "jobs={jobs} cell {label}: decision-trace hashes diverge"
+            );
+            assert!(
+                a.outcome == b.outcome,
+                "jobs={jobs} cell {label}: outcomes diverge"
+            );
+            assert!(
+                a.metrics == b.metrics,
+                "jobs={jobs} cell {label}: metrics diverge"
+            );
+        }
+        // The emitted artifacts — rendered table and CSV — are byte-equal.
+        assert_eq!(
+            reference.cell_table.render(),
+            parallel.cell_table.render(),
+            "jobs={jobs}: rendered cell tables diverge"
+        );
+        assert_eq!(
+            reference.cell_table.to_csv(),
+            parallel.cell_table.to_csv(),
+            "jobs={jobs}: cell CSVs diverge"
+        );
+    }
+}
+
 /// Acceptance check: a double-charged node-second in the outcome is a
 /// conservation violation the auditor reports by name.
 #[test]

@@ -1,14 +1,97 @@
 //! Vendored offline stand-in for `rayon`.
 //!
-//! This workspace only uses `slice.par_iter().map(f).collect::<Vec<_>>()`
-//! (independent replications of a simulation). The shim implements that
-//! shape for real: `par_iter()` returns a [`ParIter`] whose `map` produces
-//! a [`ParMap`]; collecting a `ParMap` into a `Vec` fans the work out over
-//! `std::thread::scope` with one chunk per available core, preserving
-//! input order. Other iterator adaptors fall back to sequential execution
-//! via the `Iterator` implementation.
+//! The workspace uses two shapes:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — independent
+//!   replications of a simulation, results in input order;
+//! * [`dispatch`] — the campaign orchestrator's work queue: run `f(i)`
+//!   for `i in 0..n` over a bounded worker pool with **dynamic** load
+//!   balancing (an atomic claim index, so heterogeneous cells don't
+//!   stall a statically chunked worker), delivering each result to a
+//!   caller-side sink *in completion order* as soon as it is ready.
+//!
+//! Both honor [`set_num_threads`] (0 = one worker per available core),
+//! which the bench harness wires to `--jobs N` / `NODESHARE_JOBS`.
+//! Other iterator adaptors fall back to sequential execution via the
+//! `Iterator` implementation.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Global worker-count override: 0 means "one per available core".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count used by [`dispatch`] and
+/// `par_iter().map().collect()`. `0` restores the default (one worker
+/// per available core). Unlike upstream rayon's pool builder this may be
+/// called repeatedly; the next parallel call picks the new value up.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The worker count the next parallel call will use.
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n` across `threads` workers and feeds
+/// each `(i, f(i))` pair to `sink` **on the calling thread, in
+/// completion order**. Work is claimed dynamically (one atomic
+/// fetch-add per item), so slow items don't strand idle workers the way
+/// static chunking would.
+///
+/// With `threads <= 1` (or `n <= 1`) everything runs inline on the
+/// caller in index order — no threads, no channel; this degenerate case
+/// is the serial reference the parallel path is tested against.
+///
+/// A panic inside `f` on a worker propagates to the caller when the
+/// scope joins (after remaining workers drain); callers needing per-item
+/// fault isolation should catch unwinds inside `f` and return a
+/// `Result`.
+pub fn dispatch<R, F, S>(threads: usize, n: usize, f: F, mut sink: S)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    S: FnMut(usize, R),
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        for i in 0..n {
+            sink(i, f(i));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The receiver only disappears if the caller's sink
+                // panicked; stop producing and let the scope unwind.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            sink(i, r);
+        }
+    });
+}
 
 /// Parallel-ish view over a slice.
 pub struct ParIter<'data, T> {
@@ -43,33 +126,20 @@ where
     F: Fn(&'data T) -> O + Sync,
     O: Send,
 {
-    /// Runs the map over all elements — in parallel when more than one
-    /// core is available — and collects results in input order.
+    /// Runs the map over all elements — dynamically scheduled over
+    /// [`current_num_threads`] workers — and collects results in input
+    /// order.
     pub fn collect<C: FromParallel<O>>(self) -> C {
-        let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(self.items.len().max(1));
         let mut results: Vec<Option<O>> = Vec::with_capacity(self.items.len());
         results.resize_with(self.items.len(), || None);
-        if threads <= 1 {
-            for (slot, item) in results.iter_mut().zip(self.items) {
-                *slot = Some((self.f)(item));
-            }
-        } else {
-            let chunk = self.items.len().div_ceil(threads);
-            let f = &self.f;
-            std::thread::scope(|scope| {
-                for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(self.items.chunks(chunk))
-                {
-                    scope.spawn(move || {
-                        for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
-                            *slot = Some(f(item));
-                        }
-                    });
-                }
-            });
-        }
+        let f = &self.f;
+        let items = self.items;
+        dispatch(
+            current_num_threads(),
+            items.len(),
+            |i| f(&items[i]),
+            |i, r| results[i] = Some(r),
+        );
         C::from_ordered(results.into_iter().map(|r| r.expect("worker filled slot")))
     }
 }
@@ -120,6 +190,8 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, dispatch, set_num_threads};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -136,5 +208,67 @@ mod tests {
         let one = [7u32];
         let ys: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(ys, vec![8]);
+    }
+
+    #[test]
+    fn dispatch_runs_every_item_exactly_once() {
+        for threads in [1, 2, 8, 64] {
+            let mut seen = vec![0u32; 100];
+            dispatch(
+                threads,
+                100,
+                |i| i * 3,
+                |i, r| {
+                    assert_eq!(r, i * 3);
+                    seen[i] += 1;
+                },
+            );
+            assert!(seen.iter().all(|&c| c == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dispatch_handles_empty_input() {
+        let mut calls = 0;
+        dispatch(8, 0, |i| i, |_, _| calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn dispatch_balances_dynamically() {
+        // With 2 workers and one huge item, the other worker must chew
+        // through everything else (static half/half chunking would make
+        // wall time ~ huge + half the rest).
+        let done = AtomicUsize::new(0);
+        dispatch(
+            2,
+            64,
+            |i| {
+                if i == 0 {
+                    while done.load(Ordering::SeqCst) < 63 {
+                        std::thread::yield_now();
+                    }
+                } else {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+                i
+            },
+            |_, _| {},
+        );
+        assert_eq!(done.load(Ordering::SeqCst), 63);
+    }
+
+    #[test]
+    fn num_threads_override_roundtrips() {
+        set_num_threads(3);
+        assert_eq!(current_num_threads(), 3);
+        set_num_threads(0);
+        assert!(current_num_threads() >= 1);
+        // collect still works under an override wider than the machine.
+        set_num_threads(7);
+        let xs: Vec<u64> = (0..50).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys.len(), 50);
+        set_num_threads(0);
     }
 }
