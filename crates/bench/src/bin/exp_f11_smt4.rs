@@ -14,8 +14,8 @@
 //! ```
 
 use nodeshare_bench::campaign::{
-    exit_on_failures, run_campaign, write_cell_table, CampaignSpec, CellOptions, ClusterVariant,
-    PresetVariant, StrategyVariant,
+    exit_on_failures, run_campaign, write_campaign_summary, write_cell_table, CampaignSpec,
+    CellOptions, ClusterVariant, PresetVariant, StrategyVariant,
 };
 use nodeshare_bench::orchestrator::CampaignCli;
 use nodeshare_bench::{emit, mean_of, seeds, World};
@@ -107,4 +107,5 @@ fn main() {
     );
     emit("exp_f11_smt4", &text, Some(&t.to_csv()));
     write_cell_table("exp_f11_smt4", &run);
+    write_campaign_summary("exp_f11_smt4", &run);
 }

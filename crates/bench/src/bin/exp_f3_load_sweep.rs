@@ -14,7 +14,8 @@
 //! ```
 
 use nodeshare_bench::campaign::{
-    exit_on_failures, run_campaign, write_cell_table, CampaignSpec, CellOptions, PresetVariant,
+    exit_on_failures, run_campaign, write_campaign_summary, write_cell_table, CampaignSpec,
+    CellOptions, PresetVariant,
 };
 use nodeshare_bench::orchestrator::CampaignCli;
 use nodeshare_bench::{emit, mean_of, seeds, World};
@@ -88,4 +89,5 @@ fn main() {
     );
     emit("exp_f3_load_sweep", &text, Some(&t.to_csv()));
     write_cell_table("exp_f3_load_sweep", &run);
+    write_campaign_summary("exp_f3_load_sweep", &run);
 }

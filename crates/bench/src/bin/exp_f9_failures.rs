@@ -14,8 +14,8 @@
 //! ```
 
 use nodeshare_bench::campaign::{
-    exit_on_failures, run_campaign, write_cell_table, CampaignSpec, CellOptions, FailurePlan,
-    PresetVariant,
+    exit_on_failures, run_campaign, write_campaign_summary, write_cell_table, CampaignSpec,
+    CellOptions, FailurePlan, PresetVariant,
 };
 use nodeshare_bench::orchestrator::CampaignCli;
 use nodeshare_bench::{emit, mean_of, seeds, World};
@@ -100,4 +100,5 @@ fn main() {
     );
     emit("exp_f9_failures", &text, Some(&t.to_csv()));
     write_cell_table("exp_f9_failures", &run);
+    write_campaign_summary("exp_f9_failures", &run);
 }

@@ -12,7 +12,8 @@
 //! ```
 
 use nodeshare_bench::campaign::{
-    exit_on_failures, run_campaign, write_cell_table, CampaignSpec, CellOptions, PresetVariant,
+    exit_on_failures, run_campaign, write_campaign_summary, write_cell_table, CampaignSpec,
+    CellOptions, PresetVariant,
 };
 use nodeshare_bench::orchestrator::CampaignCli;
 use nodeshare_bench::{emit, mean_of, seeds, World};
@@ -113,4 +114,5 @@ fn main() {
     );
     emit("exp_t2_strategies", &text, Some(&csv));
     write_cell_table("exp_t2_strategies", &run);
+    write_campaign_summary("exp_t2_strategies", &run);
 }

@@ -328,6 +328,13 @@ pub struct CellResult {
     pub metrics: CampaignMetrics,
     /// FNV-1a hash of the decision trace, when one was recorded.
     pub trace_hash: Option<u64>,
+    /// Wall-clock seconds the cell's simulation took on its worker.
+    ///
+    /// Observability only: never part of the outcome, metrics, table
+    /// rows, or trace hash the determinism proofs compare — two runs of
+    /// one campaign are bit-identical in every compared artifact even
+    /// though their wall clocks differ.
+    pub wall_seconds: f64,
 }
 
 /// Stable FNV-1a hash of a decision trace (over the `Debug` rendering of
@@ -405,15 +412,12 @@ pub fn run_cell(
             );
         }
     };
-    let (out, hash) = match (&telemetry, want_trace) {
+    let sim_started = std::time::Instant::now();
+    let (out, trace) = match (&telemetry, want_trace) {
         (Some((_, tele)), true) => {
             let (out, trace) =
                 run_traced_with_telemetry(&workload, &world.matrix, sched.as_mut(), &sim_cfg, tele);
-            if sim_cfg.audit {
-                audit(&trace, &out);
-            }
-            let h = trace_hash(&trace);
-            (out, Some(h))
+            (out, Some(trace))
         }
         (Some((_, tele)), false) => (
             run_with_telemetry(&workload, &world.matrix, sched.as_mut(), &sim_cfg, tele),
@@ -423,22 +427,28 @@ pub fn run_cell(
             // `run_traced` never audits implicitly — we hand the trace
             // to the auditor ourselves so the panic carries the cell.
             let (out, trace) = run_traced(&workload, &world.matrix, sched.as_mut(), &sim_cfg);
-            if sim_cfg.audit {
-                audit(&trace, &out);
-            }
-            let h = trace_hash(&trace);
-            (out, Some(h))
+            (out, Some(trace))
         }
         (None, false) => (
             run(&workload, &world.matrix, sched.as_mut(), &sim_cfg),
             None,
         ),
     };
-    if let Some((dir, tele)) = telemetry {
+    let wall_seconds = sim_started.elapsed().as_secs_f64();
+    if sim_cfg.audit {
+        if let Some(trace) = &trace {
+            audit(trace, &out);
+        }
+    }
+    let hash = trace.as_ref().map(trace_hash);
+    if let Some((dir, tele)) = &telemetry {
         // One subdirectory per cell: parallel cells never interleave
         // JSONL writes, and a campaign's telemetry is browsable by cell
         // coordinates.
-        write_telemetry_files(&dir, "campaign", &tele);
+        write_telemetry_files(dir, "campaign", tele);
+        if let Some(trace) = &trace {
+            write_cell_report(dir, &label, cv.spec.total_cores(), trace);
+        }
     }
     assert!(
         out.complete(),
@@ -450,13 +460,35 @@ pub fn run_cell(
         target.as_str(),
         "cell done";
         events = out.events_processed,
-        makespan_h = format!("{:.2}", metrics.makespan / 3_600.0)
+        makespan_h = format!("{:.2}", metrics.makespan / 3_600.0),
+        wall_ms = format!("{:.1}", wall_seconds * 1e3)
     );
     CellResult {
         coord: *coord,
         outcome: out,
         metrics,
         trace_hash: hash,
+        wall_seconds,
+    }
+}
+
+/// Renders a cell's decision trace as observability artifacts next to
+/// its telemetry files: `report.md` (human summary) and `perfetto.json`
+/// (load at <https://ui.perfetto.dev>). Report rendering is pure — it
+/// reads the finished trace and never feeds back into the simulation.
+fn write_cell_report(dir: &std::path::Path, label: &str, total_cores: u64, trace: &DecisionTrace) {
+    let opts = nodeshare_report::ReportOptions {
+        title: Some(format!("cell report: {label}")),
+        total_cores: Some(total_cores),
+    };
+    let report = nodeshare_report::Report::from_trace(trace, &opts);
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let ok = std::fs::write(dir.join("report.md"), &report.markdown).is_ok()
+        && std::fs::write(dir.join("perfetto.json"), &report.perfetto_json).is_ok();
+    if !ok {
+        nodeshare_obs::warn!("bench", "failed to write cell report"; cell = label);
     }
 }
 
@@ -470,6 +502,98 @@ pub struct CampaignRun {
     pub results: Vec<CellResult>,
     /// One row per cell (canonical order), streamed as cells completed.
     pub cell_table: Table,
+    /// Wall-clock seconds the whole campaign took (observability only).
+    pub wall_seconds: f64,
+    /// How many workers the campaign ran on.
+    pub workers: usize,
+}
+
+impl CampaignRun {
+    /// Total simulation events processed across all cells.
+    pub fn total_events(&self) -> u64 {
+        self.results
+            .iter()
+            .map(|r| r.outcome.events_processed)
+            .sum()
+    }
+
+    /// Campaign throughput in cells per minute of wall-clock time.
+    pub fn cells_per_minute(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.results.len() as f64 * 60.0 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the campaign's wall-clock profile as markdown: totals,
+    /// a per-cell table in canonical order, and the slowest cells.
+    ///
+    /// Row *order* is deterministic (the merge delivers canonical cell
+    /// order regardless of worker count); the wall-clock *values* are
+    /// whatever the machine did — they never feed back into results.
+    pub fn summary_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut md = String::new();
+        let _ = writeln!(md, "# campaign summary: {}\n", self.spec.name);
+        let _ = writeln!(md, "| total | value |");
+        let _ = writeln!(md, "|---|---|");
+        let _ = writeln!(md, "| cells | {} |", self.results.len());
+        let _ = writeln!(md, "| workers | {} |", self.workers);
+        let _ = writeln!(md, "| wall time | {:.2} s |", self.wall_seconds);
+        let _ = writeln!(md, "| cells/min | {:.1} |", self.cells_per_minute());
+        let _ = writeln!(md, "| events | {} |", self.total_events());
+        let cell_seconds: f64 = self.results.iter().map(|r| r.wall_seconds).sum();
+        if cell_seconds > 0.0 {
+            let _ = writeln!(
+                md,
+                "| events/sec (aggregate) | {:.0} |",
+                self.total_events() as f64 / cell_seconds
+            );
+        }
+        let _ = writeln!(md, "\n## Cells\n");
+        let _ = writeln!(md, "| # | cell | events | wall ms | events/sec |");
+        let _ = writeln!(md, "|---|---|---|---|---|");
+        for (idx, r) in self.results.iter().enumerate() {
+            let _ = writeln!(
+                md,
+                "| {idx} | {} | {} | {:.1} | {:.0} |",
+                self.spec.cell_label(&r.coord),
+                r.outcome.events_processed,
+                r.wall_seconds * 1e3,
+                events_per_sec(r)
+            );
+        }
+        let mut slowest: Vec<&CellResult> = self.results.iter().collect();
+        slowest.sort_by(|a, b| {
+            b.wall_seconds.total_cmp(&a.wall_seconds).then_with(|| {
+                self.spec
+                    .index_of(&a.coord)
+                    .cmp(&self.spec.index_of(&b.coord))
+            })
+        });
+        let _ = writeln!(md, "\n## Slowest cells\n");
+        let _ = writeln!(md, "| cell | wall ms |");
+        let _ = writeln!(md, "|---|---|");
+        for r in slowest.iter().take(5) {
+            let _ = writeln!(
+                md,
+                "| {} | {:.1} |",
+                self.spec.cell_label(&r.coord),
+                r.wall_seconds * 1e3
+            );
+        }
+        md
+    }
+}
+
+/// A cell's simulation throughput in events per wall-clock second.
+fn events_per_sec(r: &CellResult) -> f64 {
+    if r.wall_seconds > 0.0 {
+        r.outcome.events_processed as f64 / r.wall_seconds
+    } else {
+        0.0
+    }
 }
 
 impl CampaignRun {
@@ -558,6 +682,7 @@ pub fn run_campaign(
         workers = parallelism.workers(),
         serial = (parallelism == Parallelism::Serial)
     );
+    let started = std::time::Instant::now();
     let mut table = Table::new(cell_table_header());
     let completed = run_cells(
         &coords,
@@ -566,14 +691,37 @@ pub fn run_campaign(
         |_, c| run_cell(world, spec, c, opts),
         |idx, r: &CellResult| {
             table.row(cell_table_row(spec, idx, r));
+            // Progress, in canonical order (the merge guarantees it):
+            // one line per completed cell with its wall-clock profile.
+            nodeshare_obs::info!(
+                campaign_target.as_str(),
+                "cell merged";
+                cell = spec.cell_label(&r.coord),
+                index = idx,
+                of = n,
+                wall_ms = format!("{:.1}", r.wall_seconds * 1e3),
+                events_per_sec = format!("{:.0}", events_per_sec(r))
+            );
         },
     );
+    let wall_seconds = started.elapsed().as_secs_f64();
     let results = completed.into_results()?;
-    Ok(CampaignRun {
+    let run = CampaignRun {
         spec: spec.clone(),
         results,
         cell_table: table,
-    })
+        wall_seconds,
+        workers: parallelism.workers(),
+    };
+    nodeshare_obs::info!(
+        campaign_target.as_str(),
+        "campaign done";
+        cells = run.results.len(),
+        wall_s = format!("{:.2}", run.wall_seconds),
+        cells_per_min = format!("{:.1}", run.cells_per_minute()),
+        events = run.total_events()
+    );
+    Ok(run)
 }
 
 /// Writes the streamed per-cell table to `results/<name>_cells.csv` —
@@ -585,6 +733,22 @@ pub fn write_cell_table(name: &str, run: &CampaignRun) {
         let _ = std::fs::write(
             dir.join(format!("{name}_cells.csv")),
             run.cell_table.to_csv(),
+        );
+    }
+}
+
+/// Writes the campaign's wall-clock profile to
+/// `results/<name>_summary.md`: totals (wall time, cells/min, aggregate
+/// events/sec), a per-cell table in canonical order, and the slowest
+/// cells. Companion to [`write_cell_table`] — the metrics CSV stays
+/// bit-identical across worker counts, the summary carries the
+/// wall-clock story.
+pub fn write_campaign_summary(name: &str, run: &CampaignRun) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(
+            dir.join(format!("{name}_summary.md")),
+            run.summary_markdown(),
         );
     }
 }
@@ -663,6 +827,65 @@ mod tests {
         let ms = serial.seed_metrics(0, 0, 1);
         assert_eq!(ms.len(), 2);
         assert_eq!(ms[0].jobs, 20);
+        // Wall-clock observability rides along without entering any
+        // compared artifact above.
+        for run in [&serial, &parallel] {
+            assert!(run.wall_seconds > 0.0);
+            assert!(run.cells_per_minute() > 0.0);
+            assert!(run.results.iter().all(|r| r.wall_seconds > 0.0));
+        }
+        assert!(serial.total_events() > 0);
+        assert_eq!(serial.total_events(), parallel.total_events());
+    }
+
+    #[test]
+    fn summary_markdown_lists_every_cell_in_canonical_order() {
+        let world = World::evaluation();
+        let mut spec = tiny_spec();
+        spec.name = "unit_summary";
+        let run = run_campaign(&world, &spec, Parallelism::Jobs(4), &CellOptions::default())
+            .expect("campaign completes");
+        let md = run.summary_markdown();
+        assert!(md.starts_with("# campaign summary: unit_summary"));
+        assert!(md.contains("| cells | 8 |"));
+        assert!(md.contains("## Slowest cells"));
+        // Every cell appears, and the per-cell rows follow canonical
+        // order no matter which worker finished first.
+        let mut last = None;
+        for (idx, c) in spec.cells().iter().enumerate() {
+            let row = format!("| {idx} | {} |", spec.cell_label(c));
+            let pos = md
+                .find(&row)
+                .unwrap_or_else(|| panic!("missing row {row:?}"));
+            assert!(last.is_none_or(|p| p < pos), "rows out of order at {row:?}");
+            last = Some(pos);
+        }
+    }
+
+    #[test]
+    fn telemetry_cells_get_report_artifacts() {
+        let dir = std::env::temp_dir().join("nodeshare_campaign_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("NODESHARE_TELEMETRY", &dir);
+        let world = World::evaluation();
+        let mut spec = tiny_spec();
+        spec.name = "unit_report";
+        spec.presets.truncate(1);
+        spec.strategies.truncate(1);
+        spec.seeds.truncate(1);
+        let coord = spec.cells()[0];
+        let r = run_cell(&world, &spec, &coord, &CellOptions { hash_traces: true });
+        std::env::remove_var("NODESHARE_TELEMETRY");
+        assert!(r.trace_hash.is_some());
+        let cell_dir = dir.join(spec.name).join(spec.cell_slug(&coord));
+        let md = std::fs::read_to_string(cell_dir.join("report.md"))
+            .expect("cell report.md written next to telemetry");
+        assert!(md.contains(&format!("cell report: {}", spec.cell_label(&coord))));
+        assert!(md.contains("## Queue waits"));
+        let perfetto = std::fs::read_to_string(cell_dir.join("perfetto.json"))
+            .expect("cell perfetto.json written next to telemetry");
+        assert!(perfetto.starts_with("{\"traceEvents\":["));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -75,6 +75,13 @@ impl nodeshare_engine::Scheduler for BoxedScheduler {
     ) -> nodeshare_engine::StartReason {
         self.0.explain(ctx, decision)
     }
+    fn explain_all(
+        &self,
+        ctx: &nodeshare_engine::SchedContext<'_>,
+        decisions: &[nodeshare_engine::Decision],
+    ) -> Vec<nodeshare_engine::StartReason> {
+        self.0.explain_all(ctx, decisions)
+    }
 }
 
 /// Usage text.
@@ -86,6 +93,8 @@ USAGE:
   nodeshare metrics [options]      run one campaign and print its Prometheus
                                    metrics exposition instead of the report
   nodeshare audit [options]        run a campaign under the replay auditor
+  nodeshare report TRACE.json      derive observability artifacts from a
+                                   decision trace (see `audit --trace`)
   nodeshare workload [options]     generate a synthetic campaign as SWF
   nodeshare pairs                  print the co-run pair matrix
   nodeshare apps                   print the mini-app characterization
@@ -93,6 +102,14 @@ USAGE:
 
 AUDIT OPTIONS (all SIMULATE options except --telemetry, plus):
   --trace FILE       dump the decision trace as JSON
+
+REPORT OPTIONS:
+  --in FILE          the decision-trace JSON (or pass it positionally)
+  --perfetto FILE    Perfetto/Chrome trace output (default FILE.perfetto.json,
+                     load at https://ui.perfetto.dev)
+  --md FILE          markdown summary output     (default FILE.report.md)
+  --cores N          machine core count, enables the utilization line
+  --title T          report heading
 
 TELEMETRY OPTIONS (simulate and metrics):
   --telemetry FILE   write sim-time JSONL samples to FILE and the
@@ -132,11 +149,20 @@ where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
+    // `report` takes its input positionally (`nodeshare report t.json`);
+    // rewrite that one token to `--in t.json` for the flag parser.
+    let mut argv: Vec<String> = argv.into_iter().map(Into::into).collect();
+    if argv.first().map(String::as_str) == Some("report")
+        && argv.get(1).is_some_and(|a| !a.starts_with("--"))
+    {
+        argv.splice(1..1, ["--in".to_string()]);
+    }
     let inv = Invocation::parse(argv)?;
     match inv.command.as_str() {
         "simulate" => simulate(&inv),
         "metrics" => metrics_cmd(&inv),
         "audit" => audit_cmd(&inv),
+        "report" => report_cmd(&inv),
         "workload" => workload_cmd(&inv),
         "pairs" => pairs(&inv),
         "apps" => apps(&inv),
@@ -502,6 +528,50 @@ fn audit_cmd(inv: &Invocation) -> Result<String, CliError> {
     }
 }
 
+/// `nodeshare report`: turn a decision-trace JSON file into a Perfetto
+/// trace and a markdown summary.
+fn report_cmd(inv: &Invocation) -> Result<String, CliError> {
+    inv.check_known(&["in", "perfetto", "md", "cores", "title"])?;
+    let input = inv.get("in").filter(|p| !p.is_empty()).ok_or_else(|| {
+        CliError::Other(
+            "report needs a trace file: `nodeshare report trace.json` \
+             (produce one with `nodeshare audit --trace trace.json`)"
+                .into(),
+        )
+    })?;
+    let text = std::fs::read_to_string(input).map_err(|e| CliError::Io(input.to_string(), e))?;
+
+    let cores: u64 = inv.num("cores", 0)?;
+    let opts = nodeshare_report::ReportOptions {
+        title: Some(
+            inv.get("title")
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("nodeshare run report: {input}")),
+        ),
+        total_cores: (cores > 0).then_some(cores),
+    };
+    let rep = nodeshare_report::Report::from_json(&text, &opts)
+        .map_err(|e| CliError::Other(format!("{input}: {e}")))?;
+
+    let perfetto_path = inv
+        .get("perfetto")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{input}.perfetto.json"));
+    let md_path = inv
+        .get("md")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{input}.report.md"));
+    std::fs::write(&perfetto_path, &rep.perfetto_json)
+        .map_err(|e| CliError::Io(perfetto_path.clone(), e))?;
+    std::fs::write(&md_path, &rep.markdown).map_err(|e| CliError::Io(md_path.clone(), e))?;
+
+    Ok(format!(
+        "{}\nperfetto trace -> {perfetto_path} (open at https://ui.perfetto.dev)\n\
+         markdown summary -> {md_path}\n",
+        rep.markdown.trim_end(),
+    ))
+}
+
 fn workload_cmd(inv: &Invocation) -> Result<String, CliError> {
     inv.check_known(&["jobs", "seed", "rate", "preset", "share-fraction", "out"])?;
     let catalog = AppCatalog::trinity();
@@ -709,6 +779,84 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("(0 shared)"));
+    }
+
+    #[test]
+    fn report_subcommand_turns_a_trace_into_artifacts() {
+        let dir = std::env::temp_dir().join("nodeshare_cli_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let trace_str = trace.to_str().unwrap();
+        run_cli([
+            "audit",
+            "--jobs",
+            "40",
+            "--seed",
+            "5",
+            "--nodes",
+            "32",
+            "--rate",
+            "0.02",
+            "--strategy",
+            "co-backfill",
+            "--trace",
+            trace_str,
+        ])
+        .unwrap();
+
+        // Positional input form, default output paths.
+        let out = run_cli(["report", trace_str, "--cores", "1024"]).unwrap();
+        assert!(out.contains("## Queue waits"), "{out}");
+        assert!(out.contains("utilization over makespan (1024 cores)"));
+        assert!(out.contains("ui.perfetto.dev"));
+        let perfetto = std::fs::read_to_string(format!("{trace_str}.perfetto.json")).unwrap();
+        assert!(perfetto.starts_with("{\"traceEvents\":["));
+        assert!(perfetto.contains("\"ph\":\"X\""));
+        let md = std::fs::read_to_string(format!("{trace_str}.report.md")).unwrap();
+        assert!(md.contains("## Start attribution"));
+
+        // Explicit flags override the defaults.
+        let p2 = dir.join("out.perfetto.json");
+        let m2 = dir.join("out.md");
+        run_cli([
+            "report",
+            "--in",
+            trace_str,
+            "--perfetto",
+            p2.to_str().unwrap(),
+            "--md",
+            m2.to_str().unwrap(),
+            "--title",
+            "my cell",
+        ])
+        .unwrap();
+        assert!(std::fs::read_to_string(&m2)
+            .unwrap()
+            .starts_with("# my cell"));
+        assert!(p2.exists());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_subcommand_validates_input() {
+        // No input file.
+        assert!(run_cli(["report"]).is_err());
+        // Missing file is an I/O error.
+        assert!(matches!(
+            run_cli(["report", "/nonexistent/trace.json"]),
+            Err(CliError::Io(..))
+        ));
+        // Malformed trace JSON is a clean error, not a panic.
+        let dir = std::env::temp_dir().join("nodeshare_cli_report_bad_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"not\":\"a trace\"}").unwrap();
+        let err = run_cli(["report", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("events"), "{err}");
+        // Unknown flags are rejected.
+        assert!(run_cli(["report", "--in", "x", "--bogus", "1"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

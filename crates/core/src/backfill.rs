@@ -151,6 +151,9 @@ impl Backfill {
         let Some(head) = ctx.queue.first() else {
             return Vec::new();
         };
+        // Wall-clock phase span over the whole placement pass (head
+        // attempt + reservation + backfill scan); observes on drop.
+        let _placement_span = ctx.telemetry.map(|t| t.time_placement());
 
         let sharing = self.pairing.sharing_enabled();
         self.planner.begin_pass(ctx);
@@ -246,6 +249,9 @@ impl Backfill {
         let Some(head) = ctx.queue.first() else {
             return Vec::new();
         };
+        // Same phase span as the fast path, so the two report
+        // comparable placement-scan wall time.
+        let _placement_span = ctx.telemetry.map(|t| t.time_placement());
 
         let sharing = self.pairing.sharing_enabled();
 
@@ -325,6 +331,16 @@ impl Scheduler for Backfill {
             self.schedule_fast(ctx)
         }
     }
+
+    fn explain_all(
+        &self,
+        ctx: &SchedContext<'_>,
+        decisions: &[Decision],
+    ) -> Vec<nodeshare_engine::StartReason> {
+        // Same classification as the per-decision default, amortizing
+        // the queue-position scan across the invocation's decisions.
+        nodeshare_engine::StartReason::classify_all(ctx, decisions)
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +406,34 @@ mod tests {
         let r1 = &out.records[1];
         assert!(r1.shared_alloc, "compute job should co-allocate");
         assert!(r1.wait() < 1.0);
+    }
+
+    #[test]
+    fn phase_spans_attribute_placement_and_pairing_wall_time() {
+        // A saturating mix with co-allocation: the placement-scan span
+        // fires once per non-empty scheduling pass, and every pairing
+        // query is covered by exactly one pairing-lookup span.
+        let world = testkit::world(
+            2,
+            vec![
+                job_app(0, 2, 100.0, "AMG"),
+                job_app(1, 2, 100.0, "miniDFT"),
+                job_app(2, 1, 50.0, "miniFE"),
+            ],
+        );
+        let (out, tele) = testkit::simulate_with_telemetry(&world, &mut co_backfill());
+        assert!(out.complete());
+        assert!(
+            tele.sched.phase_placement_seconds.count() > 0,
+            "placement scans must be timed"
+        );
+        assert_eq!(
+            tele.sched.phase_pairing_seconds.count(),
+            tele.sched.pairing_queries.get(),
+            "every pairing query carries exactly one span"
+        );
+        // Spans observe non-negative wall time.
+        assert!(tele.sched.phase_placement_seconds.sum() >= 0.0);
     }
 
     #[test]

@@ -67,6 +67,9 @@ impl Conservative {
     }
 
     fn schedule_fast(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        // Wall-clock phase span over the timeline-maintenance pass
+        // (profile splice/rebuild + plan/reserve loop); observes on drop.
+        let _timeline_span = ctx.telemetry.map(|t| t.time_timeline());
         let resume = self.timeline.begin_pass(ctx);
         if let Some(delta) = self.poison.take() {
             self.timeline.corrupt_anchor_for_test(delta);
@@ -93,6 +96,9 @@ impl Conservative {
     }
 
     fn schedule_reference(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        // Same phase span as the fast path: the from-scratch profile
+        // build is exactly the maintenance the incremental path avoids.
+        let _timeline_span = ctx.telemetry.map(|t| t.time_timeline());
         let mut profile = AvailabilityProfile::from_context(ctx);
         for job in ctx.queue {
             let start = profile.earliest_fit(ctx.now, job.nodes as i64, job.walltime_estimate);
@@ -126,6 +132,15 @@ impl Scheduler for Conservative {
         } else {
             self.schedule_fast(ctx)
         }
+    }
+
+    fn explain_all(
+        &self,
+        ctx: &SchedContext<'_>,
+        decisions: &[Decision],
+    ) -> Vec<nodeshare_engine::StartReason> {
+        // Batched classification: one queue scan for the invocation.
+        nodeshare_engine::StartReason::classify_all(ctx, decisions)
     }
 }
 
@@ -173,6 +188,17 @@ mod tests {
             "candidate overlapping the head's slot must wait (j3 {} head {})",
             r3.start,
             r1.start
+        );
+    }
+
+    #[test]
+    fn phase_spans_attribute_timeline_wall_time() {
+        let world = testkit::world(4, vec![job(0, 3, 100.0), job(1, 4, 100.0), job(2, 1, 10.0)]);
+        let (out, tele) = testkit::simulate_with_telemetry(&world, &mut Conservative::new());
+        assert!(out.complete());
+        assert!(
+            tele.sched.phase_timeline_seconds.count() > 0,
+            "timeline-maintenance passes must be timed"
         );
     }
 

@@ -42,6 +42,14 @@ impl Scheduler for Fcfs {
         // Strict FCFS only ever starts the queue head.
         nodeshare_engine::StartReason::HeadOfQueue
     }
+
+    fn explain_all(
+        &self,
+        _ctx: &SchedContext<'_>,
+        decisions: &[Decision],
+    ) -> Vec<nodeshare_engine::StartReason> {
+        vec![nodeshare_engine::StartReason::HeadOfQueue; decisions.len()]
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,8 @@ impl FirstFit {
     }
 
     fn schedule_fast(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        // Wall-clock phase span over the placement scan; observes on drop.
+        let _placement_span = ctx.telemetry.map(|t| t.time_placement());
         let sharing = self.pairing.sharing_enabled();
         self.planner.begin_pass(ctx);
         let use_memo = ctx.telemetry.is_none();
@@ -93,6 +95,8 @@ impl FirstFit {
     }
 
     fn schedule_reference(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        // Same phase span as the fast path.
+        let _placement_span = ctx.telemetry.map(|t| t.time_placement());
         let sharing = self.pairing.sharing_enabled();
         for job in ctx.queue {
             // Idle capacity first: sharing never beats running alone.
@@ -132,6 +136,15 @@ impl Scheduler for FirstFit {
         } else {
             self.schedule_fast(ctx)
         }
+    }
+
+    fn explain_all(
+        &self,
+        ctx: &SchedContext<'_>,
+        decisions: &[Decision],
+    ) -> Vec<nodeshare_engine::StartReason> {
+        // Batched classification: one queue scan for the invocation.
+        nodeshare_engine::StartReason::classify_all(ctx, decisions)
     }
 }
 

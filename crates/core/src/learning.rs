@@ -148,6 +148,15 @@ impl<S: Scheduler> Scheduler for EstimateLearning<S> {
         // the inner policy's justification applies unchanged.
         self.inner.explain(ctx, decision)
     }
+
+    fn explain_all(
+        &self,
+        ctx: &SchedContext<'_>,
+        decisions: &[Decision],
+    ) -> Vec<nodeshare_engine::StartReason> {
+        // Forward so the inner policy keeps its batched justification.
+        self.inner.explain_all(ctx, decisions)
+    }
 }
 
 #[cfg(test)]

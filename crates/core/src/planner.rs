@@ -363,6 +363,9 @@ impl Planner {
             if restricted && self.reserved[info.node.index()] {
                 continue;
             }
+            // Times the full candidate evaluation (dropped on every
+            // `continue` path too).
+            let _pairing_span = ctx.telemetry.map(|t| t.time_pairing());
             if let Some(t) = ctx.telemetry {
                 t.pairing_queries.inc();
             }

@@ -56,6 +56,23 @@ pub fn simulate(world: &World, policy: &mut dyn nodeshare_engine::Scheduler) -> 
     nodeshare_engine::run(&world.workload, &world.matrix, policy, &world.config)
 }
 
+/// Runs the world under a policy with a telemetry sink attached,
+/// returning the outcome and the populated telemetry.
+pub fn simulate_with_telemetry(
+    world: &World,
+    policy: &mut dyn nodeshare_engine::Scheduler,
+) -> (SimOutcome, nodeshare_engine::SimTelemetry) {
+    let tele = nodeshare_engine::SimTelemetry::new(300.0);
+    let out = nodeshare_engine::run_with_telemetry(
+        &world.workload,
+        &world.matrix,
+        policy,
+        &world.config,
+        &tele,
+    );
+    (out, tele)
+}
+
 /// The oracle predictor for the trinity catalog.
 pub fn oracle() -> Predictor {
     Predictor::oracle(&AppCatalog::trinity(), &ContentionModel::calibrated())

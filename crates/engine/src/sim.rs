@@ -503,17 +503,20 @@ impl<'a> Engine<'a> {
                     telemetry: self.telemetry.map(|t| &t.sched),
                 };
                 let decided = scheduler.schedule(&ctx);
-                decided
-                    .into_iter()
-                    .map(|d| {
-                        let reason = if self.trace.is_some() {
-                            scheduler.explain(&ctx, &d)
-                        } else {
-                            StartReason::Unspecified
-                        };
-                        (d, reason)
-                    })
-                    .collect()
+                // Batch the justification: one explain_all call shares
+                // the queue scan across the invocation's decisions
+                // instead of re-running `explain` per decision.
+                let reasons = if self.trace.is_some() && !decided.is_empty() {
+                    scheduler.explain_all(&ctx, &decided)
+                } else {
+                    vec![StartReason::Unspecified; decided.len()]
+                };
+                assert_eq!(
+                    reasons.len(),
+                    decided.len(),
+                    "explain_all must justify every decision"
+                );
+                decided.into_iter().zip(reasons).collect()
             };
             if decisions.is_empty() {
                 return;

@@ -41,11 +41,32 @@ pub struct SchedTelemetry {
     pub pairing_hits: Counter,
     /// Completed-job records digested by learning wrappers.
     pub learning_updates: Counter,
+    /// Wall-clock time of one placement scan (the Planner/backfill pass
+    /// that searches the queue for startable jobs and holes).
+    pub phase_placement_seconds: Histogram,
+    /// Wall-clock time of one Conservative timeline-maintenance pass
+    /// (rebuilding or splicing the reservation profile).
+    pub phase_timeline_seconds: Histogram,
+    /// Wall-clock time of one pairing-compatibility lookup (candidate
+    /// vs. resident stack).
+    pub phase_pairing_seconds: Histogram,
 }
 
 impl SchedTelemetry {
     fn new(registry: &MetricsRegistry) -> Self {
+        let phase_latency = exponential_buckets(1e-7, 10.0, 8); // 100 ns .. 10 s
+        let phase = |name: &str| {
+            registry.histogram_with(
+                "sched_phase_duration_seconds",
+                "Wall-clock time spent in one scheduler hot phase.",
+                &phase_latency,
+                &[("phase", name)],
+            )
+        };
         SchedTelemetry {
+            phase_placement_seconds: phase("placement-scan"),
+            phase_timeline_seconds: phase("timeline-maintenance"),
+            phase_pairing_seconds: phase("pairing-lookup"),
             decisions: registry.counter(
                 "sched_decisions_total",
                 "Start decisions returned by the scheduling policy.",
@@ -78,6 +99,26 @@ impl SchedTelemetry {
                 "Completed-job records digested by estimate-learning wrappers.",
             ),
         }
+    }
+
+    /// Times one placement scan (RAII: the returned timer observes
+    /// elapsed seconds into the placement-scan phase histogram when
+    /// dropped). Policies call this only when a telemetry sink is
+    /// attached, so the untelemetered hot path stays unchanged.
+    pub fn time_placement(&self) -> SpanTimer {
+        SpanTimer::new(&self.phase_placement_seconds)
+    }
+
+    /// Times one timeline-maintenance pass (RAII, see
+    /// [`SchedTelemetry::time_placement`]).
+    pub fn time_timeline(&self) -> SpanTimer {
+        SpanTimer::new(&self.phase_timeline_seconds)
+    }
+
+    /// Times one pairing-compatibility lookup (RAII, see
+    /// [`SchedTelemetry::time_placement`]).
+    pub fn time_pairing(&self) -> SpanTimer {
+        SpanTimer::new(&self.phase_pairing_seconds)
     }
 
     /// Pairing hit rate so far (hits / queries; 0 when no queries).
@@ -514,6 +555,7 @@ mod tests {
             "# TYPE sim_nodes_occupied gauge",
             "# TYPE sim_jobs_started_total counter",
             "# TYPE sched_pairing_queries_total counter",
+            "# TYPE sched_phase_duration_seconds histogram",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

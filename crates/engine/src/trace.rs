@@ -62,6 +62,50 @@ impl StartReason {
         }
     }
 
+    /// Classifies a whole invocation's decisions in one queue scan.
+    ///
+    /// Semantically identical to calling [`StartReason::classify`] per
+    /// decision — the queue-position lookup is shared across decisions
+    /// instead of re-scanned each time, which is what audited
+    /// trace-heavy campaigns pay for. All reasons are justified against
+    /// the same pre-apply context, exactly like the per-decision path.
+    pub fn classify_all(
+        ctx: &crate::view::SchedContext<'_>,
+        decisions: &[crate::view::Decision],
+    ) -> Vec<Self> {
+        let mut position = std::collections::HashMap::new();
+        for (i, j) in ctx.queue.iter().enumerate() {
+            // First occurrence wins, matching the `take_while` scan.
+            position.entry(j.id).or_insert(i);
+        }
+        decisions
+            .iter()
+            .map(|decision| {
+                // A job absent from the queue scans past every entry,
+                // matching `take_while` in the per-decision classifier.
+                let ahead = position
+                    .get(&decision.job())
+                    .copied()
+                    .unwrap_or(ctx.queue.len());
+                if decision.mode() == ShareMode::Shared {
+                    let occupied = decision
+                        .nodes()
+                        .iter()
+                        .filter(|&&n| ctx.cluster.node(n).is_some_and(|node| !node.is_idle()))
+                        .count();
+                    if occupied > 0 {
+                        return StartReason::CoScheduled { occupied };
+                    }
+                }
+                if ahead == 0 {
+                    StartReason::HeadOfQueue
+                } else {
+                    StartReason::Backfilled { ahead }
+                }
+            })
+            .collect()
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -453,5 +497,72 @@ mod tests {
             "co-scheduled"
         );
         assert_eq!(StartReason::Unspecified.label(), "unspecified");
+    }
+
+    #[test]
+    fn classify_all_matches_per_decision_classify() {
+        use crate::view::{Decision, SchedContext};
+        use nodeshare_cluster::{Cluster, ClusterSpec, NodeSpec};
+        use nodeshare_workload::JobSpec;
+
+        let spec = |id: u64, nodes: u32| JobSpec {
+            id: JobId(id),
+            app: AppId(0),
+            nodes,
+            submit: 0.0,
+            runtime_exclusive: 100.0,
+            walltime_estimate: 200.0,
+            mem_per_node_mib: 0,
+            share_eligible: true,
+            user: 0,
+        };
+        let mut cluster = Cluster::new(ClusterSpec::new(4, NodeSpec::tiny()));
+        // Occupy node 0 shared, so a shared decision targeting it is
+        // classified co-scheduled.
+        cluster
+            .allocate_shared(JobId(90), &[NodeId(0)], 0)
+            .expect("seed occupant");
+        let queue = vec![spec(1, 1), spec(2, 1), spec(3, 2)];
+        let ctx = SchedContext {
+            now: 0.0,
+            queue: &queue,
+            cluster: &cluster,
+            running: &std::collections::BTreeMap::new(),
+            shared_grace: 1.0,
+            completed: &[],
+            telemetry: None,
+        };
+        let decisions = vec![
+            // Head of queue.
+            Decision::StartExclusive {
+                job: JobId(1),
+                nodes: vec![NodeId(1)],
+            },
+            // Backfilled past one waiting job.
+            Decision::StartExclusive {
+                job: JobId(2),
+                nodes: vec![NodeId(2)],
+            },
+            // Shared onto an occupied node: co-scheduled.
+            Decision::StartShared {
+                job: JobId(3),
+                nodes: vec![NodeId(0), NodeId(3)],
+            },
+            // Not in the queue at all (requeue-style edge case).
+            Decision::StartExclusive {
+                job: JobId(99),
+                nodes: vec![NodeId(3)],
+            },
+        ];
+        let batched = StartReason::classify_all(&ctx, &decisions);
+        let single: Vec<StartReason> = decisions
+            .iter()
+            .map(|d| StartReason::classify(&ctx, d))
+            .collect();
+        assert_eq!(batched, single);
+        assert_eq!(batched[0], StartReason::HeadOfQueue);
+        assert_eq!(batched[1], StartReason::Backfilled { ahead: 1 });
+        assert_eq!(batched[2], StartReason::CoScheduled { occupied: 1 });
+        assert_eq!(batched[3], StartReason::Backfilled { ahead: 3 });
     }
 }

@@ -165,6 +165,23 @@ pub trait Scheduler {
     fn explain(&self, ctx: &SchedContext<'_>, decision: &Decision) -> crate::trace::StartReason {
         crate::trace::StartReason::classify(ctx, decision)
     }
+
+    /// Justifies a whole invocation's decisions at once, against the
+    /// same pre-apply context. The engine calls this (not `explain`)
+    /// when tracing, so policies that can amortize the justification
+    /// scan across decisions — the default classifier shares one queue
+    /// pass via [`crate::trace::StartReason::classify_all`] — stop
+    /// paying a per-decision re-scan. The default delegates to
+    /// `explain` per decision, so overriding only `explain` keeps
+    /// working; wrapper policies must forward this method to preserve
+    /// their inner policy's batching.
+    fn explain_all(
+        &self,
+        ctx: &SchedContext<'_>,
+        decisions: &[Decision],
+    ) -> Vec<crate::trace::StartReason> {
+        decisions.iter().map(|d| self.explain(ctx, d)).collect()
+    }
 }
 
 pub(crate) fn summary_of(r: &RunningJob, kill_at: Seconds) -> RunningSummary {

@@ -67,6 +67,7 @@ pub fn render(registry: &MetricsRegistry) -> String {
         let f = &families[idx];
         out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
         out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
+        let mut histogram_series: Vec<&crate::registry::Series> = Vec::new();
         for s in &f.series {
             match &s.instrument {
                 Instrument::Counter(c) => {
@@ -116,6 +117,29 @@ pub fn render(registry: &MetricsRegistry) -> String {
                         render_labels(&s.labels, None),
                         h.count()
                     ));
+                    histogram_series.push(s);
+                }
+            }
+        }
+        // Derived quantile estimates as a companion gauge family: the
+        // text format has no native summary-from-histogram, so p50/p95/
+        // p99 are exported as `{name}_quantile{quantile="..."}` gauges.
+        if !histogram_series.is_empty() {
+            out.push_str(&format!(
+                "# HELP {}_quantile Estimated quantiles of {}\n",
+                f.name, f.name
+            ));
+            out.push_str(&format!("# TYPE {}_quantile gauge\n", f.name));
+            for s in &histogram_series {
+                if let Instrument::Histogram(h) = &s.instrument {
+                    for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                        out.push_str(&format!(
+                            "{}_quantile{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, Some(("quantile", label))),
+                            fmt_value(h.quantile(q))
+                        ));
+                    }
                 }
             }
         }
@@ -141,5 +165,30 @@ mod tests {
     fn label_escaping() {
         assert_eq!(escape_label("plain"), "plain");
         assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn histograms_export_quantile_gauges() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("latency_seconds", "latency", &[1.0, 2.0, 4.0]);
+        for _ in 0..4 {
+            h.observe(1.5);
+        }
+        let text = render(&r);
+        assert!(text.contains("# TYPE latency_seconds_quantile gauge"));
+        assert!(
+            text.contains("latency_seconds_quantile{quantile=\"0.5\"} 1.5"),
+            "{text}"
+        );
+        assert!(text.contains("latency_seconds_quantile{quantile=\"0.95\"}"));
+        assert!(text.contains("latency_seconds_quantile{quantile=\"0.99\"}"));
+        // Quantile samples follow the full histogram family.
+        let bucket = text.find("latency_seconds_bucket").unwrap();
+        let count = text.find("latency_seconds_count").unwrap();
+        let quant = text.find("latency_seconds_quantile{").unwrap();
+        assert!(bucket < count && count < quant);
+        // Counters and gauges grow no quantile companions.
+        r.counter("jobs_total", "jobs");
+        assert!(!render(&r).contains("jobs_total_quantile"));
     }
 }

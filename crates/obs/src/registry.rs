@@ -171,6 +171,46 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket
+    /// counts, interpolating linearly inside the bucket that holds the
+    /// target rank — the same estimator Prometheus' `histogram_quantile`
+    /// uses. The first bucket interpolates from an implicit lower edge
+    /// of `0`; ranks landing in the `+Inf` bucket clamp to the last
+    /// finite bound. Returns `NaN` when the histogram is empty.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let rank = q * total as f64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen as f64 + c as f64 >= rank {
+                let bounds = self.bounds();
+                if i == bounds.len() {
+                    // +Inf bucket: no finite upper edge to interpolate
+                    // toward; clamp to the largest finite bound.
+                    return bounds[bounds.len() - 1];
+                }
+                let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+                let upper = bounds[i];
+                let into = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * into;
+            }
+            seen += c;
+        }
+        // Unreachable for total > 0, but keep a sane fallback.
+        self.bounds()[self.bounds().len() - 1]
+    }
 }
 
 /// `count` bucket bounds growing geometrically from `start` by `factor`.
@@ -404,6 +444,64 @@ mod tests {
         // Boundary values land in the bucket whose bound they equal (le).
         h.observe(0.1);
         assert_eq!(h.bucket_counts()[0], 2);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        // 1000 uniform samples over (0, 10] against ten equal buckets:
+        // the interpolated quantiles should sit within one bucket width
+        // of the exact order statistics.
+        let bounds: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let h = Histogram::detached(&bounds);
+        for i in 0..1000 {
+            h.observe((i as f64 + 0.5) / 100.0);
+        }
+        for (q, expect) in [(0.5, 5.0), (0.95, 9.5), (0.99, 9.9)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - expect).abs() <= 1.0,
+                "q{q}: got {got}, expected ~{expect}"
+            );
+        }
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // All mass in the (1, 2] bucket: q interpolates linearly across
+        // that bucket, so p50 is its midpoint.
+        let h = Histogram::detached(&[1.0, 2.0, 3.0]);
+        for _ in 0..4 {
+            h.observe(1.5);
+        }
+        assert!((h.quantile(0.5) - 1.5).abs() < 1e-9, "{}", h.quantile(0.5));
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-9);
+        // First bucket interpolates from an implicit lower edge of 0.
+        let low = Histogram::detached(&[4.0, 8.0]);
+        low.observe(1.0);
+        low.observe(2.0);
+        assert!(
+            (low.quantile(0.5) - 2.0).abs() < 1e-9,
+            "{}",
+            low.quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn quantiles_handle_edge_cases() {
+        let h = Histogram::detached(&[1.0, 10.0]);
+        assert!(h.quantile(0.5).is_nan(), "empty histogram has no quantile");
+        // Mass beyond the last finite bound clamps to it.
+        h.observe(100.0);
+        assert_eq!(h.quantile(0.99), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_range_is_checked() {
+        Histogram::detached(&[1.0]).quantile(1.5);
     }
 
     #[test]

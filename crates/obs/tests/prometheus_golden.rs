@@ -53,6 +53,11 @@ sched_invoke_duration_seconds_bucket{le=\"0.1\"} 4
 sched_invoke_duration_seconds_bucket{le=\"+Inf\"} 5
 sched_invoke_duration_seconds_sum 5.0605
 sched_invoke_duration_seconds_count 5
+# HELP sched_invoke_duration_seconds_quantile Estimated quantiles of sched_invoke_duration_seconds
+# TYPE sched_invoke_duration_seconds_quantile gauge
+sched_invoke_duration_seconds_quantile{quantile=\"0.5\"} 0.007750000000000001
+sched_invoke_duration_seconds_quantile{quantile=\"0.95\"} 0.1
+sched_invoke_duration_seconds_quantile{quantile=\"0.99\"} 0.1
 # HELP sim_core_utilization Fraction of cores busy.
 # TYPE sim_core_utilization gauge
 sim_core_utilization 0.75

@@ -1,0 +1,70 @@
+//! # nodeshare-report
+//!
+//! Trace analytics and reporting: turns a [`nodeshare_engine::DecisionTrace`]
+//! (live, or its JSON form from disk) into first-class observability
+//! artifacts —
+//!
+//! * [`model`] — the decoded event list ([`TraceData`]), buildable from
+//!   an in-process trace or parsed back from `DecisionTrace::to_json`
+//!   output;
+//! * [`analysis`] — per-job lifecycle spans and exact step-function
+//!   timelines ([`Analysis`]), with aggregates defined identically to
+//!   [`nodeshare_metrics::CampaignMetrics`] (the differential suite
+//!   proves them equal);
+//! * [`perfetto`] — Chrome/Perfetto trace-event JSON export (node-lane
+//!   tracks, decision instants, occupancy counters) for
+//!   <https://ui.perfetto.dev>;
+//! * [`summary`] — a markdown run report;
+//! * [`json`] — the minimal hand-rolled JSON reader the above share
+//!   (the vendored `serde` stand-in provides no parser).
+//!
+//! The `nodeshare report <trace.json>` CLI subcommand and the campaign
+//! orchestrator's per-cell reports are thin wrappers over
+//! [`Report::from_json`] / [`Report::from_trace`].
+
+pub mod analysis;
+pub mod json;
+pub mod model;
+pub mod perfetto;
+pub mod summary;
+
+pub use analysis::{Analysis, JobSpan, StartRecord};
+pub use json::JsonValue;
+pub use model::{ReportEvent, TraceData};
+pub use summary::ReportOptions;
+
+/// A fully derived report: analysis plus both export formats.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The derived analytics.
+    pub analysis: Analysis,
+    /// Perfetto/Chrome trace-event JSON.
+    pub perfetto_json: String,
+    /// Markdown run summary.
+    pub markdown: String,
+}
+
+impl Report {
+    /// Builds the report from a decoded trace.
+    pub fn build(data: &TraceData, opts: &ReportOptions) -> Report {
+        let analysis = Analysis::from_trace(data);
+        let perfetto_json = perfetto::render(data);
+        let markdown = summary::render_markdown(&analysis, opts);
+        Report {
+            analysis,
+            perfetto_json,
+            markdown,
+        }
+    }
+
+    /// Builds the report from a live in-process trace.
+    pub fn from_trace(trace: &nodeshare_engine::DecisionTrace, opts: &ReportOptions) -> Report {
+        Report::build(&TraceData::from_trace(trace), opts)
+    }
+
+    /// Builds the report from trace JSON
+    /// (`nodeshare audit --trace` / campaign `trace.json` output).
+    pub fn from_json(text: &str, opts: &ReportOptions) -> Result<Report, String> {
+        Ok(Report::build(&TraceData::parse_json(text)?, opts))
+    }
+}

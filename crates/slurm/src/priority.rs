@@ -113,6 +113,31 @@ impl<S: Scheduler> Scheduler for MultifactorPriority<S> {
         };
         self.inner.explain(&view, decision)
     }
+
+    fn explain_all(
+        &self,
+        ctx: &SchedContext<'_>,
+        decisions: &[Decision],
+    ) -> Vec<nodeshare_engine::StartReason> {
+        // One priority re-sort justifies the whole invocation — the
+        // per-decision path re-sorted the queue for every decision.
+        let mut sorted: Vec<JobSpec> = ctx.queue.to_vec();
+        sorted.sort_by(|a, b| {
+            let pa = self.weights.priority(a, ctx.now, self.max_nodes);
+            let pb = self.weights.priority(b, ctx.now, self.max_nodes);
+            pb.total_cmp(&pa)
+        });
+        let view = SchedContext {
+            now: ctx.now,
+            queue: &sorted,
+            cluster: ctx.cluster,
+            running: ctx.running,
+            shared_grace: ctx.shared_grace,
+            completed: ctx.completed,
+            telemetry: ctx.telemetry,
+        };
+        self.inner.explain_all(&view, decisions)
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //! | [`sched`] | `nodeshare-core` | FCFS / first-fit / EASY / conservative + **CoFirstFit** / **CoBackfill** |
 //! | [`slurm`] | `nodeshare-slurm` | sbatch scripts, slurm.conf, partitions, squeue/sinfo/sacct |
 //! | [`metrics`] | `nodeshare-metrics` | computational & scheduling efficiency, summaries |
+//! | [`report`] | `nodeshare-report` | trace analytics: lifecycle spans, Perfetto export, markdown reports |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use nodeshare_core as sched;
 pub use nodeshare_engine as engine;
 pub use nodeshare_metrics as metrics;
 pub use nodeshare_perf as perf;
+pub use nodeshare_report as report;
 pub use nodeshare_slurm as slurm;
 pub use nodeshare_workload as workload;
 

@@ -428,6 +428,85 @@ fn parallel_campaign_is_bit_identical_to_serial() {
     }
 }
 
+/// Observability is read-only: recording a trace, running under the
+/// telemetry layer (which arms the scheduler phase-span timers), and
+/// generating reports all leave the simulation outcome bit-identical to
+/// the plain telemetry-off `run`, across the full strategy lineup — and
+/// report generation itself is deterministic.
+#[test]
+fn report_and_phase_spans_leave_outcomes_bit_identical() {
+    use nodeshare::engine::{run_traced_with_telemetry, run_with_telemetry, SimTelemetry};
+    use nodeshare::report::{Report, ReportOptions};
+    use nodeshare_bench::campaign::trace_hash;
+
+    let (catalog, model, matrix) = world();
+    let cluster = ClusterSpec::evaluation();
+    let mut config = SimConfig::new(cluster);
+    config.audit = false;
+
+    let workload = saturated_workload(&catalog, 31, 60);
+    for cfg in StrategyConfig::lineup() {
+        let label = cfg.label();
+        let baseline = {
+            let mut sched = cfg.build(&catalog, &model);
+            run(&workload, &matrix, sched.as_mut(), &config)
+        };
+
+        // Tracing must not perturb the simulation.
+        let (traced_out, trace) = {
+            let mut sched = cfg.build(&catalog, &model);
+            run_traced(&workload, &matrix, sched.as_mut(), &config)
+        };
+        assert!(
+            baseline == traced_out,
+            "{label}: tracing changed the outcome"
+        );
+
+        // The telemetry layer arms the wall-clock phase spans inside the
+        // schedulers (placement scan, timeline maintenance, pairing
+        // lookups); measuring must not steer a single decision.
+        let tele = SimTelemetry::new(300.0);
+        let tele_out = {
+            let mut sched = cfg.build(&catalog, &model);
+            run_with_telemetry(&workload, &matrix, sched.as_mut(), &config, &tele)
+        };
+        assert!(
+            baseline == tele_out,
+            "{label}: telemetry/phase spans changed the outcome"
+        );
+
+        // Both at once — the campaign orchestrator's audited-cell path.
+        let tele2 = SimTelemetry::new(300.0);
+        let (both_out, both_trace) = {
+            let mut sched = cfg.build(&catalog, &model);
+            run_traced_with_telemetry(&workload, &matrix, sched.as_mut(), &config, &tele2)
+        };
+        assert!(
+            baseline == both_out,
+            "{label}: trace+telemetry changed the outcome"
+        );
+        assert_eq!(
+            trace_hash(&trace),
+            trace_hash(&both_trace),
+            "{label}: decision traces diverge across entry points"
+        );
+
+        // Report generation is a pure function of the trace: two builds
+        // are byte-identical, from either entry point's trace.
+        let opts = ReportOptions {
+            title: Some(format!("differential: {label}")),
+            total_cores: Some(cluster.total_cores()),
+        };
+        let a = Report::from_trace(&trace, &opts);
+        let b = Report::from_trace(&trace, &opts);
+        let c = Report::from_trace(&both_trace, &opts);
+        assert_eq!(a.perfetto_json, b.perfetto_json, "{label}");
+        assert_eq!(a.markdown, b.markdown, "{label}");
+        assert_eq!(a.perfetto_json, c.perfetto_json, "{label}");
+        assert_eq!(a.markdown, c.markdown, "{label}");
+    }
+}
+
 /// Acceptance check: a double-charged node-second in the outcome is a
 /// conservation violation the auditor reports by name.
 #[test]
