@@ -18,6 +18,11 @@
 //! Options:
 //!
 //! * `--quick` — run only the small campaigns (seconds, not minutes).
+//!   This also skips the million-job streamed EASY campaign that a full
+//!   baseline appends (mode `stream`): one million generated jobs pulled
+//!   through the chunked [`nodeshare_workload::JobSource`] in lean mode,
+//!   recording events/sec *and* the process peak RSS so `--check` can
+//!   fail a run whose streamed memory footprint stopped being bounded.
 //! * `--out FILE` — where to write the JSON (default `BENCH_sched.json`).
 //! * `--check FILE` — read a previously committed baseline and **exit
 //!   non-zero** when any matching campaign (same
@@ -59,7 +64,7 @@ use nodeshare_bench::campaign::{run_campaign, CampaignSpec, CellOptions, PresetV
 use nodeshare_bench::orchestrator::Parallelism;
 use nodeshare_bench::{seeds, World};
 use nodeshare_core::{StrategyConfig, StrategyKind};
-use nodeshare_engine::{run, SimConfig};
+use nodeshare_engine::{run, run_streamed, SimConfig};
 use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -67,7 +72,8 @@ use std::time::Instant;
 /// One timed campaign.
 struct Entry {
     strategy: &'static str,
-    /// "full" or "quick" — which campaign grid the entry belongs to.
+    /// "full", "quick", "campaign", or "stream" — which grid the entry
+    /// belongs to.
     mode: &'static str,
     jobs: u32,
     nodes: u32,
@@ -79,6 +85,12 @@ struct Entry {
     /// Per-sample events/sec, in run order.
     samples: Vec<f64>,
     peak_queue_depth: u64,
+    /// Process peak RSS (`VmHWM`) in MiB after the campaign, 0 when
+    /// unknown (non-Linux, or entries that don't gate on memory). Only
+    /// the streamed entries record it: the point of the streamed path is
+    /// that resident memory is bounded by queue depth, not job count, so
+    /// a blow-up here means streaming silently re-materialized.
+    peak_rss_mib: f64,
 }
 
 /// A parsed baseline entry (see [`parse_baseline`]).
@@ -92,6 +104,31 @@ struct BaselineEntry {
     events_per_sec: f64,
     /// Empty on legacy single-sample baselines.
     samples: Vec<f64>,
+    /// 0 on entries (or legacy files) that never measured memory.
+    peak_rss_mib: f64,
+}
+
+/// Peak resident set (`VmHWM`) of this process in MiB, or 0 when the
+/// platform doesn't expose it. A process-lifetime high-water mark: read
+/// it right after the campaign whose footprint is being gated.
+fn process_peak_rss_mib() -> f64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    if let Some(kib) = rest
+                        .split_whitespace()
+                        .next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                    {
+                        return kib / 1024.0;
+                    }
+                }
+            }
+        }
+    }
+    0.0
 }
 
 /// The campaign grid: (label, config, full jobs, quick jobs).
@@ -198,6 +235,7 @@ fn sample_campaign(
         events_per_sec: mean,
         samples,
         peak_queue_depth: peak,
+        peak_rss_mib: 0.0,
     }
 }
 
@@ -254,6 +292,7 @@ fn measure(
                     events_per_sec: eps,
                     samples: vec![eps],
                     peak_queue_depth: peak,
+                    peak_rss_mib: 0.0,
                 });
             }
         }
@@ -290,7 +329,8 @@ fn to_json(entries: &[Entry], quick: bool) -> String {
             out,
             "    {{\"strategy\": \"{}\", \"mode\": \"{}\", \"jobs\": {}, \"nodes\": {}, \
              \"reps\": {}, \"events\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}, \
-             \"peak_queue_depth\": {}, \"samples\": [{samples}]}}{comma}",
+             \"peak_queue_depth\": {}, \"peak_rss_mib\": {:.0}, \
+             \"samples\": [{samples}]}}{comma}",
             e.strategy,
             e.mode,
             e.jobs,
@@ -300,6 +340,7 @@ fn to_json(entries: &[Entry], quick: bool) -> String {
             e.wall_s,
             e.events_per_sec,
             e.peak_queue_depth,
+            e.peak_rss_mib,
         );
     }
     let _ = writeln!(out, "  ]");
@@ -343,6 +384,9 @@ fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
                 reps: field(l, "reps")?.parse().ok()?,
                 events_per_sec: field(l, "events_per_sec")?.parse().ok()?,
                 samples: samples(l),
+                peak_rss_mib: field(l, "peak_rss_mib")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
             })
         })
         .collect()
@@ -361,18 +405,41 @@ fn matches(e: &Entry, b: &BaselineEntry) -> bool {
 /// Compares `entries` against a committed baseline; returns the failure
 /// messages (empty = pass).
 ///
-/// Two gates:
+/// Three gates:
 ///
 /// * **Throughput.** With baseline samples, the bound is statistical:
 ///   fail below `mean − 3·max(σ, 0.10·mean)` of the recorded samples.
 ///   Legacy single-number baselines fall back to the blanket >2×
 ///   (ratio < 0.5) gate.
+/// * **Memory.** When both sides measured peak RSS (streamed entries),
+///   fail if the fresh run's high-water mark exceeds 1.5× the
+///   baseline's — the streamed path's memory must stay a function of
+///   queue depth, never of job count, and a materialization regression
+///   shows up as a multiple, not a few percent.
 /// * **Coverage.** Every baseline campaign of a mode this run measured
 ///   must have a fresh counterpart; a campaign that silently vanished
 ///   from the grid fails the check rather than being skipped.
 fn check_against(entries: &[Entry], baseline: &[BaselineEntry]) -> Vec<String> {
     let mut failures = Vec::new();
     for e in entries {
+        if e.peak_rss_mib > 0.0 {
+            if let Some(b) = baseline
+                .iter()
+                .find(|b| matches(e, b) && b.peak_rss_mib > 0.0)
+            {
+                println!(
+                    "check {}/{} jobs ({}): peak RSS {:.0} MiB vs baseline {:.0} MiB (limit 1.5x)",
+                    e.strategy, e.jobs, e.mode, e.peak_rss_mib, b.peak_rss_mib
+                );
+                if e.peak_rss_mib > 1.5 * b.peak_rss_mib {
+                    failures.push(format!(
+                        "{} ({} jobs, {}) memory blow-up: peak RSS {:.0} MiB exceeds 1.5x \
+                         baseline {:.0} MiB — streaming is no longer bounded",
+                        e.strategy, e.jobs, e.mode, e.peak_rss_mib, b.peak_rss_mib
+                    ));
+                }
+            }
+        }
         match baseline.iter().find(|b| matches(e, b)) {
             Some(b) if b.samples.len() >= 2 => {
                 let n = b.samples.len() as f64;
@@ -503,9 +570,69 @@ fn measure_orchestrator(world: &World, quick: bool) -> Vec<Entry> {
             events_per_sec: eps,
             samples: vec![eps],
             peak_queue_depth: peak,
+            peak_rss_mib: 0.0,
         });
     }
     entries
+}
+
+/// Times the million-job streamed EASY campaign: jobs are pulled from
+/// the generator source chunk by chunk (8 192 at a time), the simulation
+/// runs in lean mode (counters + occupancy accumulators, no per-job
+/// records), and the process peak RSS is recorded alongside events/sec.
+/// Only queued + in-flight jobs are ever resident, so `peak_rss_mib` is
+/// a function of queue depth — not of the million — and `--check` gates
+/// on it (mode `stream`; excluded from `--quick`, the mode-scoped
+/// coverage gate never requires it there).
+fn measure_streamed(world: &World) -> Entry {
+    const STREAM_JOBS: u32 = 1_000_000;
+    const CHUNK: usize = 8_192;
+    // The ~90 % offered-load online mix: the queue drains, so depth (and
+    // with it resident memory) stays bounded no matter how many jobs
+    // flow through.
+    let mut spec = world.online_spec(1_000);
+    spec.n_jobs = STREAM_JOBS as usize;
+    let cfg = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
+    let mut sched = cfg.build(&world.catalog, &world.model);
+    let mut sim_cfg = SimConfig::new(world.cluster);
+    sim_cfg.audit = false;
+    sim_cfg.retain_detail = false;
+    eprintln!(
+        "timing easy-backfill (stream): {STREAM_JOBS} jobs, chunks of {CHUNK}, lean mode ..."
+    );
+    let mut source = spec.stream(&world.catalog, CHUNK);
+    let started = Instant::now();
+    let out = run_streamed(&mut source, &world.matrix, sched.as_mut(), &sim_cfg);
+    let wall = started.elapsed().as_secs_f64();
+    let rss = process_peak_rss_mib();
+    assert!(
+        out.complete(),
+        "streamed campaign left {} jobs unscheduled",
+        out.unscheduled.len()
+    );
+    assert_eq!(
+        out.completed_jobs + out.rejected.len() as u64,
+        u64::from(STREAM_JOBS),
+        "streamed campaign lost jobs"
+    );
+    let eps = out.events_processed as f64 / wall.max(1e-9);
+    eprintln!(
+        "streamed: {} events in {wall:.1}s ({eps:.0} events/s), peak queue {:.0}, peak RSS {rss:.0} MiB",
+        out.events_processed, out.peak_queue_depth
+    );
+    Entry {
+        strategy: "easy-backfill",
+        mode: "stream",
+        jobs: STREAM_JOBS,
+        nodes: world.cluster.node_count,
+        reps: 1,
+        events: out.events_processed,
+        wall_s: wall,
+        events_per_sec: eps,
+        samples: vec![eps],
+        peak_queue_depth: out.peak_queue_depth.max(0.0) as u64,
+        peak_rss_mib: rss,
+    }
 }
 
 fn main() {
@@ -553,10 +680,16 @@ fn main() {
     if campaign {
         entries.extend(measure_orchestrator(&world, quick));
     }
+    // The million-job streamed campaign rides the full baseline only:
+    // it takes whole seconds and its point — RSS bounded by queue depth,
+    // not job count — needs the million to mean anything.
+    if !quick && only.as_deref().is_none_or(|o| o == "easy-backfill") && !reference {
+        entries.push(measure_streamed(&world));
+    }
     for e in &entries {
         println!(
-            "{:>14} {:>5} jobs={:<6} reps={} events={:<8} wall={:>8.3}s {:>9.0} events/s \
-             ({} samples) peak_queue={}",
+            "{:>14} {:>5} jobs={:<7} reps={} events={:<8} wall={:>8.3}s {:>9.0} events/s \
+             ({} samples) peak_queue={} peak_rss_mib={:.0}",
             e.strategy,
             e.mode,
             e.jobs,
@@ -565,7 +698,8 @@ fn main() {
             e.wall_s,
             e.events_per_sec,
             e.samples.len(),
-            e.peak_queue_depth
+            e.peak_queue_depth,
+            e.peak_rss_mib
         );
     }
     let json = to_json(&entries, quick);

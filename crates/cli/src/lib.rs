@@ -23,7 +23,9 @@ use nodeshare_core::{PairingPolicy, PredictorKind, StrategyConfig, StrategyKind}
 use nodeshare_engine::{FailureModel, SimConfig};
 use nodeshare_perf::{AppCatalog, CoRunTruth, ContentionModel, PairMatrix, Resource};
 use nodeshare_slurm::SlurmConf;
-use nodeshare_workload::{swf, ArrivalProcess, Preset, Workload, WorkloadStats};
+use nodeshare_workload::{
+    ctrace, source::collect_source, swf, ArrivalProcess, JobSource, Preset, Workload, WorkloadStats,
+};
 
 /// Top-level CLI error.
 #[derive(Debug)]
@@ -127,6 +129,18 @@ SIMULATE OPTIONS:
   --conf FILE        slurm.conf-style machine description
   --nodes N          cluster size when no --conf        (default 128)
   --swf FILE         replay an SWF trace instead of generating
+  --source FILE      stream jobs from a workload trace instead of
+                     generating or materializing: SWF or cluster-trace
+                     CSV, pulled chunk by chunk so the file never has
+                     to fit in memory
+  --source-format F  swf | alibaba | google  (default: inferred from the
+                     extension — .swf -> swf, .csv -> alibaba)
+  --materialize      load --source fully into memory up front (restores
+                     the workload-stats section of the report)
+  --lean             keep counters and occupancy integrals only, no
+                     per-job records: bounded memory for million-job
+                     streamed campaigns (simulate/metrics only;
+                     incompatible with --csv)
   --jobs N           synthetic campaign size            (default 500)
   --seed S           workload seed                      (default 42)
   --preset P         evaluation | saturated | capability | capacity |
@@ -229,11 +243,98 @@ fn load_cluster(inv: &Invocation) -> Result<ClusterSpec, CliError> {
     }
 }
 
+/// The trace dialect behind `--source`.
+#[derive(Clone, Copy)]
+enum SourceKind {
+    Swf,
+    Trace(ctrace::TraceFormat),
+}
+
+/// Resolves `--source-format`, falling back to the file extension
+/// (`.swf` → SWF, `.csv` → Alibaba batch; Google digests share `.csv`
+/// and must be named explicitly).
+fn source_kind(inv: &Invocation, path: &str) -> Result<SourceKind, CliError> {
+    if let Some(f) = inv.get("source-format") {
+        if f.eq_ignore_ascii_case("swf") {
+            return Ok(SourceKind::Swf);
+        }
+        return ctrace::TraceFormat::parse(f)
+            .map(SourceKind::Trace)
+            .ok_or_else(|| {
+                CliError::Other(format!(
+                    "unknown source format {f:?} (swf | alibaba | google)"
+                ))
+            });
+    }
+    let ext = std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    match ext.as_str() {
+        "swf" => Ok(SourceKind::Swf),
+        "csv" => Ok(SourceKind::Trace(ctrace::TraceFormat::AlibabaBatch)),
+        _ => Err(CliError::Other(format!(
+            "cannot infer the trace dialect of {path:?}; \
+             pass --source-format swf|alibaba|google"
+        ))),
+    }
+}
+
+/// Opens `--source` as a streaming [`JobSource`]. The box borrows the
+/// catalog, so it lives within the calling command's frame.
+fn open_source<'c>(
+    inv: &Invocation,
+    path: &str,
+    catalog: &'c AppCatalog,
+    cluster: &ClusterSpec,
+) -> Result<Box<dyn JobSource + 'c>, CliError> {
+    let kind = source_kind(inv, path)?;
+    let file = std::fs::File::open(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    let reader = std::io::BufReader::new(file);
+    Ok(match kind {
+        SourceKind::Swf => Box::new(swf::SwfSource::new(
+            reader,
+            catalog,
+            swf::SwfImportOptions {
+                cores_per_node: cluster.node.cores(),
+                ..Default::default()
+            },
+        )),
+        SourceKind::Trace(format) => Box::new(ctrace::CTraceSource::new(
+            reader,
+            format,
+            catalog,
+            ctrace::CTraceOptions {
+                cores_per_node: cluster.node.cores(),
+                node_mem_mib: cluster.node.mem_mib.try_into().unwrap_or(u32::MAX),
+                ..Default::default()
+            },
+        )),
+    })
+}
+
 fn build_workload(
     inv: &Invocation,
     catalog: &AppCatalog,
     cluster: &ClusterSpec,
 ) -> Result<Workload, CliError> {
+    if inv.has("swf") && inv.has("source") {
+        return Err(CliError::Other(
+            "--swf and --source are mutually exclusive (both name a trace file)".into(),
+        ));
+    }
+    if let Some(path) = inv.get("source") {
+        // Only the `--materialize` paths reach here; streamed runs feed
+        // the engine directly and never build a Workload.
+        let mut source = open_source(inv, path, catalog, cluster)?;
+        let workload =
+            collect_source(source.as_mut()).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+        if workload.is_empty() {
+            return Err(CliError::Other(format!("{path}: no usable jobs")));
+        }
+        return Ok(workload);
+    }
     if let Some(path) = inv.get("swf") {
         let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
         let records = swf::parse(&text).map_err(|e| CliError::Other(e.to_string()))?;
@@ -272,6 +373,10 @@ const SIM_OPTIONS: &[&str] = &[
     "conf",
     "nodes",
     "swf",
+    "source",
+    "source-format",
+    "materialize",
+    "lean",
     "jobs",
     "seed",
     "rate",
@@ -343,25 +448,47 @@ fn write_telemetry(
     ))
 }
 
-/// Everything one campaign run needs, assembled from CLI options.
-struct Prepared {
+/// Everything one campaign run needs except the workload itself —
+/// streamed runs stop here and feed the engine from a [`JobSource`].
+struct Env {
     catalog: AppCatalog,
     truth: CoRunTruth,
     cluster: ClusterSpec,
-    workload: Workload,
     config: SimConfig,
     sched: Box<dyn nodeshare_engine::Scheduler>,
 }
 
+/// Everything one materialized campaign run needs.
+struct Prepared {
+    env: Env,
+    workload: Workload,
+}
+
 fn prepare(inv: &Invocation) -> Result<Prepared, CliError> {
+    let env = prepare_env(inv)?;
+    let workload = build_workload(inv, &env.catalog, &env.cluster)?;
+    Ok(Prepared { env, workload })
+}
+
+fn prepare_env(inv: &Invocation) -> Result<Env, CliError> {
     let catalog = AppCatalog::trinity();
     let model = ContentionModel::calibrated();
     let truth = CoRunTruth::build(&catalog, &model);
     let cluster = load_cluster(inv)?;
-    let workload = build_workload(inv, &catalog, &cluster)?;
     let strategy = parse_strategy(inv)?;
 
     let mut config = SimConfig::new(cluster);
+    if inv.has("lean") {
+        if inv.has("csv") {
+            return Err(CliError::Other(
+                "--lean keeps no per-job records, so --csv has nothing to write".into(),
+            ));
+        }
+        config.retain_detail = false;
+        // Lean runs cannot be replay-audited (the auditor needs the
+        // records); drop the implicit debug-build audit too.
+        config.audit = false;
+    }
     let mtbf_h: f64 = inv.num("mtbf-hours", 0.0)?;
     if mtbf_h > 0.0 {
         config.failures = Some(FailureModel {
@@ -403,14 +530,32 @@ fn prepare(inv: &Invocation) -> Result<Prepared, CliError> {
             3,
         ));
     }
-    Ok(Prepared {
+    Ok(Env {
         catalog,
         truth,
         cluster,
-        workload,
         config,
         sched,
     })
+}
+
+/// The compact per-run summary a lean campaign gets instead of the full
+/// per-job report.
+fn lean_summary(out: &nodeshare_engine::SimOutcome) -> String {
+    format!(
+        "lean run (per-job records not retained)\n\
+         completed jobs:    {}\n\
+         rejected jobs:     {}\n\
+         makespan:          {:.0} s\n\
+         peak queue depth:  {:.0}\n\
+         busy core-seconds: {:.0} ({:.0} shared)",
+        out.completed_jobs,
+        out.rejected.len(),
+        out.end_time,
+        out.peak_queue_depth,
+        out.busy_core_seconds,
+        out.shared_core_seconds,
+    )
 }
 
 fn simulate(inv: &Invocation) -> Result<String, CliError> {
@@ -418,17 +563,53 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
     inv.check_known(&known)?;
     apply_log_level(inv)?;
     let telemetry = build_telemetry(inv, false)?;
-    let mut p = prepare(inv)?;
+    // `--source` without `--materialize` streams the trace through the
+    // engine chunk by chunk; everything else goes the materialized way.
+    let streamed_path = inv.get("source").filter(|_| !inv.has("materialize"));
     let started = std::time::Instant::now();
-    let out = match telemetry.as_ref() {
-        Some(t) => nodeshare_engine::run_with_telemetry(
-            &p.workload,
-            &p.truth,
-            p.sched.as_mut(),
-            &p.config,
-            t,
-        ),
-        None => nodeshare_engine::run(&p.workload, &p.truth, p.sched.as_mut(), &p.config),
+    let (env, out, workload_section) = if let Some(path) = streamed_path {
+        let mut env = prepare_env(inv)?;
+        let mut source = open_source(inv, path, &env.catalog, &env.cluster)?;
+        let out = match telemetry.as_ref() {
+            Some(t) => nodeshare_engine::run_streamed_with_telemetry(
+                source.as_mut(),
+                &env.truth,
+                env.sched.as_mut(),
+                &env.config,
+                t,
+            ),
+            None => nodeshare_engine::run_streamed(
+                source.as_mut(),
+                &env.truth,
+                env.sched.as_mut(),
+                &env.config,
+            ),
+        };
+        drop(source);
+        let section = format!("workload: streamed from {path}");
+        (env, out, section)
+    } else {
+        let mut p = prepare(inv)?;
+        let out = match telemetry.as_ref() {
+            Some(t) => nodeshare_engine::run_with_telemetry(
+                &p.workload,
+                &p.env.truth,
+                p.env.sched.as_mut(),
+                &p.env.config,
+                t,
+            ),
+            None => nodeshare_engine::run(
+                &p.workload,
+                &p.env.truth,
+                p.env.sched.as_mut(),
+                &p.env.config,
+            ),
+        };
+        let section = format!(
+            "workload:\n{}",
+            WorkloadStats::of(&p.workload).report(Some(&p.env.catalog))
+        );
+        (p.env, out, section)
     };
     let wall = started.elapsed().as_secs_f64();
     if !out.complete() {
@@ -439,18 +620,20 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
         )));
     }
     if let Some(path) = inv.get("csv") {
-        std::fs::write(path, report::records_csv(&out, &p.catalog))
+        std::fs::write(path, report::records_csv(&out, &env.catalog))
             .map_err(|e| CliError::Io(path.to_string(), e))?;
     }
     let mut tail = String::new();
     if let (Some(t), Some(path)) = (telemetry.as_ref(), inv.get("telemetry")) {
         tail = format!("\n{}", write_telemetry(t, path)?);
     }
-    let stats = WorkloadStats::of(&p.workload);
+    let body = if env.config.retain_detail {
+        report::render(&out, &env.cluster, &env.catalog)
+    } else {
+        lean_summary(&out)
+    };
     Ok(format!(
-        "workload:\n{}\n{}\nsimulated {} events in {:.3} s wall time ({:.0} events/s){tail}",
-        stats.report(Some(&p.catalog)),
-        report::render(&out, &p.cluster, &p.catalog),
+        "{workload_section}\n{body}\nsimulated {} events in {:.3} s wall time ({:.0} events/s){tail}",
         out.events_processed,
         wall,
         out.events_processed as f64 / wall.max(1e-9),
@@ -464,14 +647,30 @@ fn metrics_cmd(inv: &Invocation) -> Result<String, CliError> {
     inv.check_known(&known)?;
     apply_log_level(inv)?;
     let telemetry = build_telemetry(inv, true)?.expect("forced telemetry");
-    let mut p = prepare(inv)?;
-    let out = nodeshare_engine::run_with_telemetry(
-        &p.workload,
-        &p.truth,
-        p.sched.as_mut(),
-        &p.config,
-        &telemetry,
-    );
+    let streamed_path = inv.get("source").filter(|_| !inv.has("materialize"));
+    let (env, out) = if let Some(path) = streamed_path {
+        let mut env = prepare_env(inv)?;
+        let mut source = open_source(inv, path, &env.catalog, &env.cluster)?;
+        let out = nodeshare_engine::run_streamed_with_telemetry(
+            source.as_mut(),
+            &env.truth,
+            env.sched.as_mut(),
+            &env.config,
+            &telemetry,
+        );
+        drop(source);
+        (env, out)
+    } else {
+        let mut p = prepare(inv)?;
+        let out = nodeshare_engine::run_with_telemetry(
+            &p.workload,
+            &p.env.truth,
+            p.env.sched.as_mut(),
+            &p.env.config,
+            &telemetry,
+        );
+        (p.env, out)
+    };
     if !out.complete() {
         return Err(CliError::Other(format!(
             "{} jobs could never be scheduled on this cluster (first: {:?})",
@@ -480,7 +679,7 @@ fn metrics_cmd(inv: &Invocation) -> Result<String, CliError> {
         )));
     }
     if let Some(path) = inv.get("csv") {
-        std::fs::write(path, report::records_csv(&out, &p.catalog))
+        std::fs::write(path, report::records_csv(&out, &env.catalog))
             .map_err(|e| CliError::Io(path.to_string(), e))?;
     }
     if let Some(path) = inv.get("telemetry") {
@@ -495,20 +694,47 @@ fn audit_cmd(inv: &Invocation) -> Result<String, CliError> {
     known.push("log-level");
     inv.check_known(&known)?;
     apply_log_level(inv)?;
-    let mut p = prepare(inv)?;
+    if inv.has("lean") {
+        return Err(CliError::Other(
+            "--lean drops the per-job records the replay auditor verifies; \
+             audit runs need full detail"
+                .into(),
+        ));
+    }
+    let streamed_path = inv.get("source").filter(|_| !inv.has("materialize"));
     // The auditor runs explicitly below, with the stricter queue-order
     // check on; disable the engine's own implicit audit-and-panic.
-    p.config.audit = false;
-    let (out, trace) =
-        nodeshare_engine::run_traced(&p.workload, &p.truth, p.sched.as_mut(), &p.config);
+    let (env, out, trace) = if let Some(path) = streamed_path {
+        let mut env = prepare_env(inv)?;
+        env.config.audit = false;
+        let mut source = open_source(inv, path, &env.catalog, &env.cluster)?;
+        let (out, trace) = nodeshare_engine::run_streamed_traced(
+            source.as_mut(),
+            &env.truth,
+            env.sched.as_mut(),
+            &env.config,
+        );
+        drop(source);
+        (env, out, trace)
+    } else {
+        let mut p = prepare(inv)?;
+        p.env.config.audit = false;
+        let (out, trace) = nodeshare_engine::run_traced(
+            &p.workload,
+            &p.env.truth,
+            p.env.sched.as_mut(),
+            &p.env.config,
+        );
+        (p.env, out, trace)
+    };
     if let Some(path) = inv.get("trace") {
         std::fs::write(path, trace.to_json()).map_err(|e| CliError::Io(path.to_string(), e))?;
     }
     if let Some(path) = inv.get("csv") {
-        std::fs::write(path, report::records_csv(&out, &p.catalog))
+        std::fs::write(path, report::records_csv(&out, &env.catalog))
             .map_err(|e| CliError::Io(path.to_string(), e))?;
     }
-    let verdict = nodeshare_engine::Auditor::new(&p.truth, &p.config)
+    let verdict = nodeshare_engine::Auditor::new(&env.truth, &env.config)
         .with_queue_order_check()
         .audit(&trace, &out);
     match verdict {
@@ -725,6 +951,118 @@ mod tests {
         .unwrap();
         assert!(out.contains("first-fit"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn streamed_source_matches_materialized_byte_for_byte() {
+        let dir = std::env::temp_dir().join("nodeshare_cli_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let swf_path = dir.join("campaign.swf");
+        let swf_str = swf_path.to_str().unwrap();
+        run_cli(["workload", "--jobs", "60", "--seed", "9", "--out", swf_str]).unwrap();
+        let streamed_csv = dir.join("streamed.csv");
+        let materialized_csv = dir.join("materialized.csv");
+        let swf_csv = dir.join("swf.csv");
+        let base = ["--nodes", "64", "--strategy", "easy"];
+        let out = run_cli(
+            [
+                "simulate",
+                "--source",
+                swf_str,
+                "--csv",
+                streamed_csv.to_str().unwrap(),
+            ]
+            .into_iter()
+            .chain(base)
+            .map(str::to_string)
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(out.contains(&format!("streamed from {swf_str}")));
+        run_cli(
+            [
+                "simulate",
+                "--source",
+                swf_str,
+                "--materialize",
+                "--csv",
+                materialized_csv.to_str().unwrap(),
+            ]
+            .into_iter()
+            .chain(base)
+            .map(str::to_string)
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        run_cli(
+            [
+                "simulate",
+                "--swf",
+                swf_str,
+                "--csv",
+                swf_csv.to_str().unwrap(),
+            ]
+            .into_iter()
+            .chain(base)
+            .map(str::to_string)
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let streamed = std::fs::read_to_string(&streamed_csv).unwrap();
+        let materialized = std::fs::read_to_string(&materialized_csv).unwrap();
+        let via_swf = std::fs::read_to_string(&swf_csv).unwrap();
+        assert_eq!(streamed, materialized, "streamed != materialized records");
+        assert_eq!(streamed, via_swf, "--source swf != legacy --swf records");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lean_simulate_prints_counts_not_records() {
+        let out = run_cli([
+            "simulate", "--jobs", "50", "--seed", "7", "--nodes", "32", "--rate", "0.02", "--lean",
+        ])
+        .unwrap();
+        assert!(out.contains("lean run"), "got: {out}");
+        assert!(out.contains("completed jobs:    50"), "got: {out}");
+        assert!(out.contains("events/s"));
+        assert!(
+            !out.contains("computational efficiency"),
+            "lean runs keep no records, so there is no per-job report"
+        );
+    }
+
+    #[test]
+    fn lean_and_source_flags_validate() {
+        // No records -> nothing for --csv to write.
+        assert!(run_cli(["simulate", "--jobs", "10", "--lean", "--csv", "/tmp/x.csv"]).is_err());
+        // The auditor replays per-job records; lean has none.
+        assert!(run_cli(["audit", "--jobs", "10", "--lean"]).is_err());
+        // Two trace files is ambiguous.
+        assert!(run_cli(["simulate", "--swf", "a.swf", "--source", "b.swf"]).is_err());
+        // Unknown dialect name, and an extension nothing can be inferred from.
+        assert!(run_cli(["simulate", "--source", "t.csv", "--source-format", "borg"]).is_err());
+        assert!(run_cli(["simulate", "--source", "trace.dat"]).is_err());
+    }
+
+    #[test]
+    fn audit_streams_a_source_trace() {
+        let dir = std::env::temp_dir().join("nodeshare_cli_audit_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let swf_path = dir.join("campaign.swf");
+        let swf_str = swf_path.to_str().unwrap();
+        run_cli(["workload", "--jobs", "40", "--seed", "4", "--out", swf_str]).unwrap();
+        let out = run_cli([
+            "audit",
+            "--source",
+            swf_str,
+            "--nodes",
+            "64",
+            "--strategy",
+            "co-backfill",
+        ])
+        .unwrap();
+        assert!(out.contains("all invariants hold"), "got: {out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

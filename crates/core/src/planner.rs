@@ -254,7 +254,7 @@ impl Planner {
         if k == 0 {
             return Some(Vec::new());
         }
-        if job.mem_per_node_mib > ctx.cluster.spec().node.mem_mib {
+        if u64::from(job.mem_per_node_mib) > ctx.cluster.spec().node.mem_mib {
             return None;
         }
         let avail = ctx.cluster.idle_count() - if restricted { self.reserved_idle } else { 0 };
@@ -291,7 +291,7 @@ impl Planner {
             return None;
         }
         let k = job.nodes as usize;
-        let idle_ok = job.mem_per_node_mib <= ctx.cluster.spec().node.mem_mib;
+        let idle_ok = u64::from(job.mem_per_node_mib) <= ctx.cluster.spec().node.mem_mib;
         let mut key = 0u128;
         if use_memo {
             // Rank of the memory requirement among partial nodes: how many
@@ -301,7 +301,7 @@ impl Planner {
             let t = self.partials.len()
                 - self
                     .mem_sorted
-                    .partition_point(|&m| m < job.mem_per_node_mib);
+                    .partition_point(|&m| m < u64::from(job.mem_per_node_mib));
             let wt = pairing
                 .duration_match
                 .map_or(0u64, |_| job.walltime_estimate.to_bits());
@@ -369,7 +369,7 @@ impl Planner {
             if let Some(t) = ctx.telemetry {
                 t.pairing_queries.inc();
             }
-            if info.mem_free < job.mem_per_node_mib {
+            if info.mem_free < u64::from(job.mem_per_node_mib) {
                 continue;
             }
             if !info.eligible {

@@ -86,7 +86,7 @@ pub fn pick_exclusive(
                 && ctx
                     .cluster
                     .node(n)
-                    .is_some_and(|node| node.mem_free() >= job.mem_per_node_mib)
+                    .is_some_and(|node| node.mem_free() >= u64::from(job.mem_per_node_mib))
         })
         .take(k)
         .collect();
@@ -156,7 +156,7 @@ pub fn plan_shared(
             if let Some(t) = ctx.telemetry {
                 t.pairing_queries.inc();
             }
-            if node.mem_free() < job.mem_per_node_mib {
+            if node.mem_free() < u64::from(job.mem_per_node_mib) {
                 return None;
             }
             let mut score = f64::INFINITY;
@@ -199,7 +199,7 @@ pub fn plan_shared(
                         && ctx
                             .cluster
                             .node(n)
-                            .is_some_and(|node| node.mem_free() >= job.mem_per_node_mib)
+                            .is_some_and(|node| node.mem_free() >= u64::from(job.mem_per_node_mib))
                 })
                 .take(need),
         );

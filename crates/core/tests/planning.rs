@@ -150,7 +150,7 @@ fn pick_exclusive_respects_filters_and_memory() {
     assert_eq!(picked, vec![NodeId(2), NodeId(3)]);
     // Too much memory: no placement.
     let mut fat = q[0].clone();
-    fat.mem_per_node_mib = NodeSpec::tiny().mem_mib + 1;
+    fat.mem_per_node_mib = (NodeSpec::tiny().mem_mib + 1) as u32;
     assert!(pick_exclusive(&ctx, &fat, |_| true).is_none());
     // More nodes than exist: no placement.
     let mut wide = q[0].clone();

@@ -3,14 +3,18 @@
 //! Deterministic discrete-event simulation of a batch system with
 //! co-runner-dependent job progress:
 //!
-//! * [`events`] — `(time, sequence)`-ordered event queue,
+//! * [`events`] — `(time, band, sequence)`-ordered event queue with two
+//!   interchangeable backends (bucketed calendar queue by default, binary
+//!   heap for reference) proven to pop identically,
 //! * [`progress`] — work-based running-job state: rates change when
 //!   co-runners come and go; completion events are generation-stamped so
 //!   stale ones are skipped,
 //! * [`view`] — the [`Scheduler`] trait and the context policies see
 //!   (estimates only — never true runtimes),
 //! * [`sim`] — the driver ([`run`]) wiring workload + cluster + pair
-//!   matrix + policy together,
+//!   matrix + policy together; [`run_streamed`] feeds it from a chunked
+//!   [`nodeshare_workload::JobSource`] so million-job campaigns keep only
+//!   in-flight and queued jobs resident,
 //! * [`outcome`] — [`SimOutcome`] with per-job records and integrated
 //!   occupancy series,
 //! * [`telemetry`] — runtime observability ([`SimTelemetry`]): metric
@@ -36,12 +40,14 @@ pub mod trace;
 pub mod view;
 
 pub use audit::{AuditSummary, Auditor, Violation};
-pub use events::{Event, EventQueue};
+pub use events::{Event, EventQueue, QueueBackend};
 pub use faults::{FailureModel, MaintenanceWindow};
 pub use outcome::SimOutcome;
 pub use progress::RunningJob;
 pub use sim::{
-    first_idle_nodes, run, run_traced, run_traced_with_telemetry, run_with_telemetry, SimConfig,
+    first_idle_nodes, run, run_streamed, run_streamed_traced, run_streamed_traced_with_telemetry,
+    run_streamed_with_telemetry, run_traced, run_traced_with_telemetry, run_with_telemetry,
+    SimConfig,
 };
 pub use telemetry::{SchedTelemetry, SimTelemetry, TelemetrySample};
 pub use trace::{DecisionTrace, DownCause, StartReason, TraceEvent};

@@ -16,8 +16,19 @@ pub struct SimOutcome {
     pub events_processed: u64,
     /// Name of the policy that ran.
     pub scheduler: String,
-    /// Per-job records, in job-id order.
+    /// Per-job records, in job-id order. Empty in lean runs
+    /// (`SimConfig::retain_detail = false`); use
+    /// [`SimOutcome::completed_jobs`] for the count there.
     pub records: Vec<JobRecord>,
+    /// Jobs that finished (including walltime kills). Always counted,
+    /// even when `records` is not retained. Defaults to 0 when
+    /// deserializing outcomes written before the field existed.
+    #[serde(default)]
+    pub completed_jobs: u64,
+    /// Highest waiting-job count ever observed — the figure that bounds
+    /// a streamed run's memory. Defaults to 0 on old outcomes.
+    #[serde(default)]
+    pub peak_queue_depth: f64,
     /// Integrated busy physical-core seconds.
     pub busy_core_seconds: f64,
     /// Integrated core-seconds during which nodes hosted two jobs.

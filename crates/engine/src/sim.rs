@@ -2,7 +2,7 @@
 //! a scheduling policy into one deterministic discrete-event run.
 
 use crate::audit::Auditor;
-use crate::events::{Event, EventQueue};
+use crate::events::{Event, EventQueue, QueueBackend};
 use crate::faults::{FailureModel, MaintenanceWindow};
 use crate::outcome::SimOutcome;
 use crate::progress::RunningJob;
@@ -10,10 +10,10 @@ use crate::telemetry::SimTelemetry;
 use crate::trace::{DecisionTrace, DownCause, StartReason, TraceEvent};
 use crate::view::{summary_of, Decision, SchedContext, Scheduler};
 use nodeshare_cluster::{AdminState, Allocation, Cluster, ClusterSpec, JobId, NodeId, ShareMode};
-use nodeshare_metrics::{JobRecord, StepSeries};
+use nodeshare_metrics::{JobRecord, StepAccum, StepSeries};
 use nodeshare_perf::CoRunTruth;
-use nodeshare_workload::{JobSpec, Seconds, Workload};
-use std::collections::BTreeMap;
+use nodeshare_workload::{JobSource, JobSpec, Seconds, Workload};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Engine configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,6 +59,21 @@ pub struct SimConfig {
     /// every test run is audited) and off in release builds (benchmark
     /// runs pay no tracing cost).
     pub audit: bool,
+    /// Event-queue implementation. The calendar queue (default) keeps
+    /// push/pop near O(1) at million-entry depths; the binary heap is
+    /// retained for differential testing and benchmarks. Both produce
+    /// bit-identical pop orders, so this is purely a performance knob.
+    pub queue_backend: QueueBackend,
+    /// Retain per-job [`JobRecord`]s and step-series change points in the
+    /// outcome (the default). `false` is *lean mode* for million-job
+    /// runs: memory stays bounded by in-flight state, the outcome keeps
+    /// exact counts and integrals ([`SimOutcome::completed_jobs`],
+    /// [`SimOutcome::peak_queue_depth`], `busy_core_seconds`) but
+    /// `records` and the series come back empty — so per-job metrics and
+    /// history-driven policies (which read `SchedContext::completed`)
+    /// see nothing. Incompatible with `audit` (the auditor replays
+    /// records).
+    pub retain_detail: bool,
 }
 
 impl SimConfig {
@@ -76,14 +91,25 @@ impl SimConfig {
             snapshot_times: Vec::new(),
             max_events: 50_000_000,
             audit: cfg!(debug_assertions),
+            queue_backend: QueueBackend::default(),
+            retain_detail: true,
         }
     }
 }
+
+/// Jobs per chunk when an in-memory [`Workload`] is streamed through the
+/// engine: large enough to amortize refill bookkeeping, small enough that
+/// the pending buffer stays cache-resident.
+const STREAM_CHUNK_JOBS: usize = 8192;
 
 /// Runs `workload` under `scheduler` and returns the outcome.
 ///
 /// Ground-truth co-run rates come from `truth`; the policy never sees
 /// them (it plans with whatever predictor it was built with).
+///
+/// Internally this streams the workload through [`run_streamed`] — a
+/// materialized workload is just the trivial [`JobSource`]. The event
+/// order, and therefore every outcome byte, is identical either way.
 ///
 /// # Panics
 /// Panics when the policy returns an inapplicable decision (unknown job,
@@ -96,24 +122,8 @@ pub fn run(
     scheduler: &mut dyn Scheduler,
     config: &SimConfig,
 ) -> SimOutcome {
-    if !config.audit {
-        let (outcome, _) = Engine::new(workload, truth, config, false, None).run(scheduler);
-        return outcome;
-    }
-    let (outcome, trace) = run_traced(workload, truth, scheduler, config);
-    if let Err(violations) = Auditor::new(truth, config).audit(&trace, &outcome) {
-        let mut msg = format!(
-            "audit of scheduler {:?} found {} violation(s):",
-            outcome.scheduler,
-            violations.len()
-        );
-        for v in &violations {
-            msg.push_str("\n  ");
-            msg.push_str(&v.to_string());
-        }
-        panic!("{msg}");
-    }
-    outcome
+    let mut source = workload.source(STREAM_CHUNK_JOBS);
+    run_streamed(&mut source, truth, scheduler, config)
 }
 
 /// Like [`run`], but always records and returns the full
@@ -126,8 +136,8 @@ pub fn run_traced(
     scheduler: &mut dyn Scheduler,
     config: &SimConfig,
 ) -> (SimOutcome, DecisionTrace) {
-    let (outcome, trace) = Engine::new(workload, truth, config, true, None).run(scheduler);
-    (outcome, trace.expect("tracing was requested"))
+    let mut source = workload.source(STREAM_CHUNK_JOBS);
+    run_streamed_traced(&mut source, truth, scheduler, config)
 }
 
 /// Like [`run`], but collects runtime telemetry into `telemetry`: engine
@@ -147,8 +157,8 @@ pub fn run_with_telemetry(
     config: &SimConfig,
     telemetry: &SimTelemetry,
 ) -> SimOutcome {
-    let (outcome, _) = Engine::new(workload, truth, config, false, Some(telemetry)).run(scheduler);
-    outcome
+    let mut source = workload.source(STREAM_CHUNK_JOBS);
+    run_streamed_with_telemetry(&mut source, truth, scheduler, config, telemetry)
 }
 
 /// [`run_traced`] and [`run_with_telemetry`] combined: records the full
@@ -161,27 +171,134 @@ pub fn run_traced_with_telemetry(
     config: &SimConfig,
     telemetry: &SimTelemetry,
 ) -> (SimOutcome, DecisionTrace) {
-    let (outcome, trace) =
-        Engine::new(workload, truth, config, true, Some(telemetry)).run(scheduler);
+    let mut source = workload.source(STREAM_CHUNK_JOBS);
+    run_streamed_traced_with_telemetry(&mut source, truth, scheduler, config, telemetry)
+}
+
+/// Runs a streaming [`JobSource`] under `scheduler` — the million-job
+/// entry point. Only in-flight and queued jobs stay resident; the engine
+/// pulls the next chunk whenever the earliest pending event reaches the
+/// source's horizon.
+///
+/// For any source, the simulated event order is identical to
+/// materializing the same jobs into a [`Workload`] and calling [`run`]
+/// (arrivals occupy a dedicated tie-break band in the event queue, so
+/// late insertion cannot reorder them). One caveat for tick-driven
+/// configs (`sched_tick`): a source that cannot report exhaustion
+/// eagerly — e.g. a trace file whose trailing lines are all filtered
+/// out — may keep the periodic tick armed slightly longer than the
+/// materialized run, adding tick events after the last job finished.
+/// All bundled sources report exhaustion eagerly.
+///
+/// # Panics
+/// Panics on policy bugs (as [`run`]) and on a misbehaving source:
+/// delivery out of `(submit, id)` order, invalid specs, horizon
+/// violations, no progress, or an `Err` from the source itself.
+pub fn run_streamed(
+    source: &mut dyn JobSource,
+    truth: &CoRunTruth,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+) -> SimOutcome {
+    if !config.audit {
+        let (outcome, _) = Engine::new(source, truth, config, false, None).run(scheduler);
+        return outcome;
+    }
+    let (outcome, trace) = run_streamed_traced(source, truth, scheduler, config);
+    if let Err(violations) = Auditor::new(truth, config).audit(&trace, &outcome) {
+        let mut msg = format!(
+            "audit of scheduler {:?} found {} violation(s):",
+            outcome.scheduler,
+            violations.len()
+        );
+        for v in &violations {
+            msg.push_str("\n  ");
+            msg.push_str(&v.to_string());
+        }
+        panic!("{msg}");
+    }
+    outcome
+}
+
+/// [`run_streamed`] recording the full [`DecisionTrace`] (no implicit
+/// audit).
+pub fn run_streamed_traced(
+    source: &mut dyn JobSource,
+    truth: &CoRunTruth,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+) -> (SimOutcome, DecisionTrace) {
+    let (outcome, trace) = Engine::new(source, truth, config, true, None).run(scheduler);
+    (outcome, trace.expect("tracing was requested"))
+}
+
+/// [`run_streamed`] collecting runtime telemetry. Note the `event_queue`
+/// gauge in periodic samples reflects *delivered-but-unfired* arrivals
+/// only, so it legitimately differs from a materialized run (where every
+/// arrival is queued up front); counters and outcomes do not differ.
+pub fn run_streamed_with_telemetry(
+    source: &mut dyn JobSource,
+    truth: &CoRunTruth,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    telemetry: &SimTelemetry,
+) -> SimOutcome {
+    let (outcome, _) = Engine::new(source, truth, config, false, Some(telemetry)).run(scheduler);
+    outcome
+}
+
+/// [`run_streamed_traced`] and [`run_streamed_with_telemetry`] combined.
+pub fn run_streamed_traced_with_telemetry(
+    source: &mut dyn JobSource,
+    truth: &CoRunTruth,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    telemetry: &SimTelemetry,
+) -> (SimOutcome, DecisionTrace) {
+    let (outcome, trace) = Engine::new(source, truth, config, true, Some(telemetry)).run(scheduler);
     (outcome, trace.expect("tracing was requested"))
 }
 
 struct Engine<'a> {
     truth: &'a CoRunTruth,
     config: &'a SimConfig,
-    workload: &'a Workload,
+    source: &'a mut dyn JobSource,
+    /// `source.size_hint()` captured at construction, for logging.
+    source_hint: usize,
+    /// Jobs delivered by the source whose arrival events have not fired
+    /// yet. Arrivals pop in delivery order (see [`EventQueue::push`]'s
+    /// band rule), so this is a plain FIFO.
+    pending: VecDeque<JobSpec>,
+    /// Reusable chunk scratch handed to `source.next_chunk`.
+    chunk_buf: Vec<JobSpec>,
+    /// Index stamped on the next `Event::Arrival` — delivery order, which
+    /// equals the materialized workload's `(submit, id)` index.
+    next_arrival_idx: usize,
+    /// Every job the source delivers later has `submit >= horizon`.
+    horizon: Seconds,
+    source_done: bool,
+    /// Monotonicity check on source deliveries.
+    last_delivered_submit: Seconds,
     cluster: Cluster,
     events: EventQueue,
     queue: Vec<JobSpec>,
     running: BTreeMap<JobId, RunningJob>,
     running_view: BTreeMap<JobId, crate::view::RunningSummary>,
     records: Vec<JobRecord>,
+    /// Completions including walltime kills; equals `records.len()` when
+    /// detail is retained, and keeps counting when it is not.
+    completed_count: u64,
     busy_cores: StepSeries,
     shared_cores: StepSeries,
     queue_depth: StepSeries,
+    /// O(1) companions to the three series, kept in both modes: lean runs
+    /// take integrals/maxima from these, full runs use them only for
+    /// [`SimOutcome::peak_queue_depth`].
+    busy_acc: StepAccum,
+    shared_acc: StepAccum,
+    depth_acc: StepAccum,
     now: Seconds,
     processed: u64,
-    arrivals_pending: usize,
     /// Requeue counter per job (node failures).
     attempts: BTreeMap<JobId, u32>,
     /// Checkpointed work salvaged for requeued jobs, exclusive-seconds.
@@ -209,16 +326,18 @@ struct Engine<'a> {
 
 impl<'a> Engine<'a> {
     fn new(
-        workload: &'a Workload,
+        source: &'a mut dyn JobSource,
         truth: &'a CoRunTruth,
         config: &'a SimConfig,
         traced: bool,
         telemetry: Option<&'a SimTelemetry>,
     ) -> Self {
-        let mut events = EventQueue::new();
-        for (i, job) in workload.jobs().iter().enumerate() {
-            events.push(job.submit, Event::Arrival(i));
-        }
+        assert!(
+            config.retain_detail || !config.audit,
+            "lean mode (retain_detail = false) discards the job records the \
+             auditor replays; disable audit for lean runs"
+        );
+        let mut events = EventQueue::with_backend(config.queue_backend);
         if let Some(tick) = config.sched_tick {
             assert!(tick > 0.0, "scheduler tick must be positive");
             events.push(tick, Event::SchedulerTick);
@@ -240,22 +359,33 @@ impl<'a> Engine<'a> {
                 events.push(window.end, Event::DrainEnd(node));
             }
         }
+        let source_hint = source.size_hint().unwrap_or(0);
         Engine {
             truth,
             config,
-            workload,
+            source,
+            source_hint,
+            pending: VecDeque::new(),
+            chunk_buf: Vec::new(),
+            next_arrival_idx: 0,
+            horizon: f64::NEG_INFINITY,
+            source_done: false,
+            last_delivered_submit: f64::NEG_INFINITY,
             cluster: Cluster::new(config.cluster),
             events,
             queue: Vec::new(),
             running: BTreeMap::new(),
             running_view: BTreeMap::new(),
             records: Vec::new(),
+            completed_count: 0,
             busy_cores: StepSeries::new(),
             shared_cores: StepSeries::new(),
             queue_depth: StepSeries::new(),
+            busy_acc: StepAccum::new(),
+            shared_acc: StepAccum::new(),
+            depth_acc: StepAccum::new(),
             now: 0.0,
             processed: 0,
-            arrivals_pending: workload.len(),
             attempts: BTreeMap::new(),
             salvage: BTreeMap::new(),
             salvaged_at_start: BTreeMap::new(),
@@ -283,6 +413,78 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Pulls chunks until every event at or past the earliest pending
+    /// event's time is guaranteed delivered — i.e. until the horizon lies
+    /// strictly past the next pop (or the source is exhausted). Called
+    /// before every pop, this is what makes streamed and materialized
+    /// runs pop the exact same event sequence: an arrival can only be
+    /// delivered late if its submit is at or past the horizon, and we
+    /// never pop at or past the horizon.
+    fn refill(&mut self) {
+        while !self.source_done {
+            match self.events.peek_time() {
+                Some(t) if t < self.horizon => break,
+                _ => self.pull_chunk(),
+            }
+        }
+    }
+
+    /// One `next_chunk` call: validates, queues arrival events, and
+    /// advances the horizon. Panics on a misbehaving source — a silent
+    /// repair would quietly change results.
+    fn pull_chunk(&mut self) {
+        let mut buf = std::mem::take(&mut self.chunk_buf);
+        buf.clear();
+        let res = self.source.next_chunk(&mut buf);
+        let delivered = buf.len();
+        for job in buf.drain(..) {
+            job.validate()
+                .unwrap_or_else(|e| panic!("job source delivered an invalid spec: {e}"));
+            assert!(
+                job.submit >= self.last_delivered_submit,
+                "job source delivered {} out of submit order",
+                job.id
+            );
+            // `self.horizon` still holds the *previous* call's promise
+            // here; it only advances after the chunk is ingested.
+            assert!(
+                job.submit >= self.horizon,
+                "job source broke its horizon promise at {}",
+                job.id
+            );
+            self.last_delivered_submit = job.submit;
+            self.events
+                .push(job.submit, Event::Arrival(self.next_arrival_idx));
+            self.next_arrival_idx += 1;
+            self.pending.push_back(job);
+        }
+        self.chunk_buf = buf;
+        match res {
+            Ok(Some(h)) => {
+                assert!(
+                    delivered > 0 || h > self.horizon,
+                    "job source made no progress (no jobs, horizon stuck at {h})"
+                );
+                self.horizon = self.horizon.max(h);
+            }
+            Ok(None) => {
+                self.source_done = true;
+                self.horizon = f64::INFINITY;
+            }
+            Err(e) => panic!("job source failed: {e}"),
+        }
+    }
+
+    /// Records the waiting-job count on the depth accumulator and, in
+    /// full mode, the step series.
+    fn record_depth(&mut self) {
+        let v = self.queue.len() as f64;
+        self.depth_acc.record(self.now, v);
+        if self.config.retain_detail {
+            self.queue_depth.record(self.now, v);
+        }
+    }
+
     fn run(mut self, scheduler: &mut dyn Scheduler) -> (SimOutcome, Option<DecisionTrace>) {
         if let Some(t) = self.telemetry {
             t.note_strategy(scheduler.name());
@@ -290,11 +492,15 @@ impl<'a> Engine<'a> {
                 "engine",
                 "run started";
                 strategy = scheduler.name(),
-                jobs = self.workload.len(),
+                jobs = self.source_hint,
                 nodes = self.config.cluster.node_count
             );
         }
-        while let Some((time, event)) = self.events.pop() {
+        loop {
+            self.refill();
+            let Some((time, event)) = self.events.pop() else {
+                break;
+            };
             debug_assert!(time + 1e-9 >= self.now, "event time went backwards");
             if let Some(t) = self.telemetry {
                 // Periodic state samples land *before* the event that
@@ -305,7 +511,7 @@ impl<'a> Engine<'a> {
                         self.next_sample,
                         self.queue.len(),
                         self.running.len(),
-                        self.records.len(),
+                        self.completed_count as usize,
                         self.events.len(),
                         &self.cluster,
                     );
@@ -324,9 +530,14 @@ impl<'a> Engine<'a> {
                 self.now
             );
             match event {
-                Event::Arrival(i) => {
-                    self.arrivals_pending -= 1;
-                    let job = &self.workload.jobs()[i];
+                Event::Arrival(_) => {
+                    // Arrivals pop in delivery order (dedicated tie-break
+                    // band + per-arrival sequence), so the FIFO front is
+                    // always the right spec — owned, no clone.
+                    let job = self
+                        .pending
+                        .pop_front()
+                        .expect("arrival event without a delivered spec");
                     self.trace_ev(TraceEvent::Submitted {
                         time: self.now,
                         job: job.id,
@@ -339,7 +550,7 @@ impl<'a> Engine<'a> {
                     // satisfy are rejected at submission, as sbatch does —
                     // otherwise an FCFS head would deadlock the queue.
                     if job.nodes > self.config.cluster.node_count
-                        || job.mem_per_node_mib > self.config.cluster.node.mem_mib
+                        || u64::from(job.mem_per_node_mib) > self.config.cluster.node.mem_mib
                     {
                         self.rejected.push(job.id);
                         if let Some(t) = self.telemetry {
@@ -358,8 +569,8 @@ impl<'a> Engine<'a> {
                         });
                         continue;
                     }
-                    self.queue.push(job.clone());
-                    self.queue_depth.record(self.now, self.queue.len() as f64);
+                    self.queue.push(job);
+                    self.record_depth();
                     self.invoke(scheduler);
                 }
                 Event::Completion { job, generation } => {
@@ -389,7 +600,12 @@ impl<'a> Engine<'a> {
                 }
                 Event::SchedulerTick => {
                     self.invoke(scheduler);
-                    if self.arrivals_pending > 0 || !self.running.is_empty() {
+                    // Re-arm while arrivals may still come (delivered but
+                    // unfired, or the source has more) or jobs run. The
+                    // bundled sources report exhaustion eagerly, so this
+                    // matches the materialized `arrivals_pending > 0`
+                    // condition exactly.
+                    if !self.pending.is_empty() || !self.source_done || !self.running.is_empty() {
                         let tick = self.config.sched_tick.expect("tick event implies tick");
                         self.events.push(self.now + tick, Event::SchedulerTick);
                     }
@@ -439,6 +655,10 @@ impl<'a> Engine<'a> {
             }
         }
 
+        debug_assert!(
+            self.pending.is_empty() && self.source_done,
+            "event queue drained with undelivered or unfired arrivals"
+        );
         if let Some(t) = self.telemetry {
             // One closing sample at the end time (replacing a periodic
             // sample that landed exactly there, so final state wins).
@@ -446,7 +666,7 @@ impl<'a> Engine<'a> {
                 self.now,
                 self.queue.len(),
                 self.running.len(),
-                self.records.len(),
+                self.completed_count as usize,
                 self.events.len(),
                 &self.cluster,
             );
@@ -455,7 +675,7 @@ impl<'a> Engine<'a> {
                 "run finished";
                 strategy = scheduler.name(),
                 end_time = self.now,
-                completed = self.records.len(),
+                completed = self.completed_count,
                 unscheduled = self.queue.len(),
                 events = self.processed
             );
@@ -463,6 +683,21 @@ impl<'a> Engine<'a> {
 
         let end = self.now;
         let trace = self.trace;
+        // Full mode integrates the retained series — byte-identical to
+        // what this engine always produced; lean mode falls back to the
+        // O(1) accumulators (equal up to fp grouping of same-instant
+        // updates).
+        let (busy_cs, shared_cs) = if self.config.retain_detail {
+            (
+                self.busy_cores.integral(0.0, end),
+                self.shared_cores.integral(0.0, end),
+            )
+        } else {
+            (
+                self.busy_acc.integral_to(end),
+                self.shared_acc.integral_to(end),
+            )
+        };
         let outcome = SimOutcome {
             events_processed: self.processed,
             scheduler: scheduler.name().to_string(),
@@ -471,8 +706,10 @@ impl<'a> Engine<'a> {
                 r.sort_by_key(|rec| rec.id);
                 r
             },
-            busy_core_seconds: self.busy_cores.integral(0.0, end),
-            shared_core_seconds: self.shared_cores.integral(0.0, end),
+            completed_jobs: self.completed_count,
+            busy_core_seconds: busy_cs,
+            shared_core_seconds: shared_cs,
+            peak_queue_depth: self.depth_acc.max_value(),
             end_time: end,
             unscheduled: self.queue.iter().map(|j| j.id).collect(),
             busy_cores: self.busy_cores,
@@ -543,7 +780,7 @@ impl<'a> Engine<'a> {
         let idle_before = self.cluster.idle_count();
         let head_waiting = (pos != 0).then(|| (self.queue[0].id, self.queue[0].nodes));
         let spec = self.queue.remove(pos);
-        self.queue_depth.record(self.now, self.queue.len() as f64);
+        self.record_depth();
         assert_eq!(
             decision.nodes().len(),
             spec.nodes as usize,
@@ -576,11 +813,11 @@ impl<'a> Engine<'a> {
             match mode {
                 ShareMode::Exclusive => self
                     .cluster
-                    .allocate_exclusive(job_id, decision.nodes(), spec.mem_per_node_mib)
+                    .allocate_exclusive(job_id, decision.nodes(), spec.mem_per_node_mib.into())
                     .map(|_| ()),
                 ShareMode::Shared => self
                     .cluster
-                    .allocate_shared(job_id, decision.nodes(), spec.mem_per_node_mib)
+                    .allocate_shared(job_id, decision.nodes(), spec.mem_per_node_mib.into())
                     .map(|_| ()),
             }
         };
@@ -686,26 +923,29 @@ impl<'a> Engine<'a> {
         }
         // Re-rate every survivor that shared a node with the leaver.
         self.rerate_affected(&alloc);
-        self.records.push(JobRecord {
-            id: r.spec.id,
-            app: r.spec.app,
-            nodes: r.spec.nodes,
-            submit: r.spec.submit,
-            start: r.start,
-            finish: self.now,
-            runtime_exclusive: r.spec.runtime_exclusive,
-            walltime_estimate: r.spec.walltime_estimate,
-            shared_node_seconds: r.shared_node_seconds,
-            killed,
-            shared_alloc: r.mode == ShareMode::Shared,
-            restarts: self.attempts.get(&r.spec.id).copied().unwrap_or(0),
-            salvaged_work: self
-                .salvaged_at_start
-                .get(&r.spec.id)
-                .copied()
-                .unwrap_or(0.0),
-            user: r.spec.user,
-        });
+        self.completed_count += 1;
+        if self.config.retain_detail {
+            self.records.push(JobRecord {
+                id: r.spec.id,
+                app: r.spec.app,
+                nodes: r.spec.nodes,
+                submit: r.spec.submit,
+                start: r.start,
+                finish: self.now,
+                runtime_exclusive: r.spec.runtime_exclusive,
+                walltime_estimate: r.spec.walltime_estimate,
+                shared_node_seconds: r.shared_node_seconds,
+                killed,
+                shared_alloc: r.mode == ShareMode::Shared,
+                restarts: self.attempts.get(&r.spec.id).copied().unwrap_or(0),
+                salvaged_work: self
+                    .salvaged_at_start
+                    .get(&r.spec.id)
+                    .copied()
+                    .unwrap_or(0.0),
+                user: r.spec.user,
+            });
+        }
         self.trace_ev(TraceEvent::Finished {
             time: self.now,
             job: job_id,
@@ -823,7 +1063,7 @@ impl<'a> Engine<'a> {
             .queue
             .partition_point(|j| (j.submit, j.id) <= (spec.submit, spec.id));
         self.queue.insert(pos, spec);
-        self.queue_depth.record(self.now, self.queue.len() as f64);
+        self.record_depth();
         self.record_occupancy();
     }
 
@@ -833,10 +1073,15 @@ impl<'a> Engine<'a> {
     /// cluster crate's tests.
     fn record_occupancy(&mut self) {
         let (busy_cores, shared_nodes) = self.cluster.occupancy_counts();
-        self.busy_cores.record(self.now, busy_cores as f64);
         let cores_per_node = self.config.cluster.node.cores() as f64;
-        self.shared_cores
-            .record(self.now, shared_nodes as f64 * cores_per_node);
+        let busy = busy_cores as f64;
+        let shared = shared_nodes as f64 * cores_per_node;
+        self.busy_acc.record(self.now, busy);
+        self.shared_acc.record(self.now, shared);
+        if self.config.retain_detail {
+            self.busy_cores.record(self.now, busy);
+            self.shared_cores.record(self.now, shared);
+        }
         self.trace_ev(TraceEvent::Occupancy {
             time: self.now,
             busy_cores,

@@ -189,7 +189,7 @@ fn unsatisfiable_jobs_are_rejected_not_deadlocked() {
     let mut huge = job(0, 0.0, 10, 100.0);
     huge.mem_per_node_mib = 0;
     let mut fat = job(1, 1.0, 1, 100.0);
-    fat.mem_per_node_mib = NodeSpec::tiny().mem_mib + 1;
+    fat.mem_per_node_mib = (NodeSpec::tiny().mem_mib + 1) as u32;
     let ok = job(2, 2.0, 1, 100.0);
     let w = Workload::new(vec![huge, fat, ok]).unwrap();
     let out = run(&w, &matrix(), &mut Fcfs, &config);

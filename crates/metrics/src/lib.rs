@@ -29,6 +29,6 @@ pub use fairness::{by_app, by_user, jain_index, user_slowdown_fairness, GroupOut
 pub use histogram::{Buckets, Histogram};
 pub use ordered::{OrderedMerge, OrderedTable};
 pub use record::JobRecord;
-pub use series::StepSeries;
+pub use series::{StepAccum, StepSeries};
 pub use stats::{mean, percentile_sorted, relative_gain, Summary};
 pub use table::{fmt_seconds, pct, Table};

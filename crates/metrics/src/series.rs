@@ -100,6 +100,60 @@ impl StepSeries {
     }
 }
 
+/// O(1)-memory companion to [`StepSeries`]: tracks only the running
+/// integral and maximum of a step function, never the change points.
+///
+/// Million-job streamed runs use this where retaining every change point
+/// would make memory proportional to event count. Semantics mirror
+/// [`StepSeries::record`]: right-continuous steps, implicit initial zero,
+/// same-instant updates supersede (a zero-width interval contributes
+/// nothing to the integral either way).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepAccum {
+    last_t: Seconds,
+    last_v: f64,
+    integral: f64,
+    max: f64,
+}
+
+impl StepAccum {
+    /// A fresh accumulator (value 0 at time 0).
+    pub fn new() -> Self {
+        StepAccum::default()
+    }
+
+    /// Records that the value changed to `value` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the last recorded change.
+    pub fn record(&mut self, time: Seconds, value: f64) {
+        assert!(
+            time >= self.last_t,
+            "accumulator updates must be time-ordered"
+        );
+        self.integral += self.last_v * (time - self.last_t);
+        self.last_t = time;
+        self.last_v = value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Integral of the step function from time 0 through `end` (the
+    /// current value extends to `end` if it lies past the last change).
+    pub fn integral_to(&self, end: Seconds) -> f64 {
+        if end <= self.last_t {
+            return self.integral;
+        }
+        self.integral + self.last_v * (end - self.last_t)
+    }
+
+    /// Maximum value ever recorded (0 if none).
+    pub fn max_value(&self) -> f64 {
+        self.max
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +215,36 @@ mod tests {
         let mut s = StepSeries::new();
         s.record(10.0, 1.0);
         s.record(5.0, 2.0);
+    }
+
+    #[test]
+    fn accumulator_matches_series_integral_and_max() {
+        let updates = [
+            (0.0, 1.0),
+            (10.0, 3.0),
+            (10.0, 4.0),
+            (20.0, 0.0),
+            (25.0, 2.0),
+        ];
+        let mut s = StepSeries::new();
+        let mut a = StepAccum::new();
+        for &(t, v) in &updates {
+            s.record(t, v);
+            a.record(t, v);
+        }
+        assert_eq!(a.integral_to(30.0), s.integral(0.0, 30.0));
+        assert_eq!(a.integral_to(25.0), s.integral(0.0, 25.0));
+        assert_eq!(a.max_value(), s.max_value());
+        // Truncation before the last change keeps the closed integral.
+        assert_eq!(a.integral_to(1.0), a.integral_to(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn accumulator_rejects_backwards_time() {
+        let mut a = StepAccum::new();
+        a.record(10.0, 1.0);
+        a.record(5.0, 2.0);
     }
 
     #[test]

@@ -211,7 +211,9 @@ impl BatchSystem {
             // Walltime below the true runtime is allowed — the job will
             // simply be killed, as in real life.
             walltime_estimate: walltime,
-            mem_per_node_mib: mem,
+            mem_per_node_mib: mem
+                .try_into()
+                .expect("memory checked against node capacity fits u32 MiB"),
             share_eligible: script.oversubscribe && partition.oversubscribe,
             user,
         };

@@ -3,9 +3,10 @@
 
 use crate::arrival::ArrivalProcess;
 use crate::estimates::EstimateModel;
-use crate::job::{JobSpec, Workload};
+use crate::job::{JobSpec, Seconds, Workload};
 use crate::mix::AppMix;
 use crate::sizes::{RuntimeDist, SizeDist};
+use crate::source::{JobSource, SourceError};
 use nodeshare_cluster::JobId;
 use nodeshare_perf::AppCatalog;
 use rand::{Rng, SeedableRng};
@@ -75,12 +76,53 @@ impl WorkloadSpec {
                 submit,
                 runtime_exclusive: runtime,
                 walltime_estimate: estimate,
-                mem_per_node_mib: catalog.profile(app).mem_per_node_mib,
+                mem_per_node_mib: catalog
+                    .profile(app)
+                    .mem_per_node_mib
+                    .try_into()
+                    .expect("catalog memory fits u32 MiB"),
                 share_eligible,
                 user,
             });
         }
         Workload::new(jobs).expect("generated jobs are valid by construction")
+    }
+
+    /// A streaming source producing *bit-identical* jobs to
+    /// [`WorkloadSpec::generate`] in O(1) memory.
+    ///
+    /// `generate` consumes one seeded RNG in two phases: first all `n`
+    /// arrival draws, then the per-job field draws. Streaming replays
+    /// that with two cursors over two fresh RNGs seeded identically —
+    /// one burns the `n` arrival draws up front (O(n) time, no
+    /// allocation) and then serves the field draws; the other serves the
+    /// arrival draws incrementally (arrival sampling is a strictly
+    /// incremental `next_after` chain, never a sort).
+    pub fn stream(&self, catalog: &AppCatalog, chunk_jobs: usize) -> GeneratorSource {
+        let mut fields_rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut t = 0.0;
+        for _ in 0..self.n_jobs {
+            t = self.arrival.next_after(&mut fields_rng, t);
+        }
+        GeneratorSource {
+            spec: self.clone(),
+            mem_by_app: catalog
+                .ids()
+                .map(|a| {
+                    catalog
+                        .profile(a)
+                        .mem_per_node_mib
+                        .try_into()
+                        .expect("catalog memory fits u32 MiB")
+                })
+                .collect(),
+            arrivals_rng: ChaCha8Rng::seed_from_u64(self.seed),
+            fields_rng,
+            last_arrival: 0.0,
+            next_id: 0,
+            pending: None,
+            chunk: chunk_jobs.max(1),
+        }
     }
 
     /// Offered load against a cluster: mean work arrival rate over cluster
@@ -99,9 +141,94 @@ impl WorkloadSpec {
     }
 }
 
+/// Streaming twin of [`WorkloadSpec::generate`] — see
+/// [`WorkloadSpec::stream`] for the two-cursor RNG construction. Holds
+/// O(1) state: two RNGs, a one-job lookahead, and the per-app memory
+/// table.
+pub struct GeneratorSource {
+    spec: WorkloadSpec,
+    mem_by_app: Vec<u32>,
+    /// Serves arrival draws incrementally (cursor one: behind).
+    arrivals_rng: ChaCha8Rng,
+    /// Pre-advanced past all arrival draws; serves field draws (cursor
+    /// two: ahead).
+    fields_rng: ChaCha8Rng,
+    last_arrival: Seconds,
+    next_id: u64,
+    /// One-job lookahead so each chunk can report the next submit as its
+    /// horizon.
+    pending: Option<JobSpec>,
+    chunk: usize,
+}
+
+impl GeneratorSource {
+    fn synthesize(&mut self) -> Option<JobSpec> {
+        if self.next_id as usize >= self.spec.n_jobs {
+            return None;
+        }
+        let submit = self
+            .spec
+            .arrival
+            .next_after(&mut self.arrivals_rng, self.last_arrival);
+        self.last_arrival = submit;
+        let rng = &mut self.fields_rng;
+        let app = self.spec.mix.sample(rng);
+        let nodes = self.spec.sizes.sample(rng);
+        let runtime = self.spec.runtime.sample(rng);
+        let estimate = self.spec.estimates.sample(rng, runtime);
+        let share_eligible = rng.random::<f64>() < self.spec.share_fraction;
+        let user = rng.random_range(0..self.spec.n_users.max(1));
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        Some(JobSpec {
+            id,
+            app,
+            nodes,
+            submit,
+            runtime_exclusive: runtime,
+            walltime_estimate: estimate,
+            mem_per_node_mib: self.mem_by_app[app.0 as usize],
+            share_eligible,
+            user,
+        })
+    }
+}
+
+impl JobSource for GeneratorSource {
+    fn next_chunk(&mut self, out: &mut Vec<JobSpec>) -> Result<Option<Seconds>, SourceError> {
+        let mut added = 0;
+        if let Some(j) = self.pending.take() {
+            out.push(j);
+            added += 1;
+        }
+        while added < self.chunk {
+            match self.synthesize() {
+                Some(j) => {
+                    out.push(j);
+                    added += 1;
+                }
+                None => return Ok(None),
+            }
+        }
+        match self.synthesize() {
+            Some(j) => {
+                let horizon = j.submit;
+                self.pending = Some(j);
+                Ok(Some(horizon))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.spec.n_jobs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::collect_source;
 
     fn spec() -> (AppCatalog, WorkloadSpec) {
         let c = AppCatalog::trinity();
@@ -130,7 +257,10 @@ mod tests {
         assert_eq!(w.len(), 1_000);
         for j in w.jobs() {
             assert!(j.walltime_estimate >= j.runtime_exclusive);
-            assert_eq!(j.mem_per_node_mib, c.profile(j.app).mem_per_node_mib);
+            assert_eq!(
+                u64::from(j.mem_per_node_mib),
+                c.profile(j.app).mem_per_node_mib
+            );
             assert!(j.nodes >= 1 && j.nodes <= s.sizes.max_nodes());
             assert!(j.user < s.n_users);
         }
@@ -146,6 +276,30 @@ mod tests {
         assert!((w.share_fraction() - 0.3).abs() < 0.05);
         s.share_fraction = 0.0;
         assert_eq!(s.generate(&c).share_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stream_is_bit_identical_to_generate() {
+        let (c, s) = spec();
+        let materialized = s.generate(&c);
+        for chunk in [1, 7, 256, 5000] {
+            let streamed = collect_source(&mut s.stream(&c, chunk)).unwrap();
+            assert_eq!(streamed, materialized, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_reports_horizons_and_hint() {
+        let (c, s) = spec();
+        let mut src = s.stream(&c, 100);
+        assert_eq!(src.size_hint(), Some(1_000));
+        let mut out = Vec::new();
+        let h = src.next_chunk(&mut out).unwrap().expect("more jobs remain");
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|j| j.submit <= h));
+        let h2 = src.next_chunk(&mut out).unwrap().expect("more jobs remain");
+        assert!(h2 >= h);
+        assert_eq!(out.len(), 200);
     }
 
     #[test]

@@ -33,8 +33,11 @@ pub struct JobSpec {
     /// User-provided walltime limit; schedulers plan with this, and jobs
     /// exceeding it are killed. Usually an over-estimate.
     pub walltime_estimate: Seconds,
-    /// Memory the job needs on each of its nodes, MiB.
-    pub mem_per_node_mib: u64,
+    /// Memory the job needs on each of its nodes, MiB. Deliberately
+    /// `u32` (caps at 4 TiB/node): streamed million-job campaigns keep
+    /// queued specs resident, so the layout is audited — see the
+    /// `spec_layout_stays_compact` test.
+    pub mem_per_node_mib: u32,
     /// Whether the job may be co-allocated with another job (opt-in, as in
     /// the paper's deployment model).
     pub share_eligible: bool,
@@ -160,6 +163,19 @@ mod tests {
             share_eligible: true,
             user: 0,
         }
+    }
+
+    #[test]
+    fn spec_layout_stays_compact() {
+        // Streamed runs hold only queued + in-flight specs, but a
+        // saturated million-job campaign can still queue hundreds of
+        // thousands. Field-width audit: id 8 + times 3×8 + mem 4 +
+        // nodes 4 + user 4 + app 1 + share 1 = 46, padded to 48.
+        assert!(
+            std::mem::size_of::<JobSpec>() <= 48,
+            "JobSpec grew to {} bytes — audit field widths",
+            std::mem::size_of::<JobSpec>()
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`generator`] — [`WorkloadSpec`]: one reproducible campaign from one
 //!   seed,
 //! * [`swf`] — Standard Workload Format import/export for real traces,
+//! * [`ctrace`] — Google/Alibaba-style cluster-trace CSV ingestion,
+//! * [`source`] — [`JobSource`]: streaming chunked delivery for
+//!   million-job campaigns in bounded memory,
 //! * [`stats`] — workload characterization reports.
 //!
 //! ```
@@ -26,6 +29,7 @@
 //! ```
 
 pub mod arrival;
+pub mod ctrace;
 pub mod dist;
 pub mod estimates;
 pub mod generator;
@@ -33,6 +37,7 @@ pub mod job;
 pub mod mix;
 pub mod presets;
 pub mod sizes;
+pub mod source;
 pub mod stats;
 pub mod swf;
 pub mod transform;
@@ -44,4 +49,5 @@ pub use job::{JobSpec, Seconds, Workload};
 pub use mix::AppMix;
 pub use presets::Preset;
 pub use sizes::{RuntimeDist, SizeDist};
+pub use source::{JobSource, SourceError, WorkloadSource};
 pub use stats::WorkloadStats;

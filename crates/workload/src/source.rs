@@ -1,0 +1,347 @@
+//! Streaming job sources: feed the engine arrival-ordered chunks so a
+//! million-job campaign never materializes a million [`JobSpec`]s.
+//!
+//! The contract is built around a *horizon*: after delivering a chunk, a
+//! source promises every job it will ever deliver later submits at or
+//! after the returned horizon. The engine can therefore safely process
+//! all events strictly before the horizon before asking for more — the
+//! only state that has to stay resident is in-flight plus queued jobs.
+//!
+//! [`Workload`] remains the trivial in-memory source ([`WorkloadSource`]),
+//! and [`ReorderBuffer`] gives line-oriented trace readers (SWF, cluster
+//! traces) a bounded window to repair mild submit-order jitter while
+//! preserving the exact `(submit, id)` order a materialized
+//! [`Workload::new`] sort would produce.
+
+use crate::job::{JobSpec, Seconds, Workload};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Error from a job source (I/O, parse, or ordering violation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceError {
+    /// 1-based input line for text-trace sources, when known.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SourceError {
+    /// An error not tied to an input line.
+    pub fn new(message: impl Into<String>) -> Self {
+        SourceError {
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// An error at a specific 1-based input line.
+    pub fn at_line(line: usize, message: impl Into<String>) -> Self {
+        SourceError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "line {n}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A stream of jobs in submission order, delivered in chunks.
+///
+/// Implementations must uphold:
+///
+/// * **Order.** Jobs are delivered in nondecreasing `(submit, id)` order,
+///   within and across chunks — the order [`Workload::new`] sorts into.
+/// * **Horizon.** `Ok(Some(h))` promises every job delivered by a later
+///   call has `submit >= h`.
+/// * **Progress.** Every `Ok(Some(_))` call appends at least one job to
+///   `out` or returns a strictly larger horizon than the previous call;
+///   `Ok(None)` means the stream is exhausted (any final jobs are
+///   appended to `out` in the same call).
+pub trait JobSource {
+    /// Appends the next chunk of jobs to `out` (which is *not* cleared).
+    ///
+    /// Returns the new horizon, or `Ok(None)` when the source is
+    /// exhausted — the final jobs, if any, are delivered in that same
+    /// call.
+    fn next_chunk(&mut self, out: &mut Vec<JobSpec>) -> Result<Option<Seconds>, SourceError>;
+
+    /// Total number of jobs this source will deliver, when cheaply known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// The trivial in-memory source: chunked views over a sorted [`Workload`].
+///
+/// Splitting a run of equal submit times across chunks is safe: the
+/// horizon equals the first undelivered job's submit, and the engine
+/// refills before processing any event at or past the horizon.
+pub struct WorkloadSource<'a> {
+    jobs: &'a [JobSpec],
+    pos: usize,
+    chunk: usize,
+}
+
+impl<'a> WorkloadSource<'a> {
+    /// A source over `workload`, delivering at most `chunk_jobs` per call.
+    pub fn new(workload: &'a Workload, chunk_jobs: usize) -> Self {
+        WorkloadSource {
+            jobs: workload.jobs(),
+            pos: 0,
+            chunk: chunk_jobs.max(1),
+        }
+    }
+}
+
+impl JobSource for WorkloadSource<'_> {
+    fn next_chunk(&mut self, out: &mut Vec<JobSpec>) -> Result<Option<Seconds>, SourceError> {
+        let end = (self.pos + self.chunk).min(self.jobs.len());
+        out.extend_from_slice(&self.jobs[self.pos..end]);
+        self.pos = end;
+        Ok(self.jobs.get(self.pos).map(|j| j.submit))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.jobs.len())
+    }
+}
+
+impl Workload {
+    /// A streaming view over this workload delivering `chunk_jobs` jobs
+    /// per [`JobSource::next_chunk`] call.
+    pub fn source(&self, chunk_jobs: usize) -> WorkloadSource<'_> {
+        WorkloadSource::new(self, chunk_jobs)
+    }
+}
+
+/// Min-heap entry ordered by `(submit, seq)` — `seq` is push order, which
+/// for file-ordered id assignment equals id order, reproducing the
+/// materialized `(submit, id)` sort.
+struct RbEntry {
+    submit: Seconds,
+    seq: u64,
+    spec: JobSpec,
+}
+
+impl PartialEq for RbEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.submit == other.submit && self.seq == other.seq
+    }
+}
+impl Eq for RbEntry {}
+impl Ord for RbEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .submit
+            .total_cmp(&self.submit)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for RbEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded reorder window for line-oriented trace readers.
+///
+/// Real traces are *mostly* submit-sorted; this buffer holds jobs whose
+/// submit lies within `window` seconds of the highest submit seen (the
+/// watermark) and releases everything older in `(submit, push-order)`
+/// order. A line arriving more than `window` behind the watermark is an
+/// error — the trace needs a bigger window, not silent misordering.
+pub struct ReorderBuffer {
+    window: Seconds,
+    heap: BinaryHeap<RbEntry>,
+    seq: u64,
+    watermark: Seconds,
+}
+
+impl ReorderBuffer {
+    /// A buffer tolerating `window` seconds of submit-order jitter
+    /// (0 = input must already be submit-sorted).
+    pub fn new(window: Seconds) -> Self {
+        assert!(
+            window >= 0.0 && window.is_finite(),
+            "invalid reorder window"
+        );
+        ReorderBuffer {
+            window,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            watermark: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accepts a job. `Err(lateness)` when the job's submit is more than
+    /// the window behind the watermark (by `lateness` seconds beyond it).
+    pub fn push(&mut self, spec: JobSpec) -> Result<(), f64> {
+        let cutoff = self.watermark - self.window;
+        if spec.submit < cutoff {
+            return Err(cutoff - spec.submit);
+        }
+        self.watermark = self.watermark.max(spec.submit);
+        self.heap.push(RbEntry {
+            submit: spec.submit,
+            seq: self.seq,
+            spec,
+        });
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Releases every job guaranteed final — submit at most
+    /// `watermark - window` — into `out`, in `(submit, push-order)`
+    /// order. Returns how many were released.
+    pub fn drain_ready(&mut self, out: &mut Vec<JobSpec>) -> usize {
+        let cutoff = self.watermark - self.window;
+        let mut n = 0;
+        while let Some(top) = self.heap.peek() {
+            if top.submit > cutoff {
+                break;
+            }
+            out.push(self.heap.pop().expect("peeked").spec);
+            n += 1;
+        }
+        n
+    }
+
+    /// Releases everything (end of input) into `out`, in order.
+    pub fn drain_all(&mut self, out: &mut Vec<JobSpec>) -> usize {
+        let mut n = 0;
+        while let Some(e) = self.heap.pop() {
+            out.push(e.spec);
+            n += 1;
+        }
+        n
+    }
+
+    /// The horizon after a [`ReorderBuffer::drain_ready`]: no future line
+    /// may carry a submit below this (enforced by [`ReorderBuffer::push`]),
+    /// and everything at or below it has been released.
+    pub fn horizon(&self) -> Seconds {
+        self.watermark - self.window
+    }
+
+    /// Number of jobs currently held back.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Drains a [`JobSource`] into a materialized, validated [`Workload`] —
+/// the bridge for callers that need random access (stats, sweeps).
+pub fn collect_source(source: &mut dyn JobSource) -> Result<Workload, SourceError> {
+    let mut jobs = Vec::with_capacity(source.size_hint().unwrap_or(0));
+    while source.next_chunk(&mut jobs)?.is_some() {}
+    Workload::new(jobs).map_err(SourceError::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodeshare_cluster::JobId;
+    use nodeshare_perf::AppId;
+
+    fn job(id: u64, submit: Seconds) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            app: AppId(0),
+            nodes: 1,
+            submit,
+            runtime_exclusive: 10.0,
+            walltime_estimate: 20.0,
+            mem_per_node_mib: 512,
+            share_eligible: true,
+            user: 0,
+        }
+    }
+
+    #[test]
+    fn workload_source_streams_in_chunks_with_horizons() {
+        let w = Workload::new((0..10).map(|i| job(i, i as f64)).collect()).unwrap();
+        let mut src = w.source(4);
+        assert_eq!(src.size_hint(), Some(10));
+        let mut out = Vec::new();
+        assert_eq!(src.next_chunk(&mut out), Ok(Some(4.0)));
+        assert_eq!(out.len(), 4);
+        assert_eq!(src.next_chunk(&mut out), Ok(Some(8.0)));
+        assert_eq!(src.next_chunk(&mut out), Ok(None));
+        assert_eq!(out.len(), 10);
+        assert_eq!(out, w.jobs());
+        // Exhausted source stays exhausted.
+        assert_eq!(src.next_chunk(&mut out), Ok(None));
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn workload_source_splits_ties_safely() {
+        let w = Workload::new((0..6).map(|i| job(i, 5.0)).collect()).unwrap();
+        let mut src = w.source(4);
+        let mut out = Vec::new();
+        // Horizon equals the tie time: the engine refills before popping
+        // any event at or past it, so the tie is never processed early.
+        assert_eq!(src.next_chunk(&mut out), Ok(Some(5.0)));
+        assert_eq!(src.next_chunk(&mut out), Ok(None));
+        let ids: Vec<u64> = out.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reorder_buffer_repairs_jitter_within_window() {
+        let mut rb = ReorderBuffer::new(10.0);
+        for (id, submit) in [(0, 5.0), (1, 3.0), (2, 9.0), (3, 4.0), (4, 20.0)] {
+            rb.push(job(id, submit)).unwrap();
+        }
+        let mut out = Vec::new();
+        rb.drain_ready(&mut out);
+        // watermark 20, window 10: everything <= 10 released, in submit
+        // order with push-order tie-break.
+        let got: Vec<(u64, f64)> = out.iter().map(|j| (j.id.0, j.submit)).collect();
+        assert_eq!(got, vec![(1, 3.0), (3, 4.0), (0, 5.0), (2, 9.0)]);
+        assert_eq!(rb.pending(), 1);
+        assert_eq!(rb.horizon(), 10.0);
+        rb.drain_all(&mut out);
+        assert_eq!(out.last().unwrap().id.0, 4);
+    }
+
+    #[test]
+    fn reorder_buffer_rejects_lines_beyond_window() {
+        let mut rb = ReorderBuffer::new(2.0);
+        rb.push(job(0, 100.0)).unwrap();
+        assert_eq!(rb.push(job(1, 97.0)), Err(1.0));
+        // Exactly at the cutoff is fine.
+        rb.push(job(2, 98.0)).unwrap();
+    }
+
+    #[test]
+    fn reorder_buffer_zero_window_keeps_equal_submits_in_push_order() {
+        let mut rb = ReorderBuffer::new(0.0);
+        for id in 0..4 {
+            rb.push(job(id, 7.0)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rb.drain_ready(&mut out), 4);
+        let ids: Vec<u64> = out.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert!(rb.push(job(9, 6.9)).is_err());
+    }
+
+    #[test]
+    fn collect_source_round_trips_a_workload() {
+        let w = Workload::new((0..25).map(|i| job(i, (i % 7) as f64)).collect()).unwrap();
+        let collected = collect_source(&mut w.source(4)).unwrap();
+        assert_eq!(collected, w);
+    }
+}

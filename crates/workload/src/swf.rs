@@ -14,9 +14,11 @@
 //! values are `-1`.
 
 use crate::job::{JobSpec, Seconds, Workload};
+use crate::source::{JobSource, ReorderBuffer, SourceError};
 use nodeshare_cluster::JobId;
 use nodeshare_perf::{AppCatalog, AppId};
 use serde::{Deserialize, Serialize};
+use std::io::BufRead;
 
 /// One parsed SWF line.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -79,40 +81,60 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+impl From<SwfError> for SourceError {
+    fn from(e: SwfError) -> Self {
+        let line = match e {
+            SwfError::TooFewFields { line, .. } | SwfError::BadField { line, .. } => line,
+        };
+        SourceError {
+            line: Some(line),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses one SWF line (1-based `lineno` for diagnostics). `Ok(None)`
+/// for comment and blank lines.
+pub fn parse_line(lineno: usize, line: &str) -> Result<Option<SwfRecord>, SwfError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with(';') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 18 {
+        return Err(SwfError::TooFewFields {
+            line: lineno,
+            found: fields.len(),
+        });
+    }
+    let get = |i: usize| -> Result<i64, SwfError> {
+        fields[i - 1].parse().map_err(|_| SwfError::BadField {
+            line: lineno,
+            field: i,
+            token: fields[i - 1].to_string(),
+        })
+    };
+    Ok(Some(SwfRecord {
+        job: get(1)?,
+        submit: get(2)?,
+        wait: get(3)?,
+        run_time: get(4)?,
+        alloc_procs: get(5)?,
+        req_procs: get(8)?,
+        req_time: get(9)?,
+        status: get(11)?,
+        user: get(12)?,
+        executable: get(14)?,
+    }))
+}
+
 /// Parses SWF text (comments and blank lines skipped).
 pub fn parse(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with(';') {
-            continue;
+        if let Some(rec) = parse_line(lineno + 1, line)? {
+            out.push(rec);
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 18 {
-            return Err(SwfError::TooFewFields {
-                line: lineno + 1,
-                found: fields.len(),
-            });
-        }
-        let get = |i: usize| -> Result<i64, SwfError> {
-            fields[i - 1].parse().map_err(|_| SwfError::BadField {
-                line: lineno + 1,
-                field: i,
-                token: fields[i - 1].to_string(),
-            })
-        };
-        out.push(SwfRecord {
-            job: get(1)?,
-            submit: get(2)?,
-            wait: get(3)?,
-            run_time: get(4)?,
-            alloc_procs: get(5)?,
-            req_procs: get(8)?,
-            req_time: get(9)?,
-            status: get(11)?,
-            user: get(12)?,
-            executable: get(14)?,
-        });
     }
     Ok(out)
 }
@@ -124,7 +146,7 @@ pub struct SwfImportOptions {
     /// `ceil(procs / cores_per_node)` nodes).
     pub cores_per_node: u32,
     /// Memory charged per node when the trace gives none, MiB.
-    pub default_mem_per_node_mib: u64,
+    pub default_mem_per_node_mib: u32,
     /// Whether imported jobs opt into sharing.
     pub share_eligible: bool,
 }
@@ -137,6 +159,60 @@ impl Default for SwfImportOptions {
             share_eligible: true,
         }
     }
+}
+
+/// Converts one record into a [`JobSpec`] with id `next_id` (advanced on
+/// success), or `None` for records with unusable sizes, runtimes, or
+/// submit times. Both the materialized [`to_workload`] and the streaming
+/// [`SwfSource`] go through this function — ids are assigned in *file
+/// order* either way, which is what makes the two paths bit-identical.
+pub fn record_to_spec(
+    r: &SwfRecord,
+    next_id: &mut u64,
+    catalog: &AppCatalog,
+    opts: &SwfImportOptions,
+) -> Option<JobSpec> {
+    let procs = if r.req_procs > 0 {
+        r.req_procs
+    } else {
+        r.alloc_procs
+    };
+    if procs <= 0 || r.run_time <= 0 || r.submit < 0 {
+        return None;
+    }
+    let nodes = (procs as u64).div_ceil(opts.cores_per_node as u64) as u32;
+    let runtime = r.run_time as Seconds;
+    let estimate = if r.req_time > 0 {
+        (r.req_time as Seconds).max(runtime)
+    } else {
+        runtime
+    };
+    let app_idx = if r.executable >= 0 {
+        (r.executable as usize) % catalog.len()
+    } else {
+        (r.job.unsigned_abs() as usize) % catalog.len()
+    };
+    let app = AppId(app_idx as u8);
+    let id = JobId(*next_id);
+    *next_id += 1;
+    Some(JobSpec {
+        id,
+        app,
+        nodes,
+        submit: r.submit as Seconds,
+        runtime_exclusive: runtime,
+        walltime_estimate: estimate,
+        mem_per_node_mib: catalog
+            .get(app)
+            .map(|a| {
+                a.mem_per_node_mib
+                    .try_into()
+                    .expect("catalog memory fits u32 MiB")
+            })
+            .unwrap_or(opts.default_mem_per_node_mib),
+        share_eligible: opts.share_eligible,
+        user: r.user.max(0) as u32,
+    })
 }
 
 /// Converts parsed records into a workload, mapping each record's
@@ -152,48 +228,133 @@ pub fn to_workload(
     let mut skipped = 0usize;
     let mut next_id = 0u64;
     for r in records {
-        let procs = if r.req_procs > 0 {
-            r.req_procs
-        } else {
-            r.alloc_procs
-        };
-        if procs <= 0 || r.run_time <= 0 || r.submit < 0 {
-            skipped += 1;
-            continue;
+        match record_to_spec(r, &mut next_id, catalog, opts) {
+            Some(spec) => jobs.push(spec),
+            None => skipped += 1,
         }
-        let nodes = (procs as u64).div_ceil(opts.cores_per_node as u64) as u32;
-        let runtime = r.run_time as Seconds;
-        let estimate = if r.req_time > 0 {
-            (r.req_time as Seconds).max(runtime)
-        } else {
-            runtime
-        };
-        let app_idx = if r.executable >= 0 {
-            (r.executable as usize) % catalog.len()
-        } else {
-            (r.job.unsigned_abs() as usize) % catalog.len()
-        };
-        let app = AppId(app_idx as u8);
-        jobs.push(JobSpec {
-            id: JobId(next_id),
-            app,
-            nodes,
-            submit: r.submit as Seconds,
-            runtime_exclusive: runtime,
-            walltime_estimate: estimate,
-            mem_per_node_mib: catalog
-                .get(app)
-                .map(|a| a.mem_per_node_mib)
-                .unwrap_or(opts.default_mem_per_node_mib),
-            share_eligible: opts.share_eligible,
-            user: r.user.max(0) as u32,
-        });
-        next_id += 1;
     }
     (
         Workload::new(jobs).expect("imported jobs are validated above"),
         skipped,
     )
+}
+
+/// How many input lines a streaming trace source parses per
+/// [`JobSource::next_chunk`] round before draining the reorder buffer.
+pub(crate) const STREAM_BATCH_LINES: usize = 4096;
+
+/// Streams an SWF trace line by line through the [`JobSource`] contract,
+/// never materializing the file.
+///
+/// Ids are assigned in file order (exactly as [`to_workload`]), and jobs
+/// are released in `(submit, id)` order through a [`ReorderBuffer`] — so
+/// for any trace whose submit jitter fits the window, a streamed run is
+/// bit-identical to materializing the file first. The default window is
+/// 0: SWF convention is submit-sorted, and a violation is reported as an
+/// error naming the line rather than silently misordering.
+pub struct SwfSource<'c, R> {
+    reader: R,
+    catalog: &'c AppCatalog,
+    opts: SwfImportOptions,
+    rb: ReorderBuffer,
+    buf: String,
+    lineno: usize,
+    next_id: u64,
+    skipped: usize,
+    eof: bool,
+}
+
+impl<'c, R: BufRead> SwfSource<'c, R> {
+    /// A streaming source over `reader` with a submit-sorted input
+    /// requirement (reorder window 0).
+    pub fn new(reader: R, catalog: &'c AppCatalog, opts: SwfImportOptions) -> Self {
+        SwfSource::with_reorder_window(reader, catalog, opts, 0.0)
+    }
+
+    /// As [`SwfSource::new`], tolerating `window` seconds of
+    /// submit-order jitter.
+    pub fn with_reorder_window(
+        reader: R,
+        catalog: &'c AppCatalog,
+        opts: SwfImportOptions,
+        window: Seconds,
+    ) -> Self {
+        SwfSource {
+            reader,
+            catalog,
+            opts,
+            rb: ReorderBuffer::new(window),
+            buf: String::new(),
+            lineno: 0,
+            next_id: 0,
+            skipped: 0,
+            eof: false,
+        }
+    }
+
+    /// Records skipped so far for unusable sizes/runtimes (the
+    /// [`to_workload`] skip rule).
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Reads one line; `Ok(false)` at end of input.
+    fn read_line(&mut self) -> Result<bool, SourceError> {
+        self.buf.clear();
+        let n = self
+            .reader
+            .read_line(&mut self.buf)
+            .map_err(|e| SourceError::at_line(self.lineno + 1, format!("read failed: {e}")))?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.lineno += 1;
+        Ok(true)
+    }
+
+    fn ingest_line(&mut self) -> Result<(), SourceError> {
+        let Some(rec) = parse_line(self.lineno, &self.buf)? else {
+            return Ok(());
+        };
+        match record_to_spec(&rec, &mut self.next_id, self.catalog, &self.opts) {
+            Some(spec) => {
+                let submit = spec.submit;
+                self.rb.push(spec).map_err(|lateness| {
+                    SourceError::at_line(
+                        self.lineno,
+                        format!(
+                            "submit {submit} goes back {lateness} s beyond the reorder \
+                             window — pass a larger window for this trace"
+                        ),
+                    )
+                })?;
+            }
+            None => self.skipped += 1,
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> JobSource for SwfSource<'_, R> {
+    fn next_chunk(&mut self, out: &mut Vec<JobSpec>) -> Result<Option<Seconds>, SourceError> {
+        while !self.eof {
+            for _ in 0..STREAM_BATCH_LINES {
+                if !self.read_line()? {
+                    self.eof = true;
+                    break;
+                }
+                self.ingest_line()?;
+            }
+            if self.eof {
+                break;
+            }
+            if self.rb.drain_ready(out) > 0 {
+                return Ok(Some(self.rb.horizon()));
+            }
+        }
+        self.rb.drain_all(out);
+        Ok(None)
+    }
 }
 
 /// Serializes a workload to SWF text (with a descriptive comment header).
@@ -304,6 +465,66 @@ mod tests {
             assert!((a.runtime_exclusive - b.runtime_exclusive).abs() <= 0.5);
             assert!(b.walltime_estimate >= b.runtime_exclusive);
         }
+    }
+
+    #[test]
+    fn streamed_swf_matches_materialized() {
+        let catalog = AppCatalog::trinity();
+        let opts = SwfImportOptions::default();
+        // The evaluation-campaign export: ~1000 realistic lines.
+        let text = write(
+            &WorkloadSpec::evaluation(&catalog, 9).generate(&catalog),
+            32,
+        );
+        let (materialized, skipped) = to_workload(&parse(&text).unwrap(), &catalog, &opts);
+        let mut src = SwfSource::new(text.as_bytes(), &catalog, opts);
+        let streamed = crate::source::collect_source(&mut src).unwrap();
+        assert_eq!(streamed, materialized);
+        assert_eq!(src.skipped(), skipped);
+        // The small sample with a skipped record.
+        let (materialized, skipped) = to_workload(&parse(SAMPLE).unwrap(), &catalog, &opts);
+        let mut src = SwfSource::new(SAMPLE.as_bytes(), &catalog, opts);
+        let streamed = crate::source::collect_source(&mut src).unwrap();
+        assert_eq!(streamed, materialized);
+        assert_eq!((streamed.len(), src.skipped()), (2, skipped));
+    }
+
+    #[test]
+    fn streamed_swf_repairs_jitter_within_window() {
+        let catalog = AppCatalog::trinity();
+        let opts = SwfImportOptions::default();
+        let text = "\
+1 100 -1 600 32 -1 -1 32 900 -1 1 0 -1 0 -1 -1 -1 -1
+2 90 -1 600 32 -1 -1 32 900 -1 1 0 -1 0 -1 -1 -1 -1
+3 120 -1 600 32 -1 -1 32 900 -1 1 0 -1 0 -1 -1 -1 -1
+";
+        let (materialized, _) = to_workload(&parse(text).unwrap(), &catalog, &opts);
+        let mut src = SwfSource::with_reorder_window(text.as_bytes(), &catalog, opts, 30.0);
+        let streamed = crate::source::collect_source(&mut src).unwrap();
+        assert_eq!(streamed, materialized);
+        assert_eq!(streamed.jobs()[0].submit, 90.0);
+    }
+
+    #[test]
+    fn streamed_swf_names_the_line_breaking_submit_order() {
+        let catalog = AppCatalog::trinity();
+        let text = "\
+1 100 -1 600 32 -1 -1 32 900 -1 1 0 -1 0 -1 -1 -1 -1
+2 90 -1 600 32 -1 -1 32 900 -1 1 0 -1 0 -1 -1 -1 -1
+";
+        let mut src = SwfSource::new(text.as_bytes(), &catalog, SwfImportOptions::default());
+        let err = crate::source::collect_source(&mut src).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("reorder"), "{}", err.message);
+    }
+
+    #[test]
+    fn streamed_swf_propagates_parse_errors_with_line() {
+        let catalog = AppCatalog::trinity();
+        let text = "; header\n1 2 3\n";
+        let mut src = SwfSource::new(text.as_bytes(), &catalog, SwfImportOptions::default());
+        let err = crate::source::collect_source(&mut src).unwrap_err();
+        assert_eq!(err.line, Some(2));
     }
 
     #[test]

@@ -507,6 +507,269 @@ fn report_and_phase_spans_leave_outcomes_bit_identical() {
     }
 }
 
+/// The calendar event queue must be a pure performance substitution: for
+/// every strategy in the lineup (plus the co-backfill-only ablation), the
+/// same campaign run through the calendar backend and the reference
+/// binary heap produces identical decision traces and outcomes.
+#[test]
+fn calendar_event_queue_matches_heap_across_lineup() {
+    use nodeshare::engine::QueueBackend;
+    let (catalog, model, matrix) = world();
+    let mut cal_config = SimConfig::new(ClusterSpec::evaluation());
+    cal_config.audit = false;
+    cal_config.queue_backend = QueueBackend::Calendar;
+    let mut heap_config = cal_config.clone();
+    heap_config.queue_backend = QueueBackend::BinaryHeap;
+
+    let mut lineup = StrategyConfig::lineup();
+    lineup.push(StrategyConfig::sharing(StrategyKind::CoBackfillOnly));
+    for seed in [2, 17, 23] {
+        let workload = saturated_workload(&catalog, seed, 70);
+        for cfg in &lineup {
+            let mut cal = cfg.build(&catalog, &model);
+            let (out_cal, trace_cal) = run_traced(&workload, &matrix, cal.as_mut(), &cal_config);
+            let mut heap = cfg.build(&catalog, &model);
+            let (out_heap, trace_heap) =
+                run_traced(&workload, &matrix, heap.as_mut(), &heap_config);
+            assert!(
+                trace_cal == trace_heap,
+                "{} seed {seed}: decision traces diverge across queue backends",
+                cfg.label()
+            );
+            assert!(
+                out_cal == out_heap,
+                "{} seed {seed}: outcomes diverge across queue backends",
+                cfg.label()
+            );
+        }
+    }
+}
+
+/// Feeding the engine from a streaming source must be indistinguishable
+/// from materializing the workload first: identical decision traces,
+/// outcomes, and telemetry counters for every strategy in the lineup,
+/// across chunk sizes that exercise mid-tie chunk boundaries.
+#[test]
+fn streamed_runs_match_materialized_across_lineup() {
+    use nodeshare::engine::{
+        run_streamed_traced, run_streamed_with_telemetry, run_with_telemetry, SimTelemetry,
+    };
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+
+    let mut spec = WorkloadSpec::evaluation(&catalog, 13);
+    spec.n_jobs = 70;
+    spec.arrival = ArrivalProcess::Poisson { rate: 0.0080 };
+    let materialized = spec.generate(&catalog);
+
+    let mut lineup = StrategyConfig::lineup();
+    lineup.push(StrategyConfig::sharing(StrategyKind::CoBackfillOnly));
+    for cfg in &lineup {
+        let mut sched = cfg.build(&catalog, &model);
+        let (out_mat, trace_mat) = run_traced(&materialized, &matrix, sched.as_mut(), &config);
+        for chunk in [1, 17, 4096] {
+            let mut source = spec.stream(&catalog, chunk);
+            let mut sched = cfg.build(&catalog, &model);
+            let (out_str, trace_str) =
+                run_streamed_traced(&mut source, &matrix, sched.as_mut(), &config);
+            assert!(
+                trace_mat == trace_str,
+                "{} chunk {chunk}: decision traces diverge streamed vs materialized",
+                cfg.label()
+            );
+            assert!(
+                out_mat == out_str,
+                "{} chunk {chunk}: outcomes diverge streamed vs materialized",
+                cfg.label()
+            );
+        }
+
+        // Telemetry counters (not the periodic gauge samples — the
+        // event-queue gauge legitimately reflects fewer queued arrivals
+        // in a streamed run) must agree as well.
+        let tele_mat = SimTelemetry::new(300.0);
+        let mut sched = cfg.build(&catalog, &model);
+        run_with_telemetry(&materialized, &matrix, sched.as_mut(), &config, &tele_mat);
+        let tele_str = SimTelemetry::new(300.0);
+        let mut source = spec.stream(&catalog, 17);
+        let mut sched = cfg.build(&catalog, &model);
+        run_streamed_with_telemetry(&mut source, &matrix, sched.as_mut(), &config, &tele_str);
+        for (name, a, b) in [
+            (
+                "pairing_queries",
+                tele_mat.sched.pairing_queries.get(),
+                tele_str.sched.pairing_queries.get(),
+            ),
+            (
+                "pairing_hits",
+                tele_mat.sched.pairing_hits.get(),
+                tele_str.sched.pairing_hits.get(),
+            ),
+            (
+                "decisions",
+                tele_mat.sched.decisions.get(),
+                tele_str.sched.decisions.get(),
+            ),
+        ] {
+            assert_eq!(
+                a,
+                b,
+                "{}: telemetry counter {name} diverges streamed vs materialized",
+                cfg.label()
+            );
+        }
+        // The closing sample carries the engine-side cumulative counters.
+        let last_mat = tele_mat.samples().pop().expect("closing sample");
+        let last_str = tele_str.samples().pop().expect("closing sample");
+        for (name, a, b) in [
+            ("completed", last_mat.completed, last_str.completed),
+            (
+                "starts_exclusive",
+                last_mat.starts_exclusive,
+                last_str.starts_exclusive,
+            ),
+            (
+                "starts_shared",
+                last_mat.starts_shared,
+                last_str.starts_shared,
+            ),
+            (
+                "backfill_started",
+                last_mat.backfill_started,
+                last_str.backfill_started,
+            ),
+        ] {
+            assert_eq!(
+                a,
+                b,
+                "{}: closing-sample counter {name} diverges streamed vs materialized",
+                cfg.label()
+            );
+        }
+    }
+}
+
+/// Lean mode (`retain_detail = false`) discards per-job records and series
+/// points but must keep the aggregate science exact: same event count, end
+/// time, completion count, rejections, peak queue depth, and (up to fp
+/// regrouping of same-instant updates) the occupancy integrals.
+#[test]
+fn lean_mode_keeps_exact_counts_and_close_integrals() {
+    let (catalog, model, matrix) = world();
+    let mut full_config = SimConfig::new(ClusterSpec::evaluation());
+    full_config.audit = false;
+    let mut lean_config = full_config.clone();
+    lean_config.retain_detail = false;
+
+    let workload = saturated_workload(&catalog, 29, 80);
+    for cfg in [
+        StrategyConfig::exclusive(StrategyKind::EasyBackfill),
+        StrategyConfig::sharing(StrategyKind::CoBackfill),
+    ] {
+        let mut sched = cfg.build(&catalog, &model);
+        let full = run(&workload, &matrix, sched.as_mut(), &full_config);
+        let mut sched = cfg.build(&catalog, &model);
+        let lean = run(&workload, &matrix, sched.as_mut(), &lean_config);
+
+        let label = cfg.label();
+        assert!(lean.records.is_empty(), "{label}: lean run kept records");
+        assert!(lean.queue_depth.points().is_empty(), "{label}");
+        assert_eq!(full.completed_jobs, full.records.len() as u64, "{label}");
+        assert_eq!(lean.completed_jobs, full.completed_jobs, "{label}");
+        assert_eq!(lean.events_processed, full.events_processed, "{label}");
+        assert_eq!(lean.end_time, full.end_time, "{label}");
+        assert_eq!(lean.unscheduled, full.unscheduled, "{label}");
+        assert_eq!(lean.rejected, full.rejected, "{label}");
+        assert_eq!(lean.peak_queue_depth, full.peak_queue_depth, "{label}");
+        assert_eq!(
+            lean.peak_queue_depth,
+            full.queue_depth.max_value(),
+            "{label}"
+        );
+        let rel = (lean.busy_core_seconds - full.busy_core_seconds).abs()
+            / full.busy_core_seconds.max(1.0);
+        assert!(rel < 1e-9, "{label}: busy integral drifted by {rel}");
+    }
+}
+
+/// Counts justification calls, proving the engine batches them through
+/// `explain_all` — once per invocation that produced decisions — instead
+/// of re-scanning per decision, and skips them entirely when not tracing.
+struct CountingExplain {
+    inner: Box<dyn Scheduler>,
+    nonempty_invocations: usize,
+    explain_all_calls: std::cell::Cell<usize>,
+    explained_decisions: std::cell::Cell<usize>,
+}
+
+impl Scheduler for CountingExplain {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<Decision> {
+        let d = self.inner.schedule(ctx);
+        if !d.is_empty() {
+            self.nonempty_invocations += 1;
+        }
+        d
+    }
+    fn explain_all(
+        &self,
+        ctx: &SchedContext<'_>,
+        decisions: &[Decision],
+    ) -> Vec<nodeshare::engine::StartReason> {
+        self.explain_all_calls.set(self.explain_all_calls.get() + 1);
+        self.explained_decisions
+            .set(self.explained_decisions.get() + decisions.len());
+        self.inner.explain_all(ctx, decisions)
+    }
+}
+
+/// The traced path justifies decisions through one `explain_all` batch
+/// per productive invocation (never per decision), and the untraced path
+/// never pays for justification at all.
+#[test]
+fn traced_runs_batch_justifications_through_explain_all() {
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+    let workload = saturated_workload(&catalog, 11, 60);
+    let cfg = StrategyConfig::sharing(StrategyKind::CoBackfill);
+
+    let mut counting = CountingExplain {
+        inner: cfg.build(&catalog, &model),
+        nonempty_invocations: 0,
+        explain_all_calls: std::cell::Cell::new(0),
+        explained_decisions: std::cell::Cell::new(0),
+    };
+    let (out, _trace) = run_traced(&workload, &matrix, &mut counting, &config);
+    assert!(out.complete());
+    assert_eq!(
+        counting.explain_all_calls.get(),
+        counting.nonempty_invocations,
+        "tracing must justify via exactly one explain_all per productive invocation"
+    );
+    assert_eq!(
+        counting.explained_decisions.get() as u64,
+        out.completed_jobs,
+        "every started job is justified exactly once"
+    );
+
+    let mut counting = CountingExplain {
+        inner: cfg.build(&catalog, &model),
+        nonempty_invocations: 0,
+        explain_all_calls: std::cell::Cell::new(0),
+        explained_decisions: std::cell::Cell::new(0),
+    };
+    run(&workload, &matrix, &mut counting, &config);
+    assert_eq!(
+        counting.explain_all_calls.get(),
+        0,
+        "untraced runs must not pay for justification"
+    );
+}
+
 /// Acceptance check: a double-charged node-second in the outcome is a
 /// conservation violation the auditor reports by name.
 #[test]
