@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F10 — who pays for sharing? (extension).** Per-application dilation
 //! and wait outcomes under CoBackfill, plus Jain's fairness index over
 //! per-user slowdowns for both strategies. Sharing must not buy its

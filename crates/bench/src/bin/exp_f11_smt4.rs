@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F11 — wider SMT (extension).** The paper studies SMT-2
 //! oversubscription; this experiment asks what SMT-4 hardware (e.g.
 //! POWER-style cores) would add. Up to four jobs may stack per node; the

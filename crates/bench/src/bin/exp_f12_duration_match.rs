@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F12 — duration-matched pairing (extension).** A simple heuristic a
 //! site might bolt onto co-allocation: only pair jobs whose remaining
 //! walltime bounds overlap by at least θ. Does it help on top of the

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F13 — where does node sharing pay? (extension).** The headline
 //! numbers come from the paper-style evaluation mix; this experiment runs
 //! CoBackfill vs. EASY across qualitatively different site profiles to

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F14 — SMT co-scheduling vs gang time-slicing (extension).** SLURM's
 //! own oversubscription alternative is `OverSubscribe=FORCE` with gang
 //! scheduling: two jobs time-slice a node, each getting half the machine

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F15 — learned estimate correction (extension).** Backfill quality is
 //! limited by user walltime over-estimation (F8). This experiment wraps
 //! both EASY and CoBackfill in the Tsafrir-style [`EstimateLearning`]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F2 — pairwise co-run matrix.** The 8×8 heatmap of combined node
 //! throughput for every mini-app pair, plus each direction's rate. The
 //! block structure (compute×memory bright, memory×memory dark) is what

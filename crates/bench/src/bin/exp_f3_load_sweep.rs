@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F3 — efficiency vs. load.** Sweeps the arrival intensity from well
 //! below saturation to well above it and plots the scheduling-efficiency
 //! and wait-time advantage of CoBackfill over EASY. The expected shape:

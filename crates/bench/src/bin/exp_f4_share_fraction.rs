@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F4 — share-fraction sweep.** How the efficiency gains scale with
 //! the fraction of jobs that opt into sharing (the paper's deployment
 //! knob: users/admins whitelist applications gradually).

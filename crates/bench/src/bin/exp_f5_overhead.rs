@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F5 — co-allocation overhead.** The distribution of per-job runtime
 //! dilation under CoBackfill with compatibility pairing — the paper's
 //! "no overhead" claim — contrasted with naive any-pairing (the scenario

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F7 — pairing-policy ablation.** How much of CoBackfill's gain comes
 //! from *which* pairings it accepts and how well it predicts them:
 //! never / any+oblivious / threshold with class-based, oracle, and

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F8 — walltime-estimate sensitivity.** Backfill quality depends on
 //! user estimates; this sweep varies the mean over-estimation factor
 //! from perfect to 5× and reports both strategies' scheduling efficiency

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **F9 — failure resilience (extension).** Node sharing doubles a node
 //! failure's blast radius (two jobs per node), so this experiment asks
 //! whether the efficiency gains survive realistic failure rates: MTBF

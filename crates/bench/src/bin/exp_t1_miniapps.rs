@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **T1 — mini-app characterization.** Per-application resource class,
 //! normalized demands, derived SMT self-speedup, and best co-run partner
 //! — the table that motivates pairing complementary applications.

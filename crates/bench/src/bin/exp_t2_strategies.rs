@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **T2 — strategy comparison.** All six strategies on the saturated
 //! evaluation campaign: makespan, waits, slowdown, utilization, and the
 //! two efficiency metrics.

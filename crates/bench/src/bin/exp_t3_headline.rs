@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **T3 — headline reproduction.** CoBackfill vs. standard (exclusive
 //! EASY) allocation on the saturated evaluation campaign:
 //!

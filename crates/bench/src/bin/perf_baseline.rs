@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! **Machine-readable scheduler performance baseline.**
 //!
 //! Times fixed saturated campaigns (128 evaluation nodes) under the
@@ -222,7 +224,9 @@ fn sample_campaign(
         samples.push(ev as f64 / wall.max(1e-9));
         walls.push(wall);
     }
+    // detlint: allow(D4, wall-clock sample statistics; never a bit-compared artifact)
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    // detlint: allow(D4, wall-clock sample statistics; never a bit-compared artifact)
     let wall_mean = walls.iter().sum::<f64>() / walls.len() as f64;
     Entry {
         strategy: label,
@@ -443,11 +447,13 @@ fn check_against(entries: &[Entry], baseline: &[BaselineEntry]) -> Vec<String> {
         match baseline.iter().find(|b| matches(e, b)) {
             Some(b) if b.samples.len() >= 2 => {
                 let n = b.samples.len() as f64;
+                // detlint: allow(D4, wall-clock sample statistics; never a bit-compared artifact)
                 let mean = b.samples.iter().sum::<f64>() / n;
                 let var = b
                     .samples
                     .iter()
                     .map(|s| (s - mean) * (s - mean))
+                    // detlint: allow(D4, wall-clock sample statistics; never a bit-compared artifact)
                     .sum::<f64>()
                     / n;
                 let sigma = var.sqrt().max(0.10 * mean);

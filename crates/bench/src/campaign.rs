@@ -284,6 +284,7 @@ impl CampaignSpec {
             self.name
         );
         let unique = |labels: Vec<&str>, axis: &str| {
+            // detlint: allow(D1, duplicate-slug guard; membership checks only, never iterated)
             let mut seen = std::collections::HashSet::new();
             for l in labels {
                 assert!(
@@ -514,7 +515,7 @@ impl CampaignRun {
         self.results
             .iter()
             .map(|r| r.outcome.events_processed)
-            .sum()
+            .sum::<u64>()
     }
 
     /// Campaign throughput in cells per minute of wall-clock time.
@@ -543,6 +544,7 @@ impl CampaignRun {
         let _ = writeln!(md, "| wall time | {:.2} s |", self.wall_seconds);
         let _ = writeln!(md, "| cells/min | {:.1} |", self.cells_per_minute());
         let _ = writeln!(md, "| events | {} |", self.total_events());
+        // detlint: allow(D4, diagnostic wall-time total; machine-dependent by design and never fed back into results)
         let cell_seconds: f64 = self.results.iter().map(|r| r.wall_seconds).sum();
         if cell_seconds > 0.0 {
             let _ = writeln!(

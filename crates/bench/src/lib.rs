@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-bench
 //!
 //! Shared experiment harness behind the per-table/figure binaries in
@@ -258,6 +260,7 @@ pub fn mean_of(metrics: &[CampaignMetrics], f: impl Fn(&CampaignMetrics) -> f64)
     if metrics.is_empty() {
         return 0.0;
     }
+    // detlint: allow(D4, replications summed in fixed seed order; serial reduction is deterministic)
     metrics.iter().map(f).sum::<f64>() / metrics.len() as f64
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-cli
 //!
 //! The `nodeshare` command-line tool: simulate campaigns, generate and
@@ -100,6 +102,9 @@ USAGE:
   nodeshare workload [options]     generate a synthetic campaign as SWF
   nodeshare pairs                  print the co-run pair matrix
   nodeshare apps                   print the mini-app characterization
+  nodeshare lint [--root DIR]      run the determinism & hygiene lint
+                                   (rules D1-D5, see DESIGN.md); exits
+                                   nonzero when findings exist
   nodeshare help                   this text
 
 AUDIT OPTIONS (all SIMULATE options except --telemetry, plus):
@@ -180,6 +185,7 @@ where
         "workload" => workload_cmd(&inv),
         "pairs" => pairs(&inv),
         "apps" => apps(&inv),
+        "lint" => lint_cmd(&inv),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(CliError::Other(format!(
             "unknown subcommand {other:?}; try `nodeshare help`"
@@ -566,6 +572,7 @@ fn simulate(inv: &Invocation) -> Result<String, CliError> {
     // `--source` without `--materialize` streams the trace through the
     // engine chunk by chunk; everything else goes the materialized way.
     let streamed_path = inv.get("source").filter(|_| !inv.has("materialize"));
+    // detlint: allow(D2, wall time feeds the human-facing timing banner only, never the compared artifacts)
     let started = std::time::Instant::now();
     let (env, out, workload_section) = if let Some(path) = streamed_path {
         let mut env = prepare_env(inv)?;
@@ -870,6 +877,32 @@ fn apps(inv: &Invocation) -> Result<String, CliError> {
     Ok(t.render())
 }
 
+/// `nodeshare lint`: the determinism & hygiene gate (DESIGN.md,
+/// "Determinism contract"), same engine as `cargo run -p detlint`.
+/// Clean → the report text; findings → an error, so the binary exits
+/// nonzero and the command composes into shell gates.
+fn lint_cmd(inv: &Invocation) -> Result<String, CliError> {
+    inv.check_known(&["root"])?;
+    let start = match inv.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::current_dir().map_err(|e| CliError::Io(".".into(), e))?,
+    };
+    let root = detlint::find_root(&start).ok_or_else(|| {
+        CliError::Other(format!(
+            "no detlint.toml found at or above {}",
+            start.display()
+        ))
+    })?;
+    let cfg = detlint::load_config(&root).map_err(CliError::Other)?;
+    let report = detlint::scan_workspace(&root, &cfg).map_err(CliError::Other)?;
+    let rendered = detlint::render_report(&report).trim_end().to_string();
+    if report.findings.is_empty() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Other(rendered))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -879,6 +912,15 @@ mod tests {
         assert!(run_cli(["help"]).unwrap().contains("USAGE"));
         assert!(run_cli(["frobnicate"]).is_err());
         assert!(run_cli(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn lint_runs_clean_on_this_workspace() {
+        let out = run_cli(["lint", "--root", env!("CARGO_MANIFEST_DIR")]).unwrap();
+        assert!(out.contains("detlint: clean"), "{out}");
+        assert!(out.contains("D1/D2/D3/D4/D5"), "{out}");
+        // A start dir with no detlint.toml above it is a clean error.
+        assert!(run_cli(["lint", "--root", "/"]).is_err());
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! The `nodeshare` binary: thin wrapper over [`nodeshare_cli::run_cli`].
 
 fn main() {

@@ -113,6 +113,7 @@ struct NodeClass {
 pub struct Cluster {
     spec: ClusterSpec,
     nodes: Vec<Node>,
+    // detlint: allow(D1, job-keyed lookup table; the unordered allocations() iterator feeds only order-insensitive tests)
     allocations: HashMap<JobId, Allocation>,
     idle: BTreeSet<NodeId>,
     partial: BTreeSet<NodeId>,
@@ -161,6 +162,7 @@ impl Cluster {
     /// Panics if the spec is invalid; validate specs at the configuration
     /// boundary.
     pub fn new(spec: ClusterSpec) -> Self {
+        // detlint: allow(D5, constructor contract: an invalid spec is a setup programming error)
         spec.validate().expect("invalid cluster spec");
         let nodes: Vec<Node> = (0..spec.node_count)
             .map(|i| Node::new(NodeId(i), spec.node))
@@ -170,6 +172,7 @@ impl Cluster {
         Cluster {
             spec,
             nodes,
+            // detlint: allow(D1, lookup-only allocation table, see the field note)
             allocations: HashMap::new(),
             idle,
             partial: BTreeSet::new(),
@@ -427,6 +430,7 @@ impl Cluster {
         for &id in nodes {
             self.nodes[id.index()]
                 .occupy_exclusive(job, mem_per_node)
+                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                 .expect("validated above");
             placements.push(Placement {
                 node: id,
@@ -505,6 +509,7 @@ impl Cluster {
         for &(id, lane) in &chosen {
             self.nodes[id.index()]
                 .occupy_lane(job, lane, mem_per_node)
+                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                 .expect("validated above");
             placements.push(Placement {
                 node: id,
@@ -531,6 +536,7 @@ impl Cluster {
         for p in &alloc.placements {
             self.nodes[p.node.index()]
                 .release(job)
+                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                 .expect("allocation table and node state must agree");
             self.refresh_index(p.node);
         }

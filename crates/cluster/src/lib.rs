@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-cluster
 //!
 //! Machine model for the nodeshare batch-system study: homogeneous clusters

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-core
 //!
 //! The paper's contribution: **node-sharing scheduling strategies** for

@@ -86,6 +86,7 @@ pub(crate) struct Planner {
     reserved_idle: usize,
     eligible_unreserved: usize,
     // Per-pass shared-planning failure memo (packed keys).
+    // detlint: allow(D1, u128-keyed failure memo probed via contains; never iterated)
     failed_shared: HashSet<u128>,
     // Scratch buffers reused across calls.
     sort_buf: Vec<(NodeId, f64)>,
@@ -109,6 +110,7 @@ impl Planner {
             reserved: Vec::new(),
             reserved_idle: 0,
             eligible_unreserved: 0,
+            // detlint: allow(D1, failure memo construction; membership-only, see the field note)
             failed_shared: HashSet::new(),
             sort_buf: Vec::new(),
             cand_buf: Vec::new(),
@@ -526,6 +528,7 @@ pub struct ReservationTimeline {
     steps: Vec<(f64, i64)>,
     /// `(nodes, duration)` keys proven unfittable (earliest fit = ∞)
     /// against the *current* steps; cleared on any profile mutation.
+    // detlint: allow(D1, infeasibility memo probed via contains; never iterated)
     infeasible: HashSet<u128>,
     /// Whether the sealed memo below may be reused.
     memo_valid: bool,

@@ -42,6 +42,7 @@ pub struct HeadReservation {
     /// machine can never supply `k` nodes).
     pub shadow: Seconds,
     /// The `k` earliest-free nodes, reserved for the head.
+    // detlint: allow(D1, reservation set probed via contains; never iterated)
     pub nodes: HashSet<NodeId>,
 }
 
@@ -52,6 +53,7 @@ impl HeadReservation {
         if free.len() < k {
             return HeadReservation {
                 shadow: f64::INFINITY,
+                // detlint: allow(D1, empty reservation set for the impossible-head case; never iterated)
                 nodes: HashSet::new(),
             };
         }
@@ -215,6 +217,7 @@ pub fn plan_shared(
     let mut partner_rate: Vec<f64> = Vec::new();
     let mut candidate_rate = 1.0f64;
     for &n in &nodes {
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         let node = ctx.cluster.node(n).expect("picked node exists");
         let occupants = node.occupants();
         if occupants.is_empty() {
@@ -222,6 +225,7 @@ pub fn plan_shared(
         }
         let apps: Vec<_> = occupants
             .iter()
+            // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
             .map(|j| ctx.running.get(j).expect("resident is running").app)
             .collect();
         let sr = pairing.stack_rates(job.app, &apps);
@@ -240,6 +244,7 @@ pub fn plan_shared(
         .iter()
         .zip(&partner_rate)
         .map(|(p, &rate)| {
+            // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
             let r = ctx.running.get(p).expect("partner is running");
             r.nodes as f64 * (1.0 - rate)
         })

@@ -1,0 +1,326 @@
+//! `detlint.toml` parsing: a minimal, dependency-free TOML subset.
+//!
+//! The committed workspace config only needs table headers, strings,
+//! booleans, integers, and (possibly multi-line) string arrays, so that
+//! is exactly what this parser accepts — anything else is a
+//! line-numbered error, in the same spirit as the rest of the
+//! workspace's hand-rolled readers (report JSON, ctrace CSV).
+
+use std::collections::BTreeMap;
+
+/// Per-rule configuration: where the rule applies and standing
+/// path-level exemptions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleCfg {
+    /// `false` disables the rule entirely.
+    pub enabled: bool,
+    /// Crate names (directory names under `crates/`, or `nodeshare`
+    /// for the root package) the rule is scoped to. Empty = all.
+    pub crates: Vec<String>,
+    /// Workspace-relative path prefixes the rule is *restricted* to.
+    /// Empty = no path restriction.
+    pub paths: Vec<String>,
+    /// Workspace-relative path prefixes exempt from the rule (the
+    /// config-level allowlist, e.g. the wall-clock modules for D2).
+    pub allow_paths: Vec<String>,
+}
+
+/// The parsed `detlint.toml`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Top-level directories to scan, relative to the workspace root.
+    pub include: Vec<String>,
+    /// Path prefixes to skip entirely (vendored code, fixtures, ...).
+    pub exclude: Vec<String>,
+    /// Rule id (e.g. `"D1"`) → its scope.
+    pub rules: BTreeMap<String, RuleCfg>,
+}
+
+impl Config {
+    /// Looks up a rule's config; a rule absent from the file is off.
+    pub fn rule(&self, id: &str) -> RuleCfg {
+        self.rules.get(id).cloned().unwrap_or_default()
+    }
+}
+
+/// A config-file parse failure with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "detlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One parsed value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    Array(Vec<String>),
+}
+
+/// Parses the TOML subset. Unknown keys are errors so that a typo in
+/// the committed config cannot silently disable a rule.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(err(lineno, "unterminated table header"));
+            };
+            section = name.trim().to_string();
+            if let Some(id) = section.strip_prefix("rules.") {
+                // A rule named in the config is on unless it says
+                // `enabled = false`, even with no other keys.
+                cfg.rules.entry(id.to_string()).or_insert_with(|| RuleCfg {
+                    enabled: true,
+                    ..RuleCfg::default()
+                });
+            } else if section != "workspace" {
+                return Err(err(lineno, format!("unknown table [{section}]")));
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(
+                lineno,
+                format!("expected `key = value`, found {line:?}"),
+            ));
+        };
+        let key = line[..eq].trim().to_string();
+        let mut val_text = line[eq + 1..].trim().to_string();
+        // A multi-line array: keep consuming lines until the bracket
+        // closes (string contents are comment-stripped safely because
+        // the committed config never puts `#` inside a path).
+        while val_text.starts_with('[') && !val_text.ends_with(']') {
+            let Some((_, cont)) = lines.next() else {
+                return Err(err(lineno, "unterminated array"));
+            };
+            val_text.push(' ');
+            val_text.push_str(strip_comment(cont).trim());
+        }
+        let value = parse_value(lineno, &val_text)?;
+        apply(&mut cfg, &section, &key, value, lineno)?;
+    }
+    Ok(cfg)
+}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(lineno: usize, text: &str) -> Result<Value, ConfigError> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(err(lineno, "unterminated array"));
+        };
+        let mut items = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_value(lineno, piece)? {
+                Value::Str(s) => items.push(s),
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!("arrays may only hold strings, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(err(lineno, "unterminated string"));
+        };
+        if inner.contains('"') {
+            return Err(err(lineno, "escaped quotes are not supported"));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Ok(n) = text.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(err(lineno, format!("cannot parse value {text:?}")))
+}
+
+/// Splits an array body on commas that sit outside quotes.
+fn split_top_level(inner: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in inner.chars() {
+        match ch {
+            '"' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn apply(
+    cfg: &mut Config,
+    section: &str,
+    key: &str,
+    value: Value,
+    lineno: usize,
+) -> Result<(), ConfigError> {
+    let want_array = |v: Value| -> Result<Vec<String>, ConfigError> {
+        match v {
+            Value::Array(a) => Ok(a),
+            other => Err(err(lineno, format!("expected an array, found {other:?}"))),
+        }
+    };
+    match section {
+        "" => match (key, value) {
+            ("version", Value::Int(1)) => Ok(()),
+            ("version", other) => Err(err(
+                lineno,
+                format!("unsupported config version {other:?} (expected 1)"),
+            )),
+            (k, _) => Err(err(lineno, format!("unknown top-level key {k:?}"))),
+        },
+        "workspace" => match key {
+            "include" => {
+                cfg.include = want_array(value)?;
+                Ok(())
+            }
+            "exclude" => {
+                cfg.exclude = want_array(value)?;
+                Ok(())
+            }
+            k => Err(err(lineno, format!("unknown [workspace] key {k:?}"))),
+        },
+        rule_section => {
+            let id = rule_section
+                .strip_prefix("rules.")
+                .expect("only rules.* sections reach here");
+            let entry = cfg.rules.entry(id.to_string()).or_insert_with(|| RuleCfg {
+                enabled: true,
+                ..RuleCfg::default()
+            });
+            match key {
+                "enabled" => match value {
+                    Value::Bool(b) => {
+                        entry.enabled = b;
+                        Ok(())
+                    }
+                    other => Err(err(
+                        lineno,
+                        format!("enabled must be a bool, found {other:?}"),
+                    )),
+                },
+                "crates" => {
+                    entry.crates = want_array(value)?;
+                    Ok(())
+                }
+                "paths" => {
+                    entry.paths = want_array(value)?;
+                    Ok(())
+                }
+                "allow_paths" => {
+                    entry.allow_paths = want_array(value)?;
+                    Ok(())
+                }
+                k => Err(err(lineno, format!("unknown [rules.{id}] key {k:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_shape() {
+        let cfg = parse(
+            r#"
+version = 1
+[workspace]
+include = ["crates", "src"]
+exclude = [
+    "vendor", # offline stand-ins
+    "target",
+]
+[rules.D1]
+enabled = true
+crates = ["engine", "core"]
+[rules.D2]
+allow_paths = ["crates/obs/src/span.rs"]
+"#,
+        )
+        .expect("config parses");
+        assert_eq!(cfg.include, ["crates", "src"]);
+        assert_eq!(cfg.exclude, ["vendor", "target"]);
+        assert!(cfg.rule("D1").enabled);
+        assert_eq!(cfg.rule("D1").crates, ["engine", "core"]);
+        assert_eq!(cfg.rule("D2").allow_paths, ["crates/obs/src/span.rs"]);
+        assert!(!cfg.rule("D9").enabled, "unknown rules default to off");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("version = 1\n[workspace]\nbogus = 3\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("detlint.toml:3"), "{e}");
+        let e = parse("[rules.D1]\nenabled = \"yes\"\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn version_must_be_one() {
+        assert!(parse("version = 2\n").is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The scanner needs just enough lexical structure to tell code from
+//! comments and string literals: a `HashMap` inside a doc comment or a
+//! format string must never produce a finding, and a `// detlint:
+//! allow(...)` annotation must be recognized wherever it appears. The
+//! lexer therefore produces a *lossless* token stream — every byte of
+//! the input belongs to exactly one token, and concatenating the token
+//! spans reconstructs the input verbatim (property-tested in
+//! `tests/prop_lexer.rs`). It understands nested block comments, raw
+//! and byte strings, char-vs-lifetime disambiguation, and numeric
+//! literals well enough to never mis-bracket a delimiter; it does not
+//! attempt full fidelity on exotic literals because rules only ever
+//! match identifier and punctuation tokens.
+
+/// Classification of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Runs of whitespace (including newlines).
+    Whitespace,
+    /// `// ...` up to (not including) the newline; doc `///` included.
+    LineComment,
+    /// `/* ... */`, nesting-aware; doc `/** */` included.
+    BlockComment,
+    /// Identifier or keyword.
+    Ident,
+    /// `'lifetime` (not a char literal).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`.
+    Str,
+    /// Char or byte-char literal: `'a'`, `b'\n'`.
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// Anything the lexer does not classify (kept for losslessness).
+    Unknown,
+}
+
+/// One token: a classified byte span of the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the span is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line starts. Multi-byte UTF-8
+    /// sequences never contain ASCII bytes, so byte-wise scanning is
+    /// safe for every delimiter the lexer cares about.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a lossless token stream.
+///
+/// Invariants (property-tested): tokens are contiguous, non-empty,
+/// cover the whole input in order, and `concat(token.text()) == src`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut out = Vec::new();
+    while c.pos < c.bytes.len() {
+        let start = c.pos;
+        let line = c.line;
+        let col = (c.pos - c.line_start + 1) as u32;
+        let kind = next_kind(&mut c);
+        debug_assert!(c.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: c.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn next_kind(c: &mut Cursor<'_>) -> TokKind {
+    let b = c.peek(0).expect("next_kind called at end of input");
+    match b {
+        _ if b.is_ascii_whitespace() => {
+            c.eat_while(|b| b.is_ascii_whitespace());
+            TokKind::Whitespace
+        }
+        b'/' => match c.peek(1) {
+            Some(b'/') => {
+                c.eat_while(|b| b != b'\n');
+                TokKind::LineComment
+            }
+            Some(b'*') => {
+                block_comment(c);
+                TokKind::BlockComment
+            }
+            _ => {
+                c.bump();
+                TokKind::Punct
+            }
+        },
+        b'"' => {
+            quoted(c, b'"');
+            TokKind::Str
+        }
+        b'\'' => char_or_lifetime(c),
+        b'r' | b'b' if raw_or_byte_literal(c) != TokKind::Ident => raw_or_byte_literal_eat(c),
+        _ if is_ident_start(b) => {
+            c.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+        _ if b.is_ascii_digit() => {
+            number(c);
+            TokKind::Number
+        }
+        _ if b.is_ascii_punctuation() => {
+            c.bump();
+            TokKind::Punct
+        }
+        _ => {
+            c.bump();
+            TokKind::Unknown
+        }
+    }
+}
+
+/// Looks ahead (without consuming) to see whether the cursor sits on a
+/// raw/byte string or byte-char literal rather than a plain identifier
+/// starting with `r`/`b`.
+fn raw_or_byte_literal(c: &Cursor<'_>) -> TokKind {
+    let b0 = c.peek(0);
+    let mut i = 1;
+    if b0 == Some(b'b') && c.peek(1) == Some(b'r') {
+        i = 2;
+    }
+    match (b0, c.peek(i)) {
+        (Some(b'b'), Some(b'\'')) if i == 1 => TokKind::Char,
+        (Some(b'b'), Some(b'"')) if i == 1 => TokKind::Str,
+        (Some(b'r') | Some(b'b'), Some(b'"')) | (Some(b'r') | Some(b'b'), Some(b'#')) => {
+            // `r"`, `r#`, `br"`, `br#` — but `r#ident` (raw identifier)
+            // must stay an identifier: only a `"` at the end of the
+            // hash run makes it a raw string.
+            let mut j = i;
+            while c.peek(j) == Some(b'#') {
+                j += 1;
+            }
+            if c.peek(j) == Some(b'"') {
+                TokKind::Str
+            } else {
+                TokKind::Ident
+            }
+        }
+        _ => TokKind::Ident,
+    }
+}
+
+/// Consumes the literal detected by [`raw_or_byte_literal`].
+fn raw_or_byte_literal_eat(c: &mut Cursor<'_>) -> TokKind {
+    let kind = raw_or_byte_literal(c);
+    // Skip the `b` / `r` / `br` prefix.
+    c.bump();
+    if c.peek(0) == Some(b'r') && kind == TokKind::Str {
+        c.bump();
+    }
+    match kind {
+        TokKind::Char => {
+            char_body(c);
+            TokKind::Char
+        }
+        TokKind::Str => {
+            if c.peek(0) == Some(b'"') {
+                quoted(c, b'"');
+            } else {
+                raw_string(c);
+            }
+            TokKind::Str
+        }
+        other => other,
+    }
+}
+
+/// `/* ... */` with nesting; an unterminated comment runs to EOF.
+fn block_comment(c: &mut Cursor<'_>) {
+    c.bump_n(2);
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (c.peek(0), c.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                c.bump_n(2);
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                c.bump_n(2);
+            }
+            (Some(_), _) => c.bump(),
+            (None, _) => break,
+        }
+    }
+}
+
+/// A `"..."` (or the body of a `b"..."`) with backslash escapes; an
+/// unterminated string runs to EOF.
+fn quoted(c: &mut Cursor<'_>, delim: u8) {
+    c.bump(); // opening delimiter
+    loop {
+        match c.peek(0) {
+            Some(b'\\') => c.bump_n(2.min(c.bytes.len() - c.pos)),
+            Some(b) if b == delim => {
+                c.bump();
+                break;
+            }
+            Some(_) => c.bump(),
+            None => break,
+        }
+    }
+}
+
+/// `#...#"..."#...#` after the `r`/`br` prefix: counts opening hashes,
+/// then scans for `"` followed by the same number of hashes.
+fn raw_string(c: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek(0) != Some(b'"') {
+        return; // malformed; losslessness is preserved regardless
+    }
+    c.bump();
+    'scan: loop {
+        match c.peek(0) {
+            Some(b'"') => {
+                for i in 1..=hashes {
+                    if c.peek(i) != Some(b'#') {
+                        c.bump();
+                        continue 'scan;
+                    }
+                }
+                c.bump_n(1 + hashes);
+                break;
+            }
+            Some(_) => c.bump(),
+            None => break,
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a leading `'`.
+fn char_or_lifetime(c: &mut Cursor<'_>) -> TokKind {
+    // A lifetime is `'` + ident not followed by a closing `'`.
+    if c.peek(1).is_some_and(is_ident_start) {
+        let mut j = 2;
+        while c.peek(j).is_some_and(is_ident_continue) {
+            j += 1;
+        }
+        if c.peek(j) != Some(b'\'') {
+            c.bump(); // the quote
+            c.eat_while(is_ident_continue);
+            return TokKind::Lifetime;
+        }
+    }
+    char_body(c);
+    TokKind::Char
+}
+
+/// Consumes a `'...'` char (or byte-char) literal including escapes.
+fn char_body(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    loop {
+        match c.peek(0) {
+            Some(b'\\') => c.bump_n(2.min(c.bytes.len() - c.pos)),
+            Some(b'\'') => {
+                c.bump();
+                break;
+            }
+            Some(b'\n') | None => break, // malformed; stop at the line
+            Some(_) => c.bump(),
+        }
+    }
+}
+
+/// Numeric literal: digits, underscores, suffixes, `0x`/`0b`/`0o`
+/// bases, a fraction part only when `.` is followed by a digit (so
+/// `0..10` lexes as `0`, `.`, `.`, `10`), and signed exponents.
+fn number(c: &mut Cursor<'_>) {
+    c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    if c.peek(0) == Some(b'.') && c.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        c.bump();
+        c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    // `1e-5` / `2.5E+10`: the alphanumeric run stops at the sign.
+    if c.src[..c.pos].ends_with(['e', 'E'])
+        && matches!(c.peek(0), Some(b'+') | Some(b'-'))
+        && c.peek(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        c.bump();
+        c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::Whitespace))
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_inside_strings_and_comments_are_not_code() {
+        let src = r##"let x = "HashMap"; // HashMap
+/* HashMap /* nested */ still comment */
+let y = r#"HashMap"#;"##;
+        let idents: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(idents, ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let v = kinds(src);
+        assert!(v.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(v.contains(&(TokKind::Char, "'x'".into())));
+        assert!(v.contains(&(TokKind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let v = kinds("let r#fn = 1;");
+        assert!(v.contains(&(TokKind::Ident, "r".into())), "{v:?}");
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let v = kinds("for i in 0..10 {}");
+        assert!(v.contains(&(TokKind::Number, "0".into())));
+        assert!(v.contains(&(TokKind::Number, "10".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_exponents() {
+        let v = kinds(r#"let b = b"bytes"; let e = 1.5e-3; let c = b'x';"#);
+        assert!(v.contains(&(TokKind::Str, "b\"bytes\"".into())));
+        assert!(v.contains(&(TokKind::Number, "1.5e-3".into())));
+        assert!(v.contains(&(TokKind::Char, "b'x'".into())));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let src = "a\nbb\n  ccc";
+        let toks: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].col, 3);
+    }
+}

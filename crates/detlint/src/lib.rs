@@ -1,0 +1,169 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+//! # detlint
+//!
+//! A dependency-free static-analysis pass enforcing the workspace's
+//! determinism contract (DESIGN.md, "Determinism contract"): the code
+//! patterns that historically break bit-identical replay — unordered
+//! map iteration, wall-clock reads in compared artifacts, ad-hoc
+//! threading, unordered float reduction, and panicking escape hatches
+//! in library code — are rejected statically, before a differential
+//! test ever runs.
+//!
+//! The front end is a hand-rolled lossless Rust lexer ([`lexer`]); the
+//! rules ([`rules`]) walk its significant-token stream; scoping and
+//! standing exemptions live in the committed `detlint.toml`
+//! ([`config`]). Run it as `cargo run -p detlint -- --check` (the CI
+//! gate) or `nodeshare lint`.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::Config;
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Analyzer version, reported in the banner so experiment logs are
+/// traceable to the lint level they ran under.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The one-line banner printed by `--version` and by
+/// `scripts/run_all_experiments.sh`.
+pub fn banner() -> String {
+    format!("detlint {VERSION} (rules {})", rules::RULE_IDS.join("/"))
+}
+
+/// Result of a workspace scan.
+#[derive(Clone, Debug, Default)]
+pub struct ScanReport {
+    /// All findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Locates the workspace root by walking upward from `start` until a
+/// directory containing `detlint.toml` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("detlint.toml").is_file() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Loads `detlint.toml` from `root`.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("detlint.toml");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    config::parse(&text).map_err(|e| e.to_string())
+}
+
+/// Scans the workspace under `root` per `cfg` and returns every
+/// finding. File order (and therefore report order) is deterministic:
+/// directory entries are visited in sorted order.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<ScanReport, String> {
+    let mut files = Vec::new();
+    for inc in &cfg.include {
+        let dir = root.join(inc);
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, cfg, &mut files)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    files.sort();
+    let mut report = ScanReport::default();
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("{rel}: {e}"))?;
+        report.files_scanned += 1;
+        report.findings.extend(rules::check_file(&rel, &text, cfg));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects workspace-relative `/`-separated `.rs` paths,
+/// honoring the config's `exclude` prefixes, in sorted order.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/"),
+            Err(_) => continue,
+        };
+        if cfg.exclude.iter().any(|x| rel.starts_with(x.as_str())) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Formats a scan outcome for humans; one finding per line, stable
+/// order, with a trailing summary.
+pub fn render_report(report: &ScanReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if report.findings.is_empty() {
+        out.push_str(&format!(
+            "detlint: clean — {} files scanned, 0 findings ({})\n",
+            report.files_scanned,
+            banner()
+        ));
+    } else {
+        out.push_str(&format!(
+            "detlint: {} finding(s) in {} files scanned ({})\n",
+            report.findings.len(),
+            report.files_scanned,
+            banner()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_walks_upward() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace has detlint.toml");
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn banner_names_all_rules() {
+        let b = banner();
+        for r in rules::RULE_IDS {
+            assert!(b.contains(r), "{b} missing {r}");
+        }
+    }
+}

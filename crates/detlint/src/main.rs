@@ -1,0 +1,103 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+//! `detlint` CLI: the workspace determinism & hygiene gate.
+//!
+//! ```text
+//! cargo run -p detlint -- --check            # CI gate: exit 1 on any finding
+//! cargo run -p detlint -- --version          # print the lint banner
+//! cargo run -p detlint -- --root DIR         # scan an explicit root
+//! cargo run -p detlint -- --config FILE      # explicit config path
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // `--check` is the explicit CI spelling; a bare run checks too.
+            "--check" => {}
+            "--version" | "-V" => {
+                println!("{}", detlint::banner());
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a file"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "detlint — workspace determinism & hygiene static analysis\n\n\
+                     USAGE: detlint [--check] [--root DIR] [--config FILE] [--version]\n\n\
+                     Scans the workspace sources for violations of rules D1-D5\n\
+                     (see DESIGN.md, \"Determinism contract\") and exits nonzero\n\
+                     on any unannotated finding."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("detlint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match detlint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "detlint: no detlint.toml found between {} and /; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let cfg = match config_path {
+        Some(p) => std::fs::read_to_string(&p)
+            .map_err(|e| format!("{}: {e}", p.display()))
+            .and_then(|t| detlint::config::parse(&t).map_err(|e| e.to_string())),
+        None => detlint::load_config(&root),
+    };
+    let cfg = match cfg {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match detlint::scan_workspace(&root, &cfg) {
+        Ok(report) => {
+            print!("{}", detlint::render_report(&report));
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg} (see --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,16 @@
+//! A0 golden fixture: the annotation escape hatch is itself audited.
+
+fn bad_missing_reason(v: Option<u32>) -> u32 {
+    // detlint: allow(D5) //~ A0
+    v.map_or(0, |x| x)
+}
+
+fn bad_unknown_rule(v: Option<u32>) -> u32 {
+    // detlint: allow(D9, no such rule exists) //~ A0
+    v.map_or(0, |x| x)
+}
+
+fn good_annotation_is_not_flagged(v: Option<u32>) -> u32 {
+    // detlint: allow(D5, invariant stated by the caller; None is a bug)
+    v.unwrap()
+}

@@ -1,0 +1,36 @@
+//! D1 golden fixture: unordered collections in artifact-producing code.
+//! Expected-finding markers are documented in golden.rs.
+
+use std::collections::{BTreeSet, HashMap, HashSet}; // use lines never fire
+
+fn positive() {
+    let m: HashMap<u32, u32> = HashMap::new(); //~ D1 D1
+    let s = HashSet::<u32>::new(); //~ D1
+    drop((m, s));
+}
+
+fn negative_sorted_next_statement(xs: &[u32]) -> Vec<u32> {
+    let mut keys: Vec<u32> = xs.iter().copied().collect::<HashSet<u32>>().into_iter().collect();
+    keys.sort();
+    keys
+}
+
+fn negative_collected_into_btree(xs: &[u32]) -> BTreeSet<u32> {
+    let ordered: BTreeSet<u32> = HashSet::<u32>::from_iter(xs.iter().copied()).into_iter().collect();
+    ordered
+}
+
+fn negative_annotated() {
+    // detlint: allow(D1, membership probes only; never iterated)
+    let s = HashSet::<u32>::new();
+    drop(s);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_test_code_is_exempt() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        drop(m);
+    }
+}

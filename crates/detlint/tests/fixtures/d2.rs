@@ -1,0 +1,28 @@
+//! D2 golden fixture: wall-clock reads outside timing modules.
+
+use std::time::{Duration, Instant, SystemTime}; // use lines never fire
+
+fn positive() {
+    let t0 = Instant::now(); //~ D2
+    let wall = SystemTime::now(); //~ D2
+    drop((t0, wall));
+}
+
+fn negative_value_passed_in(at: Instant) -> Duration {
+    at.elapsed()
+}
+
+fn negative_annotated() {
+    // detlint: allow(D2, boot banner timestamp; never enters artifacts)
+    let wall = SystemTime::now();
+    drop(wall);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_test_code_is_exempt() {
+        let t = std::time::Instant::now();
+        drop(t);
+    }
+}

@@ -1,0 +1,29 @@
+//! D3 golden fixture: ad-hoc threading and locking.
+
+use std::sync::Mutex; // use lines never fire
+use std::thread;
+
+fn positive() {
+    let h = thread::spawn(|| 1); //~ D3
+    let m = Mutex::new(0); //~ D3
+    drop((h, m));
+}
+
+fn negative_other_thread_api() {
+    thread::yield_now();
+}
+
+fn negative_annotated() {
+    // detlint: allow(D3, bounded worker pool; joined before any merge)
+    let h = thread::spawn(|| 2);
+    h.join().ok();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_test_code_is_exempt() {
+        let m = std::sync::Mutex::new(1);
+        drop(m);
+    }
+}

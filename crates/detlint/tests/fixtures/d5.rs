@@ -1,0 +1,26 @@
+//! D5 golden fixture: panicking escape hatches in library code.
+
+fn positive(v: Option<u32>) -> u32 {
+    let a = v.unwrap(); //~ D5
+    let b = v.expect("present"); //~ D5
+    a + b
+}
+
+fn negative_propagated_user_method(p: &mut Parser) -> Result<(), ParseError> {
+    p.expect(b'{')?;
+    Ok(())
+}
+
+fn negative_annotated(v: Option<u32>) -> u32 {
+    // detlint: allow(D5, invariant stated by the caller; None is a bug)
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Golden-fixture tests: each file under `tests/fixtures/` carries
+//! `//~ RULE` markers naming the findings expected on that line
+//! (repeat the rule id for multiple findings on one line). The harness
+//! lints the fixture under an all-rules-on config and asserts the
+//! finding set matches the markers exactly — so every rule is covered
+//! both positively (the marked lines fire) and negatively (nothing
+//! else does).
+
+use detlint::config::{self, Config};
+use detlint::rules;
+
+/// All rules enabled, no crate/path scoping: fixtures opt out of
+/// nothing, so their negatives exercise the rule heuristics themselves
+/// (annotations, sorted statements, test regions) rather than config.
+fn all_rules_config() -> Config {
+    config::parse(
+        "version = 1\n\
+         [workspace]\n\
+         include = [\"crates\"]\n\
+         [rules.D1]\n[rules.D2]\n[rules.D3]\n[rules.D4]\n[rules.D5]\n",
+    )
+    .expect("golden config parses")
+}
+
+/// Parses `//~ RULE [RULE ...]` markers into (rule, 1-based line).
+fn expected_findings(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            for rule in line[pos + 3..].split_whitespace() {
+                out.push((rule.to_string(), idx as u32 + 1));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn check_fixture(name: &str) {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("fixture exists");
+    let cfg = all_rules_config();
+    // A synthetic library-crate path: D1/D5 crate scoping and the
+    // bin/test exemptions all see the fixture as shipped library code.
+    let mut got: Vec<(String, u32)> =
+        rules::check_file(&format!("crates/engine/src/{name}"), &src, &cfg)
+            .into_iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect();
+    got.sort();
+    assert_eq!(
+        got,
+        expected_findings(&src),
+        "finding set mismatch for fixture {name}"
+    );
+}
+
+#[test]
+fn d1_unordered_collections() {
+    check_fixture("d1.rs");
+}
+
+#[test]
+fn d2_wall_clock_reads() {
+    check_fixture("d2.rs");
+}
+
+#[test]
+fn d3_ad_hoc_threading() {
+    check_fixture("d3.rs");
+}
+
+#[test]
+fn d4_bare_float_accumulation() {
+    check_fixture("d4.rs");
+}
+
+#[test]
+fn d5_panicking_escape_hatches() {
+    check_fixture("d5.rs");
+}
+
+#[test]
+fn a0_malformed_annotations() {
+    check_fixture("a0.rs");
+}
+
+#[test]
+fn fixtures_are_excluded_from_the_workspace_scan() {
+    // The committed config must keep the deliberately-violating
+    // fixtures out of the real gate.
+    let root = detlint::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let cfg = detlint::load_config(&root).expect("workspace config");
+    assert!(cfg
+        .exclude
+        .iter()
+        .any(|x| x == "crates/detlint/tests/fixtures"));
+}

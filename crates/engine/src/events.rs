@@ -346,6 +346,7 @@ impl Calendar {
                 }
             }
         }
+        // detlint: allow(D5, guarded by the len > 0 check above)
         let (b, i) = best.expect("len > 0 means an entry exists");
         Some((b, i, self.vb_of(self.buckets[b][i].time)))
     }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-engine
 //!
 //! Deterministic discrete-event simulation of a batch system with

@@ -89,6 +89,7 @@ impl RunningJob {
         let mut shared_nodes = 0u32;
         let mut co_apps: Vec<nodeshare_perf::AppId> = Vec::new();
         for &node_id in &self.nodes {
+            // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
             let node = cluster.node(node_id).expect("running job's node exists");
             co_apps.clear();
             for occupant in node.occupants() {

@@ -229,6 +229,7 @@ pub fn run_streamed_traced(
     config: &SimConfig,
 ) -> (SimOutcome, DecisionTrace) {
     let (outcome, trace) = Engine::new(source, truth, config, true, None).run(scheduler);
+    // detlint: allow(D5, run_traced always requests tracing)
     (outcome, trace.expect("tracing was requested"))
 }
 
@@ -256,6 +257,7 @@ pub fn run_streamed_traced_with_telemetry(
     telemetry: &SimTelemetry,
 ) -> (SimOutcome, DecisionTrace) {
     let (outcome, trace) = Engine::new(source, truth, config, true, Some(telemetry)).run(scheduler);
+    // detlint: allow(D5, run_traced always requests tracing)
     (outcome, trace.expect("tracing was requested"))
 }
 
@@ -353,6 +355,7 @@ impl<'a> Engine<'a> {
             events.push(t, Event::Snapshot(i));
         }
         for window in &config.maintenance {
+            // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
             window.validate().expect("invalid maintenance window");
             for &node in &window.nodes {
                 events.push(window.start, Event::DrainStart(node));
@@ -537,6 +540,7 @@ impl<'a> Engine<'a> {
                     let job = self
                         .pending
                         .pop_front()
+                        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                         .expect("arrival event without a delivered spec");
                     self.trace_ev(TraceEvent::Submitted {
                         time: self.now,
@@ -606,6 +610,7 @@ impl<'a> Engine<'a> {
                     // matches the materialized `arrivals_pending > 0`
                     // condition exactly.
                     if !self.pending.is_empty() || !self.source_done || !self.running.is_empty() {
+                        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                         let tick = self.config.sched_tick.expect("tick event implies tick");
                         self.events.push(self.now + tick, Event::SchedulerTick);
                     }
@@ -615,6 +620,7 @@ impl<'a> Engine<'a> {
                     self.invoke(scheduler);
                 }
                 Event::NodeRepair(node) => {
+                    // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                     self.cluster.resume(node).expect("repaired node exists");
                     self.trace_ev(TraceEvent::NodeUp {
                         time: self.now,
@@ -623,6 +629,7 @@ impl<'a> Engine<'a> {
                     self.invoke(scheduler);
                 }
                 Event::DrainStart(node) => {
+                    // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                     self.cluster.drain(node).expect("drained node exists");
                     self.trace_ev(TraceEvent::NodeDown {
                         time: self.now,
@@ -644,6 +651,7 @@ impl<'a> Engine<'a> {
                         .node(node)
                         .is_some_and(|n| n.admin_state() == AdminState::Drained)
                     {
+                        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                         self.cluster.resume(node).expect("node exists");
                         self.trace_ev(TraceEvent::NodeUp {
                             time: self.now,
@@ -799,6 +807,7 @@ impl<'a> Engine<'a> {
                 // `lane_owners` may repeat a multi-lane resident; the
                 // assertion is idempotent, and skipping the dedup keeps
                 // this validation allocation-free.
+                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                 for resident in self.cluster.node(n).expect("node exists").lane_owners() {
                     let r = &self.running[&resident];
                     assert!(
@@ -897,6 +906,7 @@ impl<'a> Engine<'a> {
     /// Finishes (or kills) a running job, releasing its nodes and
     /// re-rating the survivors.
     fn finish(&mut self, job_id: JobId, killed: bool) {
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         let mut r = self.running.remove(&job_id).expect("job is running");
         self.running_view.remove(&job_id);
         r.advance_to(self.now);
@@ -913,6 +923,7 @@ impl<'a> Engine<'a> {
                 .map(|t| SimTelemetry::time(&t.release_seconds));
             self.cluster
                 .release(job_id)
+                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                 .expect("job held an allocation")
         };
         if let Some(t) = self.telemetry {
@@ -965,6 +976,7 @@ impl<'a> Engine<'a> {
             for occupant in self
                 .cluster
                 .node(p.node)
+                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                 .expect("node exists")
                 .lane_owners()
             {
@@ -982,6 +994,7 @@ impl<'a> Engine<'a> {
     /// Advances and re-rates one running job after an occupancy change on
     /// its nodes, scheduling a fresh completion event.
     fn rerate_job(&mut self, job_id: JobId) {
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         let mut r = self.running.remove(&job_id).expect("job is running");
         r.advance_to(self.now);
         {
@@ -1011,6 +1024,7 @@ impl<'a> Engine<'a> {
         for victim in n.occupants() {
             self.requeue(victim, node);
         }
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         self.cluster.set_down(node).expect("node emptied above");
         self.trace_ev(TraceEvent::NodeDown {
             time: self.now,
@@ -1021,6 +1035,7 @@ impl<'a> Engine<'a> {
             .config
             .failures
             .as_ref()
+            // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
             .expect("failure event implies a failure model")
             .repair_time;
         self.events.push(self.now + repair, Event::NodeRepair(node));
@@ -1045,9 +1060,11 @@ impl<'a> Engine<'a> {
             job: job_id,
             node: failed,
         });
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         let mut r = self.running.remove(&job_id).expect("victim is running");
         self.running_view.remove(&job_id);
         r.advance_to(self.now); // keeps shared-time accounting exact
+                                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         let alloc = self.cluster.release(job_id).expect("victim held nodes");
         self.rerate_affected(&alloc);
         *self.attempts.entry(job_id).or_insert(0) += 1;

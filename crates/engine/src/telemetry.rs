@@ -265,6 +265,7 @@ pub struct SimTelemetry {
     pub sample_interval: Seconds,
     /// Scheduler-side instruments (shared with policies via the context).
     pub sched: SchedTelemetry,
+    // detlint: allow(D3, sampler buffer shared with orchestrator workers; protects diagnostics, not outcomes)
     samples: Mutex<Vec<TelemetrySample>>,
 
     pub(crate) events_total: Counter,
@@ -309,6 +310,7 @@ impl SimTelemetry {
         SimTelemetry {
             sched,
             sample_interval,
+            // detlint: allow(D3, sampler buffer construction, see the field note)
             samples: Mutex::new(Vec::new()),
             events_total: registry.counter(
                 "sim_events_processed_total",
@@ -452,6 +454,7 @@ impl SimTelemetry {
         self.cluster_allocs_shared.set(stats.shared_allocs as f64);
         self.cluster_releases.set(stats.releases as f64);
         self.cluster_failed_allocs.set(stats.failed_allocs as f64);
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         let mut samples = self.samples.lock().expect("samples poisoned");
         // The closing sample of a run may land on the same instant as the
         // last periodic one; the newer (post-event) state wins, keeping
@@ -469,12 +472,14 @@ impl SimTelemetry {
 
     /// The samples collected so far.
     pub fn samples(&self) -> Vec<TelemetrySample> {
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         self.samples.lock().expect("samples poisoned").clone()
     }
 
     /// The sample stream as JSONL (one object per line, trailing newline
     /// when non-empty).
     pub fn jsonl(&self) -> String {
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         let samples = self.samples.lock().expect("samples poisoned");
         let mut out = String::new();
         for s in samples.iter() {
@@ -499,6 +504,7 @@ impl SimTelemetry {
             "telemetry: {} samples @ {:.0}s | decisions {} (head {}, backfill {}) | \
              pairing hit rate {:.1}% ({}/{}) | events {}\n\
              backfill scan depth per pass:\n{}",
+            // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
             self.samples.lock().expect("samples poisoned").len(),
             self.sample_interval,
             self.sched.decisions.get(),

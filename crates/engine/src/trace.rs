@@ -73,6 +73,7 @@ impl StartReason {
         ctx: &crate::view::SchedContext<'_>,
         decisions: &[crate::view::Decision],
     ) -> Vec<Self> {
+        // detlint: allow(D1, first-occurrence position index; per-id lookups only, never iterated)
         let mut position = std::collections::HashMap::new();
         for (i, j) in ctx.queue.iter().enumerate() {
             // First occurrence wins, matching the `take_while` scan.

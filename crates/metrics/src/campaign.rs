@@ -74,7 +74,9 @@ impl CampaignMetrics {
         let first_submit = records
             .iter()
             .map(|r| r.submit)
+            // detlint: allow(D4, min fold is order-insensitive)
             .fold(f64::INFINITY, f64::min);
+        // detlint: allow(D4, max fold is order-insensitive)
         let last_finish = records.iter().map(|r| r.finish).fold(0.0, f64::max);
         let makespan = if jobs == 0 {
             0.0
@@ -85,6 +87,7 @@ impl CampaignMetrics {
         let work_core_seconds: f64 = records
             .iter()
             .map(|r| r.work_done_node_seconds() * cores_per_node)
+            // detlint: allow(D4, records are in canonical job order after the OrderedTable merge; serial sum is deterministic)
             .sum();
         let total_core_time = makespan * spec.total_cores() as f64;
 
@@ -98,6 +101,7 @@ impl CampaignMetrics {
         let mean_response = if jobs == 0 {
             0.0
         } else {
+            // detlint: allow(D4, records are in canonical job order; serial sum is deterministic)
             records.iter().map(JobRecord::response).sum::<f64>() / jobs as f64
         };
 

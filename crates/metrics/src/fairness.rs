@@ -80,7 +80,9 @@ pub fn jain_index(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 1.0;
     }
+    // detlint: allow(D4, caller passes canonically ordered values; serial sum is deterministic)
     let sum: f64 = values.iter().sum();
+    // detlint: allow(D4, caller passes canonically ordered values; serial sum is deterministic)
     let sq: f64 = values.iter().map(|v| v * v).sum();
     if sq == 0.0 {
         return 1.0;

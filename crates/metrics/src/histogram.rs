@@ -150,6 +150,7 @@ impl Histogram {
     pub fn from_obs(h: &nodeshare_obs::Histogram) -> Histogram {
         let edges = h.bounds().to_vec();
         let mut counts = h.bucket_counts();
+        // detlint: allow(D5, obs histograms always end with the +Inf bucket)
         let overflow = counts.pop().expect("obs histograms have an +Inf bucket");
         let underflow = counts.remove(0);
         Histogram::from_parts(edges, counts, underflow, overflow)

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-metrics
 //!
 //! Metric definitions for the node-sharing study:

@@ -84,6 +84,7 @@ impl StepSeries {
 
     /// Maximum value ever recorded (0 for an empty series).
     pub fn max_value(&self) -> f64 {
+        // detlint: allow(D4, max fold is order-insensitive)
         self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
     }
 

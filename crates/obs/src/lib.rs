@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-obs
 //!
 //! Dependency-free runtime telemetry for the nodeshare workspace:

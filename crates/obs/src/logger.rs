@@ -133,8 +133,10 @@ struct LoggerState {
 }
 
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX); // unset sentinel
+                                                     // detlint: allow(D3, process-wide logger state; diagnostics only, never in compared artifacts)
 static STATE: OnceLock<Mutex<LoggerState>> = OnceLock::new();
 
+// detlint: allow(D3, accessor for the process-wide logger state above)
 fn state() -> &'static Mutex<LoggerState> {
     STATE.get_or_init(|| {
         let filter = match std::env::var("NODESHARE_LOG") {
@@ -142,6 +144,7 @@ fn state() -> &'static Mutex<LoggerState> {
             _ => Filter::default_info(),
         };
         MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
+        // detlint: allow(D3, logger state construction, see the static note)
         Mutex::new(LoggerState {
             filter,
             writer: Box::new(std::io::stderr()),
@@ -151,6 +154,7 @@ fn state() -> &'static Mutex<LoggerState> {
 
 /// Replaces the whole filter (e.g. from a `--log-level` flag).
 pub fn set_filter(filter: Filter) {
+    // detlint: allow(D5, lock poisoning implies a prior panic; propagating it is the least surprising failure)
     let mut s = state().lock().expect("logger poisoned");
     MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
     s.filter = filter;
@@ -167,6 +171,7 @@ pub fn set_max_level(level: Level) {
 /// Redirects log output (tests inject a capture buffer here). Returns the
 /// previous writer so callers can restore it.
 pub fn set_writer(writer: Box<dyn Write + Send>) -> Box<dyn Write + Send> {
+    // detlint: allow(D5, lock poisoning implies a prior panic; propagating it is the least surprising failure)
     let mut s = state().lock().expect("logger poisoned");
     std::mem::replace(&mut s.writer, writer)
 }
@@ -187,6 +192,7 @@ pub fn enabled(level: Level, target: &str) -> bool {
     }
     state()
         .lock()
+        // detlint: allow(D5, lock poisoning implies a prior panic; propagating it is the least surprising failure)
         .expect("logger poisoned")
         .filter
         .level_for(target)
@@ -214,6 +220,7 @@ pub fn write_record(level: Level, target: &str, msg: &str, fields: &[(&str, Stri
         line.push_str(&field_value(v));
     }
     line.push('\n');
+    // detlint: allow(D5, lock poisoning implies a prior panic; propagating it is the least surprising failure)
     let mut s = state().lock().expect("logger poisoned");
     let _ = s.writer.write_all(line.as_bytes());
     let _ = s.writer.flush();

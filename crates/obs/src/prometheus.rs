@@ -58,6 +58,7 @@ fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> St
 
 /// Renders the whole registry in the Prometheus text exposition format.
 pub fn render(registry: &MetricsRegistry) -> String {
+    // detlint: allow(D5, lock poisoning implies a prior panic; propagating it is the least surprising failure)
     let families = registry.families.lock().expect("registry poisoned");
     let mut names: Vec<usize> = (0..families.len()).collect();
     names.sort_by(|&a, &b| families[a].name.cmp(&families[b].name));

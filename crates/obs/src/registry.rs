@@ -262,6 +262,7 @@ pub(crate) struct Family {
 /// the returned handles do not.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
+    // detlint: allow(D3, family list shared with workers; rendered in stable registration order)
     pub(crate) families: Mutex<Vec<Family>>,
 }
 
@@ -296,6 +297,7 @@ impl MetricsRegistry {
             "invalid metric name {name:?}"
         );
         let labels = sorted_labels(labels);
+        // detlint: allow(D5, lock poisoning implies a prior panic; propagating it is the least surprising failure)
         let mut families = self.families.lock().expect("registry poisoned");
         let family = match families.iter_mut().find(|f| f.name == name) {
             Some(f) => {
@@ -314,6 +316,7 @@ impl MetricsRegistry {
                     kind,
                     series: Vec::new(),
                 });
+                // detlint: allow(D5, pushed on the preceding line)
                 families.last_mut().expect("just pushed")
             }
         };
@@ -383,6 +386,7 @@ impl MetricsRegistry {
 
     /// Number of registered families.
     pub fn family_count(&self) -> usize {
+        // detlint: allow(D5, lock poisoning implies a prior panic; propagating it is the least surprising failure)
         self.families.lock().expect("registry poisoned").len()
     }
 }

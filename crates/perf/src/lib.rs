@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-perf
 //!
 //! Application performance modeling for the node-sharing study: resource

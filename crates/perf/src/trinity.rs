@@ -30,6 +30,7 @@ impl AppCatalog {
         assert!(apps.len() <= u8::MAX as usize, "too many apps");
         for (i, app) in apps.iter_mut().enumerate() {
             app.id = AppId(i as u8);
+            // detlint: allow(D5, built-in catalog profiles are static data validated here at load)
             app.validate().expect("invalid app profile");
         }
         AppCatalog { apps }

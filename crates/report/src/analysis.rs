@@ -196,6 +196,7 @@ impl Analysis {
         let mut last_finish = f64::NEG_INFINITY;
         for s in self.finished() {
             first_submit = first_submit.min(s.submit);
+            // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
             last_finish = last_finish.max(s.finish.expect("finished"));
         }
         if last_finish.is_finite() {

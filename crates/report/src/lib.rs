@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-report
 //!
 //! Trace analytics and reporting: turns a [`nodeshare_engine::DecisionTrace`]

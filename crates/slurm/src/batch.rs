@@ -213,6 +213,7 @@ impl BatchSystem {
             walltime_estimate: walltime,
             mem_per_node_mib: mem
                 .try_into()
+                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                 .expect("memory checked against node capacity fits u32 MiB"),
             share_eligible: script.oversubscribe && partition.oversubscribe,
             user,
@@ -256,6 +257,7 @@ impl BatchSystem {
     /// The accepted jobs as an engine workload.
     pub fn workload(&self) -> Workload {
         Workload::new(self.accepted.iter().map(|a| a.spec.clone()).collect())
+            // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
             .expect("accepted jobs are validated at submission")
     }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-slurm
 //!
 //! A SLURM-shaped facade over the nodeshare engine — the layer the paper

@@ -139,12 +139,19 @@ impl<'c, R: BufRead> CTraceSource<'c, R> {
         catalog: &'c AppCatalog,
         opts: CTraceOptions,
     ) -> Self {
+        // A bad window is reported by `validate()` on the first chunk;
+        // feed the buffer a benign stand-in so construction can't panic.
+        let window = if opts.reorder_window.is_finite() && opts.reorder_window >= 0.0 {
+            opts.reorder_window
+        } else {
+            0.0
+        };
         CTraceSource {
             reader,
             format,
             catalog,
             opts,
-            rb: ReorderBuffer::new(opts.reorder_window),
+            rb: ReorderBuffer::new(window),
             buf: String::new(),
             lineno: 0,
             next_id: 0,
@@ -173,9 +180,19 @@ impl<'c, R: BufRead> CTraceSource<'c, R> {
         if tok.is_empty() {
             return Ok(None);
         }
-        tok.parse::<f64>()
-            .map(Some)
-            .map_err(|_| self.err(format!("field {} ({name}): cannot parse {tok:?}", idx + 1)))
+        let v = tok
+            .parse::<f64>()
+            .map_err(|_| self.err(format!("field {} ({name}): cannot parse {tok:?}", idx + 1)))?;
+        // `str::parse` accepts "NaN"/"inf"; a non-finite value would
+        // sail through the `< 0.0`-style row filters and poison submits
+        // and runtimes downstream, so reject it here with the line.
+        if !v.is_finite() {
+            return Err(self.err(format!(
+                "field {} ({name}): non-finite value {tok:?}",
+                idx + 1
+            )));
+        }
+        Ok(Some(v))
     }
 
     /// One line → a normalized row, `Ok(None)` for filtered rows.
@@ -285,6 +302,34 @@ impl<'c, R: BufRead> CTraceSource<'c, R> {
         }
     }
 
+    /// Rejects option/catalog combinations that would divide by zero or
+    /// corrupt derived fields once rows start flowing. Checked up front
+    /// (before the first line is read) so a misconfiguration is one
+    /// clear error, not a panic mid-trace.
+    fn validate(&self) -> Result<(), SourceError> {
+        if self.catalog.is_empty() {
+            return Err(SourceError::new(
+                "cluster-trace import needs a non-empty app catalog (class is mapped modulo it)",
+            ));
+        }
+        if self.opts.cores_per_node == 0 {
+            return Err(SourceError::new("cores_per_node must be at least 1"));
+        }
+        if !self.opts.walltime_factor.is_finite() || self.opts.walltime_factor < 1.0 {
+            return Err(SourceError::new(format!(
+                "walltime_factor must be finite and >= 1, got {}",
+                self.opts.walltime_factor
+            )));
+        }
+        if !self.opts.reorder_window.is_finite() || self.opts.reorder_window < 0.0 {
+            return Err(SourceError::new(format!(
+                "reorder_window must be finite and >= 0, got {}",
+                self.opts.reorder_window
+            )));
+        }
+        Ok(())
+    }
+
     fn read_line(&mut self) -> Result<bool, SourceError> {
         self.buf.clear();
         let n = self
@@ -301,6 +346,7 @@ impl<'c, R: BufRead> CTraceSource<'c, R> {
 
 impl<R: BufRead> JobSource for CTraceSource<'_, R> {
     fn next_chunk(&mut self, out: &mut Vec<JobSpec>) -> Result<Option<Seconds>, SourceError> {
+        self.validate()?;
         while !self.eof {
             for _ in 0..crate::swf::STREAM_BATCH_LINES {
                 if !self.read_line()? {
@@ -449,6 +495,92 @@ t2,1,j_2,1,Terminated,100,300,100,1.0
         .unwrap_err();
         assert_eq!(err.line, Some(1));
         assert!(err.message.contains("start_time"), "{}", err.message);
+    }
+
+    #[test]
+    fn truncated_rows_are_errors_with_the_line() {
+        let catalog = AppCatalog::trinity();
+        let text = "\
+t1,1,j_1,1,Terminated,100,400,50,1.0
+t2,1,j_2,Terminated,100
+";
+        let err = read_to_workload(
+            text,
+            TraceFormat::AlibabaBatch,
+            &catalog,
+            CTraceOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("expected 9"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_finite_fields_are_errors_not_silent_rows() {
+        let catalog = AppCatalog::trinity();
+        for (field, text) in [
+            ("start_time", "t1,1,j_1,1,Terminated,NaN,400,50,1.0\n"),
+            ("end_time", "t1,1,j_1,1,Terminated,100,inf,50,1.0\n"),
+            ("plan_cpu", "t1,1,j_1,1,Terminated,100,400,-inf,1.0\n"),
+        ] {
+            let err = read_to_workload(
+                text,
+                TraceFormat::AlibabaBatch,
+                &catalog,
+                CTraceOptions::default(),
+            )
+            .unwrap_err();
+            assert_eq!(err.line, Some(1), "{field}");
+            assert!(
+                err.message.contains("non-finite"),
+                "{field}: {}",
+                err.message
+            );
+            assert!(err.message.contains(field), "{field}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn empty_catalog_and_bad_options_fail_up_front() {
+        let text = "t1,1,j_1,1,Terminated,100,400,50,1.0\n";
+        let empty = AppCatalog::new(vec![]);
+        let err = read_to_workload(
+            text,
+            TraceFormat::AlibabaBatch,
+            &empty,
+            CTraceOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("app catalog"), "{}", err.message);
+
+        let catalog = AppCatalog::trinity();
+        for (label, opts) in [
+            (
+                "cores_per_node",
+                CTraceOptions {
+                    cores_per_node: 0,
+                    ..CTraceOptions::default()
+                },
+            ),
+            (
+                "walltime_factor",
+                CTraceOptions {
+                    walltime_factor: f64::NAN,
+                    ..CTraceOptions::default()
+                },
+            ),
+            (
+                "reorder_window",
+                CTraceOptions {
+                    reorder_window: -1.0,
+                    ..CTraceOptions::default()
+                },
+            ),
+        ] {
+            let err =
+                read_to_workload(text, TraceFormat::AlibabaBatch, &catalog, opts).unwrap_err();
+            assert!(err.message.contains(label), "{label}: {}", err.message);
+        }
     }
 
     #[test]

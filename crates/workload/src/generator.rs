@@ -80,11 +80,13 @@ impl WorkloadSpec {
                     .profile(app)
                     .mem_per_node_mib
                     .try_into()
+                    // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                     .expect("catalog memory fits u32 MiB"),
                 share_eligible,
                 user,
             });
         }
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         Workload::new(jobs).expect("generated jobs are valid by construction")
     }
 
@@ -113,6 +115,7 @@ impl WorkloadSpec {
                         .profile(a)
                         .mem_per_node_mib
                         .try_into()
+                        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                         .expect("catalog memory fits u32 MiB")
                 })
                 .collect(),

@@ -86,13 +86,25 @@ pub struct Workload {
 
 impl Workload {
     /// Builds a workload, sorting by `(submit, id)` and validating every job.
-    pub fn new(mut jobs: Vec<JobSpec>) -> Result<Self, String> {
+    pub fn new(jobs: Vec<JobSpec>) -> Result<Self, String> {
+        let capacity = jobs.len();
+        Self::with_dedup_capacity(jobs, capacity)
+    }
+
+    /// [`Workload::new`] with an explicit initial capacity for the
+    /// duplicate-id set. The set is membership-only (see the D1
+    /// annotation below), so its bucket layout must never matter; the
+    /// differential suite calls this with perturbed capacities and
+    /// shuffled input orders to prove campaign artifacts stay
+    /// byte-identical.
+    pub fn with_dedup_capacity(mut jobs: Vec<JobSpec>, capacity: usize) -> Result<Self, String> {
         for j in &jobs {
             j.validate()?;
         }
         jobs.sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id)));
         // Ids must be unique.
-        let mut seen = std::collections::HashSet::with_capacity(jobs.len());
+        // detlint: allow(D1, duplicate-id guard; membership checks only, never iterated)
+        let mut seen = std::collections::HashSet::with_capacity(capacity);
         for j in &jobs {
             if !seen.insert(j.id) {
                 return Err(format!("duplicate {}", j.id));

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare-workload
 //!
 //! Job model and workload sources for the node-sharing study:

@@ -211,6 +211,7 @@ impl ReorderBuffer {
             if top.submit > cutoff {
                 break;
             }
+            // detlint: allow(D5, peek on the preceding line guarantees an element)
             out.push(self.heap.pop().expect("peeked").spec);
             n += 1;
         }

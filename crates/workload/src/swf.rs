@@ -207,6 +207,7 @@ pub fn record_to_spec(
             .map(|a| {
                 a.mem_per_node_mib
                     .try_into()
+                    // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
                     .expect("catalog memory fits u32 MiB")
             })
             .unwrap_or(opts.default_mem_per_node_mib),
@@ -234,6 +235,7 @@ pub fn to_workload(
         }
     }
     (
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         Workload::new(jobs).expect("imported jobs are validated above"),
         skipped,
     )

@@ -22,6 +22,7 @@ impl Workload {
                 j
             })
             .collect();
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         Workload::new(jobs).expect("windowing preserves validity")
     }
 
@@ -38,6 +39,7 @@ impl Workload {
                 j
             })
             .collect();
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         Workload::new(jobs).expect("prefix preserves validity")
     }
 
@@ -58,6 +60,7 @@ impl Workload {
                 j
             })
             .collect();
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         Workload::new(jobs).expect("scaling preserves validity")
     }
 
@@ -69,6 +72,7 @@ impl Workload {
             j.share_eligible = eligible;
             j
         })
+        // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
         .expect("toggling preserves validity")
     }
 }

@@ -38,6 +38,10 @@ while (($#)); do
   shift
 done
 
+# Stamp the run with the lint level it executed under, so archived
+# results/ are traceable to a determinism-contract version.
+echo "lint: $(cargo run -q -p detlint -- --version)"
+
 export NODESHARE_TELEMETRY="${NODESHARE_TELEMETRY:-results/telemetry}"
 if [[ "$NODESHARE_TELEMETRY" != 0 && -n "$NODESHARE_TELEMETRY" ]]; then
   mkdir -p "$NODESHARE_TELEMETRY"

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # nodeshare
 //!
 //! Node-sharing scheduling strategies for HPC batch systems — a

@@ -848,3 +848,65 @@ fn auditor_catches_doctored_placement() {
         "violation message must name job, node, and invariant: {msg}"
     );
 }
+
+/// D1 regression for the one annotated unordered set in the workload
+/// path: the duplicate-id guard in `Workload::with_dedup_capacity`.
+/// The set is membership-only, so neither the order jobs are inserted
+/// in nor the set's initial capacity (its bucket layout) may influence
+/// anything downstream. Build the same job set three ways — natural
+/// order, reversed, and interleaved, each with a different dedup
+/// capacity — run every lineup strategy on each, and require the
+/// decision traces and rendered report artifacts to be byte-identical.
+#[test]
+fn dedup_set_layout_leaves_campaign_artifacts_bit_identical() {
+    use nodeshare::report::{Report, ReportOptions};
+    use nodeshare_bench::campaign::trace_hash;
+
+    let (catalog, model, matrix) = world();
+    let cluster = ClusterSpec::evaluation();
+    let mut config = SimConfig::new(cluster);
+    config.audit = false;
+
+    let base = saturated_workload(&catalog, 17, 60);
+    let jobs = base.jobs().to_vec();
+    let mut reversed = jobs.clone();
+    reversed.reverse();
+    let mut interleaved: Vec<_> = jobs.iter().step_by(2).cloned().collect();
+    interleaved.extend(jobs.iter().skip(1).step_by(2).cloned());
+
+    let variants = [
+        Workload::new(jobs).expect("natural order"),
+        Workload::with_dedup_capacity(reversed, 0).expect("reversed, no preallocation"),
+        Workload::with_dedup_capacity(interleaved, 4096).expect("interleaved, oversized"),
+    ];
+    for (i, w) in variants.iter().enumerate() {
+        assert_eq!(
+            w.jobs(),
+            base.jobs(),
+            "variant {i}: construction order leaked into the job sequence"
+        );
+    }
+
+    for cfg in StrategyConfig::lineup() {
+        let label = cfg.label();
+        let mut reference: Option<(u64, String, String)> = None;
+        for (i, w) in variants.iter().enumerate() {
+            let mut sched = cfg.build(&catalog, &model);
+            let (out, trace) = run_traced(w, &matrix, sched.as_mut(), &config);
+            assert!(out.complete(), "{label} variant {i}");
+            let opts = ReportOptions {
+                title: Some(format!("d1 differential: {label}")),
+                total_cores: Some(cluster.total_cores()),
+            };
+            let report = Report::from_trace(&trace, &opts);
+            let artifact = (trace_hash(&trace), report.markdown, report.perfetto_json);
+            match &reference {
+                None => reference = Some(artifact),
+                Some(prev) => assert_eq!(
+                    prev, &artifact,
+                    "{label} variant {i}: artifacts diverged with dedup-set layout"
+                ),
+            }
+        }
+    }
+}
