@@ -58,7 +58,7 @@ fn bench_interleaved(c: &mut Criterion) {
                         t + 13.0,
                         Event::WalltimeKill {
                             job: JobId(step),
-                            attempt: 0,
+                            arm: 0,
                         },
                     );
                 } else {

@@ -38,6 +38,8 @@ fn fixture(queue_depth: usize) -> Fixture {
                 job,
                 app: AppId((i % 8) as u8),
                 nodes: 4,
+                requested_nodes: 4,
+                malleable: Default::default(),
                 start: 0.0,
                 walltime_estimate: 4_000.0 + i as f64 * 200.0,
                 kill_at: 6_000.0 + i as f64 * 300.0,
@@ -48,6 +50,7 @@ fn fixture(queue_depth: usize) -> Fixture {
     }
     let queue: Vec<JobSpec> = (0..queue_depth as u64)
         .map(|i| JobSpec {
+            malleable: Default::default(),
             id: JobId(i),
             app: AppId((i % 8) as u8),
             // Large requests so the policy scans the whole queue instead

@@ -133,26 +133,39 @@ fn process_peak_rss_mib() -> f64 {
     0.0
 }
 
-/// The campaign grid: (label, config, full jobs, quick jobs).
-fn campaigns() -> Vec<(&'static str, StrategyConfig, u32, u32)> {
+/// The campaign grid: (label, config, full jobs, quick jobs, malleable
+/// fraction). The adaptive entry runs with a third of the jobs carrying
+/// reshape contracts so its timing covers the reshape hot path, not just
+/// the EASY pass-through.
+fn campaigns() -> Vec<(&'static str, StrategyConfig, u32, u32, f64)> {
     vec![
         (
             "easy-backfill",
             StrategyConfig::exclusive(StrategyKind::EasyBackfill),
             20_000,
             2_000,
+            0.0,
         ),
         (
             "co-backfill",
             StrategyConfig::sharing(StrategyKind::CoBackfill),
             20_000,
             1_000,
+            0.0,
         ),
         (
             "conservative",
             StrategyConfig::exclusive(StrategyKind::Conservative),
             4_000,
             500,
+            0.0,
+        ),
+        (
+            "adaptive",
+            StrategyConfig::exclusive(StrategyKind::Adaptive),
+            20_000,
+            2_000,
+            0.35,
         ),
     ]
 }
@@ -163,11 +176,13 @@ fn time_campaign(
     world: &World,
     cfg: &StrategyConfig,
     jobs: u32,
+    malleable_fraction: f64,
     seed: u64,
     reference: bool,
 ) -> (u64, f64, u64) {
     let mut spec = world.saturated_spec(seed);
     spec.n_jobs = jobs as usize;
+    spec.malleable_fraction = malleable_fraction;
     let workload = spec.generate(&world.catalog);
     let mut sim_cfg = SimConfig::new(world.cluster);
     sim_cfg.audit = false;
@@ -202,6 +217,7 @@ fn sample_campaign(
     mode: &'static str,
     cfg: &StrategyConfig,
     jobs: u32,
+    malleable_fraction: f64,
     nodes: u32,
     samples_n: u32,
     reference: bool,
@@ -211,7 +227,7 @@ fn sample_campaign(
     let mut events = 0u64;
     let mut peak = 0u64;
     for s in 0..samples_n.max(1) {
-        let (ev, wall, pk) = time_campaign(world, cfg, jobs, 1_000, reference);
+        let (ev, wall, pk) = time_campaign(world, cfg, jobs, malleable_fraction, 1_000, reference);
         if s == 0 {
             events = ev;
             peak = pk;
@@ -261,7 +277,7 @@ fn measure(
         &["full", "quick"]
     };
     for &mode in modes {
-        for (label, cfg, full_jobs, quick_jobs) in campaigns() {
+        for (label, cfg, full_jobs, quick_jobs, mf) in campaigns() {
             if only.is_some_and(|o| o != label) {
                 continue;
             }
@@ -272,14 +288,14 @@ fn measure(
             };
             eprintln!("timing {label} ({mode}): {jobs} jobs on {nodes} nodes x{samples_n} ...");
             entries.push(sample_campaign(
-                world, label, mode, &cfg, jobs, nodes, samples_n, reference,
+                world, label, mode, &cfg, jobs, mf, nodes, samples_n, reference,
             ));
             if reps > 1 {
                 eprintln!("timing {label} ({mode}): {reps} parallel replications ...");
                 let started = Instant::now();
                 let per_rep: Vec<(u64, f64, u64)> = seeds(u64::from(reps))
                     .par_iter()
-                    .map(|&seed| time_campaign(world, &cfg, jobs, seed, reference))
+                    .map(|&seed| time_campaign(world, &cfg, jobs, mf, seed, reference))
                     .collect();
                 let wall = started.elapsed().as_secs_f64();
                 let events: u64 = per_rep.iter().map(|r| r.0).sum();

@@ -126,7 +126,7 @@ TELEMETRY OPTIONS (simulate and metrics):
                      `warn,engine=debug` (overrides NODESHARE_LOG)
 
 SIMULATE OPTIONS:
-  --strategy S       fcfs | first-fit | easy | conservative |
+  --strategy S       fcfs | first-fit | easy | conservative | adaptive |
                      co-first-fit | co-backfill | co-backfill-only
                      (default co-backfill)
   --pairing P        never | any | threshold          (default threshold)
@@ -149,9 +149,11 @@ SIMULATE OPTIONS:
   --jobs N           synthetic campaign size            (default 500)
   --seed S           workload seed                      (default 42)
   --preset P         evaluation | saturated | capability | capacity |
-                     memory-heavy                       (default saturated)
+                     memory-heavy | spike               (default saturated)
   --rate R           Poisson arrivals per second (overrides the preset)
   --share-fraction F fraction of jobs opting into sharing (default 1.0)
+  --malleable-fraction F  fraction of jobs carrying a width-malleability
+                     contract the adaptive strategy may reshape (default 0)
   --mtbf-hours H     inject node failures with this per-node MTBF
   --checkpoint-mins M  salvage work at this checkpoint interval
   --duration-match T only pair jobs with walltime overlap ratio >= T
@@ -199,6 +201,7 @@ fn parse_strategy(inv: &Invocation) -> Result<StrategyConfig, CliError> {
         "first-fit" => StrategyKind::FirstFit,
         "easy" | "easy-backfill" => StrategyKind::EasyBackfill,
         "conservative" => StrategyKind::Conservative,
+        "adaptive" => StrategyKind::Adaptive,
         "co-first-fit" => StrategyKind::CoFirstFit,
         "co-backfill" => StrategyKind::CoBackfill,
         "co-backfill-only" => StrategyKind::CoBackfillOnly,
@@ -367,6 +370,7 @@ fn build_workload(
             };
         }
         spec.share_fraction = inv.num("share-fraction", 1.0f64)?;
+        spec.malleable_fraction = inv.num("malleable-fraction", 0.0f64)?;
         Ok(spec.generate(catalog))
     }
 }
@@ -388,6 +392,7 @@ const SIM_OPTIONS: &[&str] = &[
     "rate",
     "preset",
     "share-fraction",
+    "malleable-fraction",
     "mtbf-hours",
     "checkpoint-mins",
     "duration-match",
@@ -806,7 +811,15 @@ fn report_cmd(inv: &Invocation) -> Result<String, CliError> {
 }
 
 fn workload_cmd(inv: &Invocation) -> Result<String, CliError> {
-    inv.check_known(&["jobs", "seed", "rate", "preset", "share-fraction", "out"])?;
+    inv.check_known(&[
+        "jobs",
+        "seed",
+        "rate",
+        "preset",
+        "share-fraction",
+        "malleable-fraction",
+        "out",
+    ])?;
     let catalog = AppCatalog::trinity();
     let preset_name = inv.get("preset").unwrap_or("saturated");
     let preset = Preset::parse(preset_name)
@@ -819,6 +832,7 @@ fn workload_cmd(inv: &Invocation) -> Result<String, CliError> {
         };
     }
     spec.share_fraction = inv.num("share-fraction", 1.0f64)?;
+    spec.malleable_fraction = inv.num("malleable-fraction", 0.0f64)?;
     let workload = spec.generate(&catalog);
     let cores = nodeshare_cluster::NodeSpec::trinity_like().cores();
     let text = swf::write(&workload, cores);

@@ -40,6 +40,7 @@
 //! let _cobackfill = Backfill::co(pairing);
 //! ```
 
+pub mod adaptive;
 pub mod backfill;
 pub mod conservative;
 pub mod fcfs;
@@ -54,6 +55,7 @@ pub mod util;
 #[cfg(test)]
 pub(crate) mod testkit;
 
+pub use adaptive::Adaptive;
 pub use backfill::Backfill;
 pub use conservative::Conservative;
 pub use fcfs::Fcfs;

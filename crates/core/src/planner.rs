@@ -85,9 +85,20 @@ pub(crate) struct Planner {
     reserved: Vec<bool>,
     reserved_idle: usize,
     eligible_unreserved: usize,
-    // Per-pass shared-planning failure memo (packed keys).
+    // Shared-planning failure memo (packed keys), valid within one era.
     // detlint: allow(D1, u128-keyed failure memo probed via contains; never iterated)
     failed_shared: HashSet<u128>,
+    /// Era the failure memo is valid for: cluster stamp plus the pass
+    /// instant (`now` bits). A plan's outcome depends on occupancy, on
+    /// `now` (free-time clamping, duration-match overlap), and on the
+    /// reservation — tracked separately below — so within one era the
+    /// memo carries across engine re-invocations (the same cross-pass
+    /// stamp discipline as [`ReservationTimeline::begin_pass`]).
+    memo_era: Option<(u64, u64, u64)>,
+    /// Head width the current reservation was computed for. `restricted`
+    /// memo entries encode the reservation set, which is a deterministic
+    /// function of (era, k); a different head width invalidates them.
+    memo_resv_k: usize,
     // Scratch buffers reused across calls.
     sort_buf: Vec<(NodeId, f64)>,
     cand_buf: Vec<(u32, NodeId, f64)>,
@@ -112,6 +123,8 @@ impl Planner {
             eligible_unreserved: 0,
             // detlint: allow(D1, failure memo construction; membership-only, see the field note)
             failed_shared: HashSet::new(),
+            memo_era: None,
+            memo_resv_k: usize::MAX,
             sort_buf: Vec::new(),
             cand_buf: Vec::new(),
             nodes_buf: Vec::new(),
@@ -126,6 +139,12 @@ impl Planner {
         self.eligible_count
     }
 
+    /// Number of memoized shared-placement failures (test observability).
+    #[cfg(test)]
+    fn memo_len(&self) -> usize {
+        self.failed_shared.len()
+    }
+
     /// The current pass's shadow time (∞ before a reservation is set).
     #[inline]
     pub fn shadow(&self) -> f64 {
@@ -133,11 +152,22 @@ impl Planner {
     }
 
     /// Starts one scheduling pass: refreshes the version-keyed caches if
-    /// the cluster changed, clears the failure memo, and resets the
+    /// the cluster changed, rolls the failure-memo era, and resets the
     /// reservation to "none" (shadow ∞, nothing restricted).
+    ///
+    /// The memo is cleared only when the `(cluster stamp, now)` era
+    /// actually changed — every input a memoized failure depends on is
+    /// then unchanged, so successive invocations within one instant
+    /// (e.g. several arrivals at the same event time) keep their misses.
     pub fn begin_pass(&mut self, ctx: &SchedContext<'_>) {
         self.refresh(ctx);
-        self.failed_shared.clear();
+        let (instance, version) = ctx.cluster.stamp();
+        let era = (instance, version, ctx.now.to_bits());
+        if self.memo_era != Some(era) {
+            self.failed_shared.clear();
+            self.memo_era = Some(era);
+            self.memo_resv_k = usize::MAX;
+        }
         self.shadow = f64::INFINITY;
         self.reserved_idle = 0;
         self.eligible_unreserved = self.eligible_count;
@@ -213,6 +243,13 @@ impl Planner {
     /// smallest — and the k-th itself — are identical).
     pub fn compute_reservation(&mut self, ctx: &SchedContext<'_>, k: usize) {
         assert!(k >= 1, "reservation for a zero-node head");
+        // `restricted` memo entries were computed against the previous
+        // reservation; a different head width changes the reserved set,
+        // so they (conservatively, the whole memo) must go.
+        if k != self.memo_resv_k {
+            self.failed_shared.clear();
+            self.memo_resv_k = k;
+        }
         self.reserved.fill(false);
         if self.free_raw.len() < k {
             self.shadow = f64::INFINITY;
@@ -773,6 +810,142 @@ impl ReservationTimeline {
 }
 
 #[cfg(test)]
+mod memo_tests {
+    use super::*;
+    use crate::pairing::{Pairing, PairingPolicy};
+    use crate::testkit::oracle;
+    use nodeshare_cluster::{Cluster, ClusterSpec, NodeSpec, ShareMode};
+    use nodeshare_engine::RunningSummary;
+    use nodeshare_perf::AppCatalog;
+    use std::collections::BTreeMap;
+
+    struct Rig {
+        cluster: Cluster,
+        running: BTreeMap<JobId, RunningSummary>,
+        queue: Vec<JobSpec>,
+    }
+
+    /// Two shared AMG nodes plus an incompatible miniFE candidate: every
+    /// shared-placement attempt fails and lands in the memo.
+    fn rig() -> Rig {
+        let catalog = AppCatalog::trinity();
+        let amg = catalog.by_name("AMG").unwrap().id;
+        let fe = catalog.by_name("miniFE").unwrap().id;
+        let mut cluster = Cluster::new(ClusterSpec::new(2, NodeSpec::tiny()));
+        cluster
+            .allocate_shared(JobId(1), &[NodeId(0), NodeId(1)], 64)
+            .unwrap();
+        let mut running = BTreeMap::new();
+        running.insert(
+            JobId(1),
+            RunningSummary {
+                job: JobId(1),
+                app: amg,
+                nodes: 2,
+                requested_nodes: 2,
+                malleable: Default::default(),
+                start: 0.0,
+                walltime_estimate: 1_000.0,
+                kill_at: 1_000.0,
+                share_eligible: true,
+                mode: ShareMode::Shared,
+            },
+        );
+        let queue = vec![JobSpec {
+            malleable: Default::default(),
+            id: JobId(5),
+            app: fe,
+            nodes: 2,
+            submit: 0.0,
+            runtime_exclusive: 100.0,
+            walltime_estimate: 200.0,
+            mem_per_node_mib: 64,
+            share_eligible: true,
+            user: 0,
+        }];
+        Rig {
+            cluster,
+            running,
+            queue,
+        }
+    }
+
+    impl Rig {
+        fn ctx(&self, now: f64) -> SchedContext<'_> {
+            SchedContext {
+                now,
+                queue: &self.queue,
+                cluster: &self.cluster,
+                running: &self.running,
+                shared_grace: 1.5,
+                completed: &[],
+                telemetry: None,
+            }
+        }
+    }
+
+    #[test]
+    fn failure_memo_survives_passes_within_one_era() {
+        let rig = rig();
+        let pairing = Pairing::new(PairingPolicy::default_threshold(), oracle());
+        let mut planner = Planner::new(&pairing);
+        let ctx = rig.ctx(10.0);
+        planner.begin_pass(&ctx);
+        assert!(planner
+            .pick_shared(&ctx, &rig.queue[0], &pairing, false, true)
+            .is_none());
+        assert_eq!(planner.memo_len(), 1);
+        // Same stamp, same instant: the miss carries across the pass.
+        planner.begin_pass(&ctx);
+        assert_eq!(planner.memo_len(), 1, "era unchanged, memo must survive");
+        assert!(planner
+            .pick_shared(&ctx, &rig.queue[0], &pairing, false, true)
+            .is_none());
+        assert_eq!(planner.memo_len(), 1);
+    }
+
+    #[test]
+    fn advancing_now_rolls_the_memo_era() {
+        let rig = rig();
+        let pairing = Pairing::new(PairingPolicy::default_threshold(), oracle());
+        let mut planner = Planner::new(&pairing);
+        let ctx = rig.ctx(10.0);
+        planner.begin_pass(&ctx);
+        assert!(planner
+            .pick_shared(&ctx, &rig.queue[0], &pairing, false, true)
+            .is_none());
+        assert_eq!(planner.memo_len(), 1);
+        let later = rig.ctx(20.0);
+        planner.begin_pass(&later);
+        assert_eq!(planner.memo_len(), 0, "new instant, memo must clear");
+    }
+
+    #[test]
+    fn reservation_width_change_clears_restricted_entries() {
+        // 1-node candidate: one eligible unreserved partial remains, so
+        // the attempt passes the upper-bound early exit, evaluates, and
+        // fails on incompatibility — landing in the memo.
+        let mut rig = rig();
+        rig.queue[0].nodes = 1;
+        let pairing = Pairing::new(PairingPolicy::default_threshold(), oracle());
+        let mut planner = Planner::new(&pairing);
+        let ctx = rig.ctx(10.0);
+        planner.begin_pass(&ctx);
+        planner.compute_reservation(&ctx, 1);
+        assert!(planner
+            .pick_shared(&ctx, &rig.queue[0], &pairing, true, true)
+            .is_none());
+        assert_eq!(planner.memo_len(), 1);
+        // Same width: entries stay. New width: reservation set differs,
+        // so the memo goes.
+        planner.compute_reservation(&ctx, 1);
+        assert_eq!(planner.memo_len(), 1);
+        planner.compute_reservation(&ctx, 2);
+        assert_eq!(planner.memo_len(), 0);
+    }
+}
+
+#[cfg(test)]
 mod timeline_tests {
     use super::*;
     use crate::util::AvailabilityProfile;
@@ -782,6 +955,7 @@ mod timeline_tests {
 
     fn queued(id: u64, nodes: u32, est: f64) -> JobSpec {
         JobSpec {
+            malleable: Default::default(),
             id: JobId(id),
             app: AppId(0),
             nodes,
@@ -816,6 +990,8 @@ mod timeline_tests {
                     job: JobId(id),
                     app: AppId(0),
                     nodes,
+                    requested_nodes: nodes,
+                    malleable: Default::default(),
                     start: 0.0,
                     walltime_estimate: end,
                     kill_at: end,

@@ -1,6 +1,7 @@
 //! Strategy factory: a declarative description of a scheduling policy
 //! that the experiment harness can enumerate, label, and instantiate.
 
+use crate::adaptive::Adaptive;
 use crate::backfill::Backfill;
 use crate::conservative::Conservative;
 use crate::fcfs::Fcfs;
@@ -28,6 +29,11 @@ pub enum StrategyKind {
     /// CoBackfill with sharing restricted to backfill candidates (the
     /// head always waits for exclusive nodes); an ablation variant.
     CoBackfillOnly,
+    /// EASY backfill plus width-malleable reshaping (exclusive): shrinks
+    /// running malleable jobs to admit a blocked head, re-grows them
+    /// when the queue drains. Identical to EasyBackfill on all-rigid
+    /// workloads. Not part of the six-strategy lineup.
+    Adaptive,
 }
 
 impl StrategyKind {
@@ -127,6 +133,7 @@ impl StrategyConfig {
             StrategyKind::CoFirstFit => "co-first-fit",
             StrategyKind::CoBackfill => "co-backfill",
             StrategyKind::CoBackfillOnly => "co-backfill-only",
+            StrategyKind::Adaptive => "adaptive",
         }
     }
 
@@ -141,6 +148,7 @@ impl StrategyConfig {
             StrategyKind::CoFirstFit => Box::new(FirstFit::sharing(pairing())),
             StrategyKind::CoBackfill => Box::new(Backfill::co(pairing())),
             StrategyKind::CoBackfillOnly => Box::new(Backfill::co_backfill_only(pairing())),
+            StrategyKind::Adaptive => Box::new(Adaptive::new()),
         }
     }
 
@@ -164,6 +172,7 @@ impl StrategyConfig {
             StrategyKind::CoBackfillOnly => {
                 Box::new(Backfill::co_backfill_only(pairing()).reference())
             }
+            StrategyKind::Adaptive => Box::new(Adaptive::new().reference()),
         }
     }
 }
@@ -195,8 +204,20 @@ mod tests {
                 StrategyKind::CoBackfill | StrategyKind::CoBackfillOnly => {
                     assert_eq!(sched.name(), "co-backfill")
                 }
+                StrategyKind::Adaptive => assert_eq!(sched.name(), "adaptive"),
             }
         }
+    }
+
+    #[test]
+    fn adaptive_builds_outside_the_lineup() {
+        let catalog = AppCatalog::trinity();
+        let model = ContentionModel::calibrated();
+        let cfg = StrategyConfig::exclusive(StrategyKind::Adaptive);
+        assert_eq!(cfg.label(), "adaptive");
+        assert_eq!(cfg.build(&catalog, &model).name(), "adaptive");
+        assert_eq!(cfg.build_reference(&catalog, &model).name(), "adaptive");
+        assert!(!StrategyConfig::lineup().contains(&cfg));
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub struct World {
 /// app = miniFE by default.
 pub fn job(id: u64, nodes: u32, runtime: f64) -> JobSpec {
     JobSpec {
+        malleable: Default::default(),
         id: JobId(id),
         app: AppId(0), // miniFE
         nodes,

@@ -40,6 +40,8 @@ impl Fixture {
                 job,
                 app,
                 nodes: ids.len() as u32,
+                requested_nodes: ids.len() as u32,
+                malleable: Default::default(),
                 start: 0.0,
                 walltime_estimate: est_end,
                 kill_at: est_end,
@@ -69,6 +71,7 @@ impl Fixture {
 fn job(id: u64, app: &str, nodes: u32) -> JobSpec {
     let catalog = AppCatalog::trinity();
     JobSpec {
+        malleable: Default::default(),
         id: JobId(id),
         app: catalog.by_name(app).unwrap().id,
         nodes,

@@ -46,6 +46,7 @@ fn build_workload(raw: Vec<RawJob>) -> Workload {
         .map(|(i, r)| {
             t += r.submit_gap;
             JobSpec {
+                malleable: Default::default(),
                 id: JobId(i as u64),
                 app: AppId(r.app),
                 nodes: r.nodes,

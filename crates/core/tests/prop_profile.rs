@@ -110,6 +110,7 @@ fn build_workload(raw: Vec<RawJob>) -> Workload {
         .map(|(i, r)| {
             t += r.submit_gap;
             JobSpec {
+                malleable: Default::default(),
                 id: JobId(i as u64),
                 app: AppId((i % 8) as u8),
                 nodes: r.nodes,

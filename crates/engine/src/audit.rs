@@ -13,7 +13,7 @@ use crate::sim::SimConfig;
 use crate::trace::{DecisionTrace, DownCause, TraceEvent};
 use nodeshare_cluster::{JobId, NodeId, ShareMode};
 use nodeshare_perf::{AppId, CoRunTruth};
-use nodeshare_workload::Seconds;
+use nodeshare_workload::{Malleability, Seconds};
 use std::collections::BTreeMap;
 
 /// One broken invariant, with enough context to act on.
@@ -60,6 +60,8 @@ pub struct AuditSummary {
     pub killed: usize,
     /// Failure-driven requeues.
     pub requeues: usize,
+    /// Reshape events checked.
+    pub reshapes: usize,
     /// Busy core-seconds re-derived by replay.
     pub busy_core_seconds: f64,
     /// Shared (doubly-occupied-node) core-seconds re-derived by replay.
@@ -78,14 +80,45 @@ struct JobInfo {
     nodes: u32,
     walltime_estimate: Seconds,
     share_eligible: bool,
+    malleable: Malleability,
     rejected: bool,
 }
 
 #[derive(Clone, Debug)]
 struct RunState {
-    start: Seconds,
     mode: ShareMode,
     nodes: Vec<NodeId>,
+    /// Width the job requested (reshapes move `nodes` away from it).
+    requested: u32,
+    /// Time of the last width change (start, or latest reshape).
+    last_change: Seconds,
+    /// Normalized walltime consumed up to `last_change` — the integral
+    /// of `width / requested` over wall time, the budget the engine's
+    /// walltime enforcement runs on.
+    consumed: f64,
+    /// Node-seconds held up to `last_change` (∫ width dt).
+    node_seconds: f64,
+    /// Total reshape cost charged so far, node-seconds.
+    reshape_cost: f64,
+    /// Reshapes applied during this attempt.
+    reshapes: u32,
+}
+
+impl RunState {
+    #[inline]
+    fn width_factor(&self) -> f64 {
+        self.nodes.len() as f64 / self.requested.max(1) as f64
+    }
+
+    /// `consumed` extended to `t` at the current width.
+    fn consumed_at(&self, t: Seconds) -> f64 {
+        self.consumed + (t - self.last_change).max(0.0) * self.width_factor()
+    }
+
+    /// `node_seconds` extended to `t` at the current width.
+    fn node_seconds_at(&self, t: Seconds) -> f64 {
+        self.node_seconds + (t - self.last_change).max(0.0) * self.nodes.len() as f64
+    }
 }
 
 /// Replays a [`DecisionTrace`] and checks it against a [`SimOutcome`].
@@ -137,6 +170,9 @@ struct Replay<'a> {
     finished: BTreeMap<JobId, (Seconds, bool)>,
     occupants: Vec<Vec<JobId>>,
     up: Vec<bool>,
+    /// Per-job `(∫ width dt, Σ reshape cost)` of finished attempts that
+    /// reshaped at least once, for the work-conservation record check.
+    reshaped_usage: BTreeMap<JobId, (f64, f64)>,
     /// Piecewise integration state.
     last_time: Seconds,
     busy_cs: f64,
@@ -156,6 +192,7 @@ impl<'a> Replay<'a> {
             finished: BTreeMap::new(),
             occupants: vec![Vec::new(); n],
             up: vec![true; n],
+            reshaped_usage: BTreeMap::new(),
             last_time: 0.0,
             busy_cs: 0.0,
             shared_cs: 0.0,
@@ -230,6 +267,7 @@ impl<'a> Replay<'a> {
                 nodes,
                 walltime_estimate,
                 share_eligible,
+                malleable,
             } => {
                 if self.jobs.contains_key(job) {
                     self.flag(
@@ -248,6 +286,7 @@ impl<'a> Replay<'a> {
                         nodes: *nodes,
                         walltime_estimate: *walltime_estimate,
                         share_eligible: *share_eligible,
+                        malleable: *malleable,
                         rejected: false,
                     },
                 );
@@ -281,6 +320,13 @@ impl<'a> Replay<'a> {
                 partners,
             ),
             TraceEvent::Finished { time, job, killed } => self.step_finished(*time, *job, *killed),
+            TraceEvent::Reshape {
+                time,
+                job,
+                from,
+                to,
+                cost,
+            } => self.step_reshape(*time, *job, from, to, *cost),
             TraceEvent::Requeued { time, job, node } => {
                 self.summary.requeues += 1;
                 match self.running.remove(job) {
@@ -576,11 +622,180 @@ impl<'a> Replay<'a> {
         self.running.insert(
             job,
             RunState {
-                start: time,
                 mode,
                 nodes: nodes.to_vec(),
+                requested: info.nodes,
+                last_change: time,
+                consumed: 0.0,
+                node_seconds: 0.0,
+                reshape_cost: 0.0,
+                reshapes: 0,
             },
         );
+    }
+
+    /// Replays one reshape: checks the contract, the node-set algebra,
+    /// the target nodes, and rolls the width-dependent accounting
+    /// forward.
+    fn step_reshape(
+        &mut self,
+        time: Seconds,
+        job: JobId,
+        from: &[NodeId],
+        to: &[NodeId],
+        cost: f64,
+    ) {
+        self.summary.reshapes += 1;
+        let Some(run) = self.running.get(&job).cloned() else {
+            self.flag(
+                "reshape-of-running-job",
+                Some(job),
+                to.first().copied(),
+                time,
+                "reshaped while not running".into(),
+            );
+            return;
+        };
+        let info = self.jobs.get(&job).cloned();
+        if let Some(info) = &info {
+            if info.malleable.is_rigid() {
+                self.flag(
+                    "no-reshape-of-rigid-job",
+                    Some(job),
+                    to.first().copied(),
+                    time,
+                    "reshaped a job with a rigid contract".into(),
+                );
+            } else if !info.malleable.admits(to.len() as u32) {
+                self.flag(
+                    "reshape-width-in-range",
+                    Some(job),
+                    to.first().copied(),
+                    time,
+                    format!(
+                        "reshaped to width {} outside the contract's [{}, {}]",
+                        to.len(),
+                        info.malleable.min_nodes,
+                        info.malleable.max_nodes
+                    ),
+                );
+            }
+            if !close(cost, f64::from(info.malleable.reshape_cost)) {
+                self.flag(
+                    "reshape-cost-matches-contract",
+                    Some(job),
+                    None,
+                    time,
+                    format!(
+                        "trace charges {cost} node-seconds, contract says {}",
+                        info.malleable.reshape_cost
+                    ),
+                );
+            }
+        }
+        if run.mode != ShareMode::Exclusive {
+            self.flag(
+                "reshape-of-exclusive-job",
+                Some(job),
+                to.first().copied(),
+                time,
+                "reshaped a shared-mode allocation".into(),
+            );
+        }
+        if from != run.nodes.as_slice() {
+            self.flag(
+                "reshape-from-set-faithful",
+                Some(job),
+                from.first().copied(),
+                time,
+                format!("trace says from {from:?}, replay says {:?}", run.nodes),
+            );
+        }
+        if to.len() == run.nodes.len() {
+            self.flag(
+                "reshape-changes-width",
+                Some(job),
+                to.first().copied(),
+                time,
+                format!("reshape kept width {}", to.len()),
+            );
+        } else if to.len() < run.nodes.len() {
+            for n in to {
+                if !run.nodes.contains(n) {
+                    self.flag(
+                        "reshape-keeps-held-nodes",
+                        Some(job),
+                        Some(*n),
+                        time,
+                        format!("shrink kept {n} which the job did not hold"),
+                    );
+                }
+            }
+        } else {
+            for n in &run.nodes {
+                if !to.contains(n) {
+                    self.flag(
+                        "reshape-keeps-held-nodes",
+                        Some(job),
+                        Some(*n),
+                        time,
+                        format!("grow dropped held node {n}"),
+                    );
+                }
+            }
+        }
+        // Added nodes must be idle and up; dropped nodes lose the job.
+        for &n in to {
+            if n.index() >= self.occupants.len() {
+                self.flag(
+                    "known-node",
+                    Some(job),
+                    Some(n),
+                    time,
+                    "reshape onto a node outside the cluster".into(),
+                );
+                continue;
+            }
+            if run.nodes.contains(&n) {
+                continue;
+            }
+            if !self.up[n.index()] {
+                self.flag(
+                    "grow-on-idle-up-nodes",
+                    Some(job),
+                    Some(n),
+                    time,
+                    "grew onto a down/drained node".into(),
+                );
+            }
+            if !self.occupants[n.index()].is_empty() {
+                self.flag(
+                    "grow-on-idle-up-nodes",
+                    Some(job),
+                    Some(n),
+                    time,
+                    format!("grew onto {n} hosting {:?}", self.occupants[n.index()]),
+                );
+            }
+        }
+        for &n in &run.nodes {
+            if n.index() < self.occupants.len() {
+                self.occupants[n.index()].retain(|&j| j != job);
+            }
+        }
+        for &n in to {
+            if n.index() < self.occupants.len() {
+                self.occupants[n.index()].push(job);
+            }
+        }
+        // detlint: allow(D5, the entry was cloned from the map above)
+        let run = self.running.get_mut(&job).expect("checked above");
+        run.consumed = run.consumed_at(time);
+        run.node_seconds = run.node_seconds_at(time);
+        run.last_change = time;
+        run.nodes = to.to_vec();
+        run.reshape_cost += cost;
+        run.reshapes += 1;
     }
 
     fn step_finished(&mut self, time: Seconds, job: JobId, killed: bool) {
@@ -609,18 +824,32 @@ impl<'a> Replay<'a> {
                     ShareMode::Shared => self.auditor.config.shared_walltime_grace.max(1.0),
                     ShareMode::Exclusive => 1.0,
                 };
-                let bound = info.walltime_estimate * grace;
-                let ran = time - run.start;
+                // The budget is normalized: a reshaped job consumes it in
+                // proportion to its current width over its requested
+                // width. For never-reshaped jobs this is exactly the
+                // elapsed wall time. Reshape charges are system-initiated,
+                // so each extends the bound by `cost / requested` — the
+                // engine must never kill a job over work it imposed.
+                let bound = info.walltime_estimate * grace
+                    + run.reshape_cost / f64::from(info.nodes.max(1));
+                let ran = run.consumed_at(time);
                 if ran > bound + 1e-6 {
                     self.flag(
                         "walltime-enforced",
                         Some(job),
                         run.nodes.first().copied(),
                         time,
-                        format!("ran {ran:.3}s, past its enforced bound of {bound:.3}s"),
+                        format!(
+                            "consumed {ran:.3}s of normalized walltime, past its \
+                             enforced bound of {bound:.3}s"
+                        ),
                     );
                 }
             }
+        }
+        if run.reshapes > 0 {
+            self.reshaped_usage
+                .insert(job, (run.node_seconds_at(time), run.reshape_cost));
         }
         self.finished.insert(job, (time, killed));
     }
@@ -746,6 +975,31 @@ impl<'a> Replay<'a> {
                             end,
                             format!("record start {} precedes submit {}", r.start, r.submit),
                         );
+                    }
+                    // Work conservation across reshapes: a clean (not
+                    // killed, never restarted, unsalvaged) exclusive job
+                    // that reshaped must have held exactly its work plus
+                    // every reshape charge in node-seconds —
+                    // ∫ width dt = requested × runtime + Σ costs.
+                    if let Some(&(held, cost)) = self.reshaped_usage.get(&r.id) {
+                        let owed = f64::from(r.nodes) * r.runtime_exclusive + cost;
+                        if !r.killed
+                            && r.restarts == 0
+                            && r.salvaged_work == 0.0
+                            && !close(held, owed)
+                        {
+                            self.flag(
+                                "reshape-work-conservation",
+                                Some(r.id),
+                                None,
+                                end,
+                                format!(
+                                    "held {held:.6} node-seconds but owed {owed:.6} \
+                                     ({} nodes × {:.6}s work + {cost:.6} reshape cost)",
+                                    r.nodes, r.runtime_exclusive
+                                ),
+                            );
+                        }
                     }
                 }
             }

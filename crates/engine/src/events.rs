@@ -39,13 +39,14 @@ pub enum Event {
         generation: u64,
     },
     /// A running job reaches its walltime limit and is killed unless it
-    /// already completed. Stale if the job was requeued and restarted
-    /// since (attempt mismatch).
+    /// already completed. Stale if the job restarted or reshaped since
+    /// this kill was armed (arm-stamp mismatch with the running job's
+    /// `kill_arm`).
     WalltimeKill {
         /// The job to check.
         job: JobId,
-        /// Attempt number the kill was armed for.
-        attempt: u32,
+        /// Arm stamp the kill was scheduled under.
+        arm: u64,
     },
     /// Periodic scheduler invocation (mirrors SLURM's backfill interval).
     SchedulerTick,
@@ -521,7 +522,7 @@ mod tests {
                     },
                     2 => Event::WalltimeKill {
                         job: JobId(rnd() % 50),
-                        attempt: (rnd() % 3) as u32,
+                        arm: rnd() % 3,
                     },
                     _ => Event::SchedulerTick,
                 };

@@ -40,6 +40,24 @@ pub struct RunningJob {
     /// Number of this job's nodes currently hosting a co-runner
     /// (piecewise constant between events).
     pub shared_nodes_now: u32,
+    /// Normalized walltime consumed, in *requested-width seconds*: the
+    /// integral of `current_width / requested_width` over wall time.
+    /// For rigid jobs this is exactly the elapsed wall time; reshapes
+    /// make the walltime budget width-proportional (a job shrunk to
+    /// half width burns its allowance at half speed). The engine kills
+    /// the job when this reaches `walltime_estimate × grace` plus
+    /// [`walltime_credit`](Self::walltime_credit).
+    pub walltime_consumed: f64,
+    /// Normalized walltime credit granted for system-initiated
+    /// reshapes: each reshape charges `cost / requested_width` of extra
+    /// work *and* extends the kill bound by the same amount, so a job
+    /// is never pushed over its walltime by a reshape the scheduler —
+    /// not the user — decided on.
+    pub walltime_credit: f64,
+    /// Stamp of the currently armed walltime-kill event; a popped kill
+    /// whose stamp differs is stale (the job reshaped or restarted since
+    /// it was armed).
+    pub kill_arm: u64,
 }
 
 impl RunningJob {
@@ -61,12 +79,24 @@ impl RunningJob {
         now + self.work_remaining() / self.rate
     }
 
+    /// Current width over requested width — 1.0 unless a reshape
+    /// changed the allocation.
+    #[inline]
+    pub fn width_factor(&self) -> f64 {
+        if self.nodes.len() as u32 == self.spec.nodes {
+            1.0
+        } else {
+            self.nodes.len() as f64 / self.spec.nodes as f64
+        }
+    }
+
     /// Integrates progress from `last_update` to `now`.
     pub fn advance_to(&mut self, now: Seconds) {
         debug_assert!(now + 1e-9 >= self.last_update, "time went backwards");
         let dt = (now - self.last_update).max(0.0);
         self.work_done += self.rate * dt;
         self.shared_node_seconds += self.shared_nodes_now as f64 * dt;
+        self.walltime_consumed += self.width_factor() * dt;
         self.last_update = now;
     }
 
@@ -102,6 +132,15 @@ impl RunningJob {
             }
             rate = rate.min(truth.rate_with(self.spec.app, &co_apps));
         }
+        // Width-malleable jobs progress in proportion to their current
+        // width: the work model is perfect speedup inside the contract's
+        // [min, max] range, so a job shrunk to half its requested width
+        // advances at half the pace its slowest node allows. Rigid jobs
+        // (width == requested) take the historical path untouched.
+        let width = self.width_factor();
+        if width != 1.0 {
+            rate *= width;
+        }
         debug_assert!(rate.is_finite() && rate > 0.0, "invalid rate {rate}");
         self.rate = rate;
         self.shared_nodes_now = shared_nodes;
@@ -118,6 +157,7 @@ mod tests {
 
     fn spec(id: u64, app: u8) -> JobSpec {
         JobSpec {
+            malleable: Default::default(),
             id: JobId(id),
             app: AppId(app),
             nodes: 1,
@@ -142,6 +182,9 @@ mod tests {
             generation: 0,
             shared_node_seconds: 0.0,
             shared_nodes_now: 0,
+            walltime_consumed: 0.0,
+            walltime_credit: 0.0,
+            kill_arm: 0,
         }
     }
 
@@ -159,6 +202,36 @@ mod tests {
     }
 
     #[test]
+    fn advance_integrates_normalized_walltime() {
+        // Rigid path: walltime_consumed tracks wall time exactly.
+        let mut j = running(1, 0, vec![NodeId(0)]);
+        j.spec.nodes = 1;
+        j.advance_to(30.0);
+        assert_eq!(j.walltime_consumed, 30.0);
+        // Shrunk to half width: the budget burns at half speed.
+        let mut half = running(2, 0, vec![NodeId(0)]);
+        half.spec.nodes = 2;
+        half.advance_to(30.0);
+        assert_eq!(half.walltime_consumed, 15.0);
+    }
+
+    #[test]
+    fn rerate_scales_with_width_for_reshaped_jobs() {
+        let truth = CoRunTruth::build(&AppCatalog::trinity(), &ContentionModel::calibrated());
+        let mut cluster = Cluster::new(ClusterSpec::new(4, NodeSpec::tiny()));
+        cluster
+            .allocate_exclusive(JobId(1), &[NodeId(0), NodeId(1)], 0)
+            .unwrap();
+        // Requested 4 nodes, currently holding 2: half rate.
+        let mut j = running(1, 0, vec![NodeId(0), NodeId(1)]);
+        j.spec.nodes = 4;
+        j.mode = ShareMode::Exclusive;
+        j.rerate_with(&cluster, &truth, |_| unreachable!("exclusive"));
+        assert!((j.rate - 0.5).abs() < 1e-12);
+        assert_eq!(j.shared_nodes_now, 0);
+    }
+
+    #[test]
     fn completion_is_numerically_tolerant() {
         let mut j = running(1, 0, vec![NodeId(0)]);
         j.work_done = 100.0 - 1e-12;
@@ -173,6 +246,7 @@ mod tests {
             .allocate_shared(JobId(1), &[NodeId(0), NodeId(1)], 0)
             .unwrap();
         let mut j = running(1, 0, vec![NodeId(0), NodeId(1)]);
+        j.spec.nodes = 2;
         let g = j.rerate_with(&cluster, &truth, |_| unreachable!("no co-runners"));
         assert_eq!(j.rate, 1.0);
         assert_eq!(j.shared_nodes_now, 0);
@@ -192,6 +266,7 @@ mod tests {
         let fe = catalog.by_name("miniFE").unwrap().id;
         let amg = catalog.by_name("AMG").unwrap().id;
         let mut j = running(1, fe.0, vec![NodeId(0), NodeId(1)]);
+        j.spec.nodes = 2;
         j.spec.app = fe;
         j.rerate_with(&cluster, &truth, |_| amg);
         // Node 0 is alone (rate 1.0); node 1 shares with AMG.

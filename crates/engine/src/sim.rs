@@ -549,6 +549,7 @@ impl<'a> Engine<'a> {
                         nodes: job.nodes,
                         walltime_estimate: job.walltime_estimate,
                         share_eligible: job.share_eligible,
+                        malleable: job.malleable,
                     });
                     // Requests no configuration of this machine can ever
                     // satisfy are rejected at submission, as sbatch does —
@@ -589,12 +590,11 @@ impl<'a> Engine<'a> {
                     self.finish(job, false);
                     self.invoke(scheduler);
                 }
-                Event::WalltimeKill { job, attempt } => {
-                    let current = self.attempts.get(&job).copied().unwrap_or(0);
-                    if attempt != current {
-                        continue; // armed for a previous, requeued attempt
-                    }
+                Event::WalltimeKill { job, arm } => {
                     if let Some(r) = self.running.get_mut(&job) {
+                        if r.kill_arm != arm {
+                            continue; // re-armed by a restart or reshape since
+                        }
                         r.advance_to(self.now);
                         let done = r.is_complete();
                         // A job finishing exactly at its limit completed.
@@ -777,6 +777,13 @@ impl<'a> Engine<'a> {
 
     /// Applies one start decision. Panics on policy bugs.
     fn apply(&mut self, decision: Decision, reason: StartReason) {
+        let decision = match decision {
+            Decision::Reshape { job, nodes } => {
+                self.apply_reshape(job, nodes);
+                return;
+            }
+            start => start,
+        };
         let job_id = decision.job();
         let pos = self
             .queue
@@ -853,6 +860,9 @@ impl<'a> Engine<'a> {
             generation: 0,
             shared_node_seconds: 0.0,
             shared_nodes_now: 0,
+            walltime_consumed: 0.0,
+            walltime_credit: 0.0,
+            kill_arm: 0,
             spec,
         };
         let partners = self.cluster.co_runners(job_id);
@@ -885,12 +895,12 @@ impl<'a> Engine<'a> {
         };
         let kill_at = self.now + walltime * grace;
         if self.config.enforce_walltime {
-            let attempt = self.attempts.get(&job_id).copied().unwrap_or(0);
+            running.kill_arm = self.next_gen();
             self.events.push(
                 kill_at,
                 Event::WalltimeKill {
                     job: job_id,
-                    attempt,
+                    arm: running.kill_arm,
                 },
             );
         }
@@ -900,6 +910,136 @@ impl<'a> Engine<'a> {
         for co in affected {
             self.rerate_job(co);
         }
+        self.record_occupancy();
+    }
+
+    /// Applies a [`Decision::Reshape`]: moves a running exclusive
+    /// malleable job to its new node set, charges the contract's reshape
+    /// cost against its progress, re-rates it under the width-scaled
+    /// model, and re-arms its completion and walltime-kill events.
+    /// Panics on policy bugs (rigid/shared/unknown job, width outside
+    /// the contract, a node set that is not a shrink-subset or
+    /// grow-superset of the current allocation, busy or down added
+    /// nodes).
+    fn apply_reshape(&mut self, job_id: JobId, new_nodes: Vec<NodeId>) {
+        let mut r = self
+            .running
+            .remove(&job_id)
+            .unwrap_or_else(|| panic!("policy reshaped {job_id} which is not running"));
+        let contract = r.spec.malleable;
+        assert!(
+            !contract.is_rigid(),
+            "policy reshaped {job_id} which has a rigid contract"
+        );
+        assert_eq!(
+            r.mode,
+            ShareMode::Exclusive,
+            "policy reshaped {job_id} which runs in shared mode"
+        );
+        let new_w = new_nodes.len() as u32;
+        assert!(
+            contract.admits(new_w),
+            "policy reshaped {job_id} to width {new_w} outside [{}, {}]",
+            contract.min_nodes,
+            contract.max_nodes
+        );
+        assert_ne!(
+            new_w as usize,
+            r.nodes.len(),
+            "policy reshaped {job_id} to its current width"
+        );
+        // A shrink keeps a strict subset of the held nodes; a grow keeps
+        // every held node and adds (idle, up — the allocator enforces
+        // that) nodes.
+        if (new_w as usize) < r.nodes.len() {
+            for n in &new_nodes {
+                assert!(
+                    r.nodes.contains(n),
+                    "shrink of {job_id} kept {n} which it does not hold"
+                );
+            }
+        } else {
+            for n in &r.nodes {
+                assert!(
+                    new_nodes.contains(n),
+                    "grow of {job_id} dropped held node {n}"
+                );
+            }
+        }
+        // Settle progress and normalized-walltime consumption at the old
+        // width before anything changes.
+        r.advance_to(self.now);
+        let from = std::mem::replace(&mut r.nodes, new_nodes);
+        {
+            let _release_span = self
+                .telemetry
+                .map(|t| SimTelemetry::time(&t.release_seconds));
+            self.cluster
+                .release(job_id)
+                // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
+                .expect("reshaped job held an allocation");
+        }
+        let result = {
+            let _alloc_span = self.telemetry.map(|t| SimTelemetry::time(&t.alloc_seconds));
+            self.cluster
+                .allocate_exclusive(job_id, &r.nodes, r.spec.mem_per_node_mib.into())
+        };
+        if let Err(e) = result {
+            panic!("reshape of {job_id} failed: {e}");
+        }
+        // The contract's cost is in node-seconds; progress is measured in
+        // exclusive-rate seconds at the requested width, so the charge is
+        // cost / requested_width. `work_done` may go (further) negative —
+        // that is simply more work left to do.
+        // The charge is system-initiated, so the same amount is credited
+        // to the walltime allowance: a reshape must never push a job over
+        // the bound the *user* was held to.
+        let cost = f64::from(contract.reshape_cost);
+        r.work_done -= cost / f64::from(r.spec.nodes);
+        r.walltime_credit += cost / f64::from(r.spec.nodes);
+        self.trace_ev(TraceEvent::Reshape {
+            time: self.now,
+            job: job_id,
+            from,
+            to: r.nodes.clone(),
+            cost,
+        });
+        if let Some(t) = self.telemetry {
+            t.reshapes.inc();
+        }
+        // Exclusive mode means no co-residents on either node set, so
+        // only the job itself re-rates.
+        {
+            let running_tbl = &self.running;
+            r.rerate_with(&self.cluster, self.truth, |co| running_tbl[&co].spec.app);
+        }
+        r.generation = self.next_gen();
+        self.events.push(
+            r.eta(self.now),
+            Event::Completion {
+                job: job_id,
+                generation: r.generation,
+            },
+        );
+        // Re-arm the walltime kill: the remaining normalized allowance
+        // (exclusive jobs get no grace, but accumulated reshape credit
+        // extends the bound) burns at `new_width / requested` per wall
+        // second from here on.
+        let allowance = r.spec.walltime_estimate + r.walltime_credit;
+        let remaining = (allowance - r.walltime_consumed).max(0.0);
+        let kill_at = self.now + remaining / r.width_factor();
+        if self.config.enforce_walltime {
+            r.kill_arm = self.next_gen();
+            self.events.push(
+                kill_at,
+                Event::WalltimeKill {
+                    job: job_id,
+                    arm: r.kill_arm,
+                },
+            );
+        }
+        self.running_view.insert(job_id, summary_of(&r, kill_at));
+        self.running.insert(job_id, r);
         self.record_occupancy();
     }
 
@@ -1148,6 +1288,7 @@ mod tests {
 
     fn spec(id: u64, submit: f64, nodes: u32, runtime: f64) -> JobSpec {
         JobSpec {
+            malleable: Default::default(),
             id: JobId(id),
             app: nodeshare_perf::AppId(0),
             nodes,
@@ -1398,6 +1539,7 @@ mod tick_tests {
         config.sched_tick = Some(30.0);
         let jobs: Vec<JobSpec> = (0..4)
             .map(|i| JobSpec {
+                malleable: Default::default(),
                 id: JobId(i),
                 app: nodeshare_perf::AppId(0),
                 nodes: 2,

@@ -275,6 +275,7 @@ pub struct SimTelemetry {
     pub(crate) release_seconds: Histogram,
     pub(crate) starts_exclusive: Counter,
     pub(crate) starts_shared: Counter,
+    pub(crate) reshapes: Counter,
     pub(crate) completions: Counter,
     pub(crate) walltime_kills: Counter,
     pub(crate) requeues: Counter,
@@ -345,6 +346,10 @@ impl SimTelemetry {
                 "sim_jobs_started_total",
                 "Jobs started, by allocation mode.",
                 &[("mode", "shared")],
+            ),
+            reshapes: registry.counter(
+                "sim_jobs_reshaped_total",
+                "Reshape decisions applied to running malleable jobs.",
             ),
             completions: registry.counter(
                 "sim_jobs_completed_total",

@@ -10,7 +10,7 @@
 
 use nodeshare_cluster::{JobId, NodeId, ShareMode};
 use nodeshare_perf::AppId;
-use nodeshare_workload::Seconds;
+use nodeshare_workload::{Malleability, Seconds};
 
 /// Why a policy started a job now. Recorded per start decision; policies
 /// report it through [`crate::Scheduler::explain`].
@@ -40,6 +40,11 @@ impl StartReason {
     /// first-hand knowledge (e.g. an FCFS policy that only ever starts
     /// the head) override `explain` instead.
     pub fn classify(ctx: &crate::view::SchedContext<'_>, decision: &crate::view::Decision) -> Self {
+        if decision.is_reshape() {
+            // Reshapes are recorded as TraceEvent::Reshape, never as
+            // starts; no start justification applies.
+            return StartReason::Unspecified;
+        }
         let ahead = ctx
             .queue
             .iter()
@@ -82,6 +87,9 @@ impl StartReason {
         decisions
             .iter()
             .map(|decision| {
+                if decision.is_reshape() {
+                    return StartReason::Unspecified;
+                }
                 // A job absent from the queue scans past every entry,
                 // matching `take_while` in the per-decision classifier.
                 let ahead = position
@@ -144,6 +152,10 @@ pub enum TraceEvent {
         walltime_estimate: Seconds,
         /// Whether the job opted into sharing.
         share_eligible: bool,
+        /// The job's width-malleability contract
+        /// ([`Malleability::RIGID`] for ordinary jobs) — the auditor
+        /// validates every later reshape against it.
+        malleable: Malleability,
     },
     /// A job was rejected at submission as unsatisfiable on this machine.
     Rejected {
@@ -172,6 +184,20 @@ pub enum TraceEvent {
         head_waiting: Option<(JobId, u32)>,
         /// Co-residents after the grant, as `(node, partner)` pairs.
         partners: Vec<(NodeId, JobId)>,
+    },
+    /// A running exclusive malleable job changed width in place.
+    Reshape {
+        /// Event time.
+        time: Seconds,
+        /// The reshaped job.
+        job: JobId,
+        /// The complete node set held immediately before the reshape.
+        from: Vec<NodeId>,
+        /// The complete node set held immediately after the reshape.
+        to: Vec<NodeId>,
+        /// Reshape cost charged against the job's remaining work, in
+        /// exclusive node-seconds (the contract's `reshape_cost`).
+        cost: f64,
     },
     /// A running job terminated.
     Finished {
@@ -226,6 +252,7 @@ impl TraceEvent {
             TraceEvent::Submitted { time, .. }
             | TraceEvent::Rejected { time, .. }
             | TraceEvent::Started { time, .. }
+            | TraceEvent::Reshape { time, .. }
             | TraceEvent::Finished { time, .. }
             | TraceEvent::Requeued { time, .. }
             | TraceEvent::NodeDown { time, .. }
@@ -327,13 +354,24 @@ fn json_event(out: &mut String, e: &TraceEvent) {
             nodes,
             walltime_estimate,
             share_eligible,
+            malleable,
         } => {
             let _ = write!(
                 out,
                 "{{\"type\":\"submitted\",\"t\":{time},\"job\":{},\"app\":{},\
-                 \"nodes\":{nodes},\"walltime\":{walltime_estimate},\"share\":{share_eligible}}}",
+                 \"nodes\":{nodes},\"walltime\":{walltime_estimate},\"share\":{share_eligible}",
                 job.0, app.0
             );
+            // Rigid jobs — every job before malleability existed — keep
+            // their historical JSON byte-identical.
+            if !malleable.is_rigid() {
+                let _ = write!(
+                    out,
+                    ",\"malleable\":{{\"min\":{},\"max\":{},\"cost\":{}}}",
+                    malleable.min_nodes, malleable.max_nodes, malleable.reshape_cost
+                );
+            }
+            out.push('}');
         }
         TraceEvent::Rejected { time, job } => {
             let _ = write!(
@@ -387,6 +425,27 @@ fn json_event(out: &mut String, e: &TraceEvent) {
                 );
             }
             out.push_str("]}");
+        }
+        TraceEvent::Reshape {
+            time,
+            job,
+            from,
+            to,
+            cost,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"reshape\",\"t\":{time},\"job\":{},\"from\":[",
+                job.0
+            );
+            for (i, n) in from.iter().enumerate() {
+                let _ = write!(out, "{}{}", if i > 0 { "," } else { "" }, n.0);
+            }
+            out.push_str("],\"to\":[");
+            for (i, n) in to.iter().enumerate() {
+                let _ = write!(out, "{}{}", if i > 0 { "," } else { "" }, n.0);
+            }
+            let _ = write!(out, "],\"cost\":{cost}}}");
         }
         TraceEvent::Finished { time, job, killed } => {
             let _ = write!(
@@ -448,6 +507,7 @@ mod tests {
             nodes: 3,
             walltime_estimate: 600.0,
             share_eligible: true,
+            malleable: Malleability::RIGID,
         });
         t.push(TraceEvent::Started {
             time: 0.0,
@@ -472,7 +532,35 @@ mod tests {
         assert!(json.contains("\"mode\":\"shared\""));
         assert!(json.contains("\"reason\":\"head-of-queue\""));
         assert!(json.contains("\"partners\":[{\"node\":0,\"job\":9}]"));
+        // Rigid submissions keep their historical JSON shape.
+        assert!(!json.contains("malleable"));
         assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn reshape_events_serialize_and_order() {
+        let mut t = DecisionTrace::new();
+        t.push(TraceEvent::Submitted {
+            time: 0.0,
+            job: JobId(1),
+            app: AppId(0),
+            nodes: 2,
+            walltime_estimate: 600.0,
+            share_eligible: false,
+            malleable: Malleability::range(1, 4, 30.0),
+        });
+        t.push(TraceEvent::Reshape {
+            time: 50.0,
+            job: JobId(1),
+            from: vec![NodeId(0), NodeId(1)],
+            to: vec![NodeId(0)],
+            cost: 30.0,
+        });
+        assert_eq!(t.events()[1].time(), 50.0);
+        let json = t.to_json();
+        assert!(json.contains("\"malleable\":{\"min\":1,\"max\":4,\"cost\":30}"));
+        assert!(json.contains("\"type\":\"reshape\""));
+        assert!(json.contains("\"from\":[0,1],\"to\":[0],\"cost\":30"));
     }
 
     #[test]
@@ -507,6 +595,7 @@ mod tests {
         use nodeshare_workload::JobSpec;
 
         let spec = |id: u64, nodes: u32| JobSpec {
+            malleable: Default::default(),
             id: JobId(id),
             app: AppId(0),
             nodes,

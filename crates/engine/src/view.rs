@@ -8,7 +8,7 @@
 use crate::progress::RunningJob;
 use nodeshare_cluster::{Cluster, JobId, NodeId, ShareMode};
 use nodeshare_perf::AppId;
-use nodeshare_workload::{JobSpec, Seconds};
+use nodeshare_workload::{JobSpec, Malleability, Seconds};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -19,8 +19,16 @@ pub struct RunningSummary {
     pub job: JobId,
     /// Application it runs.
     pub app: AppId,
-    /// Node count.
+    /// Current width: the number of nodes the job holds *now*. Equals
+    /// the requested width unless a reshape changed it.
     pub nodes: u32,
+    /// Width the job originally requested (and started at).
+    pub requested_nodes: u32,
+    /// The job's width-malleability contract ([`Malleability::RIGID`]
+    /// for ordinary jobs). Policies may only issue
+    /// [`Decision::Reshape`] for running exclusive jobs whose contract
+    /// admits the new width.
+    pub malleable: Malleability,
     /// Start time.
     pub start: Seconds,
     /// The user's walltime estimate.
@@ -47,7 +55,9 @@ impl RunningSummary {
         RunningSummary {
             job: r.spec.id,
             app: r.spec.app,
-            nodes: r.spec.nodes,
+            nodes: r.nodes.len() as u32,
+            requested_nodes: r.spec.nodes,
+            malleable: r.spec.malleable,
             start: r.start,
             walltime_estimate: r.spec.walltime_estimate,
             kill_at,
@@ -118,29 +128,55 @@ pub enum Decision {
         /// Target nodes; length must equal the job's node request.
         nodes: Vec<NodeId>,
     },
+    /// Reshape a *running* exclusive malleable job to a new node set.
+    ///
+    /// `nodes` is the complete post-reshape allocation: a shrink keeps a
+    /// strict subset of the current nodes; a grow keeps every current
+    /// node and adds idle up nodes. The new width must lie within the
+    /// job's `[min_nodes, max_nodes]` contract and differ from the
+    /// current width. The engine re-rates the job, charges the contract's
+    /// reshape cost against its remaining work, and records a
+    /// [`crate::trace::TraceEvent::Reshape`].
+    Reshape {
+        /// The running job to reshape.
+        job: JobId,
+        /// The complete new node set.
+        nodes: Vec<NodeId>,
+    },
 }
 
 impl Decision {
-    /// The job this decision starts.
+    /// The job this decision concerns.
     pub fn job(&self) -> JobId {
         match self {
-            Decision::StartExclusive { job, .. } | Decision::StartShared { job, .. } => *job,
+            Decision::StartExclusive { job, .. }
+            | Decision::StartShared { job, .. }
+            | Decision::Reshape { job, .. } => *job,
         }
     }
 
-    /// The nodes this decision uses.
+    /// The nodes this decision uses (for a reshape, the complete new
+    /// allocation).
     pub fn nodes(&self) -> &[NodeId] {
         match self {
-            Decision::StartExclusive { nodes, .. } | Decision::StartShared { nodes, .. } => nodes,
+            Decision::StartExclusive { nodes, .. }
+            | Decision::StartShared { nodes, .. }
+            | Decision::Reshape { nodes, .. } => nodes,
         }
     }
 
-    /// Allocation mode of the decision.
+    /// Allocation mode of the decision. Reshapes only apply to
+    /// exclusive allocations, so a [`Decision::Reshape`] is exclusive.
     pub fn mode(&self) -> ShareMode {
         match self {
-            Decision::StartExclusive { .. } => ShareMode::Exclusive,
+            Decision::StartExclusive { .. } | Decision::Reshape { .. } => ShareMode::Exclusive,
             Decision::StartShared { .. } => ShareMode::Shared,
         }
+    }
+
+    /// True for a [`Decision::Reshape`].
+    pub fn is_reshape(&self) -> bool {
+        matches!(self, Decision::Reshape { .. })
     }
 }
 
@@ -215,6 +251,8 @@ mod tests {
             job: JobId(1),
             app: AppId(0),
             nodes: 2,
+            requested_nodes: 2,
+            malleable: Malleability::RIGID,
             start: 100.0,
             walltime_estimate: 50.0,
             kill_at: 175.0, // shared grace applied

@@ -29,6 +29,7 @@ impl Scheduler for Fcfs {
 
 fn job(id: u64, submit: f64, nodes: u32, runtime: f64) -> JobSpec {
     JobSpec {
+        malleable: Default::default(),
         id: JobId(id),
         app: AppId(0),
         nodes,

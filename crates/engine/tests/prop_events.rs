@@ -19,7 +19,7 @@ fn event_for(tag: u8, n: u64) -> Event {
         },
         2 => Event::WalltimeKill {
             job: JobId(n),
-            attempt: (n % 4) as u32,
+            arm: n % 4,
         },
         3 => Event::SchedulerTick,
         4 => Event::NodeFail(NodeId((n % 64) as u32)),

@@ -46,6 +46,7 @@ proptest! {
         let truth = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
         let jobs: Vec<JobSpec> = (0..n_jobs as u64)
             .map(|i| JobSpec {
+                malleable: Default::default(),
                 id: JobId(i),
                 app: AppId((i % 8) as u8),
                 nodes: 1 + (i % 3) as u32,
@@ -101,6 +102,7 @@ fn checkpointing_helps_on_average() {
     let truth = CoRunTruth::build(&catalog, &ContentionModel::calibrated());
     let jobs: Vec<JobSpec> = (0..6u64)
         .map(|i| JobSpec {
+            malleable: Default::default(),
             id: JobId(i),
             app: AppId(0),
             nodes: 1,

@@ -48,6 +48,8 @@ pub struct JobSpan {
     pub killed: bool,
     /// Node-failure evictions suffered.
     pub requeues: u32,
+    /// Width reshapes applied while running (malleable jobs only).
+    pub reshapes: u32,
 }
 
 impl JobSpan {
@@ -109,6 +111,7 @@ impl Analysis {
                 finish: None,
                 killed: false,
                 requeues: 0,
+                reshapes: 0,
             })
         }
 
@@ -121,6 +124,7 @@ impl Analysis {
                     nodes,
                     walltime: _,
                     share: _,
+                    malleable: _,
                 } => {
                     let s = span(&mut spans, *job, *t);
                     s.submit = *t;
@@ -161,6 +165,9 @@ impl Analysis {
                     span(&mut spans, *job, *t).requeues += 1;
                     depth += 1;
                     queue_depth.record(*t, depth as f64);
+                }
+                ReportEvent::Reshape { t, job, .. } => {
+                    span(&mut spans, *job, *t).reshapes += 1;
                 }
                 ReportEvent::Occupancy {
                     t,

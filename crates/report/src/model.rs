@@ -29,6 +29,9 @@ pub enum ReportEvent {
         walltime: f64,
         /// Whether the job opted into sharing.
         share: bool,
+        /// Width-malleability contract as `(min, max, cost)`; `None` for
+        /// rigid jobs (the writer omits the field entirely for them).
+        malleable: Option<(u32, u32, f64)>,
     },
     /// A job was rejected at submission as unsatisfiable.
     Rejected {
@@ -54,6 +57,19 @@ pub enum ReportEvent {
         idle_before: u64,
         /// Co-residents after the grant, as `(node, partner)` pairs.
         partners: Vec<(u64, u64)>,
+    },
+    /// A running malleable job moved to a new node set.
+    Reshape {
+        /// Event time.
+        t: f64,
+        /// Job id.
+        job: u64,
+        /// Nodes held before the reshape.
+        from: Vec<u64>,
+        /// Complete node set after the reshape.
+        to: Vec<u64>,
+        /// Reshape cost charged, node-seconds.
+        cost: f64,
     },
     /// A running job terminated.
     Finished {
@@ -107,6 +123,7 @@ impl ReportEvent {
             ReportEvent::Submitted { t, .. }
             | ReportEvent::Rejected { t, .. }
             | ReportEvent::Started { t, .. }
+            | ReportEvent::Reshape { t, .. }
             | ReportEvent::Finished { t, .. }
             | ReportEvent::Requeued { t, .. }
             | ReportEvent::NodeDown { t, .. }
@@ -137,6 +154,7 @@ impl TraceData {
                     nodes,
                     walltime_estimate,
                     share_eligible,
+                    malleable,
                 } => ReportEvent::Submitted {
                     t: *time,
                     job: job.0,
@@ -144,6 +162,13 @@ impl TraceData {
                     nodes: *nodes,
                     walltime: *walltime_estimate,
                     share: *share_eligible,
+                    malleable: (!malleable.is_rigid()).then(|| {
+                        (
+                            malleable.min_nodes,
+                            malleable.max_nodes,
+                            f64::from(malleable.reshape_cost),
+                        )
+                    }),
                 },
                 TraceEvent::Rejected { time, job } => ReportEvent::Rejected {
                     t: *time,
@@ -169,6 +194,19 @@ impl TraceData {
                         .iter()
                         .map(|(n, j)| (u64::from(n.0), j.0))
                         .collect(),
+                },
+                TraceEvent::Reshape {
+                    time,
+                    job,
+                    from,
+                    to,
+                    cost,
+                } => ReportEvent::Reshape {
+                    t: *time,
+                    job: job.0,
+                    from: from.iter().map(|n| u64::from(n.0)).collect(),
+                    to: to.iter().map(|n| u64::from(n.0)).collect(),
+                    cost: *cost,
                 },
                 TraceEvent::Finished { time, job, killed } => ReportEvent::Finished {
                     t: *time,
@@ -266,6 +304,14 @@ fn decode_event(e: &JsonValue) -> Result<ReportEvent, String> {
             nodes: field_u64(e, "nodes")? as u32,
             walltime: field_f64(e, "walltime")?,
             share: field_bool(e, "share")?,
+            malleable: match e.get("malleable") {
+                None => None,
+                Some(m) => Some((
+                    field_u64(m, "min")? as u32,
+                    field_u64(m, "max")? as u32,
+                    field_f64(m, "cost")?,
+                )),
+            },
         }),
         "rejected" => Ok(ReportEvent::Rejected {
             t,
@@ -298,6 +344,23 @@ fn decode_event(e: &JsonValue) -> Result<ReportEvent, String> {
                 reason: field_str(e, "reason")?.to_string(),
                 idle_before: field_u64(e, "idle_before")?,
                 partners,
+            })
+        }
+        "reshape" => {
+            let node_list = |key: &str| -> Result<Vec<u64>, String> {
+                e.get(key)
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("missing \"{key}\" array"))?
+                    .iter()
+                    .map(|n| n.as_u64().ok_or_else(|| "non-integer node id".to_string()))
+                    .collect()
+            };
+            Ok(ReportEvent::Reshape {
+                t,
+                job: field_u64(e, "job")?,
+                from: node_list("from")?,
+                to: node_list("to")?,
+                cost: field_f64(e, "cost")?,
             })
         }
         "finished" => Ok(ReportEvent::Finished {
@@ -343,6 +406,7 @@ mod tests {
             nodes: 3,
             walltime_estimate: 600.0,
             share_eligible: true,
+            malleable: nodeshare_workload::Malleability::range(2, 6, 45.0),
         });
         t.push(TraceEvent::Started {
             time: 1.0,
@@ -358,6 +422,13 @@ mod tests {
             time: 1.0,
             busy_cores: 8,
             shared_nodes: 1,
+        });
+        t.push(TraceEvent::Reshape {
+            time: 200.0,
+            job: JobId(1),
+            from: vec![NodeId(0), NodeId(2)],
+            to: vec![NodeId(0), NodeId(2), NodeId(3)],
+            cost: 45.0,
         });
         t.push(TraceEvent::Finished {
             time: 500.0,
@@ -379,8 +450,22 @@ mod tests {
         let direct = TraceData::from_trace(&trace);
         let parsed = TraceData::parse_json(&trace.to_json()).expect("parses");
         assert_eq!(direct, parsed);
-        assert_eq!(direct.events.len(), 4);
+        assert_eq!(direct.events.len(), 5);
         assert_eq!(direct.end_time(), 500.0);
+        match &direct.events[0] {
+            ReportEvent::Submitted { malleable, .. } => {
+                assert_eq!(*malleable, Some((2, 6, 45.0)));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &direct.events[3] {
+            ReportEvent::Reshape { from, to, cost, .. } => {
+                assert_eq!(from, &[0, 2]);
+                assert_eq!(to, &[0, 2, 3]);
+                assert_eq!(*cost, 45.0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
         match &direct.events[1] {
             ReportEvent::Started {
                 shared,

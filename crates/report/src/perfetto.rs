@@ -144,6 +144,45 @@ pub fn render(data: &TraceData) -> String {
                     });
                 }
             }
+            ReportEvent::Reshape { t, job, to, .. } => {
+                // Close the slices on the old node set and reopen on the
+                // new one, so the track view shows the width change.
+                let ts = micros(*t);
+                push(
+                    &mut events,
+                    ts,
+                    format!(
+                        "{{\"name\":\"reshape job {job} to {} nodes\",\"cat\":\"decision\",\
+                         \"ph\":\"i\",\"ts\":{ts},\"pid\":{PID},\"tid\":{DECISIONS_TID},\
+                         \"s\":\"t\"}}",
+                        to.len(),
+                    ),
+                );
+                close_job(&mut events, &mut lanes, &mut open, &mut push, *job, *t);
+                for &node in to {
+                    let node_lanes = lanes.entry(node).or_default();
+                    let lane = match node_lanes.iter().position(Option::is_none) {
+                        Some(l) => {
+                            node_lanes[l] = Some(*job);
+                            l
+                        }
+                        None => {
+                            node_lanes.push(Some(*job));
+                            node_lanes.len() - 1
+                        }
+                    };
+                    used_tids
+                        .entry(lane_tid(node, lane))
+                        .or_insert_with(|| format!("node {node} / lane {lane}"));
+                    open.entry(*job).or_default().push(OpenSlice {
+                        node,
+                        lane,
+                        start: *t,
+                        shared: false,
+                        reason: "reshape".to_string(),
+                    });
+                }
+            }
             ReportEvent::Finished { t, job, .. } => {
                 close_job(&mut events, &mut lanes, &mut open, &mut push, *job, *t);
             }

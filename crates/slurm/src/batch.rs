@@ -217,6 +217,7 @@ impl BatchSystem {
                 .expect("memory checked against node capacity fits u32 MiB"),
             share_eligible: script.oversubscribe && partition.oversubscribe,
             user,
+            malleable: Default::default(),
         };
         self.accepted.push(AcceptedJob {
             name: script

@@ -151,6 +151,7 @@ mod tests {
 
     fn job(id: u64, submit: f64, nodes: u32) -> JobSpec {
         JobSpec {
+            malleable: Default::default(),
             id: JobId(id),
             app: AppId(0),
             nodes,

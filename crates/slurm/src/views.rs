@@ -135,6 +135,7 @@ mod tests {
         let spec = ClusterSpec::new(2, NodeSpec::tiny());
         let jobs = vec![
             JobSpec {
+                malleable: Default::default(),
                 id: nodeshare_cluster::JobId(0),
                 app: catalog.by_name("miniFE").unwrap().id,
                 nodes: 2,
@@ -146,6 +147,7 @@ mod tests {
                 user: 3,
             },
             JobSpec {
+                malleable: Default::default(),
                 id: nodeshare_cluster::JobId(1),
                 app: catalog.by_name("SNAP").unwrap().id,
                 nodes: 1,

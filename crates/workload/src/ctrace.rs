@@ -294,6 +294,7 @@ impl<'c, R: BufRead> CTraceSource<'c, R> {
             app,
             nodes,
             submit: row.submit - t0,
+            malleable: Default::default(),
             runtime_exclusive: row.runtime,
             walltime_estimate: row.runtime * self.opts.walltime_factor,
             mem_per_node_mib: row.mem_mib,

@@ -3,7 +3,7 @@
 
 use crate::arrival::ArrivalProcess;
 use crate::estimates::EstimateModel;
-use crate::job::{JobSpec, Seconds, Workload};
+use crate::job::{JobSpec, Malleability, Seconds, Workload};
 use crate::mix::AppMix;
 use crate::sizes::{RuntimeDist, SizeDist};
 use crate::source::{JobSource, SourceError};
@@ -31,6 +31,11 @@ pub struct WorkloadSpec {
     pub mix: AppMix,
     /// Probability that a job opts into node sharing.
     pub share_fraction: f64,
+    /// Probability that a job declares a width-malleability contract
+    /// (see [`crate::job::Malleability`]). `0.0` — the default in every
+    /// preset — draws **no** RNG at all, so rigid campaigns are
+    /// bit-identical to workloads generated before the knob existed.
+    pub malleable_fraction: f64,
     /// Number of distinct submitting users.
     pub n_users: u32,
     /// Master seed; every derived stream is a function of it.
@@ -52,8 +57,24 @@ impl WorkloadSpec {
             estimates: EstimateModel::evaluation(),
             mix: AppMix::uniform(catalog),
             share_fraction: 1.0,
+            malleable_fraction: 0.0,
             n_users: 64,
             seed,
+        }
+    }
+
+    /// Samples the malleability draw for one job of width `nodes`.
+    ///
+    /// Gated on `malleable_fraction > 0.0` so the disabled (default)
+    /// path consumes zero RNG: the per-job draw sequence — and therefore
+    /// every rigid workload ever generated — is unchanged. Malleable
+    /// jobs may shrink to half their requested width and grow to double
+    /// it, paying 15 node-seconds per requested node at each reshape.
+    fn sample_malleable(&self, rng: &mut ChaCha8Rng, nodes: u32) -> Malleability {
+        if self.malleable_fraction > 0.0 && rng.random::<f64>() < self.malleable_fraction {
+            Malleability::range(nodes.div_ceil(2), nodes * 2, nodes as f32 * 15.0)
+        } else {
+            Malleability::RIGID
         }
     }
 
@@ -69,6 +90,7 @@ impl WorkloadSpec {
             let estimate = self.estimates.sample(&mut rng, runtime);
             let share_eligible = rng.random::<f64>() < self.share_fraction;
             let user = rng.random_range(0..self.n_users.max(1));
+            let malleable = self.sample_malleable(&mut rng, nodes);
             jobs.push(JobSpec {
                 id: JobId(i as u64),
                 app,
@@ -84,6 +106,7 @@ impl WorkloadSpec {
                     .expect("catalog memory fits u32 MiB"),
                 share_eligible,
                 user,
+                malleable,
             });
         }
         // detlint: allow(D5, invariant stated in the expect message; violating it is a bug, not a recoverable state)
@@ -181,6 +204,7 @@ impl GeneratorSource {
         let estimate = self.spec.estimates.sample(rng, runtime);
         let share_eligible = rng.random::<f64>() < self.spec.share_fraction;
         let user = rng.random_range(0..self.spec.n_users.max(1));
+        let malleable = self.spec.sample_malleable(rng, nodes);
         let id = JobId(self.next_id);
         self.next_id += 1;
         Some(JobSpec {
@@ -193,6 +217,7 @@ impl GeneratorSource {
             mem_per_node_mib: self.mem_by_app[app.0 as usize],
             share_eligible,
             user,
+            malleable,
         })
     }
 }
@@ -289,6 +314,56 @@ mod tests {
             let streamed = collect_source(&mut s.stream(&c, chunk)).unwrap();
             assert_eq!(streamed, materialized, "chunk {chunk}");
         }
+    }
+
+    #[test]
+    fn malleable_fraction_draws_contracts_and_streams_identically() {
+        let (c, mut s) = spec();
+        s.malleable_fraction = 0.5;
+        let w = s.generate(&c);
+        let malleable = w.jobs().iter().filter(|j| !j.malleable.is_rigid()).count();
+        let frac = malleable as f64 / w.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "malleable fraction {frac}");
+        for j in w.jobs() {
+            let m = &j.malleable;
+            if !m.is_rigid() {
+                assert!(m.min_nodes >= 1 && m.min_nodes <= j.nodes);
+                assert!(m.max_nodes >= j.nodes);
+                assert!(m.reshape_cost > 0.0);
+            }
+        }
+        // The streaming twin replays the extra draw bit-identically.
+        for chunk in [1, 7, 256] {
+            let streamed = collect_source(&mut s.stream(&c, chunk)).unwrap();
+            assert_eq!(streamed, w, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn disabled_malleability_leaves_rigid_workloads_bit_identical() {
+        // The knob at 0.0 must consume zero RNG: the generated jobs are
+        // field-for-field what the pre-malleability generator produced.
+        let (c, s) = spec();
+        assert_eq!(s.malleable_fraction, 0.0);
+        let w = s.generate(&c);
+        assert!(w.jobs().iter().all(|j| j.malleable.is_rigid()));
+        // Enabling the knob leaves the arrival process untouched (all
+        // arrivals are drawn before any per-job field) and only appends
+        // a draw after the established per-job sequence: the first job's
+        // rigid fields are bit-identical either way.
+        let mut on = s.clone();
+        on.malleable_fraction = 1.0;
+        let w_on = on.generate(&c);
+        for (a, b) in w.jobs().iter().zip(w_on.jobs()) {
+            assert_eq!(a.submit, b.submit);
+        }
+        let (a, b) = (&w.jobs()[0], &w_on.jobs()[0]);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.runtime_exclusive, b.runtime_exclusive);
+        assert_eq!(a.walltime_estimate, b.walltime_estimate);
+        assert_eq!(a.share_eligible, b.share_eligible);
+        assert_eq!(a.user, b.user);
+        assert!(a.malleable.is_rigid() && !b.malleable.is_rigid());
     }
 
     #[test]

@@ -10,6 +10,64 @@ use serde::{Deserialize, Serialize};
 /// of a simulation (or, for SWF traces, the trace epoch).
 pub type Seconds = f64;
 
+/// Width-malleability contract of a job: the range of node counts the
+/// job can run at and what one reshape costs.
+///
+/// The default is [`Malleability::RIGID`] (`max_nodes == 0`), under which
+/// every existing workload, trace, and campaign is bit-identical to the
+/// rigid-only engine: no reshape may ever be issued for such a job. A
+/// non-rigid contract promises the application can redistribute its data
+/// across any width in `[min_nodes, max_nodes]`; the engine models the
+/// redistribution as `reshape_cost` exclusive node-seconds charged
+/// against the job's remaining work at each reshape.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Malleability {
+    /// Smallest width the job can shrink to (≥ 1 when non-rigid).
+    pub min_nodes: u32,
+    /// Largest width the job can grow to; `0` means rigid.
+    pub max_nodes: u32,
+    /// Cost of one reshape in exclusive node-seconds, charged against
+    /// the job's remaining work when the reshape is applied.
+    pub reshape_cost: f32,
+}
+
+impl Malleability {
+    /// The rigid (non-malleable) contract: no reshapes, ever.
+    pub const RIGID: Malleability = Malleability {
+        min_nodes: 0,
+        max_nodes: 0,
+        reshape_cost: 0.0,
+    };
+
+    /// A malleable contract over `[min_nodes, max_nodes]` with the given
+    /// per-reshape cost in node-seconds.
+    pub const fn range(min_nodes: u32, max_nodes: u32, reshape_cost: f32) -> Malleability {
+        Malleability {
+            min_nodes,
+            max_nodes,
+            reshape_cost,
+        }
+    }
+
+    /// True for the rigid (default) contract.
+    #[inline]
+    pub fn is_rigid(&self) -> bool {
+        self.max_nodes == 0
+    }
+
+    /// True when the contract admits running at width `w`.
+    #[inline]
+    pub fn admits(&self, w: u32) -> bool {
+        !self.is_rigid() && self.min_nodes <= w && w <= self.max_nodes
+    }
+}
+
+impl Default for Malleability {
+    fn default() -> Self {
+        Malleability::RIGID
+    }
+}
+
 /// A job as submitted to the batch system.
 ///
 /// The split between `runtime_exclusive` (ground truth, known only to the
@@ -44,6 +102,11 @@ pub struct JobSpec {
     /// Submitting user (for per-user statistics; not used by the
     /// strategies themselves).
     pub user: u32,
+    /// Width-malleability contract; [`Malleability::RIGID`] (the
+    /// default) for ordinary rigid jobs. Jobs always *start* at
+    /// [`JobSpec::nodes`]; a non-rigid contract only permits reshapes
+    /// while running.
+    pub malleable: Malleability,
 }
 
 impl JobSpec {
@@ -73,6 +136,21 @@ impl JobSpec {
         }
         if self.submit < 0.0 || self.submit.is_nan() {
             return Err(format!("{}: submit time must be non-negative", self.id));
+        }
+        let m = &self.malleable;
+        if !m.is_rigid() {
+            if m.min_nodes == 0 || m.min_nodes > self.nodes || self.nodes > m.max_nodes {
+                return Err(format!(
+                    "{}: malleable range [{}, {}] must bracket the requested width {}",
+                    self.id, m.min_nodes, m.max_nodes, self.nodes
+                ));
+            }
+            if !m.reshape_cost.is_finite() || m.reshape_cost < 0.0 {
+                return Err(format!(
+                    "{}: reshape cost must be finite and non-negative",
+                    self.id
+                ));
+            }
         }
         Ok(())
     }
@@ -174,6 +252,7 @@ mod tests {
             mem_per_node_mib: 1024,
             share_eligible: true,
             user: 0,
+            malleable: Malleability::RIGID,
         }
     }
 
@@ -182,9 +261,10 @@ mod tests {
         // Streamed runs hold only queued + in-flight specs, but a
         // saturated million-job campaign can still queue hundreds of
         // thousands. Field-width audit: id 8 + times 3×8 + mem 4 +
-        // nodes 4 + user 4 + app 1 + share 1 = 46, padded to 48.
+        // nodes 4 + user 4 + app 1 + share 1 = 46, plus the malleability
+        // contract 2×4 + 4 = 12 → 58, padded to 64.
         assert!(
-            std::mem::size_of::<JobSpec>() <= 48,
+            std::mem::size_of::<JobSpec>() <= 64,
             "JobSpec grew to {} bytes — audit field widths",
             std::mem::size_of::<JobSpec>()
         );
@@ -225,6 +305,40 @@ mod tests {
         let mut j = job(1, 0.0);
         j.submit = -0.5;
         assert!(Workload::new(vec![j]).is_err());
+    }
+
+    #[test]
+    fn malleability_contract_is_validated() {
+        // Rigid default stays valid and reports rigid.
+        let j = job(1, 0.0);
+        assert!(j.malleable.is_rigid());
+        assert!(!j.malleable.admits(j.nodes));
+        assert!(j.validate().is_ok());
+
+        // A proper range bracketing the requested width is accepted.
+        let mut j = job(1, 0.0);
+        j.malleable = Malleability::range(1, 4, 30.0);
+        assert!(j.validate().is_ok());
+        assert!(j.malleable.admits(1) && j.malleable.admits(4));
+        assert!(!j.malleable.admits(5));
+
+        // min of zero, range not bracketing `nodes`, and non-finite
+        // costs are all rejected.
+        let mut j = job(1, 0.0);
+        j.malleable = Malleability::range(0, 4, 1.0);
+        assert!(j.validate().is_err());
+        let mut j = job(1, 0.0); // nodes = 2
+        j.malleable = Malleability::range(3, 4, 1.0);
+        assert!(j.validate().is_err());
+        let mut j = job(1, 0.0);
+        j.malleable = Malleability::range(1, 1, 1.0);
+        assert!(j.validate().is_err());
+        let mut j = job(1, 0.0);
+        j.malleable = Malleability::range(1, 4, f32::NAN);
+        assert!(j.validate().is_err());
+        let mut j = job(1, 0.0);
+        j.malleable = Malleability::range(1, 4, -1.0);
+        assert!(j.validate().is_err());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod transform;
 pub use arrival::ArrivalProcess;
 pub use estimates::EstimateModel;
 pub use generator::WorkloadSpec;
-pub use job::{JobSpec, Seconds, Workload};
+pub use job::{JobSpec, Malleability, Seconds, Workload};
 pub use mix::AppMix;
 pub use presets::Preset;
 pub use sizes::{RuntimeDist, SizeDist};

@@ -25,16 +25,23 @@ pub enum Preset {
     /// A memory-bandwidth-dominated mix: the worst case for sharing
     /// (few complementary partners exist).
     MemoryHeavy,
+    /// Load-spike site: the evaluation mix arriving in pronounced waves
+    /// (deep bursts past capacity alternating with near-idle lulls).
+    /// The regime where width-malleable jobs pay off — shrink under the
+    /// burst, grow into the lull. Jobs are rigid by default; experiments
+    /// opt into malleability via `WorkloadSpec::malleable_fraction`.
+    Spike,
 }
 
 impl Preset {
     /// All presets, for enumeration in help text and tests.
-    pub const ALL: [Preset; 5] = [
+    pub const ALL: [Preset; 6] = [
         Preset::Evaluation,
         Preset::Saturated,
         Preset::Capability,
         Preset::Capacity,
         Preset::MemoryHeavy,
+        Preset::Spike,
     ];
 
     /// Parse from the CLI spelling.
@@ -45,6 +52,7 @@ impl Preset {
             "capability" => Some(Preset::Capability),
             "capacity" => Some(Preset::Capacity),
             "memory-heavy" => Some(Preset::MemoryHeavy),
+            "spike" => Some(Preset::Spike),
             _ => None,
         }
     }
@@ -57,6 +65,7 @@ impl Preset {
             Preset::Capability => "capability",
             Preset::Capacity => "capacity",
             Preset::MemoryHeavy => "memory-heavy",
+            Preset::Spike => "spike",
         }
     }
 
@@ -125,6 +134,20 @@ impl Preset {
                     ..base
                 }
             }
+            Preset::Spike => WorkloadSpec {
+                // Swings between ~0.0005 jobs/s (lull: the machine
+                // drains and sits largely idle) and ~0.0095 (burst:
+                // ~1.2× the ~0.008 drain rate, so the queue genuinely
+                // spikes) over an 8-hour wave. Both halves of the wave
+                // leave slack a rigid policy cannot touch: stranded
+                // idle nodes in the lull, a blocked head in the burst.
+                arrival: ArrivalProcess::DailyCycle {
+                    base_rate: 0.0050,
+                    amplitude: 0.90,
+                    period: 28_800.0,
+                },
+                ..base
+            },
         }
     }
 }

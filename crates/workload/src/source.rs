@@ -257,6 +257,7 @@ mod tests {
 
     fn job(id: u64, submit: Seconds) -> JobSpec {
         JobSpec {
+            malleable: Default::default(),
             id: JobId(id),
             app: AppId(0),
             nodes: 1,

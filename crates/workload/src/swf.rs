@@ -200,6 +200,7 @@ pub fn record_to_spec(
         app,
         nodes,
         submit: r.submit as Seconds,
+        malleable: Default::default(),
         runtime_exclusive: runtime,
         walltime_estimate: estimate,
         mem_per_node_mib: catalog

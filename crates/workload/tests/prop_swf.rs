@@ -28,6 +28,7 @@ proptest! {
             .into_iter()
             .enumerate()
             .map(|(i, (nodes, runtime, submit, over, app, user))| JobSpec {
+                malleable: Default::default(),
                 id: JobId(i as u64),
                 app: AppId(app),
                 nodes,

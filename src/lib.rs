@@ -16,7 +16,7 @@
 //! | [`perf`] | `nodeshare-perf` | mini-app profiles, SMT contention model, predictors |
 //! | [`workload`] | `nodeshare-workload` | job model, synthetic campaigns, SWF traces |
 //! | [`engine`] | `nodeshare-engine` | discrete-event simulation, `Scheduler` trait |
-//! | [`sched`] | `nodeshare-core` | FCFS / first-fit / EASY / conservative + **CoFirstFit** / **CoBackfill** |
+//! | [`sched`] | `nodeshare-core` | FCFS / first-fit / EASY / conservative + **CoFirstFit** / **CoBackfill** / **Adaptive** |
 //! | [`slurm`] | `nodeshare-slurm` | sbatch scripts, slurm.conf, partitions, squeue/sinfo/sacct |
 //! | [`metrics`] | `nodeshare-metrics` | computational & scheduling efficiency, summaries |
 //! | [`report`] | `nodeshare-report` | trace analytics: lifecycle spans, Perfetto export, markdown reports |
@@ -54,7 +54,7 @@ pub use nodeshare_workload as workload;
 pub mod prelude {
     pub use nodeshare_cluster::{Cluster, ClusterSpec, JobId, Lane, NodeId, NodeSpec, ShareMode};
     pub use nodeshare_core::{
-        Backfill, Conservative, Fcfs, FirstFit, Pairing, PairingPolicy, PredictorKind,
+        Adaptive, Backfill, Conservative, Fcfs, FirstFit, Pairing, PairingPolicy, PredictorKind,
         StrategyConfig, StrategyKind,
     };
     pub use nodeshare_engine::{
@@ -67,6 +67,6 @@ pub mod prelude {
     };
     pub use nodeshare_slurm::{BatchSystem, JobScript, SlurmConf};
     pub use nodeshare_workload::{
-        ArrivalProcess, EstimateModel, JobSpec, Seconds, Workload, WorkloadSpec,
+        ArrivalProcess, EstimateModel, JobSpec, Malleability, Seconds, Workload, WorkloadSpec,
     };
 }

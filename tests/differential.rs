@@ -300,6 +300,7 @@ fn auditor_catches_corrupted_incremental_profile() {
     config.audit = false;
 
     let job = |id: u64, nodes: u32, submit: f64, runtime: f64, est: f64| JobSpec {
+        malleable: Default::default(),
         id: JobId(id),
         app: AppId(0),
         nodes,
@@ -909,4 +910,244 @@ fn dedup_set_layout_leaves_campaign_artifacts_bit_identical() {
             }
         }
     }
+}
+
+/// The adaptive reshape policy must be a pure pass-through on all-rigid
+/// workloads: no job carries a malleability contract, so neither the
+/// shrink-to-admit nor the grow-to-fill path may ever fire, and the
+/// decision trace and outcome (up to the policy's name) are
+/// **byte-identical** to plain EASY backfill on **every workload mix** —
+/// the same preset × seed grid the conservative differential sweeps.
+#[test]
+fn adaptive_is_bit_identical_to_easy_backfill_on_rigid_workloads() {
+    use nodeshare::workload::Preset;
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+    let adaptive = StrategyConfig::exclusive(StrategyKind::Adaptive);
+    let easy = StrategyConfig::exclusive(StrategyKind::EasyBackfill);
+
+    for preset in Preset::ALL {
+        for seed in [2, 5, 11, 17, 23] {
+            let mut spec = preset.spec(&catalog, seed);
+            spec.n_jobs = 60;
+            let workload = spec.generate(&catalog);
+            assert!(
+                workload.jobs().iter().all(|j| j.malleable.is_rigid()),
+                "{preset:?}: presets generate rigid jobs unless opted in"
+            );
+
+            let mut a = adaptive.build(&catalog, &model);
+            let (out_a, trace_a) = run_traced(&workload, &matrix, a.as_mut(), &config);
+            let mut e = easy.build(&catalog, &model);
+            let (out_e, trace_e) = run_traced(&workload, &matrix, e.as_mut(), &config);
+
+            assert!(
+                trace_a
+                    .events()
+                    .iter()
+                    .all(|ev| !matches!(ev, TraceEvent::Reshape { .. })),
+                "{preset:?} seed {seed}: reshape on an all-rigid workload"
+            );
+            assert!(
+                trace_a == trace_e,
+                "{preset:?} seed {seed}: decision traces diverge"
+            );
+            let mut renamed = out_a.clone();
+            renamed.scheduler = out_e.scheduler.clone();
+            assert!(
+                renamed == out_e,
+                "{preset:?} seed {seed}: outcomes diverge beyond the name"
+            );
+            assert!(out_e.complete(), "{preset:?} seed {seed}");
+        }
+    }
+}
+
+/// The rigid pass-through also holds under the telemetry layer: the
+/// scheduler-side counters and the closing cumulative sample agree
+/// between adaptive and EASY backfill when no job is malleable.
+#[test]
+fn adaptive_matches_easy_backfill_telemetry_on_rigid_workloads() {
+    use nodeshare::engine::{run_with_telemetry, SimTelemetry};
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::evaluation());
+    config.audit = false;
+    let workload = saturated_workload(&catalog, 31, 60);
+
+    let tele_a = SimTelemetry::new(300.0);
+    let mut a = StrategyConfig::exclusive(StrategyKind::Adaptive).build(&catalog, &model);
+    let out_a = run_with_telemetry(&workload, &matrix, a.as_mut(), &config, &tele_a);
+    let tele_e = SimTelemetry::new(300.0);
+    let mut e = StrategyConfig::exclusive(StrategyKind::EasyBackfill).build(&catalog, &model);
+    let out_e = run_with_telemetry(&workload, &matrix, e.as_mut(), &config, &tele_e);
+
+    let mut renamed = out_a.clone();
+    renamed.scheduler = out_e.scheduler.clone();
+    assert!(renamed == out_e, "outcomes diverge beyond the name");
+    for (name, a, b) in [
+        (
+            "decisions",
+            tele_a.sched.decisions.get(),
+            tele_e.sched.decisions.get(),
+        ),
+        (
+            "head_started",
+            tele_a.sched.head_started.get(),
+            tele_e.sched.head_started.get(),
+        ),
+        (
+            "backfill_started",
+            tele_a.sched.backfill_started.get(),
+            tele_e.sched.backfill_started.get(),
+        ),
+    ] {
+        assert_eq!(a, b, "telemetry counter {name} diverges");
+    }
+    let last_a = tele_a.samples().pop().expect("closing sample");
+    let last_e = tele_e.samples().pop().expect("closing sample");
+    assert_eq!(last_a.completed, last_e.completed);
+    assert_eq!(last_a.starts_exclusive, last_e.starts_exclusive);
+    assert_eq!(last_a.starts_shared, last_e.starts_shared);
+    assert_eq!(last_a.backfill_started, last_e.backfill_started);
+}
+
+/// End to end through the campaign orchestrator: two campaigns over the
+/// same rigid preset grid — one running adaptive, one running EASY
+/// backfill, both under the same axis label — emit byte-identical cell
+/// tables and CSVs, and every cell's decision-trace hash and metrics
+/// agree. The reshape machinery costs the rigid science nothing.
+#[test]
+fn adaptive_campaign_artifacts_match_easy_backfill_on_rigid_presets() {
+    use nodeshare_bench::campaign::{
+        run_campaign, CampaignSpec, CellOptions, PresetVariant, StrategyVariant,
+    };
+    use nodeshare_bench::orchestrator::Parallelism;
+    use nodeshare_bench::{seeds, World};
+
+    let world = World::evaluation();
+    let campaign = |cfg: StrategyConfig| {
+        let spec = CampaignSpec::on_evaluation_cluster(
+            "rigid-differential",
+            vec![
+                PresetVariant {
+                    n_jobs: Some(50),
+                    ..PresetVariant::saturated("saturated")
+                },
+                PresetVariant {
+                    n_jobs: Some(40),
+                    ..PresetVariant::online("online")
+                },
+            ],
+            // The same axis label for both policies: any byte that
+            // differs below is a behavioral divergence, not a name.
+            vec![StrategyVariant::named("policy", cfg)],
+            seeds(5),
+        );
+        run_campaign(
+            &world,
+            &spec,
+            Parallelism::Serial,
+            &CellOptions { hash_traces: true },
+        )
+        .unwrap_or_else(|f| panic!("campaign failed: {}", f[0]))
+    };
+
+    let a = campaign(StrategyConfig::exclusive(StrategyKind::Adaptive));
+    let e = campaign(StrategyConfig::exclusive(StrategyKind::EasyBackfill));
+    assert_eq!(a.results.len(), e.results.len());
+    for (ra, re) in a.results.iter().zip(&e.results) {
+        assert_eq!(ra.coord, re.coord, "cell order diverges");
+        assert!(
+            ra.trace_hash.is_some() && ra.trace_hash == re.trace_hash,
+            "cell {:?}: decision-trace hashes diverge",
+            ra.coord
+        );
+        assert!(ra.metrics == re.metrics, "cell {:?}: metrics", ra.coord);
+    }
+    assert_eq!(
+        a.cell_table.render(),
+        e.cell_table.render(),
+        "rendered cell tables diverge"
+    );
+    assert_eq!(
+        a.cell_table.to_csv(),
+        e.cell_table.to_csv(),
+        "cell CSVs diverge"
+    );
+}
+
+/// Acceptance check for the reshape invariants: over-shrink one recorded
+/// reshape below the job's contract minimum and the replay auditor names
+/// the invariant, the job, and the node — same bar as the doctored
+/// placement above.
+#[test]
+fn auditor_catches_overshrunk_reshape() {
+    use nodeshare::workload::{JobSpec, Malleability, Workload};
+    let (catalog, model, matrix) = world();
+    let mut config = SimConfig::new(ClusterSpec::new(4, NodeSpec::tiny()));
+    config.audit = false;
+
+    // Job 0 holds all four nodes under a [2, 4] contract; job 1 arrives
+    // behind it, so adaptive shrinks job 0 to admit it.
+    let job = |id: u64, nodes: u32, submit: f64, runtime: f64, malleable: Malleability| JobSpec {
+        malleable,
+        id: JobId(id),
+        app: AppId(0),
+        nodes,
+        submit,
+        runtime_exclusive: runtime,
+        walltime_estimate: 3_000.0,
+        mem_per_node_mib: 64,
+        share_eligible: false,
+        user: 0,
+    };
+    let workload = Workload::new(vec![
+        job(0, 4, 0.0, 400.0, Malleability::range(2, 4, 10.0)),
+        job(1, 2, 5.0, 50.0, Malleability::RIGID),
+    ])
+    .unwrap();
+
+    let cfg = StrategyConfig::exclusive(StrategyKind::Adaptive);
+    let mut sched = cfg.build(&catalog, &model);
+    let (out, trace) = run_traced(&workload, &matrix, sched.as_mut(), &config);
+    assert!(out.complete());
+
+    // Control: the engine-produced reshape schedule audits clean.
+    Auditor::new(&matrix, &config)
+        .audit(&trace, &out)
+        .expect("untampered reshape schedule must audit clean");
+
+    // Doctor the first reshape: keep a single node, below the contract's
+    // minimum of two.
+    let mut doctored = DecisionTrace::new();
+    let mut victim = None;
+    let mut flagged = None;
+    for ev in trace.events() {
+        let mut ev = ev.clone();
+        if victim.is_none() {
+            if let TraceEvent::Reshape { job, to, .. } = &mut ev {
+                victim = Some(*job);
+                to.truncate(1);
+                flagged = to.first().copied();
+            }
+        }
+        doctored.push(ev);
+    }
+    let victim = victim.expect("adaptive must have reshaped job 0");
+
+    let violations = Auditor::new(&matrix, &config)
+        .audit(&doctored, &out)
+        .expect_err("over-shrink below min_nodes must be caught");
+    let v = violations
+        .iter()
+        .find(|v| v.invariant == "reshape-width-in-range")
+        .expect("the contract-range invariant must be reported by name");
+    assert_eq!(v.job, Some(victim), "the over-shrunk job is flagged");
+    assert_eq!(v.node, flagged, "the surviving node is flagged");
+    let msg = v.to_string();
+    assert!(
+        msg.contains("reshape-width-in-range") && msg.contains("outside the contract"),
+        "violation must name the invariant and the range: {msg}"
+    );
 }

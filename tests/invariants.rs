@@ -41,6 +41,7 @@ fn build(raw: Vec<RawJob>) -> Workload {
             .map(|(i, r)| {
                 t += r.gap;
                 JobSpec {
+                    malleable: Default::default(),
                     id: nodeshare::cluster::JobId(i as u64),
                     app: AppId(r.app),
                     nodes: r.nodes,
